@@ -1,0 +1,35 @@
+//! Regenerates the corresponding figure(s)/table(s) of the paper's
+//! evaluation. Run via `cargo bench -p flint-bench --bench ablations`.
+
+use flint_bench::run_and_save;
+
+fn main() {
+    run_and_save(
+        "ablation_fixed_tau",
+        flint_bench::ablations::ablation_fixed_tau,
+    );
+    run_and_save(
+        "ablation_adaptive_vs_periodic",
+        flint_bench::ablations::ablation_adaptive_vs_periodic,
+    );
+    run_and_save(
+        "ablation_shuffle_fastpath",
+        flint_bench::ablations::ablation_shuffle_fastpath,
+    );
+    run_and_save(
+        "ablation_market_count",
+        flint_bench::ablations::ablation_market_count,
+    );
+    run_and_save(
+        "ablation_bid_stratification",
+        flint_bench::ablations::ablation_bid_stratification,
+    );
+    run_and_save(
+        "ext_streaming",
+        flint_bench::ablations::ext_streaming_latency,
+    );
+    run_and_save(
+        "ablation_adaptive_delta",
+        flint_bench::ablations::ablation_adaptive_delta,
+    );
+}

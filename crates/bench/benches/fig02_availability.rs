@@ -1,0 +1,9 @@
+//! Regenerates the corresponding figure(s)/table(s) of the paper's
+//! evaluation. Run via `cargo bench -p flint-bench --bench fig02_availability`.
+
+use flint_bench::run_and_save;
+
+fn main() {
+    run_and_save("fig02a", flint_bench::exp_market::fig02a_ec2_availability);
+    run_and_save("fig02b", flint_bench::exp_market::fig02b_gce_availability);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the corresponding figure(s)/table(s) of the paper's
+//! evaluation. Run via `cargo bench -p flint-bench --bench fig06_checkpointing`.
+
+use flint_bench::run_and_save;
+
+fn main() {
+    run_and_save("fig06a", flint_bench::exp_engine::fig06a_ckpt_tax);
+    run_and_save("fig06b", flint_bench::exp_engine::fig06b_system_ckpt);
+    run_and_save("fig06c", flint_bench::exp_engine::fig06c_volatility);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the corresponding figure(s)/table(s) of the paper's
+//! evaluation. Run via `cargo bench -p flint-bench --bench fig08_concurrent_failures`.
+
+use flint_bench::run_and_save;
+
+fn main() {
+    run_and_save("fig08", flint_bench::exp_engine::fig08_concurrent_failures);
+}

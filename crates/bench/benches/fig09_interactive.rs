@@ -1,0 +1,8 @@
+//! Regenerates the corresponding figure(s)/table(s) of the paper's
+//! evaluation. Run via `cargo bench -p flint-bench --bench fig09_interactive`.
+
+use flint_bench::run_and_save;
+
+fn main() {
+    run_and_save("fig09", flint_bench::exp_engine::fig09_interactive);
+}

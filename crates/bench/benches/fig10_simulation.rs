@@ -1,0 +1,9 @@
+//! Regenerates the corresponding figure(s)/table(s) of the paper's
+//! evaluation. Run via `cargo bench -p flint-bench --bench fig10_simulation`.
+
+use flint_bench::run_and_save;
+
+fn main() {
+    run_and_save("fig10a", flint_bench::exp_model::fig10a_mttf_sweep);
+    run_and_save("fig10b", flint_bench::exp_model::fig10b_flint_vs_spark);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the corresponding figure(s)/table(s) of the paper's
+//! evaluation. Run via `cargo bench -p flint-bench --bench fig11_cost`.
+
+use flint_bench::run_and_save;
+
+fn main() {
+    run_and_save("fig11a", flint_bench::exp_model::fig11a_unit_cost);
+    run_and_save("fig11b", flint_bench::exp_model::fig11b_bid_sweep);
+}

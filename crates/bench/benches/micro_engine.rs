@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of engine hot paths: scheduler throughput,
+//! shuffle partitioning, checkpoint store operations, and price-trace
+//! lookups. These guard against performance regressions in the simulator
+//! itself (wall-clock, not virtual time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flint_engine::{Driver, HashPartitioner, Partitioner, Value};
+use flint_market::{MarketCatalog, TraceGenerator, TraceProfile};
+use flint_simtime::{SimDuration, SimTime};
+
+fn bench_wordcount_job(c: &mut Criterion) {
+    c.bench_function("engine_wordcount_2k_records", |b| {
+        b.iter(|| {
+            let mut d = Driver::local(4);
+            let words = d.ctx().parallelize(
+                (0..2000).map(|i| Value::from_str_(&format!("w{}", i % 100))),
+                8,
+            );
+            let pairs = d
+                .ctx()
+                .map(words, |w| Value::pair(w.clone(), Value::Int(1)));
+            let counts = d.ctx().reduce_by_key(pairs, 8, |a, b| {
+                Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+            });
+            d.count(counts).unwrap()
+        })
+    });
+}
+
+fn bench_hash_partitioner(c: &mut Criterion) {
+    let keys: Vec<Value> = (0..10_000).map(Value::from_i64).collect();
+    let p = HashPartitioner::new(32);
+    c.bench_function("hash_partition_10k_keys", |b| {
+        b.iter(|| keys.iter().map(|k| p.partition_for(k)).sum::<u32>())
+    });
+}
+
+fn bench_trace_lookup(c: &mut Criterion) {
+    let gen = TraceGenerator::new(1, SimTime::ZERO + SimDuration::from_days(365));
+    let trace = gen.generate("bench", &TraceProfile::volatile(0.35));
+    c.bench_function("price_trace_lookup_1k", |b| {
+        b.iter(|| {
+            (0..1000u64)
+                .map(|i| trace.price_at(SimTime::from_hours_f64(i as f64 * 8.0)))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_catalog_generation(c: &mut Criterion) {
+    c.bench_function("synthetic_ec2_catalog_30d", |b| {
+        b.iter(|| MarketCatalog::synthetic_ec2(7, SimDuration::from_days(30)).len())
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_wordcount_job, bench_hash_partitioner, bench_trace_lookup, bench_catalog_generation
+);
+criterion_main!(micro);

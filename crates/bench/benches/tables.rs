@@ -1,0 +1,9 @@
+//! Regenerates the corresponding figure(s)/table(s) of the paper's
+//! evaluation. Run via `cargo bench -p flint-bench --bench tables`.
+
+use flint_bench::run_and_save;
+
+fn main() {
+    run_and_save("tab_multi_az", flint_bench::exp_engine::tab_multi_az);
+    run_and_save("tab_storage_cost", flint_bench::exp_model::tab_storage_cost);
+}

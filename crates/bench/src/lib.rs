@@ -1,0 +1,34 @@
+//! The Flint benchmark harness: one experiment per table/figure of the
+//! paper's evaluation (§5), plus ablations.
+//!
+//! Every experiment is a plain function returning a [`Table`]; the
+//! `benches/` targets are thin wrappers that print the table and write
+//! `results/<name>.json`, so `cargo bench -p flint-bench` regenerates the
+//! entire evaluation. Integration tests call the same functions and
+//! assert the paper's *directional* claims (who wins, by roughly what
+//! factor), which keeps the reproduction honest under refactoring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod exp_engine;
+pub mod exp_market;
+pub mod exp_model;
+pub mod setups;
+mod table;
+
+pub use table::Table;
+
+/// Runs an experiment function, prints its table, and persists JSON under
+/// `results/` (relative to the workspace root).
+pub fn run_and_save(name: &str, f: impl FnOnce() -> Table) {
+    let started = std::time::Instant::now();
+    let table = f();
+    println!("{table}");
+    let elapsed = started.elapsed();
+    println!("[{name}] completed in {:.1}s (wall)", elapsed.as_secs_f64());
+    if let Err(e) = table.save_json(name) {
+        eprintln!("[{name}] could not write results JSON: {e}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Result tables: pretty printing and JSON persistence.
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A labelled table of experiment results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Title, e.g. `"Figure 8a: PageRank running time vs failures"`.
+    pub title: String,
+    /// One-line note (paper reference values, caveats).
+    pub note: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            note: String::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Returns a cell parsed as `f64`, for assertions in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is missing. Non-numeric cells yield `NaN`.
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+            .trim_end_matches(['%', 'x', 's', 'h'])
+            .trim()
+            .parse()
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Finds the first row whose first cell equals `key`.
+    pub fn row_by_key(&self, key: &str) -> Option<usize> {
+        self.rows.iter().position(|r| r[0] == key)
+    }
+
+    /// Writes the table as JSON to `results/<name>.json` at the
+    /// workspace root.
+    pub fn save_json(&self, name: &str) -> std::io::Result<()> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        fs::write(&path, serde_json::to_string_pretty(self)?)?;
+        Ok(())
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} ===", self.title)?;
+        if !self.note.is_empty() {
+            writeln!(f, "    {}", self.note)?;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:width$}  ", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("T", &["a", "b"]).with_note("n");
+        t.push_row(vec!["x".into(), "1.5%".into()]);
+        assert_eq!(t.row_by_key("x"), Some(0));
+        assert_eq!(t.row_by_key("y"), None);
+        assert!((t.cell_f64(0, 1) - 1.5).abs() < 1e-12);
+        let s = t.to_string();
+        assert!(s.contains("=== T ==="));
+        assert!(s.contains("1.5%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

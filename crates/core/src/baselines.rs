@@ -1,0 +1,244 @@
+//! Baseline policies the paper compares against (§5.5, Fig. 11a):
+//! SpotFleet-style application-agnostic selection and Spark-EMR pricing.
+
+use flint_market::MarketId;
+use flint_simtime::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::{MarketView, SelectionPolicy};
+
+/// SpotFleet's per-market choice criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpotFleetCriterion {
+    /// Pick the lowest current spot price ("lowestPrice" strategy).
+    Cheapest,
+    /// Pick the highest-MTTF (least volatile) market.
+    LeastVolatile,
+}
+
+/// EC2 SpotFleet-style selection: application-agnostic — it looks only at
+/// price or volatility, never at the application's checkpoint/recompute
+/// trade-off. The paper configures fleets over two instance types, so the
+/// initial allocation spreads over the top two markets by the criterion.
+#[derive(Debug, Clone, Copy)]
+pub struct SpotFleetSelection {
+    /// The selection criterion.
+    pub criterion: SpotFleetCriterion,
+    /// Number of instance types in the fleet (the paper uses 2).
+    pub fleet_width: usize,
+}
+
+impl SpotFleetSelection {
+    /// Creates a fleet policy with the paper's two-type configuration.
+    pub fn new(criterion: SpotFleetCriterion) -> Self {
+        SpotFleetSelection {
+            criterion,
+            fleet_width: 2,
+        }
+    }
+
+    fn ranked(&self, view: &MarketView<'_>, exclude: Option<MarketId>) -> Vec<MarketId> {
+        let mut ids: Vec<MarketId> = view
+            .catalog
+            .spot_markets()
+            .iter()
+            .map(|m| m.id)
+            .filter(|id| Some(*id) != exclude)
+            .collect();
+        match self.criterion {
+            SpotFleetCriterion::Cheapest => {
+                ids.sort_by(|a, b| {
+                    let pa = view.stats(*a).current_price;
+                    let pb = view.stats(*b).current_price;
+                    pa.partial_cmp(&pb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(b))
+                });
+            }
+            SpotFleetCriterion::LeastVolatile => {
+                ids.sort_by(|a, b| {
+                    let ma = view.stats(*a).mttf;
+                    let mb = view.stats(*b).mttf;
+                    mb.cmp(&ma).then(a.cmp(b))
+                });
+            }
+        }
+        ids
+    }
+}
+
+impl SelectionPolicy for SpotFleetSelection {
+    fn name(&self) -> &'static str {
+        match self.criterion {
+            SpotFleetCriterion::Cheapest => "spot-fleet-cheapest",
+            SpotFleetCriterion::LeastVolatile => "spot-fleet-stable",
+        }
+    }
+
+    fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)> {
+        let ranked = self.ranked(view, None);
+        let width = self.fleet_width.max(1).min(ranked.len().max(1));
+        let chosen = &ranked[..width.min(ranked.len())];
+        if chosen.is_empty() {
+            return vec![(view.catalog.on_demand_id(), view.n)];
+        }
+        let m = chosen.len() as u32;
+        let base = view.n / m;
+        let rem = view.n % m;
+        chosen
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, base + u32::from((i as u32) < rem)))
+            .filter(|(_, c)| *c > 0)
+            .collect()
+    }
+
+    fn replacement(
+        &mut self,
+        view: &MarketView<'_>,
+        failed: MarketId,
+        count: u32,
+    ) -> Vec<(MarketId, u32)> {
+        let ranked = self.ranked(view, Some(failed));
+        match ranked.first() {
+            Some(id) => vec![(*id, count)],
+            None => vec![(view.catalog.on_demand_id(), count)],
+        }
+    }
+}
+
+/// Pins the cluster to one specific market regardless of prices — used
+/// by the bid-sweep experiment (Fig. 11b), which measures the cost of
+/// *that* market as a function of the bid.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedMarketSelection(pub MarketId);
+
+impl SelectionPolicy for FixedMarketSelection {
+    fn name(&self) -> &'static str {
+        "fixed-market"
+    }
+
+    fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)> {
+        vec![(self.0, view.n)]
+    }
+
+    fn replacement(
+        &mut self,
+        _view: &MarketView<'_>,
+        _failed: MarketId,
+        count: u32,
+    ) -> Vec<(MarketId, u32)> {
+        vec![(self.0, count)]
+    }
+}
+
+/// Spark-EMR pricing: unmodified Spark as a managed service on spot
+/// instances, with EMR's flat fee of 25 % of the on-demand price per
+/// instance-hour on top of the spot bill (§5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmrPricing {
+    /// Fee as a fraction of the on-demand price per instance-hour.
+    pub fee_fraction: f64,
+}
+
+impl Default for EmrPricing {
+    fn default() -> Self {
+        EmrPricing { fee_fraction: 0.25 }
+    }
+}
+
+impl EmrPricing {
+    /// The EMR fee for `n` instances with the given on-demand price over
+    /// `dur`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flint_core::EmrPricing;
+    /// use flint_simtime::SimDuration;
+    ///
+    /// let fee = EmrPricing::default().fee(10, 0.175, SimDuration::from_hours(4));
+    /// assert!((fee - 10.0 * 0.25 * 0.175 * 4.0).abs() < 1e-9);
+    /// ```
+    pub fn fee(&self, n: u32, on_demand_price: f64, dur: SimDuration) -> f64 {
+        self.fee_fraction * on_demand_price * f64::from(n) * dur.as_hours_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BidPolicy, JobProfile, SelectionConfig};
+    use flint_market::MarketCatalog;
+    use flint_simtime::SimTime;
+    use flint_store::StorageConfig;
+
+    fn with_view<R>(f: impl FnOnce(&MarketView<'_>) -> R) -> R {
+        let cat = MarketCatalog::synthetic_ec2(17, SimDuration::from_days(40));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = MarketView {
+            catalog: &cat,
+            now: SimTime::ZERO + SimDuration::from_days(14),
+            bid: BidPolicy::OnDemandPrice,
+            cfg: &cfg,
+            job: &job,
+            storage: StorageConfig::default(),
+            n: 10,
+        };
+        f(&view)
+    }
+
+    #[test]
+    fn fleet_spreads_over_two_markets() {
+        with_view(|view| {
+            let mut p = SpotFleetSelection::new(SpotFleetCriterion::Cheapest);
+            let alloc = p.initial(view);
+            assert_eq!(alloc.len(), 2);
+            assert_eq!(alloc.iter().map(|(_, c)| c).sum::<u32>(), 10);
+        });
+    }
+
+    #[test]
+    fn cheapest_criterion_minimizes_current_price() {
+        with_view(|view| {
+            let mut p = SpotFleetSelection::new(SpotFleetCriterion::Cheapest);
+            let alloc = p.initial(view);
+            let chosen_price = view.stats(alloc[0].0).current_price;
+            for m in view.catalog.spot_markets() {
+                assert!(view.stats(m.id).current_price >= chosen_price - 1e-12);
+            }
+        });
+    }
+
+    #[test]
+    fn least_volatile_criterion_maximizes_mttf() {
+        with_view(|view| {
+            let mut p = SpotFleetSelection::new(SpotFleetCriterion::LeastVolatile);
+            let alloc = p.initial(view);
+            let chosen_mttf = view.stats(alloc[0].0).mttf;
+            for m in view.catalog.spot_markets() {
+                assert!(view.stats(m.id).mttf <= chosen_mttf);
+            }
+        });
+    }
+
+    #[test]
+    fn replacement_avoids_failed_market() {
+        with_view(|view| {
+            let mut p = SpotFleetSelection::new(SpotFleetCriterion::Cheapest);
+            let failed = p.initial(view)[0].0;
+            let repl = p.replacement(view, failed, 5);
+            assert_ne!(repl[0].0, failed);
+            assert_eq!(repl[0].1, 5);
+        });
+    }
+
+    #[test]
+    fn emr_fee_scales_linearly() {
+        let emr = EmrPricing::default();
+        let one = emr.fee(1, 0.2, SimDuration::from_hours(1));
+        assert!((one - 0.05).abs() < 1e-12);
+        assert!((emr.fee(10, 0.2, SimDuration::from_hours(2)) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Bidding policies for spot markets.
+
+use flint_market::Market;
+use serde::{Deserialize, Serialize};
+
+/// How Flint bids for spot instances.
+///
+/// The paper's finding (Fig. 11b) is that in peaky markets the expected
+/// cost is flat over a wide range of bids, so Flint simply bids the
+/// on-demand price (§3.2.2, "Bidding Policy"). Alternative multiples are
+/// provided for the bid-sweep experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum BidPolicy {
+    /// Bid exactly the on-demand price (Flint's default).
+    #[default]
+    OnDemandPrice,
+    /// Bid a fixed multiple of the on-demand price (EC2 caps bids at 10x).
+    OnDemandMultiple(f64),
+}
+
+impl BidPolicy {
+    /// Returns the bid to place in `market`.
+    pub fn bid_for(&self, market: &Market) -> f64 {
+        match self {
+            BidPolicy::OnDemandPrice => market.on_demand_price,
+            BidPolicy::OnDemandMultiple(m) => market.on_demand_price * m.clamp(0.0, 10.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_market::{InstanceSpec, MarketId, MarketKind, PriceTrace};
+
+    fn market(od: f64) -> Market {
+        Market {
+            id: MarketId(0),
+            name: "m".into(),
+            zone: "z".into(),
+            spec: InstanceSpec::R3_LARGE,
+            on_demand_price: od,
+            kind: MarketKind::Spot,
+            trace: PriceTrace::flat(od * 0.1),
+        }
+    }
+
+    #[test]
+    fn default_bids_on_demand() {
+        let m = market(0.35);
+        assert_eq!(BidPolicy::default().bid_for(&m), 0.35);
+    }
+
+    #[test]
+    fn multiple_is_capped_at_ten() {
+        let m = market(0.35);
+        assert!((BidPolicy::OnDemandMultiple(2.0).bid_for(&m) - 0.70).abs() < 1e-12);
+        assert!((BidPolicy::OnDemandMultiple(50.0).bid_for(&m) - 3.5).abs() < 1e-12);
+        assert_eq!(BidPolicy::OnDemandMultiple(-1.0).bid_for(&m), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! [`FlintCluster`]: the assembled managed service.
+
+use flint_engine::{CheckpointHooks, Driver, DriverConfig, NoCheckpoint};
+use flint_market::{CloudSim, EbsCostModel, MarketCatalog};
+use flint_simtime::{SimDuration, SimTime};
+
+use crate::ckpt_policy::new_shared;
+use crate::{
+    BatchSelection, BidPolicy, CostReport, FlintCheckpointPolicy, FtSharedHandle,
+    InteractiveSelection, JobProfile, NodeManager, NodeManagerHandle, SelectionConfig,
+    SelectionPolicy,
+};
+
+/// Which of Flint's policy pairs to run (§3.1 vs §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Homogeneous cluster, minimum expected cost.
+    Batch,
+    /// Diversified cluster, minimum response-time variance.
+    Interactive,
+}
+
+/// Configuration of a [`FlintCluster`].
+#[derive(Debug, Clone)]
+pub struct FlintConfig {
+    /// Cluster size `N` (the paper's evaluation uses 10).
+    pub n_workers: u32,
+    /// Batch or interactive policy pair.
+    pub mode: Mode,
+    /// Market-selection configuration.
+    pub selection: SelectionConfig,
+    /// Job profile for Eq. 1–4.
+    pub job: JobProfile,
+    /// Bidding policy.
+    pub bid: BidPolicy,
+    /// Engine configuration (cost model, storage bandwidth).
+    pub driver: DriverConfig,
+    /// Seed for the cloud simulator (preemptible lifetimes).
+    pub seed: u64,
+    /// Session start within the price traces; defaults to two weeks in so
+    /// the backward-looking window has history.
+    pub start: SimTime,
+}
+
+impl Default for FlintConfig {
+    fn default() -> Self {
+        FlintConfig {
+            n_workers: 10,
+            mode: Mode::Batch,
+            selection: SelectionConfig::default(),
+            job: JobProfile::default(),
+            bid: BidPolicy::OnDemandPrice,
+            driver: DriverConfig::default(),
+            seed: 0,
+            start: SimTime::ZERO + SimDuration::from_days(14),
+        }
+    }
+}
+
+/// A Flint managed-service session: an engine driver wired to a node
+/// manager (server selection + replacement) and the Flint checkpoint
+/// policy, with end-to-end cost accounting.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct FlintCluster {
+    driver: Driver,
+    nm: NodeManagerHandle,
+    ft: FtSharedHandle,
+    config: FlintConfig,
+    ebs: EbsCostModel,
+}
+
+impl FlintCluster {
+    /// Launches Flint with the mode's default policy pair.
+    pub fn launch(catalog: MarketCatalog, config: FlintConfig) -> FlintCluster {
+        let policy: Box<dyn SelectionPolicy> = match config.mode {
+            Mode::Batch => Box::new(BatchSelection),
+            Mode::Interactive => Box::new(InteractiveSelection::default()),
+        };
+        Self::launch_custom(catalog, config, policy, None)
+    }
+
+    /// Launches with an explicit selection policy and (optionally) an
+    /// explicit checkpoint policy — the baselines of §5 plug in here.
+    /// Passing `None` uses [`FlintCheckpointPolicy`]; to run *without*
+    /// checkpointing pass `Some(Box::new(flint_engine::NoCheckpoint))`.
+    pub fn launch_custom(
+        catalog: MarketCatalog,
+        config: FlintConfig,
+        policy: Box<dyn SelectionPolicy>,
+        hooks: Option<Box<dyn CheckpointHooks>>,
+    ) -> FlintCluster {
+        let cloud = CloudSim::with_seed(catalog, config.seed);
+        let ft = new_shared(SimDuration::MAX);
+        let (nm_injector, nm) = NodeManager::launch(
+            cloud,
+            policy,
+            config.bid,
+            config.selection,
+            config.job,
+            config.driver.storage,
+            config.n_workers,
+            ft.clone(),
+            config.start,
+        );
+        let hooks: Box<dyn CheckpointHooks> = match hooks {
+            Some(h) => h,
+            None => Box::new(FlintCheckpointPolicy::new(ft.clone())),
+        };
+        let mut driver = Driver::new(config.driver.clone(), hooks, Box::new(nm_injector));
+        driver.warp_to(config.start);
+        FlintCluster {
+            driver,
+            nm,
+            ft,
+            config,
+            ebs: EbsCostModel::default(),
+        }
+    }
+
+    /// Launches with no checkpointing at all (the "Recomputation"
+    /// baseline).
+    pub fn launch_without_checkpointing(
+        catalog: MarketCatalog,
+        config: FlintConfig,
+    ) -> FlintCluster {
+        let policy: Box<dyn SelectionPolicy> = match config.mode {
+            Mode::Batch => Box::new(BatchSelection),
+            Mode::Interactive => Box::new(InteractiveSelection::default()),
+        };
+        Self::launch_custom(catalog, config, policy, Some(Box::new(NoCheckpoint)))
+    }
+
+    /// The engine driver (define RDDs, run actions).
+    pub fn driver_mut(&mut self) -> &mut Driver {
+        &mut self.driver
+    }
+
+    /// The engine driver, read-only.
+    pub fn driver(&self) -> &Driver {
+        &self.driver
+    }
+
+    /// The node-manager query handle.
+    pub fn node_manager(&self) -> &NodeManagerHandle {
+        &self.nm
+    }
+
+    /// The shared fault-tolerance state (MTTF, δ, τ).
+    pub fn ft_state(&self) -> FtSharedHandle {
+        self.ft.clone()
+    }
+
+    /// The launch configuration.
+    pub fn config(&self) -> &FlintConfig {
+        &self.config
+    }
+
+    /// Builds the bill up to the current virtual instant.
+    pub fn cost_report(&mut self) -> CostReport {
+        let now = self.driver.now();
+        let storage_cost = self
+            .driver
+            .checkpoints_mut()
+            .store_mut()
+            .storage_cost(&self.ebs, now);
+        CostReport {
+            policy: self.nm.policy_name().to_string(),
+            compute_cost: self.nm.compute_cost(now),
+            storage_cost,
+            service_fee: 0.0,
+            start: self.config.start,
+            end: now,
+            n_workers: self.config.n_workers,
+            on_demand_price: self.nm.on_demand_price(),
+            revocations: self.nm.revocations(),
+        }
+    }
+
+    /// Terminates all instances and returns the final bill.
+    pub fn shutdown(mut self) -> CostReport {
+        let now = self.driver.now();
+        self.nm.shutdown(now);
+        self.cost_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_engine::Value;
+
+    fn catalog() -> MarketCatalog {
+        MarketCatalog::synthetic_ec2(23, SimDuration::from_days(60))
+    }
+
+    fn word_count(driver: &mut Driver) -> u64 {
+        let words = driver.ctx().parallelize(
+            (0..2000).map(|i| Value::from_str_(&format!("w{}", i % 50))),
+            10,
+        );
+        let pairs = driver
+            .ctx()
+            .map(words, |w| Value::pair(w.clone(), Value::Int(1)));
+        let counts = driver.ctx().reduce_by_key(pairs, 10, |a, b| {
+            Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+        });
+        driver.count(counts).unwrap()
+    }
+
+    #[test]
+    fn batch_cluster_runs_jobs_end_to_end() {
+        let mut cluster = FlintCluster::launch(
+            catalog(),
+            FlintConfig {
+                n_workers: 6,
+                ..FlintConfig::default()
+            },
+        );
+        assert_eq!(word_count(cluster.driver_mut()), 50);
+        // Hold the cluster for 10 hours so hourly billing amortizes.
+        let until = cluster.driver().now() + SimDuration::from_hours(10);
+        cluster.driver_mut().idle_until(until).unwrap();
+        let report = cluster.cost_report();
+        assert!(report.compute_cost > 0.0);
+        assert_eq!(report.policy, "flint-batch");
+        // Spot prices in the catalog sit at ~10-15% of on-demand.
+        assert!(
+            report.unit_cost() < 0.4,
+            "unit cost {} should be far below on-demand",
+            report.unit_cost()
+        );
+    }
+
+    #[test]
+    fn interactive_cluster_spans_markets() {
+        let mut cluster = FlintCluster::launch(
+            catalog(),
+            FlintConfig {
+                n_workers: 8,
+                mode: Mode::Interactive,
+                ..FlintConfig::default()
+            },
+        );
+        assert_eq!(word_count(cluster.driver_mut()), 50);
+        assert!(cluster.node_manager().active_markets().len() >= 2);
+        assert_eq!(cluster.node_manager().policy_name(), "flint-interactive");
+    }
+
+    #[test]
+    fn ft_state_carries_finite_mttf() {
+        let cluster = FlintCluster::launch(catalog(), FlintConfig::default());
+        let mttf = cluster.ft_state().lock().mttf;
+        assert!(mttf < SimDuration::MAX);
+    }
+
+    #[test]
+    fn no_checkpoint_variant_never_writes() {
+        let mut cluster = FlintCluster::launch_without_checkpointing(
+            catalog(),
+            FlintConfig {
+                n_workers: 4,
+                ..FlintConfig::default()
+            },
+        );
+        let _ = word_count(cluster.driver_mut());
+        assert_eq!(cluster.driver().stats().checkpoints_written, 0);
+        let report = cluster.shutdown();
+        assert_eq!(report.storage_cost, 0.0);
+    }
+
+    #[test]
+    fn long_session_with_checkpointing_accrues_storage_cost() {
+        let mut cluster = FlintCluster::launch(
+            catalog(),
+            FlintConfig {
+                n_workers: 6,
+                ..FlintConfig::default()
+            },
+        );
+        // Force a low MTTF so τ is short and checkpoints happen quickly.
+        cluster.ft_state().lock().mttf = SimDuration::from_hours(1);
+        let driver = cluster.driver_mut();
+        // An iterative program: each iteration derives a new frontier.
+        let mut cur = driver.ctx().parallelize((0..3000).map(Value::from_i64), 10);
+        driver.ctx().persist(cur);
+        for i in 0..30 {
+            // Space iterations out in virtual time so the τ timer fires.
+            let t = driver.now() + SimDuration::from_mins(4);
+            driver.idle_until(t).unwrap();
+            let next = driver
+                .ctx()
+                .map(cur, move |v| Value::Int(v.as_i64().unwrap() + i));
+            driver.ctx().persist(next);
+            let _ = driver.count(next).unwrap();
+            cur = next;
+        }
+        assert!(
+            cluster.driver().stats().checkpoints_written > 0,
+            "adaptive policy should have checkpointed during 2h of iterations"
+        );
+        let report = cluster.cost_report();
+        assert!(report.storage_cost > 0.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The node manager: provisioning, monitoring, warning handling, and
+//! replacement of transient servers (paper §4, Fig. 5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flint_engine::{FailureInjector, WorkerEvent, WorkerSpec};
+use flint_market::{CloudSim, InstanceEvent, InstanceId, Market, MarketId};
+use flint_simtime::{SimDuration, SimTime};
+use flint_store::StorageConfig;
+use parking_lot::Mutex;
+
+use crate::{
+    harmonic_mttf, BidPolicy, FtSharedHandle, JobProfile, MarketView, SelectionConfig,
+    SelectionPolicy,
+};
+
+/// Converts a market's instance shape into an engine worker spec
+/// (Spark-style 40 % of RAM reserved for the RDD cache, §5.5).
+pub(crate) fn worker_spec(market: &Market) -> WorkerSpec {
+    WorkerSpec {
+        cores: market.spec.vcpus.max(1),
+        cache_mem_bytes: (market.spec.mem_gb * 0.4 * 1e9) as u64,
+        disk_bytes: (market.spec.local_ssd_gb * 1e9) as u64,
+    }
+}
+
+struct NmInner {
+    cloud: CloudSim,
+    policy: Box<dyn SelectionPolicy>,
+    bid: BidPolicy,
+    cfg: SelectionConfig,
+    job: JobProfile,
+    storage: StorageConfig,
+    n: u32,
+    ft: FtSharedHandle,
+    market_of: HashMap<InstanceId, MarketId>,
+    /// Instances whose replacement was already requested (on warning).
+    replaced: HashMap<InstanceId, bool>,
+    /// Count of replacement rounds, for reporting.
+    replacements: u64,
+}
+
+impl NmInner {
+    fn view<'a>(
+        cloud: &'a CloudSim,
+        cfg: &'a SelectionConfig,
+        job: &'a JobProfile,
+        storage: StorageConfig,
+        bid: BidPolicy,
+        n: u32,
+        now: SimTime,
+    ) -> MarketView<'a> {
+        MarketView {
+            catalog: cloud.catalog(),
+            now,
+            bid,
+            cfg,
+            job,
+            storage,
+            n,
+        }
+    }
+
+    fn request_allocation(&mut self, alloc: &[(MarketId, u32)], now: SimTime) {
+        for (market, count) in alloc {
+            let m = self.cloud.catalog().market(*market);
+            let bid = self.bid.bid_for(m);
+            for _ in 0..*count {
+                let id = self.cloud.request(*market, bid, now);
+                self.market_of.insert(id, *market);
+            }
+        }
+        self.refresh_cluster_mttf(now);
+    }
+
+    /// Recomputes the aggregate cluster MTTF (Eq. 3) over the distinct
+    /// markets of active instances and publishes it to the FT manager.
+    fn refresh_cluster_mttf(&mut self, now: SimTime) {
+        let mut markets: Vec<MarketId> = self
+            .cloud
+            .instances()
+            .iter()
+            .filter(|r| r.is_active())
+            .map(|r| r.market)
+            .collect();
+        markets.sort();
+        markets.dedup();
+        let mttfs: Vec<SimDuration> = markets
+            .iter()
+            .map(|mid| {
+                let m = self.cloud.catalog().market(*mid);
+                m.stats(now, self.cfg.window, self.bid.bid_for(m)).mttf
+            })
+            .collect();
+        let agg = harmonic_mttf(&mttfs);
+        let mut ft = self.ft.lock();
+        ft.mttf = agg;
+    }
+
+    fn provision_initial(&mut self, now: SimTime) {
+        let alloc = {
+            let view = Self::view(
+                &self.cloud,
+                &self.cfg,
+                &self.job,
+                self.storage,
+                self.bid,
+                self.n,
+                now,
+            );
+            self.policy.initial(&view)
+        };
+        self.request_allocation(&alloc, now);
+    }
+
+    /// Drains cloud events up to `to`, translating them into engine
+    /// worker events and requesting replacements for warned/revoked
+    /// instances (grouped per failed market, §3.2.2 restoration).
+    fn collect_events(&mut self, to: SimTime) -> Vec<(SimTime, WorkerEvent)> {
+        let mut out = Vec::new();
+        loop {
+            let evs = self.cloud.events_until(to);
+            if evs.is_empty() {
+                break;
+            }
+            // (time, failed market) -> instances needing replacement.
+            let mut to_replace: Vec<(SimTime, MarketId, u32)> = Vec::new();
+            for (t, ev) in evs {
+                let id = ev.instance();
+                let ext_id = id.0;
+                match ev {
+                    InstanceEvent::Ready { .. } => {
+                        let market = self.market_of[&id];
+                        let spec = worker_spec(self.cloud.catalog().market(market));
+                        out.push((t, WorkerEvent::Add { ext_id, spec }));
+                    }
+                    InstanceEvent::Warning { .. } => {
+                        out.push((t, WorkerEvent::Warn { ext_id }));
+                        if self.replaced.insert(id, true).is_none() {
+                            let market = self.market_of[&id];
+                            merge_replace(&mut to_replace, t, market);
+                        }
+                    }
+                    InstanceEvent::Revoked { .. } => {
+                        out.push((t, WorkerEvent::Remove { ext_id }));
+                        if self.replaced.insert(id, true).is_none() {
+                            let market = self.market_of[&id];
+                            merge_replace(&mut to_replace, t, market);
+                        }
+                    }
+                }
+            }
+            for (t, failed, count) in to_replace {
+                let alloc = {
+                    let view = Self::view(
+                        &self.cloud,
+                        &self.cfg,
+                        &self.job,
+                        self.storage,
+                        self.bid,
+                        self.n,
+                        t,
+                    );
+                    self.policy.replacement(&view, failed, count)
+                };
+                self.replacements += 1;
+                self.request_allocation(&alloc, t);
+            }
+            // Replacement requests may schedule Ready events ≤ `to`;
+            // loop to pick them up.
+        }
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+}
+
+fn merge_replace(list: &mut Vec<(SimTime, MarketId, u32)>, t: SimTime, market: MarketId) {
+    for (lt, lm, lc) in list.iter_mut() {
+        if *lm == market && *lt == t {
+            *lc += 1;
+            return;
+        }
+    }
+    list.push((t, market, 1));
+}
+
+/// The node manager, used as the engine's [`FailureInjector`].
+///
+/// Cloneable handle semantics: [`NodeManager`] (given to the driver) and
+/// [`NodeManagerHandle`] (kept by the caller for cost queries) share the
+/// same state.
+pub struct NodeManager(Arc<Mutex<NmInner>>);
+
+/// A cloneable query handle onto a running [`NodeManager`].
+#[derive(Clone)]
+pub struct NodeManagerHandle(Arc<Mutex<NmInner>>);
+
+impl NodeManager {
+    /// Creates a node manager over `cloud`, provisioning `n` servers with
+    /// `policy` at `start`. Returns the injector (for the driver) and a
+    /// query handle (for the caller).
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        cloud: CloudSim,
+        policy: Box<dyn SelectionPolicy>,
+        bid: BidPolicy,
+        cfg: SelectionConfig,
+        job: JobProfile,
+        storage: StorageConfig,
+        n: u32,
+        ft: FtSharedHandle,
+        start: SimTime,
+    ) -> (NodeManager, NodeManagerHandle) {
+        let mut inner = NmInner {
+            cloud,
+            policy,
+            bid,
+            cfg,
+            job,
+            storage,
+            n,
+            ft,
+            market_of: HashMap::new(),
+            replaced: HashMap::new(),
+            replacements: 0,
+        };
+        inner.provision_initial(start);
+        let arc = Arc::new(Mutex::new(inner));
+        (NodeManager(arc.clone()), NodeManagerHandle(arc))
+    }
+}
+
+impl FailureInjector for NodeManager {
+    fn events(&mut self, _from: SimTime, to: SimTime) -> Vec<(SimTime, WorkerEvent)> {
+        self.0.lock().collect_events(to)
+    }
+
+    fn next_event_after(&mut self, t: SimTime) -> Option<SimTime> {
+        let inner = self.0.lock();
+        inner
+            .cloud
+            .next_event_time()
+            .map(|et| et.max(t + SimDuration::from_millis(1)))
+    }
+}
+
+impl NodeManagerHandle {
+    /// Total compute (instance) cost accrued up to `until`.
+    pub fn compute_cost(&self, until: SimTime) -> f64 {
+        self.0.lock().cloud.total_cost(until)
+    }
+
+    /// Number of provider revocations observed so far.
+    pub fn revocations(&self) -> u64 {
+        self.0
+            .lock()
+            .cloud
+            .instances()
+            .iter()
+            .filter(|r| r.state == flint_market::InstanceState::Revoked)
+            .count() as u64
+    }
+
+    /// Number of replacement rounds the restoration policy executed.
+    pub fn replacements(&self) -> u64 {
+        self.0.lock().replacements
+    }
+
+    /// The selection policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.0.lock().policy.name()
+    }
+
+    /// Distinct markets currently backing active instances.
+    pub fn active_markets(&self) -> Vec<MarketId> {
+        let inner = self.0.lock();
+        let mut ms: Vec<MarketId> = inner
+            .cloud
+            .instances()
+            .iter()
+            .filter(|r| r.is_active())
+            .map(|r| r.market)
+            .collect();
+        ms.sort();
+        ms.dedup();
+        ms
+    }
+
+    /// The on-demand price of the catalog's on-demand pool.
+    pub fn on_demand_price(&self) -> f64 {
+        let inner = self.0.lock();
+        let cat = inner.cloud.catalog();
+        cat.market(cat.on_demand_id()).on_demand_price
+    }
+
+    /// Terminates every active instance at `now` (end of job).
+    pub fn shutdown(&self, now: SimTime) {
+        let mut inner = self.0.lock();
+        let ids: Vec<InstanceId> = inner
+            .cloud
+            .instances()
+            .iter()
+            .filter(|r| r.is_active())
+            .map(|r| r.id)
+            .collect();
+        for id in ids {
+            inner.cloud.terminate(id, now);
+        }
+    }
+
+    /// Runs `f` with the underlying cloud simulator (read-only).
+    pub fn with_cloud<R>(&self, f: impl FnOnce(&CloudSim) -> R) -> R {
+        f(&self.0.lock().cloud)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckpt_policy::new_shared;
+    use crate::{BatchSelection, InteractiveSelection};
+    use flint_market::MarketCatalog;
+
+    fn launch_nm(
+        policy: Box<dyn SelectionPolicy>,
+        n: u32,
+    ) -> (NodeManager, NodeManagerHandle, SimTime) {
+        let catalog = MarketCatalog::synthetic_ec2(13, SimDuration::from_days(60));
+        let cloud = CloudSim::with_seed(catalog, 13);
+        let start = SimTime::ZERO + SimDuration::from_days(14);
+        let ft = new_shared(SimDuration::MAX);
+        let (nm, handle) = NodeManager::launch(
+            cloud,
+            policy,
+            BidPolicy::OnDemandPrice,
+            SelectionConfig::default(),
+            JobProfile::default(),
+            StorageConfig::default(),
+            n,
+            ft,
+            start,
+        );
+        (nm, handle, start)
+    }
+
+    #[test]
+    fn initial_provisioning_yields_n_ready_workers() {
+        let (mut nm, handle, start) = launch_nm(Box::new(BatchSelection), 10);
+        let evs = nm.events(start, start + SimDuration::from_mins(5));
+        let adds = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkerEvent::Add { .. }))
+            .count();
+        assert_eq!(adds, 10);
+        assert_eq!(handle.policy_name(), "flint-batch");
+        assert_eq!(handle.active_markets().len(), 1, "batch = homogeneous");
+    }
+
+    #[test]
+    fn interactive_provisioning_spans_markets() {
+        let (mut nm, handle, start) = launch_nm(Box::new(InteractiveSelection::default()), 12);
+        let evs = nm.events(start, start + SimDuration::from_mins(5));
+        let adds = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkerEvent::Add { .. }))
+            .count();
+        assert_eq!(adds, 12);
+        assert!(handle.active_markets().len() >= 2);
+    }
+
+    #[test]
+    fn revocations_trigger_replacements_maintaining_n() {
+        let (mut nm, handle, start) = launch_nm(Box::new(BatchSelection), 8);
+        // Run a long window so the chosen spot market eventually spikes.
+        let horizon = start + SimDuration::from_days(20);
+        let evs = nm.events(start, horizon);
+        let adds = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkerEvent::Add { .. }))
+            .count();
+        let removes = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkerEvent::Remove { .. }))
+            .count();
+        // Every removal is matched by a replacement add (initial 8 extra).
+        assert_eq!(adds, removes + 8, "adds {adds}, removes {removes}");
+        if removes > 0 {
+            assert!(handle.replacements() > 0);
+            assert!(handle.revocations() > 0);
+        }
+        // Warnings precede removals 1:1.
+        let warns = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkerEvent::Warn { .. }))
+            .count();
+        assert_eq!(warns, removes);
+    }
+
+    #[test]
+    fn replacement_requested_on_warning_not_revocation() {
+        let (mut nm, _handle, start) = launch_nm(Box::new(BatchSelection), 4);
+        let horizon = start + SimDuration::from_days(20);
+        let evs = nm.events(start, horizon);
+        // Find a Warn and its matching Remove; the replacement Add must be
+        // ready ~2 min (acquisition) after the warning, i.e. at/near the
+        // removal time, not 2 min after it.
+        let mut warn_time = None;
+        let mut remove_time = None;
+        for (t, e) in &evs {
+            match e {
+                WorkerEvent::Warn { .. } if warn_time.is_none() => warn_time = Some(*t),
+                WorkerEvent::Remove { .. } if remove_time.is_none() => remove_time = Some(*t),
+                _ => {}
+            }
+        }
+        if let (Some(w), Some(r)) = (warn_time, remove_time) {
+            // The first replacement Add after the warning:
+            let add_after = evs
+                .iter()
+                .filter(|(t, e)| *t > w && matches!(e, WorkerEvent::Add { .. }))
+                .map(|(t, _)| *t)
+                .next();
+            if let Some(a) = add_after {
+                assert!(
+                    a <= r + SimDuration::from_secs(1),
+                    "replacement at {a} should be ready by revocation at {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_accrues_and_shutdown_stops_it() {
+        let (mut nm, handle, start) = launch_nm(Box::new(BatchSelection), 4);
+        let mid = start + SimDuration::from_hours(10);
+        let _ = nm.events(start, mid);
+        let c1 = handle.compute_cost(mid);
+        assert!(c1 > 0.0);
+        handle.shutdown(mid);
+        let c2 = handle.compute_cost(mid + SimDuration::from_hours(10));
+        // Terminated instances stop accruing (allow the final billed hour).
+        assert!(c2 <= c1 + 4.0 * handle.on_demand_price());
+    }
+
+    #[test]
+    fn next_event_strictly_advances() {
+        let (mut nm, _h, start) = launch_nm(Box::new(BatchSelection), 2);
+        let t = nm.next_event_after(start).unwrap();
+        assert!(t > start);
+    }
+
+    #[test]
+    fn ft_shared_mttf_published() {
+        let catalog = MarketCatalog::synthetic_ec2(13, SimDuration::from_days(60));
+        let cloud = CloudSim::with_seed(catalog, 13);
+        let start = SimTime::ZERO + SimDuration::from_days(14);
+        let ft = new_shared(SimDuration::MAX);
+        let (_nm, _handle) = NodeManager::launch(
+            cloud,
+            Box::new(BatchSelection),
+            BidPolicy::OnDemandPrice,
+            SelectionConfig::default(),
+            JobProfile::default(),
+            StorageConfig::default(),
+            6,
+            ft.clone(),
+            start,
+        );
+        let mttf = ft.lock().mttf;
+        assert!(
+            mttf < SimDuration::MAX,
+            "spot cluster must have finite MTTF"
+        );
+        assert!(mttf > SimDuration::from_hours(1));
+    }
+}

@@ -1,0 +1,728 @@
+//! Transient-server selection policies and the cost/variance models
+//! behind them (paper §3.1.2 and §3.2.2, Equations 1–4).
+
+use flint_market::{
+    correlation_matrix, greedy_uncorrelated_subset, MarketCatalog, MarketId, MarketStats,
+};
+use flint_simtime::{SimDuration, SimTime};
+use flint_store::StorageConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::BidPolicy;
+
+/// The optimal checkpoint interval `τ ≈ √(2·δ·MTTF)` (Daly's first-order
+/// approximation, §3.1.1).
+///
+/// Returns [`SimDuration::MAX`] when the MTTF is infinite (on-demand
+/// servers never need checkpoints) and clamps below at one second so a
+/// pathological MTTF cannot demand continuous checkpointing.
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::optimal_tau;
+/// use flint_simtime::SimDuration;
+///
+/// // δ = 2 min, MTTF = 50 h → τ ≈ √(2·120·180000) ≈ 1.83 h.
+/// let tau = optimal_tau(SimDuration::from_mins(2), SimDuration::from_hours(50));
+/// assert!((tau.as_hours_f64() - 1.83).abs() < 0.02);
+/// ```
+pub fn optimal_tau(delta: SimDuration, mttf: SimDuration) -> SimDuration {
+    if mttf == SimDuration::MAX {
+        return SimDuration::MAX;
+    }
+    let secs = (2.0 * delta.as_secs_f64() * mttf.as_secs_f64()).sqrt();
+    SimDuration::from_secs_f64(secs).max(SimDuration::from_secs(1))
+}
+
+/// The expected running-time inflation factor for a cluster drawing a
+/// `frac` fraction of its servers from a market with the given MTTF
+/// (Eq. 1 / Eq. 4 with `frac = 1/m`):
+///
+/// `E[T]/T = 1 + δ/τ + frac · (τ/2 + rd) / MTTF`.
+pub fn expected_runtime_factor(
+    delta: SimDuration,
+    tau: SimDuration,
+    mttf: SimDuration,
+    rd: SimDuration,
+    frac: f64,
+) -> f64 {
+    if mttf == SimDuration::MAX {
+        return 1.0;
+    }
+    let tau_s = tau.as_secs_f64().max(1.0);
+    let ckpt_overhead = delta.as_secs_f64() / tau_s;
+    let recompute = frac * (tau_s / 2.0 + rd.as_secs_f64()) / mttf.as_secs_f64().max(1.0);
+    1.0 + ckpt_overhead + recompute
+}
+
+/// The expected cost rate ($/server-hour) of running on a market: the
+/// inflation factor times the market's mean price (Eq. 2, divided by
+/// `T · N` to give a rate).
+pub fn expected_cost(factor: f64, mean_price: f64) -> f64 {
+    factor * mean_price
+}
+
+/// Aggregate MTTF of a heterogeneous cluster: the harmonic combination
+/// `1 / (1/MTTF_1 + … + 1/MTTF_m)` (Eq. 3).
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::harmonic_mttf;
+/// use flint_simtime::SimDuration;
+///
+/// let h = harmonic_mttf(&[SimDuration::from_hours(20), SimDuration::from_hours(20)]);
+/// assert!((h.as_hours_f64() - 10.0).abs() < 1e-6);
+/// ```
+pub fn harmonic_mttf(mttfs: &[SimDuration]) -> SimDuration {
+    let mut rate = 0.0;
+    for m in mttfs {
+        if *m == SimDuration::MAX {
+            continue;
+        }
+        rate += 1.0 / m.as_hours_f64().max(1e-9);
+    }
+    if rate <= 0.0 {
+        SimDuration::MAX
+    } else {
+        SimDuration::from_hours_f64(1.0 / rate)
+    }
+}
+
+/// Variance of the running time (seconds²) for a job of length `t` on a
+/// cluster split equally across `m` markets with aggregate MTTF
+/// `mttf_agg` (§3.2.2).
+///
+/// Revocation events arrive as a Poisson process with rate `1/MTTF(S)`;
+/// each event loses `1/m` of the servers and costs
+/// `(U + rd)/m` with `U ~ Uniform(0, τ)` of lost work, so the compound
+/// Poisson variance is `(T/MTTF) · E[((U + rd)/m)²]`.
+pub fn runtime_variance(
+    t: SimDuration,
+    delta: SimDuration,
+    mttf_agg: SimDuration,
+    rd: SimDuration,
+    m: u32,
+) -> f64 {
+    if mttf_agg == SimDuration::MAX {
+        return 0.0;
+    }
+    let tau = optimal_tau(delta, mttf_agg).as_secs_f64();
+    let rd_s = rd.as_secs_f64();
+    let m_f = f64::from(m.max(1));
+    let e_u2 = tau * tau / 3.0 + tau * rd_s + rd_s * rd_s;
+    let rate = t.as_secs_f64() / mttf_agg.as_secs_f64().max(1.0);
+    rate * e_u2 / (m_f * m_f)
+}
+
+/// Static configuration of the selection machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionConfig {
+    /// Backward-looking window for price statistics (the paper uses "a
+    /// recent time window, e.g., the past week").
+    pub window: SimDuration,
+    /// Reject markets whose instantaneous price exceeds the window mean
+    /// by more than this fraction (§3.1.2 restoration policy, 10 %).
+    pub stability_threshold: f64,
+    /// Maximum pairwise spike correlation admitted into the candidate
+    /// set `L` (§3.2.2).
+    pub max_correlation: f64,
+    /// Cap on `|L|` (pruning the >1000-market search space).
+    pub max_markets: usize,
+    /// Sampling step for correlation estimation.
+    pub correlation_step: SimDuration,
+    /// Spike threshold (multiple of mean price) for correlation.
+    pub spike_threshold: f64,
+    /// Replacement/acquisition delay `rd` (EC2: two minutes).
+    pub rd: SimDuration,
+    /// Restrict candidates to markets selling the same instance shape as
+    /// the on-demand reference pool, so expected costs are comparable
+    /// per worker (diversification then spans zones/pools, not sizes).
+    pub match_reference_spec: bool,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            window: SimDuration::from_days(7),
+            stability_threshold: 0.10,
+            max_correlation: 0.25,
+            max_markets: 6,
+            correlation_step: SimDuration::from_mins(10),
+            spike_threshold: 2.0,
+            rd: SimDuration::from_secs(120),
+            match_reference_spec: true,
+        }
+    }
+}
+
+/// What the job ahead looks like, for plugging into Eq. 1–4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// Estimated failure-free running time `T`.
+    pub runtime_estimate: SimDuration,
+    /// Expected bytes at the lineage frontier per checkpoint (virtual).
+    /// The paper conservatively sizes this as the cluster's active RDD
+    /// memory (§3.1.2).
+    pub checkpoint_bytes: u64,
+}
+
+impl Default for JobProfile {
+    fn default() -> Self {
+        JobProfile {
+            runtime_estimate: SimDuration::from_hours(1),
+            checkpoint_bytes: 4_000_000_000, // the paper's canonical 4 GB
+        }
+    }
+}
+
+/// Everything a selection policy may observe: backward-looking market
+/// statistics plus the job profile. Constructed fresh at each decision
+/// point by the node manager.
+pub struct MarketView<'a> {
+    /// The full market catalog (policies must only use backward stats).
+    pub catalog: &'a MarketCatalog,
+    /// The decision instant.
+    pub now: SimTime,
+    /// The bidding policy in force.
+    pub bid: BidPolicy,
+    /// Selection configuration.
+    pub cfg: &'a SelectionConfig,
+    /// The job profile.
+    pub job: &'a JobProfile,
+    /// Durable-storage bandwidth model (for δ).
+    pub storage: StorageConfig,
+    /// Cluster size being provisioned.
+    pub n: u32,
+}
+
+impl MarketView<'_> {
+    /// Backward-looking statistics of `market` at the policy's bid.
+    pub fn stats(&self, market: MarketId) -> MarketStats {
+        let m = self.catalog.market(market);
+        m.stats(self.now, self.cfg.window, self.bid.bid_for(m))
+    }
+
+    /// Estimated checkpoint write time δ with `n` parallel writers.
+    pub fn delta(&self) -> SimDuration {
+        self.storage
+            .write_time(self.job.checkpoint_bytes, self.n.max(1))
+    }
+
+    /// Expected running-time inflation factor on a single market.
+    pub fn factor(&self, market: MarketId) -> f64 {
+        let s = self.stats(market);
+        let delta = self.delta();
+        let tau = optimal_tau(delta, s.mttf);
+        expected_runtime_factor(delta, tau, s.mttf, self.cfg.rd, 1.0)
+    }
+
+    /// Expected cost rate ($/server-hour) on a single market.
+    pub fn cost_rate(&self, market: MarketId) -> f64 {
+        expected_cost(self.factor(market), self.stats(market).mean_price)
+    }
+
+    /// The on-demand cost rate (the fallback ceiling).
+    pub fn on_demand_rate(&self) -> f64 {
+        self.catalog
+            .market(self.catalog.on_demand_id())
+            .on_demand_price
+    }
+
+    /// Revocable markets whose prices currently pass the stability
+    /// filter, sorted by expected cost rate (cheapest first).
+    pub fn candidates(&self) -> Vec<MarketId> {
+        let reference = self.catalog.market(self.catalog.on_demand_id()).spec;
+        let mut c: Vec<MarketId> = self
+            .catalog
+            .spot_markets()
+            .iter()
+            .filter(|m| !self.cfg.match_reference_spec || m.spec == reference)
+            .map(|m| m.id)
+            .filter(|id| {
+                self.stats(*id)
+                    .price_is_stable(self.cfg.stability_threshold)
+            })
+            .collect();
+        c.sort_by(|a, b| {
+            self.cost_rate(*a)
+                .partial_cmp(&self.cost_rate(*b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        c
+    }
+
+    /// Pairwise spike-correlation matrix over the given markets,
+    /// estimated from the backward window.
+    pub fn correlations(&self, markets: &[MarketId]) -> Vec<Vec<f64>> {
+        let traces: Vec<&flint_market::PriceTrace> = markets
+            .iter()
+            .map(|id| &self.catalog.market(*id).trace)
+            .collect();
+        correlation_matrix(
+            &traces,
+            self.now.saturating_sub(self.cfg.window),
+            self.now,
+            self.cfg.correlation_step,
+            self.cfg.spike_threshold,
+        )
+    }
+}
+
+/// A transient-server selection policy.
+pub trait SelectionPolicy: Send {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the initial allocation `(market, count)` summing to
+    /// `view.n`.
+    fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)>;
+
+    /// Chooses replacements for `count` servers lost from `failed`.
+    fn replacement(
+        &mut self,
+        view: &MarketView<'_>,
+        failed: MarketId,
+        count: u32,
+    ) -> Vec<(MarketId, u32)>;
+}
+
+/// Splits `n` servers as evenly as possible over `markets` (first markets
+/// get the remainder).
+fn split_evenly(markets: &[MarketId], n: u32) -> Vec<(MarketId, u32)> {
+    if markets.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let m = markets.len() as u32;
+    let base = n / m;
+    let rem = n % m;
+    markets
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, base + u32::from((i as u32) < rem)))
+        .filter(|(_, c)| *c > 0)
+        .collect()
+}
+
+/// The batch policy (§3.1.2): one market, minimum expected cost, falling
+/// back to on-demand when spot is not cheaper.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchSelection;
+
+impl BatchSelection {
+    fn best_market(&self, view: &MarketView<'_>, exclude: Option<MarketId>) -> MarketId {
+        let od = view.catalog.on_demand_id();
+        let od_rate = view.on_demand_rate();
+        let mut best = od;
+        let mut best_rate = od_rate;
+        for id in view.candidates() {
+            if Some(id) == exclude {
+                continue;
+            }
+            let rate = view.cost_rate(id);
+            if rate < best_rate {
+                best = id;
+                best_rate = rate;
+            }
+        }
+        best
+    }
+}
+
+impl SelectionPolicy for BatchSelection {
+    fn name(&self) -> &'static str {
+        "flint-batch"
+    }
+
+    fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)> {
+        vec![(self.best_market(view, None), view.n)]
+    }
+
+    fn replacement(
+        &mut self,
+        view: &MarketView<'_>,
+        failed: MarketId,
+        count: u32,
+    ) -> Vec<(MarketId, u32)> {
+        vec![(self.best_market(view, Some(failed)), count)]
+    }
+}
+
+/// The interactive policy (§3.2.2): diversify across the uncorrelated
+/// candidate set `L`, adding markets while the running-time variance
+/// keeps decreasing and the expected cost stays below on-demand.
+#[derive(Debug, Default, Clone)]
+pub struct InteractiveSelection {
+    /// The uncorrelated candidate list from the last decision, in
+    /// expected-cost order (used for replacements).
+    last_l: Vec<MarketId>,
+    /// Markets currently in use.
+    current: Vec<MarketId>,
+}
+
+impl InteractiveSelection {
+    fn build_l(&self, view: &MarketView<'_>) -> Vec<MarketId> {
+        let cands = view.candidates();
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let corr = view.correlations(&cands);
+        greedy_uncorrelated_subset(&corr, view.cfg.max_correlation, view.cfg.max_markets)
+            .into_iter()
+            .map(|i| cands[i])
+            .collect()
+    }
+
+    fn variance_of(&self, view: &MarketView<'_>, set: &[MarketId]) -> f64 {
+        let mttfs: Vec<SimDuration> = set.iter().map(|id| view.stats(*id).mttf).collect();
+        let agg = harmonic_mttf(&mttfs);
+        runtime_variance(
+            view.job.runtime_estimate,
+            view.delta(),
+            agg,
+            view.cfg.rd,
+            set.len() as u32,
+        )
+    }
+
+    fn mean_price_of(&self, view: &MarketView<'_>, set: &[MarketId]) -> f64 {
+        if set.is_empty() {
+            return f64::INFINITY;
+        }
+        set.iter().map(|id| view.stats(*id).mean_price).sum::<f64>() / set.len() as f64
+    }
+}
+
+impl SelectionPolicy for InteractiveSelection {
+    fn name(&self) -> &'static str {
+        "flint-interactive"
+    }
+
+    fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)> {
+        let l = self.build_l(view);
+        self.last_l = l.clone();
+        if l.is_empty() {
+            self.current = vec![view.catalog.on_demand_id()];
+            return vec![(view.catalog.on_demand_id(), view.n)];
+        }
+        let od_rate = view.on_demand_rate();
+        let mut chosen = vec![l[0]];
+        let mut best_var = self.variance_of(view, &chosen);
+        for next in l.iter().skip(1) {
+            // Never split below one server per market.
+            if chosen.len() as u32 >= view.n {
+                break;
+            }
+            let mut trial = chosen.clone();
+            trial.push(*next);
+            let var = self.variance_of(view, &trial);
+            let price = self.mean_price_of(view, &trial);
+            if var < best_var && price <= od_rate {
+                chosen = trial;
+                best_var = var;
+            } else {
+                break;
+            }
+        }
+        self.current = chosen.clone();
+        split_evenly(&chosen, view.n)
+    }
+
+    fn replacement(
+        &mut self,
+        view: &MarketView<'_>,
+        failed: MarketId,
+        count: u32,
+    ) -> Vec<(MarketId, u32)> {
+        self.current.retain(|m| *m != failed);
+        // Lowest-cost unused market from L (§3.2.2 restoration policy);
+        // re-derive L if stale or exhausted.
+        let mut l = self.last_l.clone();
+        if l.iter().all(|m| self.current.contains(m) || *m == failed) {
+            l = self.build_l(view);
+            self.last_l = l.clone();
+        }
+        let stable = |m: &MarketId| view.stats(*m).price_is_stable(view.cfg.stability_threshold);
+        // Prefer an unused stable market; failing that, re-enter the
+        // lowest-cost stable market already in use (better than paying
+        // on-demand); only with L exhausted fall back to on-demand.
+        let pick = l
+            .iter()
+            .find(|m| **m != failed && !self.current.contains(m) && stable(m))
+            .or_else(|| l.iter().find(|m| **m != failed && stable(m)))
+            .copied()
+            .unwrap_or_else(|| view.catalog.on_demand_id());
+        self.current.push(pick);
+        vec![(pick, count)]
+    }
+}
+
+/// Always provision on-demand servers (the cost baseline of Fig. 11a).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OnDemandSelection;
+
+impl SelectionPolicy for OnDemandSelection {
+    fn name(&self) -> &'static str {
+        "on-demand"
+    }
+
+    fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)> {
+        vec![(view.catalog.on_demand_id(), view.n)]
+    }
+
+    fn replacement(
+        &mut self,
+        view: &MarketView<'_>,
+        _failed: MarketId,
+        count: u32,
+    ) -> Vec<(MarketId, u32)> {
+        vec![(view.catalog.on_demand_id(), count)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_market::MarketCatalog;
+
+    fn make_view<'a>(
+        cat: &'a MarketCatalog,
+        cfg: &'a SelectionConfig,
+        job: &'a JobProfile,
+        now_hours: f64,
+        n: u32,
+    ) -> MarketView<'a> {
+        MarketView {
+            catalog: cat,
+            now: SimTime::from_hours_f64(now_hours),
+            bid: BidPolicy::OnDemandPrice,
+            cfg,
+            job,
+            storage: StorageConfig::default(),
+            n,
+        }
+    }
+
+    #[test]
+    fn tau_matches_daly_formula() {
+        let tau = optimal_tau(SimDuration::from_mins(2), SimDuration::from_hours(50));
+        let expect = (2.0 * 120.0 * 50.0 * 3600.0_f64).sqrt();
+        assert!((tau.as_secs_f64() - expect).abs() < 1.0);
+        assert_eq!(
+            optimal_tau(SimDuration::from_mins(2), SimDuration::MAX),
+            SimDuration::MAX
+        );
+    }
+
+    #[test]
+    fn tau_grows_with_mttf_and_delta() {
+        let d = SimDuration::from_mins(2);
+        let t1 = optimal_tau(d, SimDuration::from_hours(10));
+        let t2 = optimal_tau(d, SimDuration::from_hours(100));
+        assert!(t2 > t1);
+        let t3 = optimal_tau(SimDuration::from_mins(8), SimDuration::from_hours(10));
+        assert!((t3.as_secs_f64() / t1.as_secs_f64() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn factor_is_one_on_demand_and_grows_with_volatility() {
+        let d = SimDuration::from_mins(2);
+        let rd = SimDuration::from_secs(120);
+        assert_eq!(
+            expected_runtime_factor(d, SimDuration::MAX, SimDuration::MAX, rd, 1.0),
+            1.0
+        );
+        let f = |mttf_h: u64| {
+            let mttf = SimDuration::from_hours(mttf_h);
+            let tau = optimal_tau(d, mttf);
+            expected_runtime_factor(d, tau, mttf, rd, 1.0)
+        };
+        assert!(f(1) > f(5));
+        assert!(f(5) > f(50));
+        assert!(f(50) > 1.0 && f(50) < 1.10, "50h MTTF factor = {}", f(50));
+    }
+
+    #[test]
+    fn harmonic_mttf_properties() {
+        let h20 = SimDuration::from_hours(20);
+        assert_eq!(harmonic_mttf(&[h20]), h20);
+        let two = harmonic_mttf(&[h20, h20]);
+        assert!((two.as_hours_f64() - 10.0).abs() < 1e-6);
+        // On-demand members do not reduce the aggregate.
+        let with_od = harmonic_mttf(&[h20, SimDuration::MAX]);
+        assert_eq!(with_od, h20);
+        assert_eq!(harmonic_mttf(&[]), SimDuration::MAX);
+    }
+
+    #[test]
+    fn variance_decreases_with_more_markets() {
+        let t = SimDuration::from_hours(2);
+        let d = SimDuration::from_mins(2);
+        let rd = SimDuration::from_secs(120);
+        let single = runtime_variance(t, d, SimDuration::from_hours(20), rd, 1);
+        // Two 20 h markets → aggregate 10 h, m = 2.
+        let double = runtime_variance(t, d, SimDuration::from_hours(10), rd, 2);
+        assert!(
+            double < single,
+            "diversification must cut variance: {double} vs {single}"
+        );
+        assert_eq!(runtime_variance(t, d, SimDuration::MAX, rd, 1), 0.0);
+    }
+
+    #[test]
+    fn batch_selection_prefers_cheap_stable_market() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 14.0 * 24.0, 10);
+        let mut p = BatchSelection;
+        let alloc = p.initial(&view);
+        assert_eq!(alloc.len(), 1);
+        let (m, n) = alloc[0];
+        assert_eq!(n, 10);
+        // Must be a spot market (spot is ~10x cheaper in the catalog).
+        assert!(
+            cat.market(m).is_revocable(),
+            "picked {}",
+            cat.market(m).name
+        );
+        // And its cost rate must be minimal among candidates.
+        let best_rate = view.cost_rate(m);
+        for c in view.candidates() {
+            assert!(view.cost_rate(c) >= best_rate - 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_replacement_excludes_failed_market() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 14.0 * 24.0, 10);
+        let mut p = BatchSelection;
+        let first = p.initial(&view)[0].0;
+        let repl = p.replacement(&view, first, 10);
+        assert_eq!(repl.len(), 1);
+        assert_ne!(repl[0].0, first);
+        assert_eq!(repl[0].1, 10);
+    }
+
+    #[test]
+    fn interactive_selection_diversifies() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 14.0 * 24.0, 12);
+        let mut p = InteractiveSelection::default();
+        let alloc = p.initial(&view);
+        let total: u32 = alloc.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, 12);
+        assert!(
+            alloc.len() >= 2,
+            "interactive policy should spread across markets: {alloc:?}"
+        );
+        // All chosen markets pairwise uncorrelated under the cap.
+        let ids: Vec<MarketId> = alloc.iter().map(|(m, _)| *m).collect();
+        let corr = view.correlations(&ids);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                assert!(
+                    corr[i][j].abs() <= cfg.max_correlation + 1e-9,
+                    "markets {i},{j} correlate at {}",
+                    corr[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interactive_replacement_uses_unused_market() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 14.0 * 24.0, 12);
+        let mut p = InteractiveSelection::default();
+        let alloc = p.initial(&view);
+        let used: Vec<MarketId> = alloc.iter().map(|(m, _)| *m).collect();
+        let failed = used[0];
+        let repl = p.replacement(&view, failed, 4);
+        assert_eq!(repl[0].1, 4);
+        // Never back into the spiking market, and never straight to
+        // on-demand while stable spot markets remain.
+        assert_ne!(repl[0].0, failed);
+        assert_ne!(repl[0].0, cat.on_demand_id());
+    }
+
+    #[test]
+    fn on_demand_selection_is_constant() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 24.0, 5);
+        let mut p = OnDemandSelection;
+        assert_eq!(p.initial(&view), vec![(cat.on_demand_id(), 5)]);
+        assert_eq!(
+            p.replacement(&view, MarketId(0), 2),
+            vec![(cat.on_demand_id(), 2)]
+        );
+    }
+
+    #[test]
+    fn all_markets_spiking_falls_back_to_on_demand() {
+        // Build a catalog whose every spot market is in a spike at the
+        // decision instant: the stability filter rejects them all and
+        // both policies must resume on on-demand servers (§3.1.2).
+        use flint_market::{InstanceSpec, Market, MarketKind, PriceTrace};
+        let spike_start = SimTime::from_hours_f64(100.0);
+        let mk = |i: u32| Market {
+            id: MarketId(i),
+            name: format!("spiky-{i}"),
+            zone: "z".into(),
+            spec: InstanceSpec::R3_LARGE,
+            on_demand_price: 0.175,
+            kind: MarketKind::Spot,
+            trace: PriceTrace::from_points(vec![(SimTime::ZERO, 0.02), (spike_start, 1.5)]),
+        };
+        let od = Market {
+            id: MarketId(2),
+            name: "od".into(),
+            zone: "z".into(),
+            spec: InstanceSpec::R3_LARGE,
+            on_demand_price: 0.175,
+            kind: MarketKind::OnDemand,
+            trace: PriceTrace::flat(0.175),
+        };
+        let cat = MarketCatalog::new(vec![mk(0), mk(1), od], MarketId(2));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = MarketView {
+            catalog: &cat,
+            now: spike_start + SimDuration::from_mins(10),
+            bid: BidPolicy::OnDemandPrice,
+            cfg: &cfg,
+            job: &job,
+            storage: StorageConfig::default(),
+            n: 4,
+        };
+        let mut batch = BatchSelection;
+        assert_eq!(batch.initial(&view), vec![(cat.on_demand_id(), 4)]);
+        let mut inter = InteractiveSelection::default();
+        assert_eq!(inter.initial(&view), vec![(cat.on_demand_id(), 4)]);
+    }
+
+    #[test]
+    fn split_evenly_distributes_remainder() {
+        let ms = vec![MarketId(0), MarketId(1), MarketId(2)];
+        let split = split_evenly(&ms, 10);
+        let counts: Vec<u32> = split.iter().map(|(_, c)| *c).collect();
+        assert_eq!(counts, vec![4, 3, 3]);
+        assert!(split_evenly(&[], 10).is_empty());
+        assert!(split_evenly(&ms, 0).is_empty());
+        // More markets than servers: trailing markets get nothing.
+        let split2 = split_evenly(&ms, 2);
+        assert_eq!(split2.len(), 2);
+    }
+}

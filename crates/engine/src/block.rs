@@ -1,0 +1,351 @@
+//! Per-worker block management: memory cache, disk spill, hard loss.
+
+use std::collections::HashMap;
+
+use crate::rdd::{PartitionData, RddId};
+use crate::shuffle::ShuffleId;
+use crate::WorkerId;
+
+/// Key of a cached block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockKey {
+    /// A materialized RDD partition.
+    RddPart {
+        /// The RDD.
+        rdd: RddId,
+        /// The partition index.
+        part: u32,
+    },
+    /// The map-side output of a shuffle for one map partition.
+    ShuffleMap {
+        /// The shuffle.
+        shuffle: ShuffleId,
+        /// The map partition index.
+        map_part: u32,
+    },
+}
+
+/// Where a block currently lives on a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockLocation {
+    /// In the worker's memory cache.
+    Memory,
+    /// Spilled to the worker's local disk.
+    Disk,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    data: PartitionData,
+    vbytes: u64,
+    last_use: u64,
+}
+
+/// A single worker's block store: an LRU memory cache backed by local
+/// disk, both of which vanish when the worker is revoked.
+///
+/// Capacities are in *virtual* bytes (real payload bytes × the cost
+/// model's scale factor), so a scaled-down in-process dataset exerts
+/// paper-scale memory pressure — this is what reproduces Figure 3.
+#[derive(Debug, Clone)]
+pub struct BlockManager {
+    mem: HashMap<BlockKey, Block>,
+    disk: HashMap<BlockKey, Block>,
+    mem_capacity: u64,
+    disk_capacity: u64,
+    mem_used: u64,
+    disk_used: u64,
+    clock: u64,
+    /// Cumulative virtual bytes spilled memory→disk.
+    pub spilled_bytes: u64,
+    /// Cumulative virtual bytes dropped entirely (cache + disk full).
+    pub dropped_bytes: u64,
+}
+
+impl BlockManager {
+    /// Creates a block manager with the given virtual capacities.
+    pub fn new(mem_capacity: u64, disk_capacity: u64) -> Self {
+        BlockManager {
+            mem: HashMap::new(),
+            disk: HashMap::new(),
+            mem_capacity,
+            disk_capacity,
+            mem_used: 0,
+            disk_used: 0,
+            clock: 0,
+            spilled_bytes: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Inserts a block, evicting LRU blocks to disk (and dropping from
+    /// disk) as needed. Returns `false` if the block itself could not be
+    /// stored anywhere.
+    pub fn insert(&mut self, key: BlockKey, data: PartitionData, vbytes: u64) -> bool {
+        // Refuse pathological single blocks bigger than both tiers.
+        if vbytes > self.mem_capacity && vbytes > self.disk_capacity {
+            self.dropped_bytes += vbytes;
+            return false;
+        }
+        self.remove(&key);
+        let lu = self.tick();
+        if vbytes <= self.mem_capacity {
+            while self.mem_used + vbytes > self.mem_capacity {
+                if !self.evict_one_to_disk() {
+                    break;
+                }
+            }
+            if self.mem_used + vbytes <= self.mem_capacity {
+                self.mem.insert(
+                    key,
+                    Block {
+                        data,
+                        vbytes,
+                        last_use: lu,
+                    },
+                );
+                self.mem_used += vbytes;
+                return true;
+            }
+        }
+        // Fall back to disk.
+        self.store_on_disk(key, data, vbytes)
+    }
+
+    fn store_on_disk(&mut self, key: BlockKey, data: PartitionData, vbytes: u64) -> bool {
+        if vbytes > self.disk_capacity {
+            self.dropped_bytes += vbytes;
+            return false;
+        }
+        while self.disk_used + vbytes > self.disk_capacity {
+            if let Some(victim) = self.lru_key(&self.disk) {
+                if let Some(b) = self.disk.remove(&victim) {
+                    self.disk_used -= b.vbytes;
+                    self.dropped_bytes += b.vbytes;
+                }
+            } else {
+                break;
+            }
+        }
+        if self.disk_used + vbytes > self.disk_capacity {
+            self.dropped_bytes += vbytes;
+            return false;
+        }
+        let lu = self.tick();
+        self.disk.insert(
+            key,
+            Block {
+                data,
+                vbytes,
+                last_use: lu,
+            },
+        );
+        self.disk_used += vbytes;
+        true
+    }
+
+    fn lru_key(&self, map: &HashMap<BlockKey, Block>) -> Option<BlockKey> {
+        map.iter()
+            .min_by_key(|(k, b)| (b.last_use, **k))
+            .map(|(k, _)| *k)
+    }
+
+    /// Evicts the least-recently-used memory block to disk. Returns
+    /// `false` when memory is already empty.
+    fn evict_one_to_disk(&mut self) -> bool {
+        let Some(victim) = self.lru_key(&self.mem) else {
+            return false;
+        };
+        let b = self.mem.remove(&victim).expect("victim exists");
+        self.mem_used -= b.vbytes;
+        self.spilled_bytes += b.vbytes;
+        let vbytes = b.vbytes;
+        let data = b.data;
+        let _ = self.store_on_disk(victim, data, vbytes);
+        true
+    }
+
+    /// Looks up a block, touching its LRU stamp. Disk hits are *not*
+    /// promoted automatically; the caller charges the disk-read time and
+    /// may re-insert.
+    pub fn get(&mut self, key: &BlockKey) -> Option<(PartitionData, BlockLocation, u64)> {
+        let lu = self.tick();
+        if let Some(b) = self.mem.get_mut(key) {
+            b.last_use = lu;
+            return Some((b.data.clone(), BlockLocation::Memory, b.vbytes));
+        }
+        if let Some(b) = self.disk.get_mut(key) {
+            b.last_use = lu;
+            return Some((b.data.clone(), BlockLocation::Disk, b.vbytes));
+        }
+        None
+    }
+
+    /// Returns the location of a block without touching LRU state.
+    pub fn peek(&self, key: &BlockKey) -> Option<(BlockLocation, u64)> {
+        if let Some(b) = self.mem.get(key) {
+            return Some((BlockLocation::Memory, b.vbytes));
+        }
+        if let Some(b) = self.disk.get(key) {
+            return Some((BlockLocation::Disk, b.vbytes));
+        }
+        None
+    }
+
+    /// Removes a block from both tiers, returning `true` if it existed.
+    pub fn remove(&mut self, key: &BlockKey) -> bool {
+        let mut found = false;
+        if let Some(b) = self.mem.remove(key) {
+            self.mem_used -= b.vbytes;
+            found = true;
+        }
+        if let Some(b) = self.disk.remove(key) {
+            self.disk_used -= b.vbytes;
+            found = true;
+        }
+        found
+    }
+
+    /// Returns all keys currently held (memory then disk, unordered).
+    pub fn keys(&self) -> Vec<BlockKey> {
+        self.mem.keys().chain(self.disk.keys()).copied().collect()
+    }
+
+    /// Virtual bytes resident in memory.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// Virtual bytes resident on disk.
+    pub fn disk_used(&self) -> u64 {
+        self.disk_used
+    }
+
+    /// Memory capacity in virtual bytes.
+    pub fn mem_capacity(&self) -> u64 {
+        self.mem_capacity
+    }
+
+    /// Drops every block (worker revoked).
+    pub fn clear(&mut self) {
+        self.mem.clear();
+        self.disk.clear();
+        self.mem_used = 0;
+        self.disk_used = 0;
+    }
+}
+
+/// A cluster-wide summary of cached blocks, used by baselines (e.g.
+/// systems-level checkpointing must write *all* worker state) and by
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct BlockStoreSnapshot {
+    /// Virtual bytes in memory across alive workers.
+    pub mem_bytes: u64,
+    /// Virtual bytes on disk across alive workers.
+    pub disk_bytes: u64,
+    /// `(worker, key, vbytes)` for every resident block.
+    pub blocks: Vec<(WorkerId, BlockKey, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+    use std::sync::Arc;
+
+    fn data(n: usize) -> PartitionData {
+        Arc::new(vec![Value::Int(0); n])
+    }
+
+    fn key(i: u32) -> BlockKey {
+        BlockKey::RddPart {
+            rdd: RddId(0),
+            part: i,
+        }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut bm = BlockManager::new(1000, 1000);
+        assert!(bm.insert(key(0), data(1), 100));
+        let (_, loc, bytes) = bm.get(&key(0)).unwrap();
+        assert_eq!(loc, BlockLocation::Memory);
+        assert_eq!(bytes, 100);
+        assert_eq!(bm.mem_used(), 100);
+    }
+
+    #[test]
+    fn lru_eviction_spills_to_disk() {
+        let mut bm = BlockManager::new(250, 1000);
+        bm.insert(key(0), data(1), 100);
+        bm.insert(key(1), data(1), 100);
+        // Touch 0 so 1 becomes LRU.
+        let _ = bm.get(&key(0));
+        bm.insert(key(2), data(1), 100);
+        assert_eq!(bm.peek(&key(1)).unwrap().0, BlockLocation::Disk);
+        assert_eq!(bm.peek(&key(0)).unwrap().0, BlockLocation::Memory);
+        assert_eq!(bm.spilled_bytes, 100);
+    }
+
+    #[test]
+    fn disk_overflow_drops_blocks() {
+        let mut bm = BlockManager::new(100, 150);
+        bm.insert(key(0), data(1), 100);
+        bm.insert(key(1), data(1), 100); // spills 0 to disk
+        bm.insert(key(2), data(1), 100); // spills 1; disk can't hold both
+        let resident = bm.keys().len();
+        assert!(resident < 3, "something must have been dropped");
+        assert!(bm.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut bm = BlockManager::new(100, 100);
+        assert!(!bm.insert(key(0), data(1), 500));
+        assert!(bm.get(&key(0)).is_none());
+        assert_eq!(bm.dropped_bytes, 500);
+    }
+
+    #[test]
+    fn block_bigger_than_memory_goes_to_disk() {
+        let mut bm = BlockManager::new(100, 1000);
+        assert!(bm.insert(key(0), data(1), 500));
+        assert_eq!(bm.peek(&key(0)).unwrap().0, BlockLocation::Disk);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut bm = BlockManager::new(1000, 1000);
+        bm.insert(key(0), data(1), 100);
+        bm.insert(key(0), data(2), 200);
+        assert_eq!(bm.mem_used(), 200);
+        let (d, _, _) = bm.get(&key(0)).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn clear_loses_everything() {
+        let mut bm = BlockManager::new(1000, 1000);
+        bm.insert(key(0), data(1), 100);
+        bm.insert(key(1), data(1), 900); // forces a spill
+        bm.clear();
+        assert_eq!(bm.mem_used(), 0);
+        assert_eq!(bm.disk_used(), 0);
+        assert!(bm.keys().is_empty());
+    }
+
+    #[test]
+    fn remove_returns_presence() {
+        let mut bm = BlockManager::new(1000, 1000);
+        bm.insert(key(0), data(1), 100);
+        assert!(bm.remove(&key(0)));
+        assert!(!bm.remove(&key(0)));
+        assert_eq!(bm.mem_used(), 0);
+    }
+}

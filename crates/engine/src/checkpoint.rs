@@ -1,0 +1,305 @@
+//! Durable checkpoint bookkeeping on top of [`flint_store`].
+
+use std::collections::HashMap;
+
+use std::collections::HashSet;
+
+use flint_simtime::SimTime;
+use flint_store::{DurableStore, StorageConfig};
+
+use crate::rdd::{PartitionData, RddId};
+use crate::shuffle::ShuffleId;
+use crate::Lineage;
+
+/// Returns the store key for `(rdd, part)`.
+///
+/// All partitions of an RDD share a key prefix (`rdd-7/`), mirroring the
+/// paper's "all partition checkpoints of a single RDD live in the same
+/// HDFS directory" layout (§4) and enabling prefix-wise garbage
+/// collection.
+pub fn checkpoint_key(rdd: RddId, part: u32) -> String {
+    format!("rdd-{:06}/part-{:05}", rdd.0, part)
+}
+
+/// The engine's view of durable checkpoints.
+///
+/// Wraps a [`DurableStore`] with per-RDD partition bitmaps so "is this
+/// RDD fully checkpointed?" is cheap, plus the paper's reachability-based
+/// garbage collector.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    store: DurableStore<PartitionData>,
+    /// Which partitions of each RDD are durably stored.
+    parts: HashMap<RddId, Vec<bool>>,
+    /// Which shuffle map outputs are durably stored (used only by the
+    /// systems-level checkpointing baseline, which snapshots shuffle
+    /// buffers along with everything else).
+    shuffle_parts: HashSet<(ShuffleId, u32)>,
+}
+
+/// Returns the store key for a shuffle map output.
+fn shuffle_key(s: ShuffleId, map_part: u32) -> String {
+    format!("shuffle-{:06}/part-{:05}", s.0, map_part)
+}
+
+impl CheckpointStore {
+    /// Creates an empty checkpoint store with the given bandwidth model.
+    pub fn new(cfg: StorageConfig) -> Self {
+        CheckpointStore {
+            store: DurableStore::new(cfg),
+            parts: HashMap::new(),
+            shuffle_parts: HashSet::new(),
+        }
+    }
+
+    /// Durably stores one shuffle map output.
+    pub fn put_shuffle(
+        &mut self,
+        s: ShuffleId,
+        map_part: u32,
+        data: PartitionData,
+        vbytes: u64,
+        now: SimTime,
+    ) {
+        self.store.put(&shuffle_key(s, map_part), data, vbytes, now);
+        self.shuffle_parts.insert((s, map_part));
+    }
+
+    /// Returns the checkpointed shuffle map output, if present.
+    pub fn get_shuffle(&self, s: ShuffleId, map_part: u32) -> Option<&PartitionData> {
+        self.store.get(&shuffle_key(s, map_part))
+    }
+
+    /// Returns `true` if the shuffle map output is durably stored.
+    pub fn has_shuffle(&self, s: ShuffleId, map_part: u32) -> bool {
+        self.shuffle_parts.contains(&(s, map_part))
+    }
+
+    /// Returns the stored virtual size of a shuffle map output.
+    pub fn size_of_shuffle(&self, s: ShuffleId, map_part: u32) -> Option<u64> {
+        self.store.size_of(&shuffle_key(s, map_part))
+    }
+
+    /// Returns the underlying durable store.
+    pub fn store(&self) -> &DurableStore<PartitionData> {
+        &self.store
+    }
+
+    /// Returns the underlying durable store mutably (cost accounting).
+    pub fn store_mut(&mut self) -> &mut DurableStore<PartitionData> {
+        &mut self.store
+    }
+
+    /// Returns the storage bandwidth model.
+    pub fn config(&self) -> &StorageConfig {
+        self.store.config()
+    }
+
+    /// Durably stores one partition (virtual `vbytes` for accounting).
+    pub fn put(
+        &mut self,
+        rdd: RddId,
+        part: u32,
+        num_partitions: u32,
+        data: PartitionData,
+        vbytes: u64,
+        now: SimTime,
+    ) {
+        self.store
+            .put(&checkpoint_key(rdd, part), data, vbytes, now);
+        let bits = self
+            .parts
+            .entry(rdd)
+            .or_insert_with(|| vec![false; num_partitions as usize]);
+        if let Some(b) = bits.get_mut(part as usize) {
+            *b = true;
+        }
+    }
+
+    /// Returns the checkpointed data for `(rdd, part)`, if present.
+    pub fn get(&self, rdd: RddId, part: u32) -> Option<&PartitionData> {
+        self.store.get(&checkpoint_key(rdd, part))
+    }
+
+    /// Returns the stored virtual size of `(rdd, part)`, if present.
+    pub fn size_of(&self, rdd: RddId, part: u32) -> Option<u64> {
+        self.store.size_of(&checkpoint_key(rdd, part))
+    }
+
+    /// Returns `true` if `(rdd, part)` is durably stored.
+    pub fn has(&self, rdd: RddId, part: u32) -> bool {
+        self.parts
+            .get(&rdd)
+            .and_then(|b| b.get(part as usize).copied())
+            .unwrap_or(false)
+    }
+
+    /// Returns `true` if every partition of `rdd` is durably stored.
+    pub fn is_fully_checkpointed(&self, rdd: RddId) -> bool {
+        self.parts
+            .get(&rdd)
+            .map(|b| b.iter().all(|&x| x))
+            .unwrap_or(false)
+    }
+
+    /// Returns the RDDs with at least one checkpointed partition.
+    pub fn checkpointed_rdds(&self) -> Vec<RddId> {
+        let mut ids: Vec<RddId> = self
+            .parts
+            .iter()
+            .filter(|(_, b)| b.iter().any(|&x| x))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Drops every checkpoint of `rdd`.
+    pub fn drop_rdd(&mut self, rdd: RddId, now: SimTime) -> usize {
+        self.parts.remove(&rdd);
+        self.store.delete_prefix(&format!("rdd-{:06}/", rdd.0), now)
+    }
+
+    /// Garbage-collects redundant checkpoints (§4): checkpointing an RDD
+    /// terminates its lineage, so an *ancestor's* checkpoint becomes
+    /// unreachable — but only once every one of the ancestor's child
+    /// subtrees is covered by a checkpointed cut, and never for RDDs the
+    /// program explicitly persists (those remain live targets of future
+    /// actions, e.g. resident tables queried repeatedly). Returns the
+    /// number of partition objects deleted.
+    pub fn gc(&mut self, lineage: &Lineage, now: SimTime) -> usize {
+        // covered(X): recomputing anything *below* X never needs X's
+        // checkpoint, because every path down from X crosses a fully-
+        // checkpointed RDD. Evaluated bottom-up; ids are topological
+        // (parents have smaller ids than children).
+        let n = lineage.len();
+        let mut covered = vec![false; n];
+        for idx in (0..n).rev() {
+            let id = RddId(idx as u32);
+            if self.is_fully_checkpointed(id) {
+                covered[idx] = true;
+                continue;
+            }
+            let children = lineage.children(id);
+            covered[idx] = !children.is_empty() && children.iter().all(|c| covered[c.0 as usize]);
+        }
+        let doomed: Vec<RddId> = self
+            .checkpointed_rdds()
+            .into_iter()
+            .filter(|id| {
+                let children = lineage.children(*id);
+                !lineage.is_persisted(*id)
+                    && !children.is_empty()
+                    && children.iter().all(|c| covered[c.0 as usize])
+            })
+            .collect();
+        let mut deleted = 0;
+        for rdd in doomed {
+            deleted += self.drop_rdd(rdd, now);
+        }
+        deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::RddOp;
+    use std::sync::Arc;
+
+    fn data() -> PartitionData {
+        Arc::new(vec![])
+    }
+
+    #[test]
+    fn key_format_is_prefix_friendly() {
+        let k = checkpoint_key(RddId(7), 3);
+        assert!(k.starts_with("rdd-000007/"));
+        assert_eq!(k, "rdd-000007/part-00003");
+    }
+
+    #[test]
+    fn put_get_has() {
+        let mut cs = CheckpointStore::new(StorageConfig::default());
+        assert!(!cs.has(RddId(0), 0));
+        cs.put(RddId(0), 0, 2, data(), 100, SimTime::ZERO);
+        assert!(cs.has(RddId(0), 0));
+        assert!(!cs.has(RddId(0), 1));
+        assert!(!cs.is_fully_checkpointed(RddId(0)));
+        cs.put(RddId(0), 1, 2, data(), 100, SimTime::ZERO);
+        assert!(cs.is_fully_checkpointed(RddId(0)));
+        assert_eq!(cs.size_of(RddId(0), 1), Some(100));
+        assert_eq!(cs.checkpointed_rdds(), vec![RddId(0)]);
+    }
+
+    #[test]
+    fn gc_drops_fully_shadowed_ancestors() {
+        // Lineage: a -> b -> c, all checkpointed; checkpointing c makes
+        // a's and b's checkpoints unreachable.
+        let mut l = Lineage::new();
+        let src = RddOp::Parallelize {
+            data: Arc::new(vec![vec![]]),
+        };
+        let a = l.add_rdd("a", src, vec![], 1);
+        let map = || RddOp::Map {
+            f: Arc::new(|v: &crate::Value| v.clone()),
+        };
+        let b = l.add_rdd("b", map(), vec![a], 1);
+        let c = l.add_rdd("c", map(), vec![b], 1);
+
+        let mut cs = CheckpointStore::new(StorageConfig::default());
+        cs.put(a, 0, 1, data(), 10, SimTime::ZERO);
+        cs.put(b, 0, 1, data(), 10, SimTime::ZERO);
+        cs.put(c, 0, 1, data(), 10, SimTime::ZERO);
+        let deleted = cs.gc(&l, SimTime::ZERO);
+        assert_eq!(deleted, 2);
+        assert!(cs.has(c, 0));
+        assert!(!cs.has(a, 0));
+        assert!(!cs.has(b, 0));
+    }
+
+    #[test]
+    fn gc_keeps_ancestors_of_partial_checkpoints() {
+        let mut l = Lineage::new();
+        let src = RddOp::Parallelize {
+            data: Arc::new(vec![vec![], vec![]]),
+        };
+        let a = l.add_rdd("a", src, vec![], 2);
+        let b = l.add_rdd(
+            "b",
+            RddOp::Map {
+                f: Arc::new(|v: &crate::Value| v.clone()),
+            },
+            vec![a],
+            2,
+        );
+        let mut cs = CheckpointStore::new(StorageConfig::default());
+        cs.put(a, 0, 2, data(), 10, SimTime::ZERO);
+        cs.put(a, 1, 2, data(), 10, SimTime::ZERO);
+        // b only partially checkpointed: a must be retained.
+        cs.put(b, 0, 2, data(), 10, SimTime::ZERO);
+        assert_eq!(cs.gc(&l, SimTime::ZERO), 0);
+        assert!(cs.has(a, 0));
+    }
+
+    #[test]
+    fn shuffle_checkpoints_round_trip() {
+        let mut cs = CheckpointStore::new(StorageConfig::default());
+        assert!(!cs.has_shuffle(ShuffleId(2), 0));
+        cs.put_shuffle(ShuffleId(2), 0, data(), 64, SimTime::ZERO);
+        assert!(cs.has_shuffle(ShuffleId(2), 0));
+        assert!(cs.get_shuffle(ShuffleId(2), 0).is_some());
+        assert_eq!(cs.size_of_shuffle(ShuffleId(2), 0), Some(64));
+        assert!(!cs.has_shuffle(ShuffleId(2), 1));
+    }
+
+    #[test]
+    fn drop_rdd_removes_all_parts() {
+        let mut cs = CheckpointStore::new(StorageConfig::default());
+        cs.put(RddId(1), 0, 2, data(), 10, SimTime::ZERO);
+        cs.put(RddId(1), 1, 2, data(), 10, SimTime::ZERO);
+        assert_eq!(cs.drop_rdd(RddId(1), SimTime::ZERO), 2);
+        assert!(!cs.has(RddId(1), 0));
+        assert!(cs.checkpointed_rdds().is_empty());
+    }
+}

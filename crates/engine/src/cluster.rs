@@ -1,0 +1,314 @@
+//! The engine's view of the worker cluster.
+
+use std::collections::HashMap;
+
+use flint_simtime::SimTime;
+
+use crate::block::{BlockKey, BlockLocation, BlockManager, BlockStoreSnapshot};
+use crate::rdd::PartitionData;
+
+/// Identifier of a worker slot within the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub u32);
+
+/// The shape of a worker node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerSpec {
+    /// Number of task slots (vCPUs).
+    pub cores: u32,
+    /// Memory available for the block cache, in virtual bytes.
+    pub cache_mem_bytes: u64,
+    /// Local disk available for spill, in virtual bytes.
+    pub disk_bytes: u64,
+}
+
+impl WorkerSpec {
+    /// The paper's `r3.large` worker: 2 vCPUs, 15 GB RAM (of which Spark
+    /// uses ~40 % for RDD storage, §5.5), 32 GB local SSD.
+    pub fn r3_large() -> Self {
+        WorkerSpec {
+            cores: 2,
+            cache_mem_bytes: (15.0 * 0.4 * 1e9) as u64,
+            disk_bytes: 32_000_000_000,
+        }
+    }
+}
+
+/// One worker: task slots plus a block store.
+#[derive(Debug)]
+pub struct Worker {
+    /// The engine-local id.
+    pub id: WorkerId,
+    /// The external id (e.g. a cloud instance id) that maps failure
+    /// events onto this worker.
+    pub ext_id: u64,
+    /// Hardware shape.
+    pub spec: WorkerSpec,
+    /// Whether the worker is currently alive.
+    pub alive: bool,
+    /// Per-core busy-until instants.
+    pub cores_busy_until: Vec<SimTime>,
+    /// The worker's block store.
+    pub blocks: BlockManager,
+    /// When the worker joined the cluster.
+    pub joined_at: SimTime,
+}
+
+impl Worker {
+    /// Returns the earliest instant any core is free, no earlier than
+    /// `now`.
+    pub fn earliest_free(&self, now: SimTime) -> SimTime {
+        self.cores_busy_until
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(now)
+            .max(now)
+    }
+
+    /// Returns the index of the earliest-free core.
+    pub fn earliest_free_core(&self) -> usize {
+        self.cores_busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// The set of workers known to the driver.
+#[derive(Debug, Default)]
+pub struct Cluster {
+    workers: Vec<Worker>,
+    ext_map: HashMap<u64, WorkerId>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    /// Adds a worker, returning its engine id.
+    pub fn add_worker(&mut self, ext_id: u64, spec: WorkerSpec, now: SimTime) -> WorkerId {
+        let id = WorkerId(self.workers.len() as u32);
+        self.workers.push(Worker {
+            id,
+            ext_id,
+            spec,
+            alive: true,
+            cores_busy_until: vec![now; spec.cores.max(1) as usize],
+            blocks: BlockManager::new(spec.cache_mem_bytes, spec.disk_bytes),
+            joined_at: now,
+        });
+        self.ext_map.insert(ext_id, id);
+        id
+    }
+
+    /// Kills the worker with external id `ext_id`, dropping all its
+    /// blocks. Returns the engine id if it was alive.
+    pub fn remove_by_ext(&mut self, ext_id: u64) -> Option<WorkerId> {
+        let id = self.ext_map.remove(&ext_id)?;
+        let w = &mut self.workers[id.0 as usize];
+        if !w.alive {
+            return None;
+        }
+        w.alive = false;
+        w.blocks.clear();
+        Some(id)
+    }
+
+    /// Resolves an external id to an engine id, if that worker is known.
+    pub fn by_ext(&self, ext_id: u64) -> Option<WorkerId> {
+        self.ext_map.get(&ext_id).copied()
+    }
+
+    /// Returns the worker with engine id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.0 as usize]
+    }
+
+    /// Returns the worker mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn worker_mut(&mut self, id: WorkerId) -> &mut Worker {
+        &mut self.workers[id.0 as usize]
+    }
+
+    /// Returns the ids of alive workers.
+    pub fn alive(&self) -> Vec<WorkerId> {
+        self.workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.id)
+            .collect()
+    }
+
+    /// Returns the number of alive workers.
+    pub fn alive_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Finds a block anywhere in the alive cluster.
+    pub fn locate(&self, key: &BlockKey) -> Option<(WorkerId, BlockLocation, u64)> {
+        for w in &self.workers {
+            if !w.alive {
+                continue;
+            }
+            if let Some((loc, bytes)) = w.blocks.peek(key) {
+                return Some((w.id, loc, bytes));
+            }
+        }
+        None
+    }
+
+    /// Fetches a block's data from anywhere in the alive cluster.
+    pub fn fetch(
+        &mut self,
+        key: &BlockKey,
+    ) -> Option<(WorkerId, PartitionData, BlockLocation, u64)> {
+        let (wid, _, _) = self.locate(key)?;
+        let w = &mut self.workers[wid.0 as usize];
+        let (data, loc, bytes) = w.blocks.get(key)?;
+        Some((wid, data, loc, bytes))
+    }
+
+    /// Removes a block from every worker (e.g. when superseded).
+    pub fn remove_everywhere(&mut self, key: &BlockKey) {
+        for w in &mut self.workers {
+            w.blocks.remove(key);
+        }
+    }
+
+    /// Builds a summary of all cached blocks on alive workers.
+    pub fn snapshot(&self) -> BlockStoreSnapshot {
+        let mut snap = BlockStoreSnapshot {
+            mem_bytes: 0,
+            disk_bytes: 0,
+            blocks: Vec::new(),
+        };
+        for w in &self.workers {
+            if !w.alive {
+                continue;
+            }
+            snap.mem_bytes += w.blocks.mem_used();
+            snap.disk_bytes += w.blocks.disk_used();
+            for k in w.blocks.keys() {
+                if let Some((_, bytes)) = w.blocks.peek(&k) {
+                    snap.blocks.push((w.id, k, bytes));
+                }
+            }
+        }
+        snap.blocks.sort_by_key(|(w, k, _)| (*w, *k));
+        snap
+    }
+
+    /// Total cache memory across alive workers, in virtual bytes.
+    pub fn total_cache_capacity(&self) -> u64 {
+        self.workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.blocks.mem_capacity())
+            .sum()
+    }
+
+    /// Returns all workers (alive and dead), for accounting.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::RddId;
+    use crate::Value;
+    use std::sync::Arc;
+
+    fn spec() -> WorkerSpec {
+        WorkerSpec {
+            cores: 2,
+            cache_mem_bytes: 1000,
+            disk_bytes: 1000,
+        }
+    }
+
+    fn key(i: u32) -> BlockKey {
+        BlockKey::RddPart {
+            rdd: RddId(0),
+            part: i,
+        }
+    }
+
+    #[test]
+    fn add_and_remove_workers() {
+        let mut c = Cluster::new();
+        let a = c.add_worker(100, spec(), SimTime::ZERO);
+        let b = c.add_worker(101, spec(), SimTime::ZERO);
+        assert_eq!(c.alive(), vec![a, b]);
+        assert_eq!(c.by_ext(100), Some(a));
+        assert_eq!(c.remove_by_ext(100), Some(a));
+        assert_eq!(c.remove_by_ext(100), None);
+        assert_eq!(c.alive(), vec![b]);
+        assert!(!c.worker(a).alive);
+    }
+
+    #[test]
+    fn revocation_drops_blocks() {
+        let mut c = Cluster::new();
+        let a = c.add_worker(1, spec(), SimTime::ZERO);
+        c.worker_mut(a)
+            .blocks
+            .insert(key(0), Arc::new(vec![Value::Int(1)]), 10);
+        assert!(c.locate(&key(0)).is_some());
+        c.remove_by_ext(1);
+        assert!(c.locate(&key(0)).is_none());
+    }
+
+    #[test]
+    fn locate_searches_all_alive_workers() {
+        let mut c = Cluster::new();
+        let _a = c.add_worker(1, spec(), SimTime::ZERO);
+        let b = c.add_worker(2, spec(), SimTime::ZERO);
+        c.worker_mut(b).blocks.insert(key(7), Arc::new(vec![]), 5);
+        let (wid, _, bytes) = c.locate(&key(7)).unwrap();
+        assert_eq!(wid, b);
+        assert_eq!(bytes, 5);
+    }
+
+    #[test]
+    fn earliest_free_core_selection() {
+        let mut c = Cluster::new();
+        let a = c.add_worker(1, spec(), SimTime::ZERO);
+        let w = c.worker_mut(a);
+        w.cores_busy_until[0] = SimTime::from_millis(100);
+        w.cores_busy_until[1] = SimTime::from_millis(50);
+        assert_eq!(w.earliest_free_core(), 1);
+        assert_eq!(w.earliest_free(SimTime::ZERO), SimTime::from_millis(50));
+        assert_eq!(
+            w.earliest_free(SimTime::from_millis(70)),
+            SimTime::from_millis(70)
+        );
+    }
+
+    #[test]
+    fn snapshot_covers_alive_only() {
+        let mut c = Cluster::new();
+        let a = c.add_worker(1, spec(), SimTime::ZERO);
+        let b = c.add_worker(2, spec(), SimTime::ZERO);
+        c.worker_mut(a).blocks.insert(key(0), Arc::new(vec![]), 10);
+        c.worker_mut(b).blocks.insert(key(1), Arc::new(vec![]), 20);
+        c.remove_by_ext(1);
+        let snap = c.snapshot();
+        assert_eq!(snap.mem_bytes, 20);
+        assert_eq!(snap.blocks.len(), 1);
+        assert_eq!(snap.blocks[0].0, b);
+    }
+}

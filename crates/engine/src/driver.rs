@@ -1,0 +1,1886 @@
+//! The driver: stage planning, virtual-time task execution, failure
+//! handling, and checkpoint orchestration.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::Arc;
+
+use flint_simtime::{Clock, SimDuration, SimTime};
+use flint_store::StorageConfig;
+
+use crate::block::{BlockKey, BlockLocation};
+use crate::checkpoint::CheckpointStore;
+use crate::cluster::{Cluster, WorkerId, WorkerSpec};
+use crate::context::EngineContext;
+use crate::cost::CostModel;
+use crate::error::{EngineError, Result};
+use crate::hooks::{CheckpointDirective, CheckpointHooks, LineageView, NoCheckpoint};
+use crate::injector::{FailureInjector, NoFailures, WorkerEvent};
+use crate::rdd::{PartitionData, RddId, RddOp, RddRef};
+use crate::shuffle::{Partitioner, RangePartitioner, ShuffleId, ShuffleKind};
+use crate::stats::{ActionRecord, RunStats};
+use crate::value::Value;
+
+/// Tuning knobs for a [`Driver`].
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// The virtual-time cost model.
+    pub cost: CostModel,
+    /// The durable-storage bandwidth model.
+    pub storage: StorageConfig,
+    /// Hard cap on scheduler loop iterations per action, guarding against
+    /// revocation livelock (MTTF far below task granularity).
+    pub max_iterations: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            cost: CostModel::default(),
+            storage: StorageConfig::default(),
+            max_iterations: 5_000_000,
+        }
+    }
+}
+
+/// A schedulable unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TaskKey {
+    /// Produce the shuffle map output block for `(shuffle, map_part)`.
+    ShuffleMap { shuffle: ShuffleId, map_part: u32 },
+    /// Materialize and cache partition `part` of the job target.
+    Output { rdd: RddId, part: u32 },
+    /// Durably write a checkpoint.
+    Ckpt(CkptJob),
+}
+
+/// A pending checkpoint write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum CkptJob {
+    /// Checkpoint `(rdd, part)`.
+    RddPart(RddId, u32),
+    /// Checkpoint a shuffle map output (systems-level baseline).
+    Shuffle(ShuffleId, u32),
+}
+
+/// What to do when a running task completes.
+#[derive(Debug, Clone)]
+enum Commit {
+    /// Insert a block into the executing worker's store.
+    Block(BlockKey),
+    /// Write a checkpoint object.
+    Checkpoint(CkptJob),
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    key: TaskKey,
+    worker: WorkerId,
+    finish: SimTime,
+    data: PartitionData,
+    vbytes: u64,
+    duration: SimDuration,
+    commit: Commit,
+    touched: Vec<(RddId, u32, u64)>,
+    seq: u64,
+}
+
+/// Internal materialization failure: a required shuffle input vanished
+/// between planning and execution (cannot normally happen; handled by
+/// replanning).
+#[derive(Debug)]
+struct MissingShuffle;
+
+/// The execution engine: owns the lineage context, the simulated cluster,
+/// the checkpoint store, and the virtual clock.
+///
+/// See the [crate-level documentation](crate) for the execution model.
+pub struct Driver {
+    ctx: EngineContext,
+    cluster: Cluster,
+    ckpt: CheckpointStore,
+    hooks: Box<dyn CheckpointHooks>,
+    injector: Box<dyn FailureInjector>,
+    clock: Clock,
+    stats: RunStats,
+    config: DriverConfig,
+    range_cache: BTreeMap<ShuffleId, RangePartitioner>,
+    computed_once: HashSet<(RddId, u32)>,
+    fired_materialized: HashSet<RddId>,
+    marked_ckpt: HashSet<RddId>,
+    ckpt_queue: VecDeque<CkptJob>,
+    ckpt_queued: BTreeSet<CkptJob>,
+    running: Vec<Running>,
+    in_flight: BTreeSet<TaskKey>,
+    last_pumped: SimTime,
+    next_local_ext: u64,
+    task_seq: u64,
+    /// Partition sizes computed during the current materialize call,
+    /// in chain order (deepest ancestor first). Applied to the lineage at
+    /// task *commit* time so the execution frontier advances in the order
+    /// RDDs logically complete.
+    touched_scratch: Vec<(RddId, u32, u64)>,
+}
+
+impl Driver {
+    /// Creates a driver with explicit policy hooks and failure injector.
+    pub fn new(
+        config: DriverConfig,
+        hooks: Box<dyn CheckpointHooks>,
+        injector: Box<dyn FailureInjector>,
+    ) -> Self {
+        let storage = config.storage;
+        Driver {
+            ctx: EngineContext::new(),
+            cluster: Cluster::new(),
+            ckpt: CheckpointStore::new(storage),
+            hooks,
+            injector,
+            clock: Clock::new(),
+            stats: RunStats::default(),
+            config,
+            range_cache: BTreeMap::new(),
+            computed_once: HashSet::new(),
+            fired_materialized: HashSet::new(),
+            marked_ckpt: HashSet::new(),
+            ckpt_queue: VecDeque::new(),
+            ckpt_queued: BTreeSet::new(),
+            running: Vec::new(),
+            in_flight: BTreeSet::new(),
+            last_pumped: SimTime::ZERO,
+            next_local_ext: 1 << 40,
+            task_seq: 0,
+            touched_scratch: Vec::new(),
+        }
+    }
+
+    /// Creates a driver with `n` healthy local workers, no checkpointing
+    /// policy, and no failures — a correctness sandbox.
+    pub fn local(n: u32) -> Self {
+        let mut d = Driver::new(
+            DriverConfig::default(),
+            Box::new(NoCheckpoint),
+            Box::new(NoFailures),
+        );
+        for _ in 0..n.max(1) {
+            d.add_worker(WorkerSpec::r3_large());
+        }
+        d
+    }
+
+    /// Adds a worker immediately (outside the failure injector).
+    pub fn add_worker(&mut self, spec: WorkerSpec) -> WorkerId {
+        let ext = self.next_local_ext;
+        self.next_local_ext += 1;
+        self.cluster.add_worker(ext, spec, self.clock.now())
+    }
+
+    /// Adds a worker with a caller-chosen external id, so scripted
+    /// injectors can later target it with `WorkerEvent::Remove`.
+    pub fn add_worker_with_ext(&mut self, ext_id: u64, spec: WorkerSpec) -> WorkerId {
+        self.cluster.add_worker(ext_id, spec, self.clock.now())
+    }
+
+    /// Returns the RDD construction context.
+    pub fn ctx(&mut self) -> &mut EngineContext {
+        &mut self.ctx
+    }
+
+    /// Returns the lineage graph.
+    pub fn lineage(&self) -> &crate::Lineage {
+        self.ctx.lineage()
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Jumps the virtual clock forward to `t` without simulating the gap
+    /// (used to start a session mid-trace so backward-looking market
+    /// statistics have history). Injector events in the skipped span are
+    /// delivered on the next pump.
+    pub fn warp_to(&mut self, t: SimTime) {
+        self.clock.advance_to(t);
+    }
+
+    /// Returns accumulated execution statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Resets execution statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::default();
+    }
+
+    /// Returns the cluster view.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Returns the checkpoint store.
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.ckpt
+    }
+
+    /// Returns the checkpoint store mutably (cost accounting).
+    pub fn checkpoints_mut(&mut self) -> &mut CheckpointStore {
+        &mut self.ckpt
+    }
+
+    /// Returns the cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    /// Replaces the cost model (calibration).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.config.cost = cost;
+    }
+
+    /// Number of queued (not yet written) checkpoint partitions.
+    pub fn pending_checkpoints(&self) -> usize {
+        self.ckpt_queue.len()
+            + self
+                .running
+                .iter()
+                .filter(|r| matches!(r.key, TaskKey::Ckpt(_)))
+                .count()
+    }
+
+    /// Runs checkpoint garbage collection, returning deleted objects.
+    pub fn gc_checkpoints(&mut self) -> usize {
+        let now = self.clock.now();
+        self.ckpt.gc(self.ctx.lineage(), now)
+    }
+
+    // ------------------------------------------------------------------
+    // Actions
+    // ------------------------------------------------------------------
+
+    /// Materializes `r` and returns all its elements in partition order.
+    pub fn collect(&mut self, r: RddRef) -> Result<Vec<Value>> {
+        let parts = self.run_action(r.id, "collect")?;
+        Ok(parts
+            .into_iter()
+            .flat_map(|p| p.iter().cloned().collect::<Vec<_>>())
+            .collect())
+    }
+
+    /// Materializes `r` and returns its element count.
+    pub fn count(&mut self, r: RddRef) -> Result<u64> {
+        let parts = self.run_action(r.id, "count")?;
+        Ok(parts.iter().map(|p| p.len() as u64).sum())
+    }
+
+    /// Materializes `r` and folds its elements with `f`.
+    ///
+    /// Returns [`EngineError::EmptyDataset`] if `r` is empty.
+    pub fn reduce(&mut self, r: RddRef, f: impl Fn(&Value, &Value) -> Value) -> Result<Value> {
+        let parts = self.run_action(r.id, "reduce")?;
+        let mut acc: Option<Value> = None;
+        for p in parts {
+            for v in p.iter() {
+                acc = Some(match acc {
+                    None => v.clone(),
+                    Some(a) => f(&a, v),
+                });
+            }
+        }
+        acc.ok_or(EngineError::EmptyDataset)
+    }
+
+    /// Materializes `r` and returns up to `n` elements in partition order.
+    pub fn take(&mut self, r: RddRef, n: usize) -> Result<Vec<Value>> {
+        let parts = self.run_action(r.id, "take")?;
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            for v in p.iter() {
+                if out.len() >= n {
+                    return Ok(out);
+                }
+                out.push(v.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materializes `r` and returns its first element, if any.
+    pub fn first(&mut self, r: RddRef) -> Result<Option<Value>> {
+        Ok(self.take(r, 1)?.into_iter().next())
+    }
+
+    /// Materializes `r` and returns the `n` smallest elements (by total
+    /// order), like Spark's `takeOrdered`.
+    pub fn take_ordered(&mut self, r: RddRef, n: usize) -> Result<Vec<Value>> {
+        let mut all = self.collect(r)?;
+        all.sort();
+        all.truncate(n);
+        Ok(all)
+    }
+
+    /// Materializes a pair RDD and counts elements per key.
+    pub fn count_by_key(&mut self, r: RddRef) -> Result<std::collections::BTreeMap<Value, u64>> {
+        let parts = self.run_action(r.id, "count_by_key")?;
+        let mut counts = std::collections::BTreeMap::new();
+        for p in parts {
+            for v in p.iter() {
+                let key = v.key().cloned().unwrap_or(Value::Null);
+                *counts.entry(key).or_insert(0u64) += 1;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Explicitly checkpoints `r` (like Spark's `rdd.checkpoint()` +
+    /// materialization): runs a job to materialize it, then enqueues
+    /// durable writes and drains them.
+    pub fn checkpoint_now(&mut self, r: RddRef) -> Result<()> {
+        self.run_action(r.id, "checkpoint")?;
+        self.apply_directives(vec![CheckpointDirective::Checkpoint(r.id)]);
+        self.drain_checkpoints()?;
+        Ok(())
+    }
+
+    /// Advances virtual time to `t`, draining checkpoint writes and
+    /// processing failure events while "idle" (an interactive session
+    /// between queries).
+    pub fn idle_until(&mut self, t: SimTime) -> Result<()> {
+        let mut iterations = 0u64;
+        loop {
+            iterations += 1;
+            if iterations > self.config.max_iterations {
+                return Err(EngineError::RetryBudgetExhausted { rdd: RddId(0) });
+            }
+            self.poll_hooks();
+            self.assign_checkpoint_jobs();
+            let now = self.clock.now();
+            if now >= t && self.running.is_empty() {
+                return Ok(());
+            }
+            let t_task = self.running.iter().map(|r| r.finish).min();
+            let t_inj = self.injector.next_event_after(now);
+            let mut next = t;
+            if let Some(tt) = t_task {
+                next = next.min(tt);
+            }
+            if let Some(ti) = t_inj {
+                next = next.min(ti);
+            }
+            if next <= now {
+                // Running tasks that finish exactly now, or we are done.
+                if t_task.map(|tt| tt <= now).unwrap_or(false) {
+                    self.advance_and_commit(now);
+                    continue;
+                }
+                if now >= t {
+                    // Only tasks beyond `t` remain: let them finish.
+                    if let Some(tt) = t_task {
+                        self.advance_and_commit(tt);
+                        continue;
+                    }
+                    return Ok(());
+                }
+                self.clock
+                    .advance_to(t.min(next.max(now + SimDuration::from_millis(1))));
+                self.pump_injector();
+                continue;
+            }
+            self.advance_and_commit(next);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The scheduler loop
+    // ------------------------------------------------------------------
+
+    /// Runs a job materializing every partition of `target`, then gathers
+    /// the partitions to the driver. Records an [`ActionRecord`].
+    fn run_action(&mut self, target: RddId, label: &str) -> Result<Vec<PartitionData>> {
+        if !self.ctx.lineage().contains(target) {
+            return Err(EngineError::UnknownRdd(target));
+        }
+        let started = self.clock.now();
+        self.pump_injector();
+        self.run_job(target)?;
+        let parts = self.gather(target)?;
+        let finished = self.clock.now();
+        self.stats.actions.push(ActionRecord {
+            name: format!("{label}(rdd-{})", target.0),
+            started,
+            finished,
+        });
+        Ok(parts)
+    }
+
+    fn run_job(&mut self, target: RddId) -> Result<()> {
+        let mut iterations = 0u64;
+        loop {
+            iterations += 1;
+            if iterations > self.config.max_iterations {
+                return Err(EngineError::RetryBudgetExhausted { rdd: target });
+            }
+
+            self.poll_hooks();
+
+            let (ready, done) = self.plan_ready(target);
+            if done {
+                return Ok(());
+            }
+
+            // Assign compute tasks, then checkpoint writes.
+            let mut assigned_any = false;
+            for key in ready {
+                if self.in_flight.contains(&key) {
+                    continue;
+                }
+                if self.assign_task(key) {
+                    assigned_any = true;
+                }
+            }
+            self.assign_checkpoint_jobs();
+
+            let now = self.clock.now();
+            let t_task = self.running.iter().map(|r| r.finish).min();
+            let t_inj = self.injector.next_event_after(now);
+
+            match (t_task, t_inj) {
+                (None, None) => {
+                    if !assigned_any {
+                        return Err(EngineError::NoWorkers);
+                    }
+                }
+                (None, Some(ti)) => {
+                    // Stalled waiting for workers.
+                    self.stats.stall_time += ti - now;
+                    self.clock.advance_to(ti);
+                    self.pump_injector();
+                }
+                (Some(tt), Some(ti)) if ti < tt => {
+                    self.clock.advance_to(ti);
+                    self.pump_injector();
+                }
+                (Some(tt), _) => {
+                    self.advance_and_commit(tt);
+                }
+            }
+        }
+    }
+
+    /// Advances the clock to `t`, processing injector events at or before
+    /// `t` first (ties: revocations beat completions), then committing
+    /// every running task that finishes by `t` on a still-alive worker.
+    fn advance_and_commit(&mut self, t: SimTime) {
+        self.clock.advance_to(t);
+        self.pump_injector();
+        let mut finished: Vec<Running> = Vec::new();
+        let mut rest: Vec<Running> = Vec::new();
+        for r in self.running.drain(..) {
+            if r.finish <= t {
+                finished.push(r);
+            } else {
+                rest.push(r);
+            }
+        }
+        self.running = rest;
+        finished.sort_by_key(|r| (r.finish, r.seq));
+        for r in finished {
+            self.in_flight.remove(&r.key);
+            self.commit_task(r);
+        }
+    }
+
+    /// Delivers all failure-injector events up to the current instant.
+    fn pump_injector(&mut self) {
+        let now = self.clock.now();
+        if now < self.last_pumped {
+            return;
+        }
+        let events = self.injector.events(self.last_pumped, now);
+        self.last_pumped = now;
+        for (t, ev) in events {
+            match ev {
+                WorkerEvent::Add { ext_id, spec } => {
+                    self.cluster.add_worker(ext_id, spec, t);
+                }
+                WorkerEvent::Warn { ext_id } => {
+                    self.stats.warnings += 1;
+                    self.hooks.on_warning(ext_id, t);
+                }
+                WorkerEvent::Remove { ext_id } => {
+                    if let Some(wid) = self.cluster.remove_by_ext(ext_id) {
+                        self.stats.revocations += 1;
+                        self.hooks.on_revocation(ext_id, t);
+                        self.invalidate_worker(wid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Discards in-flight tasks on a dead worker; checkpoint jobs are
+    /// requeued, compute tasks are replanned naturally.
+    fn invalidate_worker(&mut self, wid: WorkerId) {
+        let mut keep: Vec<Running> = Vec::new();
+        for r in self.running.drain(..) {
+            if r.worker == wid {
+                self.in_flight.remove(&r.key);
+                if let TaskKey::Ckpt(job) = r.key {
+                    if self.ckpt_queued.insert(job) {
+                        self.ckpt_queue.push_back(job);
+                    }
+                }
+            } else {
+                keep.push(r);
+            }
+        }
+        self.running = keep;
+    }
+
+    // ------------------------------------------------------------------
+    // Planning
+    // ------------------------------------------------------------------
+
+    fn rdd_part_available(&self, rdd: RddId, part: u32) -> bool {
+        self.ckpt.has(rdd, part)
+            || self
+                .cluster
+                .locate(&BlockKey::RddPart { rdd, part })
+                .is_some()
+    }
+
+    fn shuffle_block_available(&self, s: ShuffleId, mp: u32) -> bool {
+        self.cluster
+            .locate(&BlockKey::ShuffleMap {
+                shuffle: s,
+                map_part: mp,
+            })
+            .is_some()
+            || self.ckpt.has_shuffle(s, mp)
+    }
+
+    /// Collects missing shuffle inputs for computing `(rdd, part)`
+    /// through its narrow cone.
+    fn missing_deps(&self, rdd: RddId, part: u32, acc: &mut BTreeSet<(ShuffleId, u32)>) {
+        if self.rdd_part_available(rdd, part) {
+            return;
+        }
+        let meta = self.ctx.lineage().meta(rdd);
+        match &meta.op {
+            RddOp::Parallelize { .. } => {}
+            RddOp::Union => {
+                let (p, pp) = self.ctx.lineage().union_source(rdd, part);
+                self.missing_deps(p, pp, acc);
+            }
+            RddOp::Coalesce { group } => {
+                let parent = meta.parents[0];
+                let n = self.ctx.lineage().meta(parent).num_partitions;
+                let lo = part * group;
+                let hi = (lo + group).min(n);
+                for pp in lo..hi {
+                    self.missing_deps(parent, pp, acc);
+                }
+            }
+            op if op.is_shuffle() => {
+                for s in op.input_shuffles() {
+                    let parent = self.ctx.lineage().shuffle(s).parent;
+                    let m = self.ctx.lineage().meta(parent).num_partitions;
+                    for mp in 0..m {
+                        if !self.shuffle_block_available(s, mp) {
+                            acc.insert((s, mp));
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Narrow single-parent ops are partition-aligned.
+                let parent = meta.parents[0];
+                self.missing_deps(parent, part, acc);
+            }
+        }
+    }
+
+    /// Returns the currently runnable tasks for `target`, and whether the
+    /// target is fully available.
+    fn plan_ready(&self, target: RddId) -> (Vec<TaskKey>, bool) {
+        let n = self.ctx.lineage().meta(target).num_partitions;
+        let missing: Vec<u32> = (0..n)
+            .filter(|p| !self.rdd_part_available(target, *p))
+            .collect();
+        if missing.is_empty() {
+            return (Vec::new(), true);
+        }
+        let mut ready: BTreeSet<TaskKey> = BTreeSet::new();
+        let mut seen: BTreeSet<TaskKey> = BTreeSet::new();
+        let mut queue: VecDeque<TaskKey> = missing
+            .into_iter()
+            .map(|part| TaskKey::Output { rdd: target, part })
+            .collect();
+        while let Some(task) = queue.pop_front() {
+            if !seen.insert(task) {
+                continue;
+            }
+            let (rdd, part) = match task {
+                TaskKey::Output { rdd, part } => (rdd, part),
+                TaskKey::ShuffleMap { shuffle, map_part } => {
+                    (self.ctx.lineage().shuffle(shuffle).parent, map_part)
+                }
+                TaskKey::Ckpt(_) => continue,
+            };
+            let mut deps = BTreeSet::new();
+            self.missing_deps(rdd, part, &mut deps);
+            // A shuffle-map task for an *available* parent partition still
+            // needs to run (to produce the map output block); its deps are
+            // then empty by construction.
+            if deps.is_empty() {
+                ready.insert(task);
+            } else {
+                for (s, mp) in deps {
+                    queue.push_back(TaskKey::ShuffleMap {
+                        shuffle: s,
+                        map_part: mp,
+                    });
+                }
+            }
+        }
+        (ready.into_iter().collect(), false)
+    }
+
+    // ------------------------------------------------------------------
+    // Assignment & commit
+    // ------------------------------------------------------------------
+
+    /// Prefers the worker already caching the narrow-chain input of
+    /// `(rdd, part)`.
+    fn preferred_worker(&self, rdd: RddId, part: u32) -> Option<WorkerId> {
+        let mut cur = (rdd, part);
+        loop {
+            if let Some((wid, _, _)) = self.cluster.locate(&BlockKey::RddPart {
+                rdd: cur.0,
+                part: cur.1,
+            }) {
+                return Some(wid);
+            }
+            let meta = self.ctx.lineage().meta(cur.0);
+            match &meta.op {
+                RddOp::Union => {
+                    cur = self.ctx.lineage().union_source(cur.0, cur.1);
+                }
+                RddOp::Coalesce { group } => {
+                    cur = (meta.parents[0], cur.1 * group);
+                }
+                op if op.is_shuffle() || matches!(op, RddOp::Parallelize { .. }) => {
+                    return None;
+                }
+                _ => {
+                    cur = (meta.parents[0], cur.1);
+                }
+            }
+        }
+    }
+
+    fn pick_worker(&self, prefer: Option<WorkerId>) -> Option<WorkerId> {
+        let alive = self.cluster.alive();
+        if alive.is_empty() {
+            return None;
+        }
+        let now = self.clock.now();
+        let least_loaded = alive
+            .into_iter()
+            .min_by_key(|w| (self.cluster.worker(*w).earliest_free(now), w.0))?;
+        if let Some(p) = prefer {
+            let pw = self.cluster.worker(p);
+            if pw.alive {
+                // Delay scheduling (Spark-style bounded locality wait):
+                // prefer the data-local worker unless it is backed up well
+                // past the least-loaded one — then eat the network fetch
+                // rather than pile tasks onto one node's cores.
+                let locality_wait = SimDuration::from_secs(3);
+                if pw.earliest_free(now)
+                    <= self.cluster.worker(least_loaded).earliest_free(now) + locality_wait
+                {
+                    return Some(p);
+                }
+            }
+        }
+        Some(least_loaded)
+    }
+
+    /// Assigns one compute task. Returns `false` if no worker is
+    /// available or materialization hit a transient miss.
+    fn assign_task(&mut self, key: TaskKey) -> bool {
+        let (rdd, part, commit) = match key {
+            TaskKey::Output { rdd, part } => {
+                (rdd, part, Commit::Block(BlockKey::RddPart { rdd, part }))
+            }
+            TaskKey::ShuffleMap { shuffle, map_part } => {
+                let parent = self.ctx.lineage().shuffle(shuffle).parent;
+                (
+                    parent,
+                    map_part,
+                    Commit::Block(BlockKey::ShuffleMap { shuffle, map_part }),
+                )
+            }
+            TaskKey::Ckpt(_) => return false,
+        };
+        let Some(worker) = self.pick_worker(self.preferred_worker(rdd, part)) else {
+            return false;
+        };
+        self.touched_scratch.clear();
+        let (mut data, mut dur) = match self.materialize(rdd, part, worker) {
+            Ok(x) => x,
+            Err(MissingShuffle) => return false,
+        };
+        // Map-side combine (Spark `reduceByKey` pre-aggregation).
+        if let TaskKey::ShuffleMap { shuffle, .. } = key {
+            if let Some(combine) = self.ctx.lineage().shuffle(shuffle).combine.clone() {
+                let vb = self.config.cost.vbytes(Self::real_bytes(&data));
+                dur += self.config.cost.compute_time(vb, 1.0);
+                let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
+                let mut non_pairs: Vec<Value> = Vec::new();
+                for v in data.iter() {
+                    match v {
+                        Value::Pair(k, val) => match agg.get_mut(k) {
+                            Some(acc) => *acc = combine(acc, val),
+                            None => {
+                                agg.insert(k.as_ref().clone(), val.as_ref().clone());
+                            }
+                        },
+                        other => non_pairs.push(other.clone()),
+                    }
+                }
+                let mut combined: Vec<Value> =
+                    agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
+                combined.extend(non_pairs);
+                data = Arc::new(combined);
+            }
+        }
+        let dur = dur + self.config.cost.task_overhead;
+        let now = self.clock.now();
+        let w = self.cluster.worker_mut(worker);
+        let core = w.earliest_free_core();
+        let start = w.cores_busy_until[core].max(now);
+        let finish = start + dur;
+        w.cores_busy_until[core] = finish;
+        let real: u64 = data.iter().map(Value::size_bytes).sum::<u64>() + 16;
+        let vbytes = self.config.cost.vbytes(real);
+        let touched = std::mem::take(&mut self.touched_scratch);
+        self.task_seq += 1;
+        self.running.push(Running {
+            key,
+            worker,
+            finish,
+            data,
+            vbytes,
+            duration: dur,
+            commit,
+            touched,
+            seq: self.task_seq,
+        });
+        self.in_flight.insert(key);
+        true
+    }
+
+    /// Assigns every queued checkpoint write to a worker core.
+    fn assign_checkpoint_jobs(&mut self) {
+        while let Some(job) = self.ckpt_queue.pop_front() {
+            self.ckpt_queued.remove(&job);
+            if !self.assign_ckpt(job) {
+                // No workers: push back and stop (will retry later).
+                if self.ckpt_queued.insert(job) {
+                    self.ckpt_queue.push_front(job);
+                }
+                break;
+            }
+        }
+    }
+
+    fn assign_ckpt(&mut self, job: CkptJob) -> bool {
+        let key = TaskKey::Ckpt(job);
+        if self.in_flight.contains(&key) {
+            return true; // already being written
+        }
+        match job {
+            CkptJob::RddPart(rdd, part) => {
+                if self.ckpt.has(rdd, part) {
+                    return true;
+                }
+                let Some(worker) = self.pick_worker(self.preferred_worker(rdd, part)) else {
+                    return false;
+                };
+                self.touched_scratch.clear();
+                let (data, _resolve) = match self.materialize(rdd, part, worker) {
+                    Ok(x) => x,
+                    Err(MissingShuffle) => return true, // drop silently; replanned later
+                };
+                let real: u64 = data.iter().map(Value::size_bytes).sum::<u64>() + 16;
+                let vbytes = self.config.cost.vbytes(real);
+                // Durable-write bandwidth is a per-NODE resource shared by
+                // all cores; with one writer per core, each sees 1/cores
+                // of the node's EBS bandwidth. Only the write is charged:
+                // Flint's checkpoint tasks capture partitions as they are
+                // produced (§4), so no recomputation is needed.
+                let cores = u64::from(self.cluster.worker(worker).spec.cores.max(1));
+                let write = self.ckpt.config().write_time(vbytes * cores, 1);
+                self.start_ckpt_task(key, worker, data, vbytes, write, job);
+                true
+            }
+            CkptJob::Shuffle(s, mp) => {
+                if self.ckpt.has_shuffle(s, mp) {
+                    return true;
+                }
+                let bk = BlockKey::ShuffleMap {
+                    shuffle: s,
+                    map_part: mp,
+                };
+                let Some((wid, data, _, vbytes)) = self.cluster.fetch(&bk) else {
+                    return true; // block gone; nothing to snapshot
+                };
+                let cores = u64::from(self.cluster.worker(wid).spec.cores.max(1));
+                let write = self.ckpt.config().write_time(vbytes * cores, 1);
+                self.start_ckpt_task(key, wid, data, vbytes, write, job);
+                true
+            }
+        }
+    }
+
+    fn start_ckpt_task(
+        &mut self,
+        key: TaskKey,
+        worker: WorkerId,
+        data: PartitionData,
+        vbytes: u64,
+        dur: SimDuration,
+        job: CkptJob,
+    ) {
+        let now = self.clock.now();
+        let contention = self.config.cost.ckpt_contention.clamp(0.0, 1.0);
+        let w = self.cluster.worker_mut(worker);
+        let core = w.earliest_free_core();
+        let start = w.cores_busy_until[core].max(now);
+        let finish = start + dur;
+        w.cores_busy_until[core] = finish;
+        // The write saturates the node's shared EBS/NIC bandwidth,
+        // stalling concurrent compute on its sibling cores.
+        let stall = dur.mul_f64(contention);
+        for (i, busy) in w.cores_busy_until.iter_mut().enumerate() {
+            if i != core {
+                *busy = (*busy).max(now) + stall;
+            }
+        }
+        let touched = std::mem::take(&mut self.touched_scratch);
+        self.task_seq += 1;
+        self.running.push(Running {
+            key,
+            worker,
+            finish,
+            data,
+            vbytes,
+            duration: dur,
+            commit: Commit::Checkpoint(job),
+            touched,
+            seq: self.task_seq,
+        });
+        self.in_flight.insert(key);
+    }
+
+    fn commit_task(&mut self, r: Running) {
+        let now = self.clock.now();
+        match r.commit {
+            Commit::Block(key) => {
+                self.stats.tasks_run += 1;
+                self.stats.compute_time += r.duration;
+                let w = self.cluster.worker_mut(r.worker);
+                if w.alive {
+                    w.blocks.insert(key, r.data, r.vbytes);
+                }
+                if let BlockKey::RddPart { rdd, part } = key {
+                    self.computed_once.insert((rdd, part));
+                }
+                // Record sizes and fire materialization hooks
+                // *interleaved* in chain order (ancestors before
+                // descendants), so each RDD is observed at its
+                // execution-frontier moment — before its own child's
+                // completion is visible — the paper's mark-on-generation.
+                for (rdd, part, bytes) in r.touched {
+                    self.ctx
+                        .lineage_mut()
+                        .record_partition_size(rdd, part, bytes);
+                    self.fire_materialized(rdd, now);
+                }
+            }
+            Commit::Checkpoint(job) => {
+                self.apply_touched(r.touched.clone(), now);
+                self.stats.checkpoint_time += r.duration;
+                self.stats.checkpoints_written += 1;
+                self.stats.checkpoint_bytes += r.vbytes;
+                match job {
+                    CkptJob::RddPart(rdd, part) => {
+                        let n = self.ctx.lineage().meta(rdd).num_partitions;
+                        self.ckpt.put(rdd, part, n, r.data, r.vbytes, now);
+                        self.hooks
+                            .on_checkpoint_written(rdd, part, r.vbytes, r.duration, now);
+                        if self.ckpt.is_fully_checkpointed(rdd) {
+                            // Paper §4: checkpointing an RDD terminates its
+                            // lineage; ancestors' checkpoints become garbage.
+                            self.ckpt.gc(self.ctx.lineage(), now);
+                        }
+                    }
+                    CkptJob::Shuffle(s, mp) => {
+                        self.ckpt.put_shuffle(s, mp, r.data, r.vbytes, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records computed partition sizes in chain order.
+    fn apply_touched(&mut self, touched: Vec<(RddId, u32, u64)>, _now: SimTime) {
+        for (rdd, part, bytes) in touched {
+            self.ctx
+                .lineage_mut()
+                .record_partition_size(rdd, part, bytes);
+        }
+    }
+
+    /// Fires the materialization hook for `rdd` the first time it becomes
+    /// fully materialized.
+    fn fire_materialized(&mut self, rdd: RddId, now: SimTime) {
+        if self.fired_materialized.contains(&rdd) || !self.ctx.lineage().is_fully_materialized(rdd)
+        {
+            return;
+        }
+        self.fired_materialized.insert(rdd);
+        let view = LineageView {
+            lineage: self.ctx.lineage(),
+            checkpoints: &self.ckpt,
+            alive_workers: self.cluster.alive_count(),
+            cost: &self.config.cost,
+            storage: self.ckpt.config(),
+        };
+        let directives = self.hooks.on_rdd_materialized(&view, rdd, now);
+        self.apply_directives(directives);
+    }
+
+    fn poll_hooks(&mut self) {
+        let now = self.clock.now();
+        let view = LineageView {
+            lineage: self.ctx.lineage(),
+            checkpoints: &self.ckpt,
+            alive_workers: self.cluster.alive_count(),
+            cost: &self.config.cost,
+            storage: self.ckpt.config(),
+        };
+        let directives = self.hooks.poll(&view, now);
+        self.apply_directives(directives);
+    }
+
+    fn apply_directives(&mut self, directives: Vec<CheckpointDirective>) {
+        for d in directives {
+            match d {
+                CheckpointDirective::Checkpoint(rdd) => {
+                    if !self.ctx.lineage().contains(rdd) {
+                        continue;
+                    }
+                    if !self.marked_ckpt.insert(rdd) {
+                        continue;
+                    }
+                    let n = self.ctx.lineage().meta(rdd).num_partitions;
+                    for part in 0..n {
+                        if !self.ckpt.has(rdd, part) {
+                            let job = CkptJob::RddPart(rdd, part);
+                            if self.ckpt_queued.insert(job) {
+                                self.ckpt_queue.push_back(job);
+                            }
+                        }
+                    }
+                }
+                CheckpointDirective::CheckpointAllCached => {
+                    let snap = self.cluster.snapshot();
+                    for (_, key, _) in snap.blocks {
+                        let job = match key {
+                            BlockKey::RddPart { rdd, part } => {
+                                if self.ckpt.has(rdd, part) {
+                                    continue;
+                                }
+                                CkptJob::RddPart(rdd, part)
+                            }
+                            BlockKey::ShuffleMap { shuffle, map_part } => {
+                                if self.ckpt.has_shuffle(shuffle, map_part) {
+                                    continue;
+                                }
+                                CkptJob::Shuffle(shuffle, map_part)
+                            }
+                        };
+                        if self.ckpt_queued.insert(job) {
+                            self.ckpt_queue.push_back(job);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Materialization (real data, modeled time)
+    // ------------------------------------------------------------------
+
+    fn real_bytes(data: &[Value]) -> u64 {
+        data.iter().map(Value::size_bytes).sum::<u64>() + 16
+    }
+
+    /// Computes `(rdd, part)` on `on_worker`, returning the data and the
+    /// modeled duration. Uses (in order): durable checkpoint, cluster
+    /// cache, recursive recomputation through the lineage.
+    fn materialize(
+        &mut self,
+        rdd: RddId,
+        part: u32,
+        on_worker: WorkerId,
+    ) -> std::result::Result<(PartitionData, SimDuration), MissingShuffle> {
+        // 1. Cluster cache (memory or local disk beats a durable read).
+        let bk = BlockKey::RddPart { rdd, part };
+        if let Some((wid, data, loc, vb)) = self.cluster.fetch(&bk) {
+            let mut dur = SimDuration::ZERO;
+            if loc == BlockLocation::Disk {
+                dur += self.config.cost.disk_time(vb);
+            }
+            if wid != on_worker {
+                dur += self.config.cost.net_time(vb);
+            }
+            return Ok((data, dur));
+        }
+
+        // 2. Durable checkpoint.
+        if self.ckpt.has(rdd, part) {
+            let data = self
+                .ckpt
+                .get(rdd, part)
+                .expect("checkpoint bitmap and store agree")
+                .clone();
+            let vb = self
+                .ckpt
+                .size_of(rdd, part)
+                .unwrap_or_else(|| self.config.cost.vbytes(Self::real_bytes(&data)));
+            let dur = self.ckpt.config().read_time(vb, 1);
+            self.stats.restore_time += dur;
+            self.stats.restores += 1;
+            // Re-cache the restored partition if the RDD is persisted so
+            // subsequent reads stay in memory.
+            if self.ctx.lineage().is_persisted(rdd) {
+                let w = self.cluster.worker_mut(on_worker);
+                if w.alive {
+                    w.blocks.insert(bk, data.clone(), vb);
+                }
+            }
+            return Ok((data, dur));
+        }
+
+        // 3. Recompute from lineage.
+        let meta = self.ctx.lineage().meta(rdd);
+        let op = meta.op.clone();
+        let parents = meta.parents.clone();
+        let was_before = self.computed_once.contains(&(rdd, part));
+        let factor = op.cost_factor();
+
+        let (out, own_dur, child_dur): (Vec<Value>, SimDuration, SimDuration) = match op {
+            RddOp::Parallelize { data } => {
+                let d = data[part as usize].clone();
+                let vb = self.config.cost.vbytes(Self::real_bytes(&d));
+                (d, self.config.cost.source_time(vb), SimDuration::ZERO)
+            }
+            RddOp::Union => {
+                let (p, pp) = self.ctx.lineage().union_source(rdd, part);
+                let (pd, pdur) = self.materialize(p, pp, on_worker)?;
+                (pd.as_ref().clone(), SimDuration::ZERO, pdur)
+            }
+            RddOp::Coalesce { group } => {
+                let parent = parents[0];
+                let n = self.ctx.lineage().meta(parent).num_partitions;
+                let lo = part * group;
+                let hi = (lo + group).min(n);
+                let mut out = Vec::new();
+                let mut cdur = SimDuration::ZERO;
+                for pp in lo..hi {
+                    let (pd, pdur) = self.materialize(parent, pp, on_worker)?;
+                    cdur += pdur;
+                    out.extend(pd.iter().cloned());
+                }
+                (out, SimDuration::ZERO, cdur)
+            }
+            RddOp::Map { f } => {
+                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
+                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
+                let out = pd.iter().map(|v| f(v)).collect();
+                (out, self.config.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::Filter { p } => {
+                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
+                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
+                let out = pd.iter().filter(|v| p(v)).cloned().collect();
+                (out, self.config.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::FlatMap { f } => {
+                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
+                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
+                let out = pd.iter().flat_map(|v| f(v)).collect();
+                (out, self.config.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::MapPartitions { f, .. } => {
+                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
+                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
+                let out = f(part, &pd);
+                (out, self.config.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::Sample { fraction, seed } => {
+                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
+                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
+                let out = deterministic_sample(&pd, fraction, seed, rdd, part);
+                (out, self.config.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::ShuffleAgg { shuffle, combine } => {
+                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part, on_worker)?;
+                let vb = self.config.cost.vbytes(Self::real_bytes(&inputs));
+                let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
+                for v in &inputs {
+                    if let Value::Pair(k, val) = v {
+                        match agg.get_mut(k) {
+                            Some(acc) => *acc = combine(acc, val),
+                            None => {
+                                agg.insert(k.as_ref().clone(), val.as_ref().clone());
+                            }
+                        }
+                    }
+                }
+                let out = agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
+                (out, self.config.cost.compute_time(vb, factor), fdur)
+            }
+            RddOp::ShuffleGroup { shuffle } => {
+                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part, on_worker)?;
+                let vb = self.config.cost.vbytes(Self::real_bytes(&inputs));
+                let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
+                for v in &inputs {
+                    if let Value::Pair(k, val) = v {
+                        groups
+                            .entry(k.as_ref().clone())
+                            .or_default()
+                            .push(val.as_ref().clone());
+                    }
+                }
+                let out = groups
+                    .into_iter()
+                    .map(|(k, vs)| Value::pair(k, Value::list(vs)))
+                    .collect();
+                (out, self.config.cost.compute_time(vb, factor), fdur)
+            }
+            RddOp::CoGroup { shuffles } => {
+                let mut fdur = SimDuration::ZERO;
+                let mut per_parent: Vec<Vec<Value>> = Vec::with_capacity(shuffles.len());
+                for s in &shuffles {
+                    let (inputs, d) = self.fetch_shuffle_bucket(*s, part, on_worker)?;
+                    fdur += d;
+                    per_parent.push(inputs);
+                }
+                let total: u64 = per_parent.iter().map(|v| Self::real_bytes(v)).sum();
+                let vb = self.config.cost.vbytes(total);
+                let mut groups: BTreeMap<Value, Vec<Vec<Value>>> = BTreeMap::new();
+                for (i, inputs) in per_parent.iter().enumerate() {
+                    for v in inputs {
+                        if let Value::Pair(k, val) = v {
+                            groups
+                                .entry(k.as_ref().clone())
+                                .or_insert_with(|| vec![Vec::new(); per_parent.len()])[i]
+                                .push(val.as_ref().clone());
+                        }
+                    }
+                }
+                let out = groups
+                    .into_iter()
+                    .map(|(k, gs)| {
+                        Value::pair(k, Value::list(gs.into_iter().map(Value::list).collect()))
+                    })
+                    .collect();
+                (out, self.config.cost.compute_time(vb, factor), fdur)
+            }
+            RddOp::SortByKey { shuffle, ascending } => {
+                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part, on_worker)?;
+                let vb = self.config.cost.vbytes(Self::real_bytes(&inputs));
+                let mut out = inputs;
+                out.sort_by(|a, b| {
+                    let ka = a.key().unwrap_or(a);
+                    let kb = b.key().unwrap_or(b);
+                    if ascending {
+                        ka.cmp(kb)
+                    } else {
+                        kb.cmp(ka)
+                    }
+                });
+                (out, self.config.cost.compute_time(vb, factor), fdur)
+            }
+        };
+
+        if was_before {
+            self.stats.recompute_time += own_dur;
+        }
+        let data: PartitionData = Arc::new(out);
+        let real = Self::real_bytes(&data);
+        // Deferred: the size is recorded into the lineage when the task
+        // commits, so materialization hooks observe RDDs in completion
+        // order (ancestors before descendants within one task chain).
+        self.touched_scratch.push((rdd, part, real));
+        self.computed_once.insert((rdd, part));
+        if self.ctx.lineage().is_persisted(rdd) {
+            let vb = self.config.cost.vbytes(real);
+            let w = self.cluster.worker_mut(on_worker);
+            if w.alive {
+                w.blocks
+                    .insert(BlockKey::RddPart { rdd, part }, data.clone(), vb);
+            }
+        }
+        Ok((data, own_dur + child_dur))
+    }
+
+    /// Fetches the reduce-side bucket `part` of `shuffle` from every map
+    /// output block, charging transfer time for the bucket bytes.
+    fn fetch_shuffle_bucket(
+        &mut self,
+        shuffle: ShuffleId,
+        part: u32,
+        on_worker: WorkerId,
+    ) -> std::result::Result<(Vec<Value>, SimDuration), MissingShuffle> {
+        let info = self.ctx.lineage().shuffle(shuffle).clone();
+        let m = self.ctx.lineage().meta(info.parent).num_partitions;
+
+        // Resolve the partitioner (range bounds are sampled lazily at the
+        // barrier and cached for deterministic recomputation).
+        let partitioner: Box<dyn Partitioner> = match info.kind {
+            ShuffleKind::Hash { parts } => Box::new(crate::HashPartitioner::new(parts)),
+            ShuffleKind::Range { parts, ascending } => {
+                if !self.range_cache.contains_key(&shuffle) {
+                    let rp = self.resolve_range_partitioner(shuffle, m, parts, ascending)?;
+                    self.range_cache.insert(shuffle, rp);
+                }
+                Box::new(self.range_cache[&shuffle].clone())
+            }
+        };
+
+        let mut out = Vec::new();
+        let mut dur = SimDuration::ZERO;
+        for mp in 0..m {
+            let (block, local, from_disk, from_store) =
+                self.read_shuffle_block(shuffle, mp, on_worker)?;
+            let mut bucket_bytes = 0u64;
+            for v in block.iter() {
+                let key = v.key().unwrap_or(v);
+                if partitioner.partition_for(key) == part {
+                    bucket_bytes += v.size_bytes();
+                    out.push(v.clone());
+                }
+            }
+            let vb = self.config.cost.vbytes(bucket_bytes);
+            if from_store {
+                dur += self.ckpt.config().read_time(vb, 1);
+            } else {
+                if from_disk {
+                    dur += self.config.cost.disk_time(vb);
+                }
+                if !local {
+                    dur += self.config.cost.net_time(vb);
+                }
+            }
+        }
+        Ok((out, dur))
+    }
+
+    fn read_shuffle_block(
+        &mut self,
+        shuffle: ShuffleId,
+        mp: u32,
+        on_worker: WorkerId,
+    ) -> std::result::Result<(PartitionData, bool, bool, bool), MissingShuffle> {
+        let bk = BlockKey::ShuffleMap {
+            shuffle,
+            map_part: mp,
+        };
+        if let Some((wid, data, loc, _)) = self.cluster.fetch(&bk) {
+            return Ok((data, wid == on_worker, loc == BlockLocation::Disk, false));
+        }
+        if let Some(data) = self.ckpt.get_shuffle(shuffle, mp) {
+            return Ok((data.clone(), false, false, true));
+        }
+        Err(MissingShuffle)
+    }
+
+    fn resolve_range_partitioner(
+        &mut self,
+        shuffle: ShuffleId,
+        map_parts: u32,
+        parts: u32,
+        ascending: bool,
+    ) -> std::result::Result<RangePartitioner, MissingShuffle> {
+        let mut sample = Vec::new();
+        for mp in 0..map_parts {
+            let (block, _, _, _) = self.read_shuffle_block(shuffle, mp, WorkerId(u32::MAX))?;
+            // Cap the per-block sample to keep planning cheap.
+            let stride = (block.len() / 256).max(1);
+            for v in block.iter().step_by(stride) {
+                sample.push(v.key().unwrap_or(v).clone());
+            }
+        }
+        Ok(RangePartitioner::from_sample(sample, parts, ascending))
+    }
+
+    // ------------------------------------------------------------------
+    // Gather
+    // ------------------------------------------------------------------
+
+    /// Fetches every partition of `target` to the driver, charging
+    /// parallel transfer time.
+    fn gather(&mut self, target: RddId) -> Result<Vec<PartitionData>> {
+        for attempt in 0..3 {
+            let n = self.ctx.lineage().meta(target).num_partitions;
+            let mut parts = Vec::with_capacity(n as usize);
+            let mut total_vb = 0u64;
+            let mut ok = true;
+            for p in 0..n {
+                if self.ckpt.has(target, p) {
+                    let d = self.ckpt.get(target, p).expect("bitmap agrees").clone();
+                    total_vb += self.ckpt.size_of(target, p).unwrap_or(0);
+                    self.stats.restores += 1;
+                    parts.push(d);
+                } else if let Some((_, d, _, vb)) = self.cluster.fetch(&BlockKey::RddPart {
+                    rdd: target,
+                    part: p,
+                }) {
+                    total_vb += vb;
+                    parts.push(d);
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                // Workers stream to the driver in parallel.
+                let streams = self.cluster.alive_count().max(1) as u64;
+                let dur = self.config.cost.net_time(total_vb / streams);
+                self.clock.advance(dur);
+                return Ok(parts);
+            }
+            // A block vanished between job completion and gather (e.g. a
+            // same-instant revocation): re-run the job.
+            if attempt == 2 {
+                break;
+            }
+            self.run_job(target)?;
+        }
+        Err(EngineError::RetryBudgetExhausted { rdd: target })
+    }
+
+    /// Drains the checkpoint queue to completion (used by explicit
+    /// `checkpoint_now`).
+    fn drain_checkpoints(&mut self) -> Result<()> {
+        let mut iterations = 0u64;
+        while self.pending_checkpoints() > 0 {
+            iterations += 1;
+            if iterations > self.config.max_iterations {
+                return Err(EngineError::RetryBudgetExhausted { rdd: RddId(0) });
+            }
+            self.assign_checkpoint_jobs();
+            let Some(tt) = self.running.iter().map(|r| r.finish).min() else {
+                // Nothing running and nothing assignable: need workers.
+                let now = self.clock.now();
+                match self.injector.next_event_after(now) {
+                    Some(ti) => {
+                        self.stats.stall_time += ti - now;
+                        self.clock.advance_to(ti);
+                        self.pump_injector();
+                        continue;
+                    }
+                    None => return Err(EngineError::NoWorkers),
+                }
+            };
+            self.advance_and_commit(tt);
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic Bernoulli sampling for `RddOp::Sample`.
+fn deterministic_sample(
+    data: &[Value],
+    fraction: f64,
+    seed: u64,
+    rdd: RddId,
+    part: u32,
+) -> Vec<Value> {
+    use rand::Rng;
+    let mut rng =
+        flint_simtime::rng::stream(seed ^ (u64::from(rdd.0) << 32), &format!("sample:{part}"));
+    data.iter()
+        .filter(|_| rng.gen_bool(fraction.clamp(0.0, 1.0)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_pairs(d: &mut Driver, r: RddRef) -> Vec<(i64, i64)> {
+        let mut out: Vec<(i64, i64)> = d
+            .collect(r)
+            .unwrap()
+            .into_iter()
+            .map(|v| {
+                let (k, val) = v.into_pair().unwrap();
+                (k.as_i64().unwrap(), val.as_i64().unwrap())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn map_filter_pipeline() {
+        let mut d = Driver::local(3);
+        let src = d.ctx().parallelize((0..100).map(Value::from_i64), 8);
+        let doubled = d.ctx().map(src, |v| Value::Int(v.as_i64().unwrap() * 2));
+        let big = d.ctx().filter(doubled, |v| v.as_i64().unwrap() >= 100);
+        let out = d.collect(big).unwrap();
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(|v| v.as_i64().unwrap() % 2 == 0));
+        assert!(d.now() > SimTime::ZERO, "virtual time must advance");
+        assert!(d.stats().tasks_run >= 8);
+    }
+
+    #[test]
+    fn word_count_reduce_by_key() {
+        let mut d = Driver::local(2);
+        let words = d.ctx().parallelize(
+            ["a", "b", "a", "c", "b", "a"]
+                .iter()
+                .map(|s| Value::from_str_(s)),
+            3,
+        );
+        let pairs = d
+            .ctx()
+            .map(words, |w| Value::pair(w.clone(), Value::Int(1)));
+        let counts = d.ctx().reduce_by_key(pairs, 2, |a, b| {
+            Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+        });
+        let mut out: Vec<(String, i64)> = d
+            .collect(counts)
+            .unwrap()
+            .into_iter()
+            .map(|v| {
+                let (k, c) = v.into_pair().unwrap();
+                (k.as_str().unwrap().to_string(), c.as_i64().unwrap())
+            })
+            .collect();
+        out.sort();
+        assert_eq!(out, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let mut d = Driver::local(2);
+        let left = d.ctx().parallelize(
+            vec![
+                Value::pair(Value::Int(1), Value::from_str_("x")),
+                Value::pair(Value::Int(2), Value::from_str_("y")),
+            ],
+            2,
+        );
+        let right = d.ctx().parallelize(
+            vec![
+                Value::pair(Value::Int(1), Value::Int(10)),
+                Value::pair(Value::Int(1), Value::Int(11)),
+                Value::pair(Value::Int(3), Value::Int(30)),
+            ],
+            2,
+        );
+        let joined = d.ctx().join(left, right, 3);
+        let out = d.collect(joined).unwrap();
+        // Key 1 joins with two right values; keys 2 and 3 do not match.
+        assert_eq!(out.len(), 2);
+        for v in &out {
+            assert_eq!(v.key().unwrap().as_i64(), Some(1));
+        }
+    }
+
+    #[test]
+    fn sort_by_key_orders_globally() {
+        let mut d = Driver::local(3);
+        let vals: Vec<Value> = [5i64, 3, 9, 1, 7, 2, 8, 0, 6, 4]
+            .iter()
+            .map(|i| Value::pair(Value::Int(*i), Value::Int(*i * 10)))
+            .collect();
+        let src = d.ctx().parallelize(vals, 4);
+        let sorted = d.ctx().sort_by_key(src, 3, true);
+        let keys: Vec<i64> = d
+            .collect(sorted)
+            .unwrap()
+            .iter()
+            .map(|v| v.key().unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+
+        let sorted_desc = d.ctx().sort_by_key(src, 3, false);
+        let keys: Vec<i64> = d
+            .collect(sorted_desc)
+            .unwrap()
+            .iter()
+            .map(|v| v.key().unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, (0..10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn count_reduce_take_actions() {
+        let mut d = Driver::local(2);
+        let src = d.ctx().parallelize((1..=10).map(Value::from_i64), 4);
+        assert_eq!(d.count(src).unwrap(), 10);
+        let total = d
+            .reduce(src, |a, b| {
+                Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+            })
+            .unwrap();
+        assert_eq!(total.as_i64(), Some(55));
+        assert_eq!(d.take(src, 3).unwrap().len(), 3);
+        assert_eq!(d.stats().actions.len(), 3);
+    }
+
+    #[test]
+    fn reduce_on_empty_errors() {
+        let mut d = Driver::local(1);
+        let src = d.ctx().parallelize(std::iter::empty(), 2);
+        let e = d.reduce(src, |a, _| a.clone()).unwrap_err();
+        assert_eq!(e, EngineError::EmptyDataset);
+    }
+
+    #[test]
+    fn distinct_and_union() {
+        let mut d = Driver::local(2);
+        let a = d.ctx().parallelize([1, 2, 2, 3].map(Value::from_i64), 2);
+        let b = d.ctx().parallelize([3, 4].map(Value::from_i64), 1);
+        let u = d.ctx().union(a, b);
+        assert_eq!(d.count(u).unwrap(), 6);
+        let dist = d.ctx().distinct(u, 2);
+        let mut vals: Vec<i64> = d
+            .collect(dist)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        vals.sort();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let mut d1 = Driver::local(2);
+        let s1 = d1.ctx().parallelize((0..1000).map(Value::from_i64), 4);
+        let samp1 = d1.ctx().sample(s1, 0.3, 42);
+        let c1 = d1.count(samp1).unwrap();
+        let mut d2 = Driver::local(2);
+        let s2 = d2.ctx().parallelize((0..1000).map(Value::from_i64), 4);
+        let samp2 = d2.ctx().sample(s2, 0.3, 42);
+        let c2 = d2.count(samp2).unwrap();
+        assert_eq!(c1, c2);
+        assert!(c1 > 150 && c1 < 450, "sample count {c1} wildly off 30%");
+    }
+
+    #[test]
+    fn revocation_mid_job_recovers_with_identical_result() {
+        // Golden result without failures.
+        let build = |d: &mut Driver| {
+            let src = d.ctx().parallelize((0..500).map(Value::from_i64), 10);
+            let pairs = d.ctx().map(src, |v| {
+                Value::pair(Value::Int(v.as_i64().unwrap() % 7), Value::Int(1))
+            });
+            d.ctx().reduce_by_key(pairs, 5, |a, b| {
+                Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+            })
+        };
+        let mut golden_driver = Driver::local(4);
+        let g = build(&mut golden_driver);
+        let golden = sum_pairs(&mut golden_driver, g);
+
+        // Same job with two workers revoked mid-run (and never replaced;
+        // two survivors carry on).
+        let mut d = Driver::new(
+            DriverConfig::default(),
+            Box::new(NoCheckpoint),
+            Box::new(crate::ScriptedInjector::new(vec![
+                (SimTime::from_millis(50), WorkerEvent::Remove { ext_id: 1 }),
+                (SimTime::from_millis(60), WorkerEvent::Remove { ext_id: 2 }),
+            ])),
+        );
+        for ext in 1..=4u64 {
+            d.cluster
+                .add_worker(ext, WorkerSpec::r3_large(), SimTime::ZERO);
+        }
+        let r = build(&mut d);
+        let out = sum_pairs(&mut d, r);
+        assert_eq!(out, golden);
+        assert_eq!(d.stats().revocations, 2);
+    }
+
+    #[test]
+    fn all_workers_lost_then_replaced() {
+        let mut d = Driver::new(
+            DriverConfig::default(),
+            Box::new(NoCheckpoint),
+            Box::new(crate::ScriptedInjector::new(vec![
+                (SimTime::from_millis(10), WorkerEvent::Remove { ext_id: 1 }),
+                (SimTime::from_millis(10), WorkerEvent::Remove { ext_id: 2 }),
+                (
+                    SimTime::from_millis(120_000),
+                    WorkerEvent::Add {
+                        ext_id: 3,
+                        spec: WorkerSpec::r3_large(),
+                    },
+                ),
+            ])),
+        );
+        d.cluster
+            .add_worker(1, WorkerSpec::r3_large(), SimTime::ZERO);
+        d.cluster
+            .add_worker(2, WorkerSpec::r3_large(), SimTime::ZERO);
+        let src = d.ctx().parallelize((0..200).map(Value::from_i64), 6);
+        let sq = d.ctx().map(src, |v| Value::Int(v.as_i64().unwrap().pow(2)));
+        assert_eq!(d.count(sq).unwrap(), 200);
+        // The job must have stalled waiting for the replacement.
+        assert!(d.stats().stall_time > SimDuration::from_secs(60));
+        assert_eq!(d.stats().revocations, 2);
+    }
+
+    #[test]
+    fn no_workers_and_no_events_errors() {
+        let mut d = Driver::new(
+            DriverConfig::default(),
+            Box::new(NoCheckpoint),
+            Box::new(NoFailures),
+        );
+        let src = d.ctx().parallelize((0..10).map(Value::from_i64), 2);
+        assert_eq!(d.count(src).unwrap_err(), EngineError::NoWorkers);
+    }
+
+    #[test]
+    fn persisted_rdd_cached_and_reused() {
+        let mut d = Driver::local(2);
+        let src = d.ctx().parallelize((0..100).map(Value::from_i64), 4);
+        let heavy = d.ctx().map(src, |v| v.clone());
+        d.ctx().persist(heavy);
+        let _ = d.count(heavy).unwrap();
+        let t1 = d.stats().actions[0].latency();
+        let _ = d.count(heavy).unwrap();
+        let t2 = d.stats().actions[1].latency();
+        assert!(t2 < t1, "cached second run ({t2}) should beat first ({t1})");
+    }
+
+    #[test]
+    fn explicit_checkpoint_survives_total_cluster_loss() {
+        let mut d = Driver::new(
+            DriverConfig::default(),
+            Box::new(NoCheckpoint),
+            Box::new(crate::ScriptedInjector::new(vec![
+                (
+                    SimTime::from_hours_f64(1.0),
+                    WorkerEvent::Remove { ext_id: 1 },
+                ),
+                (
+                    SimTime::from_hours_f64(1.0),
+                    WorkerEvent::Remove { ext_id: 2 },
+                ),
+                (
+                    SimTime::from_hours_f64(1.1),
+                    WorkerEvent::Add {
+                        ext_id: 10,
+                        spec: WorkerSpec::r3_large(),
+                    },
+                ),
+                (
+                    SimTime::from_hours_f64(1.1),
+                    WorkerEvent::Add {
+                        ext_id: 11,
+                        spec: WorkerSpec::r3_large(),
+                    },
+                ),
+            ])),
+        );
+        d.cluster
+            .add_worker(1, WorkerSpec::r3_large(), SimTime::ZERO);
+        d.cluster
+            .add_worker(2, WorkerSpec::r3_large(), SimTime::ZERO);
+
+        let src = d.ctx().parallelize((0..300).map(Value::from_i64), 6);
+        let mapped = d.ctx().map(src, |v| Value::Int(v.as_i64().unwrap() + 1));
+        d.checkpoint_now(mapped).unwrap();
+        assert!(d.checkpoints().is_fully_checkpointed(mapped.id()));
+
+        // Lose the whole cluster, get new workers, and re-read: the data
+        // must come back from the durable store (restores > 0).
+        d.idle_until(SimTime::from_hours_f64(1.2)).unwrap();
+        assert_eq!(d.cluster().alive_count(), 2);
+        let before = d.stats().restores;
+        let total = d
+            .reduce(mapped, |a, b| {
+                Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+            })
+            .unwrap();
+        assert_eq!(total.as_i64(), Some((1..=300).sum::<i64>()));
+        assert!(d.stats().restores > before);
+    }
+
+    #[test]
+    fn recompute_time_tracked_after_loss() {
+        // Scale the tiny in-process dataset up so durations exceed the
+        // millisecond resolution of virtual time.
+        let mut config = DriverConfig::default();
+        config.cost.size_scale = 1e6;
+        let mut d = Driver::new(
+            config,
+            Box::new(NoCheckpoint),
+            Box::new(crate::ScriptedInjector::new(vec![(
+                SimTime::from_hours_f64(0.5),
+                WorkerEvent::Remove { ext_id: 1 },
+            )])),
+        );
+        d.cluster
+            .add_worker(1, WorkerSpec::r3_large(), SimTime::ZERO);
+        d.cluster
+            .add_worker(2, WorkerSpec::r3_large(), SimTime::ZERO);
+        let src = d.ctx().parallelize((0..400).map(Value::from_i64), 8);
+        let pairs = d.ctx().map(src, |v| {
+            Value::pair(Value::Int(v.as_i64().unwrap() % 5), Value::Int(1))
+        });
+        let red = d.ctx().reduce_by_key(pairs, 4, |a, b| {
+            Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+        });
+        let _ = d.count(red).unwrap();
+        assert_eq!(d.stats().recompute_time, SimDuration::ZERO);
+
+        // Idle across the revocation, then ask again: half the cache is
+        // gone, so some recomputation must happen.
+        d.idle_until(SimTime::from_hours_f64(0.6)).unwrap();
+        let _ = d.count(red).unwrap();
+        assert!(d.stats().recompute_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn coalesce_preserves_data_with_fewer_partitions() {
+        let mut d = Driver::local(3);
+        let src = d.ctx().parallelize((0..100).map(Value::from_i64), 8);
+        let co = d.ctx().coalesce(src, 3);
+        assert_eq!(d.ctx().num_partitions(co), 3);
+        let mut vals: Vec<i64> = d
+            .collect(co)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..100).collect::<Vec<_>>());
+        // Coalescing to more partitions than exist clamps.
+        let same = d.ctx().coalesce(src, 100);
+        assert_eq!(d.ctx().num_partitions(same), 8);
+        assert_eq!(d.count(same).unwrap(), 100);
+    }
+
+    #[test]
+    fn coalesce_survives_revocation() {
+        let mut d = Driver::new(
+            DriverConfig::default(),
+            Box::new(NoCheckpoint),
+            Box::new(crate::ScriptedInjector::new(vec![(
+                SimTime::from_millis(40),
+                WorkerEvent::Remove { ext_id: 1 },
+            )])),
+        );
+        for ext in 1..=3u64 {
+            d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+        }
+        let src = d.ctx().parallelize((0..60).map(Value::from_i64), 6);
+        let co = d.ctx().coalesce(src, 2);
+        let total = d
+            .reduce(co, |a, b| {
+                Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+            })
+            .unwrap();
+        assert_eq!(total.as_i64(), Some((0..60).sum::<i64>()));
+    }
+
+    #[test]
+    fn pair_projection_helpers() {
+        let mut d = Driver::local(2);
+        let pairs = d.ctx().parallelize(
+            (0..10).map(|i| Value::pair(Value::Int(i % 3), Value::Int(i))),
+            2,
+        );
+        let doubled = d
+            .ctx()
+            .map_values(pairs, |v| Value::Int(v.as_i64().unwrap() * 2));
+        let vals = d.ctx().values(doubled);
+        let total = d
+            .reduce(vals, |a, b| {
+                Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+            })
+            .unwrap();
+        assert_eq!(total.as_i64(), Some(2 * (0..10).sum::<i64>()));
+
+        let keys = d.ctx().keys(pairs);
+        let distinct = d.ctx().distinct(keys, 2);
+        assert_eq!(d.count(distinct).unwrap(), 3);
+    }
+
+    #[test]
+    fn ordered_and_keyed_actions() {
+        let mut d = Driver::local(2);
+        let src = d.ctx().parallelize([5, 1, 9, 3, 7].map(Value::from_i64), 3);
+        assert_eq!(
+            d.take_ordered(src, 2).unwrap(),
+            vec![Value::Int(1), Value::Int(3)]
+        );
+        assert!(d.first(src).unwrap().is_some());
+
+        let pairs = d.ctx().parallelize(
+            (0..12).map(|i| Value::pair(Value::Int(i % 3), Value::Int(i))),
+            3,
+        );
+        let counts = d.count_by_key(pairs).unwrap();
+        assert_eq!(counts.len(), 3);
+        assert!(counts.values().all(|c| *c == 4));
+
+        let empty = d.ctx().parallelize(std::iter::empty(), 1);
+        assert_eq!(d.first(empty).unwrap(), None);
+    }
+
+    #[test]
+    fn cogroup_groups_both_sides() {
+        let mut d = Driver::local(2);
+        let a = d.ctx().parallelize(
+            vec![
+                Value::pair(Value::Int(1), Value::from_str_("a1")),
+                Value::pair(Value::Int(2), Value::from_str_("a2")),
+            ],
+            2,
+        );
+        let b = d
+            .ctx()
+            .parallelize(vec![Value::pair(Value::Int(1), Value::from_str_("b1"))], 1);
+        let cg = d.ctx().cogroup(a, b, 2);
+        let out = d.collect(cg).unwrap();
+        assert_eq!(out.len(), 2); // keys 1 and 2
+        for v in out {
+            let (k, groups) = v.into_pair().unwrap();
+            let groups = groups.as_list().unwrap().to_vec();
+            assert_eq!(groups.len(), 2);
+            if k.as_i64() == Some(2) {
+                assert_eq!(groups[1].as_list().unwrap().len(), 0);
+            } else {
+                assert_eq!(groups[1].as_list().unwrap().len(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Engine error types.
+
+use std::fmt;
+
+use crate::RddId;
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The referenced RDD does not exist in the lineage graph.
+    UnknownRdd(RddId),
+    /// The cluster has no workers and the failure injector will never add
+    /// any, so the job can make no progress.
+    NoWorkers,
+    /// A job exceeded the driver's recomputation retry budget, indicating
+    /// a revocation livelock.
+    RetryBudgetExhausted {
+        /// The RDD whose materialization kept failing.
+        rdd: RddId,
+    },
+    /// An action was invoked on an empty dataset where it has no identity
+    /// (e.g. `reduce`).
+    EmptyDataset,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownRdd(id) => write!(f, "unknown RDD {id:?}"),
+            EngineError::NoWorkers => write!(f, "no workers available and none forthcoming"),
+            EngineError::RetryBudgetExhausted { rdd } => {
+                write!(f, "retry budget exhausted while materializing {rdd:?}")
+            }
+            EngineError::EmptyDataset => write!(f, "action undefined on an empty dataset"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience alias for engine results.
+pub type Result<T> = std::result::Result<T, EngineError>;

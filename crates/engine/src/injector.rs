@@ -1,0 +1,155 @@
+//! Worker failure schedules.
+//!
+//! The engine is agnostic to *why* workers come and go: a
+//! [`FailureInjector`] feeds it timed [`WorkerEvent`]s. In production-like
+//! runs the injector is Flint's node manager bridging the spot-market
+//! simulator; in tests it is a scripted sequence.
+
+use flint_simtime::SimTime;
+
+use crate::WorkerSpec;
+
+/// A timed change to cluster membership.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkerEvent {
+    /// A worker with external id `ext_id` joins the cluster.
+    Add {
+        /// External (e.g. cloud instance) identifier.
+        ext_id: u64,
+        /// Hardware shape.
+        spec: WorkerSpec,
+    },
+    /// The provider issued a revocation warning for `ext_id`.
+    Warn {
+        /// External identifier.
+        ext_id: u64,
+    },
+    /// The worker `ext_id` is revoked: all its local state is lost.
+    Remove {
+        /// External identifier.
+        ext_id: u64,
+    },
+}
+
+/// A source of timed worker events.
+pub trait FailureInjector {
+    /// Returns all events with `from < t <= to`, in time order. Called
+    /// with monotonically advancing windows; implementations may react to
+    /// earlier events (e.g. request replacement servers) when producing
+    /// later ones.
+    fn events(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, WorkerEvent)>;
+
+    /// Returns the next event time strictly after `t`, if known. Used by
+    /// the driver to sleep when the cluster is empty.
+    fn next_event_after(&mut self, t: SimTime) -> Option<SimTime>;
+}
+
+/// An injector that never produces events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFailures;
+
+impl FailureInjector for NoFailures {
+    fn events(&mut self, _from: SimTime, _to: SimTime) -> Vec<(SimTime, WorkerEvent)> {
+        Vec::new()
+    }
+
+    fn next_event_after(&mut self, _t: SimTime) -> Option<SimTime> {
+        None
+    }
+}
+
+/// A pre-scripted event sequence, for tests and controlled experiments
+/// (e.g. "revoke 5 workers at t = 60 s", Fig. 7/8).
+///
+/// # Examples
+///
+/// ```
+/// use flint_engine::{FailureInjector, ScriptedInjector, WorkerEvent, WorkerSpec};
+/// use flint_simtime::SimTime;
+///
+/// let mut inj = ScriptedInjector::new(vec![
+///     (SimTime::from_millis(10), WorkerEvent::Remove { ext_id: 3 }),
+/// ]);
+/// assert_eq!(inj.next_event_after(SimTime::ZERO), Some(SimTime::from_millis(10)));
+/// let evs = inj.events(SimTime::ZERO, SimTime::from_millis(20));
+/// assert_eq!(evs.len(), 1);
+/// // Events are consumed exactly once.
+/// assert!(inj.events(SimTime::ZERO, SimTime::from_millis(20)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedInjector {
+    events: Vec<(SimTime, WorkerEvent)>,
+    cursor: usize,
+}
+
+impl ScriptedInjector {
+    /// Creates an injector from an event list (sorted internally).
+    pub fn new(mut events: Vec<(SimTime, WorkerEvent)>) -> Self {
+        events.sort_by_key(|(t, _)| *t);
+        ScriptedInjector { events, cursor: 0 }
+    }
+
+    /// Returns the number of events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+}
+
+impl FailureInjector for ScriptedInjector {
+    fn events(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, WorkerEvent)> {
+        let mut out = Vec::new();
+        while self.cursor < self.events.len() {
+            let (t, ev) = self.events[self.cursor];
+            if t <= from {
+                // Late discovery of an old event: deliver it anyway so
+                // nothing is silently skipped.
+                self.cursor += 1;
+                out.push((t, ev));
+            } else if t <= to {
+                self.cursor += 1;
+                out.push((t, ev));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn next_event_after(&mut self, t: SimTime) -> Option<SimTime> {
+        self.events[self.cursor..]
+            .iter()
+            .map(|(et, _)| *et)
+            .find(|et| *et > t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn scripted_delivers_in_windows() {
+        let mut inj = ScriptedInjector::new(vec![
+            (t(30), WorkerEvent::Remove { ext_id: 1 }),
+            (t(10), WorkerEvent::Warn { ext_id: 1 }),
+        ]);
+        assert_eq!(inj.remaining(), 2);
+        let w1 = inj.events(SimTime::ZERO, t(15));
+        assert_eq!(w1, vec![(t(10), WorkerEvent::Warn { ext_id: 1 })]);
+        let w2 = inj.events(t(15), t(100));
+        assert_eq!(w2, vec![(t(30), WorkerEvent::Remove { ext_id: 1 })]);
+        assert_eq!(inj.remaining(), 0);
+        assert_eq!(inj.next_event_after(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn no_failures_is_silent() {
+        let mut inj = NoFailures;
+        assert!(inj.events(SimTime::ZERO, t(1_000_000)).is_empty());
+        assert_eq!(inj.next_event_after(SimTime::ZERO), None);
+    }
+}

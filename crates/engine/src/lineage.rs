@@ -1,0 +1,408 @@
+//! The lineage graph: every RDD ever created and how to recreate it.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::rdd::{RddId, RddMeta, RddOp};
+use crate::shuffle::{ShuffleId, ShuffleInfo, ShuffleKind};
+
+/// The directed acyclic graph of RDDs and shuffle edges.
+///
+/// The lineage graph is the engine's recovery metadata (§2.2): given any
+/// lost partition, walking parents (and cached/checkpointed cut points)
+/// yields a recomputation plan. It also exposes the *frontier* — the
+/// current sink RDDs — which is exactly the set Flint's checkpoint policy
+/// (Policy 1) marks for checkpointing.
+#[derive(Debug, Default)]
+pub struct Lineage {
+    metas: Vec<RddMeta>,
+    shuffles: Vec<ShuffleInfo>,
+    children: HashMap<RddId, Vec<RddId>>,
+    persisted: HashSet<RddId>,
+    /// Known materialized size per (rdd, partition), in real bytes.
+    part_sizes: HashMap<RddId, Vec<Option<u64>>>,
+}
+
+impl Lineage {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Lineage::default()
+    }
+
+    /// Registers a new RDD and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent id is unknown or `num_partitions` is zero.
+    pub fn add_rdd(
+        &mut self,
+        name: impl Into<String>,
+        op: RddOp,
+        parents: Vec<RddId>,
+        num_partitions: u32,
+    ) -> RddId {
+        assert!(num_partitions > 0, "an RDD needs at least one partition");
+        for p in &parents {
+            assert!(
+                (p.0 as usize) < self.metas.len(),
+                "unknown parent RDD {p:?}"
+            );
+        }
+        let id = RddId(self.metas.len() as u32);
+        for p in &parents {
+            self.children.entry(*p).or_default().push(id);
+        }
+        self.metas.push(RddMeta {
+            id,
+            name: name.into(),
+            op,
+            parents,
+            num_partitions,
+        });
+        self.part_sizes
+            .insert(id, vec![None; num_partitions as usize]);
+        id
+    }
+
+    /// Registers a shuffle edge reading from `parent`.
+    pub fn add_shuffle(&mut self, parent: RddId, kind: ShuffleKind) -> ShuffleId {
+        let id = ShuffleId(self.shuffles.len() as u32);
+        self.shuffles.push(ShuffleInfo {
+            id,
+            parent,
+            kind,
+            combine: None,
+        });
+        id
+    }
+
+    /// Registers a shuffle edge with a map-side combiner (used by keyed
+    /// aggregations, mirroring Spark's `reduceByKey`).
+    pub fn add_shuffle_with_combine(
+        &mut self,
+        parent: RddId,
+        kind: ShuffleKind,
+        combine: crate::rdd::AggFn,
+    ) -> ShuffleId {
+        let id = ShuffleId(self.shuffles.len() as u32);
+        self.shuffles.push(ShuffleInfo {
+            id,
+            parent,
+            kind,
+            combine: Some(combine),
+        });
+        id
+    }
+
+    /// Returns the metadata of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn meta(&self, id: RddId) -> &RddMeta {
+        &self.metas[id.0 as usize]
+    }
+
+    /// Returns `true` if `id` names a registered RDD.
+    pub fn contains(&self, id: RddId) -> bool {
+        (id.0 as usize) < self.metas.len()
+    }
+
+    /// Returns the shuffle info for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn shuffle(&self, id: ShuffleId) -> &ShuffleInfo {
+        &self.shuffles[id.0 as usize]
+    }
+
+    /// Returns the children of `id` (RDDs that list it as a parent).
+    pub fn children(&self, id: RddId) -> &[RddId] {
+        self.children.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns the number of registered RDDs.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Returns `true` if no RDDs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Returns all RDD ids in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = RddId> + '_ {
+        (0..self.metas.len() as u32).map(RddId)
+    }
+
+    /// Returns the current frontier: RDDs with no children (the sinks of
+    /// the graph). This is the set Policy 1 checkpoints.
+    pub fn frontier(&self) -> Vec<RddId> {
+        self.ids()
+            .filter(|id| self.children(*id).is_empty())
+            .collect()
+    }
+
+    /// Returns `true` if `id` is currently on the frontier.
+    pub fn is_frontier(&self, id: RddId) -> bool {
+        self.children(id).is_empty()
+    }
+
+    /// Returns the strict ancestors of `id` (its full recomputation cone).
+    pub fn ancestors(&self, id: RddId) -> Vec<RddId> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<RddId> = self.meta(id).parents.clone();
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) {
+                out.push(n);
+                stack.extend(self.meta(n).parents.iter().copied());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Marks `id` for in-memory caching, like Spark's `persist()`.
+    pub fn persist(&mut self, id: RddId) {
+        assert!(self.contains(id), "unknown RDD {id:?}");
+        self.persisted.insert(id);
+    }
+
+    /// Returns `true` if `id` is marked persistent.
+    pub fn is_persisted(&self, id: RddId) -> bool {
+        self.persisted.contains(&id)
+    }
+
+    /// Records the materialized size of `(rdd, part)` in real bytes.
+    pub fn record_partition_size(&mut self, rdd: RddId, part: u32, bytes: u64) {
+        if let Some(sizes) = self.part_sizes.get_mut(&rdd) {
+            if let Some(slot) = sizes.get_mut(part as usize) {
+                *slot = Some(bytes);
+            }
+        }
+    }
+
+    /// Returns the recorded size of `(rdd, part)`, if it has been
+    /// materialized at least once.
+    pub fn partition_size(&self, rdd: RddId, part: u32) -> Option<u64> {
+        self.part_sizes
+            .get(&rdd)
+            .and_then(|s| s.get(part as usize).copied().flatten())
+    }
+
+    /// Returns the total known size of `rdd` in real bytes (sum over
+    /// partitions with recorded sizes).
+    pub fn known_size(&self, rdd: RddId) -> u64 {
+        self.part_sizes
+            .get(&rdd)
+            .map(|s| s.iter().flatten().sum())
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if every partition of `rdd` has a recorded size,
+    /// i.e. the RDD has been fully materialized at least once.
+    pub fn is_fully_materialized(&self, rdd: RddId) -> bool {
+        self.part_sizes
+            .get(&rdd)
+            .map(|s| s.iter().all(Option::is_some))
+            .unwrap_or(false)
+    }
+
+    /// Returns `true` if any child of `rdd` has been fully materialized.
+    pub fn has_materialized_child(&self, rdd: RddId) -> bool {
+        self.children(rdd)
+            .iter()
+            .any(|c| self.is_fully_materialized(*c))
+    }
+
+    /// Returns the *execution* frontier: fully-materialized RDDs none of
+    /// whose children have been fully materialized yet. This is the
+    /// paper's frontier ("the most recent RDDs for which all partitions
+    /// have been computed, and whose dependencies have not been fully
+    /// generated", §3.1.1) — the set Policy 1 checkpoints. Unlike the
+    /// static sink set ([`Lineage::frontier`]), it advances stage by
+    /// stage even when a program's whole DAG is declared before any
+    /// action runs.
+    pub fn execution_frontier(&self) -> Vec<RddId> {
+        self.ids()
+            .filter(|id| self.is_fully_materialized(*id) && !self.has_materialized_child(*id))
+            .collect()
+    }
+
+    /// Renders the graph in Graphviz DOT format: RDD nodes labelled with
+    /// operator kind and partition count, solid edges for narrow
+    /// dependencies, bold red edges for shuffles.
+    pub fn to_dot(&self) -> String {
+        let mut out =
+            String::from("digraph lineage {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        for id in self.ids() {
+            let m = self.meta(id);
+            let style = if self.is_persisted(id) {
+                ", style=filled, fillcolor=lightblue"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  r{} [label=\"#{} {}\\n{} parts\"{}];\n",
+                id.0,
+                id.0,
+                m.op.kind(),
+                m.num_partitions,
+                style
+            ));
+        }
+        for id in self.ids() {
+            let m = self.meta(id);
+            let wide = m.op.is_shuffle();
+            for p in &m.parents {
+                if wide {
+                    out.push_str(&format!(
+                        "  r{} -> r{} [color=red, penwidth=2];\n",
+                        p.0, id.0
+                    ));
+                } else {
+                    out.push_str(&format!("  r{} -> r{};\n", p.0, id.0));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// For a `Union` RDD, maps an output partition to the parent RDD and
+    /// parent partition it passes through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a union or `part` is out of range.
+    pub fn union_source(&self, id: RddId, part: u32) -> (RddId, u32) {
+        let meta = self.meta(id);
+        assert!(matches!(meta.op, RddOp::Union), "not a union RDD");
+        let mut offset = 0;
+        for parent in &meta.parents {
+            let n = self.meta(*parent).num_partitions;
+            if part < offset + n {
+                return (*parent, part - offset);
+            }
+            offset += n;
+        }
+        panic!("union partition {part} out of range for {id:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn map_op() -> RddOp {
+        RddOp::Map {
+            f: Arc::new(|v| v.clone()),
+        }
+    }
+
+    fn source_op(parts: u32) -> RddOp {
+        RddOp::Parallelize {
+            data: Arc::new((0..parts).map(|_| Vec::new()).collect()),
+        }
+    }
+
+    #[test]
+    fn build_and_query_graph() {
+        let mut l = Lineage::new();
+        let a = l.add_rdd("src", source_op(4), vec![], 4);
+        let b = l.add_rdd("m1", map_op(), vec![a], 4);
+        let c = l.add_rdd("m2", map_op(), vec![b], 4);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.children(a), &[b]);
+        assert_eq!(l.children(c), &[] as &[RddId]);
+        assert_eq!(l.ancestors(c), vec![a, b]);
+        assert_eq!(l.frontier(), vec![c]);
+        assert!(l.is_frontier(c));
+        assert!(!l.is_frontier(a));
+    }
+
+    #[test]
+    fn frontier_moves_as_graph_grows() {
+        let mut l = Lineage::new();
+        let a = l.add_rdd("src", source_op(2), vec![], 2);
+        assert_eq!(l.frontier(), vec![a]);
+        let b = l.add_rdd("m", map_op(), vec![a], 2);
+        assert_eq!(l.frontier(), vec![b]);
+        // Two branches from b: both are frontier.
+        let c = l.add_rdd("m", map_op(), vec![b], 2);
+        let d = l.add_rdd("m", map_op(), vec![b], 2);
+        assert_eq!(l.frontier(), vec![c, d]);
+    }
+
+    #[test]
+    fn size_recording() {
+        let mut l = Lineage::new();
+        let a = l.add_rdd("src", source_op(2), vec![], 2);
+        assert!(!l.is_fully_materialized(a));
+        l.record_partition_size(a, 0, 100);
+        assert_eq!(l.known_size(a), 100);
+        assert!(!l.is_fully_materialized(a));
+        l.record_partition_size(a, 1, 50);
+        assert_eq!(l.known_size(a), 150);
+        assert!(l.is_fully_materialized(a));
+        assert_eq!(l.partition_size(a, 1), Some(50));
+    }
+
+    #[test]
+    fn union_partition_mapping() {
+        let mut l = Lineage::new();
+        let a = l.add_rdd("a", source_op(2), vec![], 2);
+        let b = l.add_rdd("b", source_op(3), vec![], 3);
+        let u = l.add_rdd("u", RddOp::Union, vec![a, b], 5);
+        assert_eq!(l.union_source(u, 0), (a, 0));
+        assert_eq!(l.union_source(u, 1), (a, 1));
+        assert_eq!(l.union_source(u, 2), (b, 0));
+        assert_eq!(l.union_source(u, 4), (b, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_rejected() {
+        let mut l = Lineage::new();
+        let _ = l.add_rdd("bad", map_op(), vec![RddId(7)], 1);
+    }
+
+    #[test]
+    fn persistence_flags() {
+        let mut l = Lineage::new();
+        let a = l.add_rdd("src", source_op(1), vec![], 1);
+        assert!(!l.is_persisted(a));
+        l.persist(a);
+        assert!(l.is_persisted(a));
+    }
+
+    #[test]
+    fn dot_export_shape() {
+        let mut l = Lineage::new();
+        let a = l.add_rdd("src", source_op(2), vec![], 2);
+        let b = l.add_rdd("m", map_op(), vec![a], 2);
+        let s = l.add_shuffle(b, ShuffleKind::Hash { parts: 2 });
+        let c = l.add_rdd("g", RddOp::ShuffleGroup { shuffle: s }, vec![b], 2);
+        l.persist(c);
+        let dot = l.to_dot();
+        assert!(dot.starts_with("digraph lineage {"));
+        assert!(dot.contains("r0 -> r1;"), "narrow edge missing: {dot}");
+        assert!(dot.contains("r1 -> r2 [color=red"), "shuffle edge missing");
+        assert!(
+            dot.contains("fillcolor=lightblue"),
+            "persisted fill missing"
+        );
+    }
+
+    #[test]
+    fn shuffle_registration() {
+        let mut l = Lineage::new();
+        let a = l.add_rdd("src", source_op(2), vec![], 2);
+        let s = l.add_shuffle(a, ShuffleKind::Hash { parts: 3 });
+        assert_eq!(l.shuffle(s).parent, a);
+        assert_eq!(l.shuffle(s).kind.num_partitions(), 3);
+    }
+}

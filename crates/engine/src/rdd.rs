@@ -1,0 +1,304 @@
+//! RDD descriptors: identifiers, operators, and lineage metadata.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::shuffle::ShuffleId;
+use crate::Value;
+
+/// Identifier of an RDD within a [`crate::Lineage`] graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RddId(pub u32);
+
+/// A user-facing handle to an RDD.
+///
+/// Handles are cheap copies of the id; all state lives in the lineage
+/// graph. The newtype exists so user code cannot fabricate ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RddRef {
+    pub(crate) id: RddId,
+}
+
+impl RddRef {
+    /// Returns the underlying lineage id.
+    pub fn id(&self) -> RddId {
+        self.id
+    }
+}
+
+/// The materialized contents of one partition.
+pub type PartitionData = Arc<Vec<Value>>;
+
+/// Element-wise transformation.
+pub type MapFn = Arc<dyn Fn(&Value) -> Value + Send + Sync>;
+/// Element-to-many transformation.
+pub type FlatMapFn = Arc<dyn Fn(&Value) -> Vec<Value> + Send + Sync>;
+/// Element predicate.
+pub type PredFn = Arc<dyn Fn(&Value) -> bool + Send + Sync>;
+/// Whole-partition transformation; receives the partition index.
+pub type PartsFn = Arc<dyn Fn(u32, &[Value]) -> Vec<Value> + Send + Sync>;
+/// Two-value combiner for keyed aggregation and `reduce`.
+pub type AggFn = Arc<dyn Fn(&Value, &Value) -> Value + Send + Sync>;
+
+/// The operator that produces an RDD from its parents.
+///
+/// Operators fall into two classes, mirroring Spark's narrow/wide
+/// dependency split (§2.2): narrow operators compute partition `p` from
+/// partition `p` of the parent(s); shuffle operators consume *all* parent
+/// partitions through a [`ShuffleId`].
+#[derive(Clone)]
+pub enum RddOp {
+    /// A durable source collection, pre-partitioned. Reading it charges
+    /// source-read time (the paper's "re-fetch from S3" path, §5.4).
+    Parallelize {
+        /// The source partitions (never lost; models data on S3/disk).
+        data: Arc<Vec<Vec<Value>>>,
+    },
+    /// Element-wise map.
+    Map {
+        /// The transformation.
+        f: MapFn,
+    },
+    /// Element-wise filter.
+    Filter {
+        /// The predicate.
+        p: PredFn,
+    },
+    /// Element-to-many map.
+    FlatMap {
+        /// The transformation.
+        f: FlatMapFn,
+    },
+    /// Whole-partition transformation with an explicit compute-intensity
+    /// multiplier (lets workloads model CPU-heavy kernels like KMeans
+    /// distance evaluation).
+    MapPartitions {
+        /// The transformation.
+        f: PartsFn,
+        /// Relative compute cost per byte versus a plain map.
+        cost_factor: f64,
+    },
+    /// Concatenation of the parents' partition lists.
+    Union,
+    /// Narrow N→M repartitioning: output partition `p` concatenates a
+    /// contiguous run of parent partitions (Spark's `coalesce` without
+    /// shuffle).
+    Coalesce {
+        /// Parent partitions per output partition (ceiling division).
+        group: u32,
+    },
+    /// Deterministic Bernoulli sample of the parent.
+    Sample {
+        /// Keep probability in `[0, 1]`.
+        fraction: f64,
+        /// Sampling seed (combined with partition index).
+        seed: u64,
+    },
+    /// Keyed aggregation (`reduce_by_key`): pairs with equal keys are
+    /// combined with `combine`.
+    ShuffleAgg {
+        /// The shuffle this operator reads.
+        shuffle: ShuffleId,
+        /// Associative combiner.
+        combine: AggFn,
+    },
+    /// Keyed grouping (`group_by_key`): output pairs `(k, List(values))`.
+    ShuffleGroup {
+        /// The shuffle this operator reads.
+        shuffle: ShuffleId,
+    },
+    /// Multi-parent grouping: output pairs
+    /// `(k, List[List(values from parent 0), List(values from parent 1), …])`.
+    CoGroup {
+        /// One shuffle per parent, in parent order.
+        shuffles: Vec<ShuffleId>,
+    },
+    /// Global sort by key via range partitioning.
+    SortByKey {
+        /// The shuffle this operator reads.
+        shuffle: ShuffleId,
+        /// Sort direction.
+        ascending: bool,
+    },
+}
+
+impl RddOp {
+    /// Returns a short operator name for logs and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RddOp::Parallelize { .. } => "parallelize",
+            RddOp::Map { .. } => "map",
+            RddOp::Filter { .. } => "filter",
+            RddOp::FlatMap { .. } => "flat_map",
+            RddOp::MapPartitions { .. } => "map_partitions",
+            RddOp::Union => "union",
+            RddOp::Coalesce { .. } => "coalesce",
+            RddOp::Sample { .. } => "sample",
+            RddOp::ShuffleAgg { .. } => "reduce_by_key",
+            RddOp::ShuffleGroup { .. } => "group_by_key",
+            RddOp::CoGroup { .. } => "cogroup",
+            RddOp::SortByKey { .. } => "sort_by_key",
+        }
+    }
+
+    /// Returns the shuffles this operator reads (empty for narrow ops).
+    pub fn input_shuffles(&self) -> Vec<ShuffleId> {
+        match self {
+            RddOp::ShuffleAgg { shuffle, .. }
+            | RddOp::ShuffleGroup { shuffle }
+            | RddOp::SortByKey { shuffle, .. } => vec![*shuffle],
+            RddOp::CoGroup { shuffles } => shuffles.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Returns `true` if this operator reads its parents through a
+    /// shuffle (a wide dependency).
+    pub fn is_shuffle(&self) -> bool {
+        !self.input_shuffles().is_empty()
+    }
+
+    /// Relative compute cost per input byte versus a plain map.
+    ///
+    /// These weights shape the checkpoint-vs-recompute trade-off per
+    /// workload; absolute time comes from [`crate::CostModel`].
+    pub fn cost_factor(&self) -> f64 {
+        match self {
+            RddOp::Parallelize { .. } => 0.0, // charged as source read, not compute
+            RddOp::Map { .. } => 1.0,
+            RddOp::Filter { .. } => 0.6,
+            RddOp::FlatMap { .. } => 1.3,
+            RddOp::MapPartitions { cost_factor, .. } => *cost_factor,
+            RddOp::Union => 0.1,
+            RddOp::Coalesce { .. } => 0.1,
+            RddOp::Sample { .. } => 0.4,
+            RddOp::ShuffleAgg { .. } => 1.6,
+            RddOp::ShuffleGroup { .. } => 1.4,
+            RddOp::CoGroup { .. } => 2.0,
+            RddOp::SortByKey { .. } => 1.8,
+        }
+    }
+}
+
+impl fmt::Debug for RddOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind())
+    }
+}
+
+/// The dependency class between an RDD and its parents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dependency {
+    /// Partition `p` depends only on partition `p` of each parent (or a
+    /// single parent partition, for `Union`).
+    Narrow,
+    /// Partition `p` depends on all partitions of each parent.
+    Shuffle,
+}
+
+/// Metadata of one RDD in the lineage graph.
+#[derive(Clone)]
+pub struct RddMeta {
+    /// The RDD's id.
+    pub id: RddId,
+    /// Human-readable name (defaults to the operator kind).
+    pub name: String,
+    /// The producing operator.
+    pub op: RddOp,
+    /// Parent RDDs, in operator order.
+    pub parents: Vec<RddId>,
+    /// Number of partitions.
+    pub num_partitions: u32,
+}
+
+impl RddMeta {
+    /// Returns the dependency class of this RDD on its parents.
+    pub fn dependency(&self) -> Dependency {
+        if self.op.is_shuffle() {
+            Dependency::Shuffle
+        } else {
+            Dependency::Narrow
+        }
+    }
+}
+
+impl fmt::Debug for RddMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RddMeta")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("op", &self.op)
+            .field("parents", &self.parents)
+            .field("num_partitions", &self.num_partitions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kind_and_shuffle_classification() {
+        let map = RddOp::Map {
+            f: Arc::new(|v| v.clone()),
+        };
+        assert_eq!(map.kind(), "map");
+        assert!(!map.is_shuffle());
+        assert!(map.input_shuffles().is_empty());
+
+        let agg = RddOp::ShuffleAgg {
+            shuffle: ShuffleId(3),
+            combine: Arc::new(|a, _| a.clone()),
+        };
+        assert!(agg.is_shuffle());
+        assert_eq!(agg.input_shuffles(), vec![ShuffleId(3)]);
+
+        let cg = RddOp::CoGroup {
+            shuffles: vec![ShuffleId(1), ShuffleId(2)],
+        };
+        assert_eq!(cg.input_shuffles().len(), 2);
+    }
+
+    #[test]
+    fn dependency_classification() {
+        let narrow = RddMeta {
+            id: RddId(0),
+            name: "m".into(),
+            op: RddOp::Union,
+            parents: vec![],
+            num_partitions: 2,
+        };
+        assert_eq!(narrow.dependency(), Dependency::Narrow);
+
+        let wide = RddMeta {
+            id: RddId(1),
+            name: "g".into(),
+            op: RddOp::ShuffleGroup {
+                shuffle: ShuffleId(0),
+            },
+            parents: vec![RddId(0)],
+            num_partitions: 4,
+        };
+        assert_eq!(wide.dependency(), Dependency::Shuffle);
+    }
+
+    #[test]
+    fn cost_factors_are_positive_for_compute_ops() {
+        let ops: Vec<RddOp> = vec![
+            RddOp::Map {
+                f: Arc::new(|v| v.clone()),
+            },
+            RddOp::Filter {
+                p: Arc::new(|_| true),
+            },
+            RddOp::SortByKey {
+                shuffle: ShuffleId(0),
+                ascending: true,
+            },
+        ];
+        for op in ops {
+            assert!(op.cost_factor() > 0.0, "{}", op.kind());
+        }
+    }
+}

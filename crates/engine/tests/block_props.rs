@@ -1,0 +1,85 @@
+//! Property tests of the block manager: capacity invariants hold under
+//! arbitrary insert/get/remove sequences.
+
+use flint_engine::{BlockKey, BlockManager, RddId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u64),
+    Get(u32),
+    Remove(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..30, 1u64..400).prop_map(|(k, b)| Op::Insert(k, b)),
+            (0u32..30).prop_map(Op::Get),
+            (0u32..30).prop_map(Op::Remove),
+        ],
+        0..60,
+    )
+}
+
+fn key(i: u32) -> BlockKey {
+    BlockKey::RddPart {
+        rdd: RddId(0),
+        part: i,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Memory and disk usage never exceed their capacities, and
+    /// accounting stays consistent with the resident set.
+    #[test]
+    fn capacities_never_exceeded(ops in arb_ops(), mem in 100u64..800, disk in 100u64..800) {
+        let mut bm = BlockManager::new(mem, disk);
+        for op in ops {
+            match op {
+                Op::Insert(k, b) => {
+                    let _ = bm.insert(key(k), Arc::new(vec![]), b);
+                }
+                Op::Get(k) => {
+                    let _ = bm.get(&key(k));
+                }
+                Op::Remove(k) => {
+                    let _ = bm.remove(&key(k));
+                }
+            }
+            prop_assert!(bm.mem_used() <= mem, "mem {} > cap {mem}", bm.mem_used());
+            prop_assert!(bm.disk_used() <= disk, "disk {} > cap {disk}", bm.disk_used());
+        }
+        // Every resident key is locatable and every located block is
+        // accounted in exactly one tier.
+        let mut mem_sum = 0;
+        let mut disk_sum = 0;
+        for k in bm.keys() {
+            let (loc, bytes) = bm.peek(&k).expect("resident key must peek");
+            match loc {
+                flint_engine::BlockLocation::Memory => mem_sum += bytes,
+                flint_engine::BlockLocation::Disk => disk_sum += bytes,
+            }
+        }
+        prop_assert_eq!(mem_sum, bm.mem_used());
+        prop_assert_eq!(disk_sum, bm.disk_used());
+    }
+
+    /// A block inserted and never evicted-by-overflow nor removed stays
+    /// readable with identical contents.
+    #[test]
+    fn small_inserts_always_resident(keys in proptest::collection::vec(0u32..5, 1..10)) {
+        // Five distinct keys of 10 bytes in a 1000-byte cache: no
+        // eviction is ever necessary.
+        let mut bm = BlockManager::new(1000, 1000);
+        for k in &keys {
+            bm.insert(key(*k), Arc::new(vec![]), 10);
+        }
+        for k in keys {
+            prop_assert!(bm.get(&key(k)).is_some());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Edge-case integration tests of the engine: empty data, degenerate
+//! partitioning, recovery interleavings, and cross-job reuse.
+
+use flint_engine::{
+    Driver, DriverConfig, NoCheckpoint, ScriptedInjector, Value, WorkerEvent, WorkerSpec,
+};
+use flint_simtime::{SimDuration, SimTime};
+
+#[test]
+fn empty_source_through_every_operator() {
+    let mut d = Driver::local(2);
+    let empty = d.ctx().parallelize(std::iter::empty(), 3);
+    let mapped = d.ctx().map(empty, |v| v.clone());
+    let filtered = d.ctx().filter(mapped, |_| true);
+    let grouped = d.ctx().group_by_key(filtered, 2);
+    let sorted = d.ctx().sort_by_key(grouped, 2, true);
+    assert_eq!(d.count(sorted).unwrap(), 0);
+    assert_eq!(d.collect(sorted).unwrap(), Vec::<Value>::new());
+    assert!(d.take(sorted, 5).unwrap().is_empty());
+}
+
+#[test]
+fn take_beyond_length_returns_everything() {
+    let mut d = Driver::local(2);
+    let src = d.ctx().parallelize((0..7).map(Value::from_i64), 3);
+    assert_eq!(d.take(src, 100).unwrap().len(), 7);
+}
+
+#[test]
+fn single_partition_single_worker() {
+    let mut d = Driver::local(1);
+    let src = d.ctx().parallelize((0..50).map(Value::from_i64), 1);
+    let pairs = d.ctx().map(src, |v| {
+        Value::pair(Value::Int(v.as_i64().unwrap() % 3), v.clone())
+    });
+    let red = d.ctx().reduce_by_key(pairs, 1, |a, b| {
+        Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+    });
+    assert_eq!(d.count(red).unwrap(), 3);
+}
+
+#[test]
+fn explicit_checkpoint_of_shuffle_output() {
+    let mut d = Driver::local(3);
+    let src = d.ctx().parallelize((0..200).map(Value::from_i64), 6);
+    let pairs = d.ctx().map(src, |v| {
+        Value::pair(Value::Int(v.as_i64().unwrap() % 9), Value::Int(1))
+    });
+    let red = d.ctx().reduce_by_key(pairs, 4, |a, b| {
+        Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+    });
+    d.checkpoint_now(red).unwrap();
+    assert!(d.checkpoints().is_fully_checkpointed(red.id()));
+    // A dependent job after checkpointing is consistent.
+    let doubled = d
+        .ctx()
+        .map_values(red, |v| Value::Int(v.as_i64().unwrap() * 2));
+    let total = d
+        .reduce(doubled, |a, b| {
+            let av = a
+                .val()
+                .map(|x| x.as_i64().unwrap())
+                .unwrap_or(a.as_i64().unwrap_or(0));
+            let bv = b
+                .val()
+                .map(|x| x.as_i64().unwrap())
+                .unwrap_or(b.as_i64().unwrap_or(0));
+            Value::Int(av + bv)
+        })
+        .unwrap();
+    assert!(total.as_i64().is_some() || total.val().is_some());
+}
+
+#[test]
+fn union_of_shuffle_outputs_recovers() {
+    // Two independent shuffles unioned, with a revocation mid-run: the
+    // planner must rebuild both shuffles' lost map outputs.
+    let build = |d: &mut Driver| {
+        let a = d.ctx().parallelize((0..100).map(Value::from_i64), 4);
+        let b = d.ctx().parallelize((100..200).map(Value::from_i64), 4);
+        let pa = d.ctx().map(a, |v| {
+            Value::pair(Value::Int(v.as_i64().unwrap() % 5), Value::Int(1))
+        });
+        let pb = d.ctx().map(b, |v| {
+            Value::pair(Value::Int(v.as_i64().unwrap() % 5), Value::Int(1))
+        });
+        let ra = d.ctx().reduce_by_key(pa, 3, |x, y| {
+            Value::Int(x.as_i64().unwrap() + y.as_i64().unwrap())
+        });
+        let rb = d.ctx().reduce_by_key(pb, 3, |x, y| {
+            Value::Int(x.as_i64().unwrap() + y.as_i64().unwrap())
+        });
+        d.ctx().union(ra, rb)
+    };
+    let mut clean = Driver::local(4);
+    let u = build(&mut clean);
+    let mut golden = clean.collect(u).unwrap();
+    golden.sort();
+
+    let mut cfg = DriverConfig::default();
+    cfg.cost.size_scale = 1e6;
+    let mut d = Driver::new(
+        cfg,
+        Box::new(NoCheckpoint),
+        Box::new(ScriptedInjector::new(vec![
+            (
+                SimTime::from_millis(2_000),
+                WorkerEvent::Remove { ext_id: 1 },
+            ),
+            (
+                SimTime::from_millis(20_000),
+                WorkerEvent::Add {
+                    ext_id: 9,
+                    spec: WorkerSpec::r3_large(),
+                },
+            ),
+        ])),
+    );
+    for ext in 1..=4u64 {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+    let u = build(&mut d);
+    let mut got = d.collect(u).unwrap();
+    got.sort();
+    assert_eq!(got, golden);
+}
+
+#[test]
+fn repartition_preserves_multiset() {
+    let mut d = Driver::local(2);
+    let src = d.ctx().parallelize((0..60).map(|i| Value::Int(i % 10)), 6);
+    let re = d.ctx().repartition(src, 3);
+    assert_eq!(d.ctx().num_partitions(re), 3);
+    // Key by the value itself to count the multiset.
+    let keyed = d.ctx().map(re, |v| Value::pair(v.clone(), Value::Null));
+    let counts = d.count_by_key(keyed).unwrap();
+    assert_eq!(counts.len(), 10);
+    assert!(counts.values().all(|c| *c == 6));
+}
+
+#[test]
+fn idle_time_advances_clock_without_side_effects() {
+    let mut d = Driver::local(2);
+    let src = d.ctx().parallelize((0..10).map(Value::from_i64), 2);
+    let c1 = d.count(src).unwrap();
+    let t1 = d.now();
+    d.idle_until(t1 + SimDuration::from_hours(5)).unwrap();
+    assert!(d.now() >= t1 + SimDuration::from_hours(5));
+    assert_eq!(d.count(src).unwrap(), c1);
+}
+
+#[test]
+fn stats_action_records_are_complete() {
+    let mut d = Driver::local(2);
+    let src = d.ctx().parallelize((0..10).map(Value::from_i64), 2);
+    let _ = d.count(src).unwrap();
+    let _ = d.collect(src).unwrap();
+    let s = d.stats();
+    assert_eq!(s.actions.len(), 2);
+    assert!(s.actions[0].name.starts_with("count"));
+    assert!(s.actions[1].name.starts_with("collect"));
+    for a in &s.actions {
+        assert!(a.finished >= a.started);
+    }
+    assert!(s.tasks_run >= 2);
+}
+
+#[test]
+fn lineage_dot_reflects_job_structure() {
+    let mut d = Driver::local(2);
+    let src = d.ctx().parallelize((0..10).map(Value::from_i64), 2);
+    let pairs = d.ctx().map(src, |v| Value::pair(v.clone(), Value::Int(1)));
+    let red = d.ctx().reduce_by_key(pairs, 2, |a, _| a.clone());
+    let _ = d.count(red).unwrap();
+    let dot = d.lineage().to_dot();
+    assert!(dot.contains("parallelize"));
+    assert!(dot.contains("reduce_by_key"));
+    assert!(dot.contains("color=red"), "shuffle edge must be marked");
+}

@@ -1,0 +1,78 @@
+//! Property tests of the `Value` datum: total order, Eq↔Hash agreement,
+//! and size-estimate sanity — the invariants shuffle partitioning and
+//! deterministic aggregation rest on.
+
+use flint_engine::Value;
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from_bool),
+        any::<i64>().prop_map(Value::from_i64),
+        any::<f64>().prop_map(Value::from_f64),
+        "[a-z]{0,8}".prop_map(|s| Value::from_str_(&s)),
+        proptest::collection::vec(any::<f64>(), 0..4).prop_map(Value::vector),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Value::pair(a, b)),
+            proptest::collection::vec(inner, 0..4).prop_map(Value::list),
+        ]
+    })
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Eq implies equal hashes (the HashMap contract).
+    #[test]
+    fn eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// The order is total and consistent: antisymmetric and transitive on
+    /// sampled triples, and sorting never panics.
+    #[test]
+    fn order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+        // Transitivity (≤).
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        let mut v = [a, b, c];
+        v.sort(); // must not panic even with NaNs
+    }
+
+    /// Self-equality holds for every value, including NaN floats (total
+    /// order semantics).
+    #[test]
+    fn reflexive_equality(a in arb_value()) {
+        prop_assert_eq!(a.clone(), a);
+    }
+
+    /// Size estimates are positive and grow under wrapping.
+    #[test]
+    fn sizes_positive_and_monotone(a in arb_value()) {
+        let s = a.size_bytes();
+        prop_assert!(s > 0);
+        let wrapped = Value::list(vec![a]);
+        prop_assert!(wrapped.size_bytes() >= s);
+    }
+}

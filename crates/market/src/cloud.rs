@@ -1,0 +1,468 @@
+//! The cloud front-end: requesting, revoking, and billing instances.
+
+use flint_simtime::rng::stream;
+use flint_simtime::{EventQueue, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{hourly_spot_cost, MarketCatalog, MarketId, MarketKind};
+
+/// Identifier of a provisioned instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+/// Lifecycle state of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceState {
+    /// Requested, waiting out the acquisition delay.
+    Pending,
+    /// Running and usable.
+    Running,
+    /// Ended by a provider revocation.
+    Revoked,
+    /// Ended by the user.
+    Terminated,
+}
+
+/// A lifecycle event delivered by [`CloudSim::events_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceEvent {
+    /// The instance finished acquisition and is now usable.
+    Ready {
+        /// The instance that became ready.
+        id: InstanceId,
+    },
+    /// The provider issued a revocation warning (EC2: 120 s, GCE: 30 s
+    /// before the kill).
+    Warning {
+        /// The instance about to be revoked.
+        id: InstanceId,
+    },
+    /// The provider revoked the instance; its local state is gone.
+    Revoked {
+        /// The instance that was revoked.
+        id: InstanceId,
+    },
+}
+
+impl InstanceEvent {
+    /// Returns the instance this event concerns.
+    pub fn instance(&self) -> InstanceId {
+        match *self {
+            InstanceEvent::Ready { id }
+            | InstanceEvent::Warning { id }
+            | InstanceEvent::Revoked { id } => id,
+        }
+    }
+}
+
+/// Accounting record of one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceRecord {
+    /// The instance id.
+    pub id: InstanceId,
+    /// The market it was provisioned from.
+    pub market: MarketId,
+    /// The bid placed (ignored for fixed-price kinds).
+    pub bid: f64,
+    /// When the request was made.
+    pub requested_at: SimTime,
+    /// When it became usable.
+    pub ready_at: SimTime,
+    /// When it ended, if it has.
+    pub ended_at: Option<SimTime>,
+    /// Current state.
+    pub state: InstanceState,
+    /// Scheduled provider revocation, if any (simulator internal).
+    revocation_at: Option<SimTime>,
+}
+
+impl InstanceRecord {
+    /// Returns `true` if the instance is pending or running.
+    pub fn is_active(&self) -> bool {
+        matches!(self.state, InstanceState::Pending | InstanceState::Running)
+    }
+}
+
+/// The cloud simulator: markets plus instance lifecycle and billing.
+///
+/// All methods take the caller's current virtual time; `CloudSim` itself
+/// has no clock, which keeps it a passive library usable from any
+/// scheduling loop.
+///
+/// # Examples
+///
+/// ```
+/// use flint_market::{CloudSim, InstanceEvent, MarketCatalog};
+/// use flint_simtime::{SimDuration, SimTime};
+///
+/// let mut cloud = CloudSim::new(MarketCatalog::synthetic_ec2(3, SimDuration::from_days(30)));
+/// let m = cloud.catalog().spot_markets()[0].id;
+/// let bid = cloud.catalog().market(m).on_demand_price;
+/// let id = cloud.request(m, bid, SimTime::ZERO);
+///
+/// let evs = cloud.events_until(SimTime::ZERO + SimDuration::from_mins(3));
+/// assert!(matches!(evs[0].1, InstanceEvent::Ready { .. }));
+/// # let _ = id;
+/// ```
+#[derive(Debug)]
+pub struct CloudSim {
+    catalog: MarketCatalog,
+    instances: Vec<InstanceRecord>,
+    events: EventQueue<InstanceEvent>,
+    acquisition_delay: SimDuration,
+    seed: u64,
+}
+
+impl CloudSim {
+    /// Default EC2 instance acquisition delay (the paper uses two
+    /// minutes, §3.1.2).
+    pub const DEFAULT_ACQUISITION_DELAY: SimDuration = SimDuration::from_secs(120);
+    /// EC2 revocation warning lead time.
+    pub const EC2_WARNING: SimDuration = SimDuration::from_secs(120);
+    /// GCE revocation warning lead time.
+    pub const GCE_WARNING: SimDuration = SimDuration::from_secs(30);
+
+    /// Creates a simulator over `catalog` with default delays and seed 0.
+    pub fn new(catalog: MarketCatalog) -> Self {
+        Self::with_seed(catalog, 0)
+    }
+
+    /// Creates a simulator with an explicit seed for preemptible-lifetime
+    /// sampling.
+    pub fn with_seed(catalog: MarketCatalog, seed: u64) -> Self {
+        CloudSim {
+            catalog,
+            instances: Vec::new(),
+            events: EventQueue::new(),
+            acquisition_delay: Self::DEFAULT_ACQUISITION_DELAY,
+            seed,
+        }
+    }
+
+    /// Overrides the acquisition delay (for experiments).
+    pub fn set_acquisition_delay(&mut self, d: SimDuration) {
+        self.acquisition_delay = d;
+    }
+
+    /// Returns the market catalog.
+    pub fn catalog(&self) -> &MarketCatalog {
+        &self.catalog
+    }
+
+    /// Returns the acquisition delay.
+    pub fn acquisition_delay(&self) -> SimDuration {
+        self.acquisition_delay
+    }
+
+    /// Requests one instance from `market` at `bid`, at time `now`.
+    ///
+    /// The instance becomes [`InstanceEvent::Ready`] after the acquisition
+    /// delay. Its provider-revocation time (if any) is derived from the
+    /// market's price trace (spot), a sampled lifetime (preemptible), or
+    /// never (on-demand).
+    pub fn request(&mut self, market: MarketId, bid: f64, now: SimTime) -> InstanceId {
+        let id = InstanceId(self.instances.len() as u64);
+        let ready_at = now + self.acquisition_delay;
+        let m = self.catalog.market(market);
+
+        let (revocation_at, warning_lead) = match m.kind {
+            MarketKind::Spot => {
+                let rev = if m.trace.price_at(ready_at) > bid {
+                    // Requested into a spike: revoked as soon as it is
+                    // ready (in practice EC2 would not fill the bid; the
+                    // effect is the same for the caller).
+                    Some(ready_at)
+                } else {
+                    m.trace.next_up_crossing(ready_at, bid)
+                };
+                (rev, Self::EC2_WARNING)
+            }
+            MarketKind::Preemptible {
+                early_revocation_prob,
+            } => {
+                let mut rng = stream(self.seed, &format!("preempt:{}", id.0));
+                let lifetime = if rng.gen_bool(early_revocation_prob.clamp(0.0, 1.0)) {
+                    SimDuration::from_hours_f64(rng.gen_range(0.0..24.0))
+                } else {
+                    SimDuration::from_hours(24)
+                };
+                (Some(ready_at + lifetime), Self::GCE_WARNING)
+            }
+            MarketKind::OnDemand => (None, SimDuration::ZERO),
+        };
+
+        self.events.schedule(ready_at, InstanceEvent::Ready { id });
+        if let Some(rev) = revocation_at {
+            let warn_at = rev.saturating_sub(warning_lead).max(ready_at);
+            self.events.schedule(warn_at, InstanceEvent::Warning { id });
+            self.events.schedule(rev, InstanceEvent::Revoked { id });
+        }
+
+        self.instances.push(InstanceRecord {
+            id,
+            market,
+            bid,
+            requested_at: now,
+            ready_at,
+            ended_at: None,
+            state: InstanceState::Pending,
+            revocation_at,
+        });
+        id
+    }
+
+    /// Terminates an instance at `now` (user-initiated). No-op if already
+    /// ended.
+    pub fn terminate(&mut self, id: InstanceId, now: SimTime) {
+        let rec = &mut self.instances[id.0 as usize];
+        if rec.is_active() {
+            rec.state = InstanceState::Terminated;
+            rec.ended_at = Some(now.max(rec.requested_at));
+        }
+    }
+
+    /// Pops all lifecycle events up to and including `t`, in order.
+    ///
+    /// Events for instances that were terminated in the meantime are
+    /// dropped. State transitions (Pending→Running, Running→Revoked) are
+    /// applied as events are delivered.
+    pub fn events_until(&mut self, t: SimTime) -> Vec<(SimTime, InstanceEvent)> {
+        let mut out = Vec::new();
+        while let Some((at, ev)) = self.events.pop_before(t) {
+            let rec = &mut self.instances[ev.instance().0 as usize];
+            match ev {
+                InstanceEvent::Ready { .. } => {
+                    if rec.state == InstanceState::Pending {
+                        rec.state = InstanceState::Running;
+                        out.push((at, ev));
+                    }
+                }
+                InstanceEvent::Warning { .. } => {
+                    if rec.is_active() {
+                        out.push((at, ev));
+                    }
+                }
+                InstanceEvent::Revoked { .. } => {
+                    if rec.is_active() {
+                        rec.state = InstanceState::Revoked;
+                        rec.ended_at = Some(at);
+                        out.push((at, ev));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the next pending event time, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Returns the record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this simulator.
+    pub fn instance(&self, id: InstanceId) -> &InstanceRecord {
+        &self.instances[id.0 as usize]
+    }
+
+    /// Returns all instance records.
+    pub fn instances(&self) -> &[InstanceRecord] {
+        &self.instances
+    }
+
+    /// Returns the ids of instances currently running at `now`.
+    pub fn running(&self) -> Vec<InstanceId> {
+        self.instances
+            .iter()
+            .filter(|r| r.state == InstanceState::Running)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Computes the bill for instance `id`, accounting up to `until` for
+    /// instances still active.
+    pub fn instance_cost(&self, id: InstanceId, until: SimTime) -> f64 {
+        let rec = self.instance(id);
+        let start = rec.ready_at;
+        let (end, revoked) = match rec.state {
+            InstanceState::Pending => return 0.0,
+            InstanceState::Running => (until, false),
+            InstanceState::Revoked => (rec.ended_at.unwrap_or(until), true),
+            InstanceState::Terminated => (rec.ended_at.unwrap_or(until), false),
+        };
+        if end <= start {
+            return 0.0;
+        }
+        let m = self.catalog.market(rec.market);
+        hourly_spot_cost(&m.trace, start, end, revoked)
+    }
+
+    /// Computes the total bill across all instances up to `until`.
+    pub fn total_cost(&self, until: SimTime) -> f64 {
+        self.instances
+            .iter()
+            .map(|r| self.instance_cost(r.id, until))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstanceSpec, Market, MarketCatalog, PriceTrace};
+
+    fn hours(h: f64) -> SimTime {
+        SimTime::from_hours_f64(h)
+    }
+
+    /// One spot market with a known spike at t = 10 h lasting 1 h, plus
+    /// the mandatory on-demand pool.
+    fn fixture() -> CloudSim {
+        let spot = Market {
+            id: MarketId(0),
+            name: "spot".into(),
+            zone: "z".into(),
+            spec: InstanceSpec::R3_LARGE,
+            on_demand_price: 0.40,
+            kind: MarketKind::Spot,
+            trace: PriceTrace::from_points(vec![
+                (hours(0.0), 0.10),
+                (hours(10.0), 2.00),
+                (hours(11.0), 0.10),
+            ]),
+        };
+        let od = Market {
+            id: MarketId(1),
+            name: "od".into(),
+            zone: "z".into(),
+            spec: InstanceSpec::R3_LARGE,
+            on_demand_price: 0.40,
+            kind: MarketKind::OnDemand,
+            trace: PriceTrace::flat(0.40),
+        };
+        CloudSim::new(MarketCatalog::new(vec![spot, od], MarketId(1)))
+    }
+
+    #[test]
+    fn lifecycle_ready_warning_revoked() {
+        let mut cloud = fixture();
+        let id = cloud.request(MarketId(0), 0.40, SimTime::ZERO);
+        let evs = cloud.events_until(hours(24.0));
+        let kinds: Vec<_> = evs.iter().map(|(_, e)| *e).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                InstanceEvent::Ready { id },
+                InstanceEvent::Warning { id },
+                InstanceEvent::Revoked { id },
+            ]
+        );
+        // Warning exactly 120 s before the 10 h spike.
+        assert_eq!(evs[1].0, hours(10.0) - SimDuration::from_secs(120));
+        assert_eq!(evs[2].0, hours(10.0));
+        assert_eq!(cloud.instance(id).state, InstanceState::Revoked);
+    }
+
+    #[test]
+    fn high_bid_survives_spike() {
+        let mut cloud = fixture();
+        let id = cloud.request(MarketId(0), 3.0, SimTime::ZERO);
+        let evs = cloud.events_until(hours(24.0));
+        assert_eq!(evs.len(), 1); // only Ready
+        assert_eq!(cloud.instance(id).state, InstanceState::Running);
+    }
+
+    #[test]
+    fn on_demand_never_revoked() {
+        let mut cloud = fixture();
+        let id = cloud.request(MarketId(1), 0.40, SimTime::ZERO);
+        let evs = cloud.events_until(hours(1000.0));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(cloud.instance(id).state, InstanceState::Running);
+    }
+
+    #[test]
+    fn termination_suppresses_future_events() {
+        let mut cloud = fixture();
+        let id = cloud.request(MarketId(0), 0.40, SimTime::ZERO);
+        let _ = cloud.events_until(hours(1.0)); // deliver Ready
+        cloud.terminate(id, hours(2.0));
+        let evs = cloud.events_until(hours(24.0));
+        assert!(
+            evs.is_empty(),
+            "no warning/revocation after terminate: {evs:?}"
+        );
+        assert_eq!(cloud.instance(id).state, InstanceState::Terminated);
+    }
+
+    #[test]
+    fn request_into_spike_revokes_at_ready() {
+        let mut cloud = fixture();
+        // Request at t=10h (price 2.0 > bid 0.4).
+        let id = cloud.request(MarketId(0), 0.40, hours(10.0));
+        let evs = cloud.events_until(hours(24.0));
+        assert_eq!(cloud.instance(id).state, InstanceState::Revoked);
+        let rev_time = evs
+            .iter()
+            .find(|(_, e)| matches!(e, InstanceEvent::Revoked { .. }))
+            .unwrap()
+            .0;
+        assert_eq!(rev_time, hours(10.0) + CloudSim::DEFAULT_ACQUISITION_DELAY);
+    }
+
+    #[test]
+    fn billing_waives_revoked_partial_hour() {
+        let mut cloud = fixture();
+        cloud.set_acquisition_delay(SimDuration::ZERO);
+        let id = cloud.request(MarketId(0), 0.40, SimTime::ZERO);
+        let _ = cloud.events_until(hours(24.0));
+        // Ran [0, 10h) at $0.10 hour-start price; 10 full hours billed,
+        // revocation exactly on the boundary of hour 10.
+        let c = cloud.instance_cost(id, hours(24.0));
+        assert!((c - 1.0).abs() < 1e-9, "cost {c}");
+    }
+
+    #[test]
+    fn running_instance_billed_up_to_now() {
+        let mut cloud = fixture();
+        cloud.set_acquisition_delay(SimDuration::ZERO);
+        let id = cloud.request(MarketId(1), 0.40, SimTime::ZERO);
+        let _ = cloud.events_until(hours(2.0));
+        let c = cloud.instance_cost(id, hours(2.0));
+        assert!((c - 0.8).abs() < 1e-9);
+        assert!((cloud.total_cost(hours(2.0)) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preemptible_lifetime_capped_at_24h() {
+        let cat = MarketCatalog::synthetic_gce(1, SimDuration::from_days(10));
+        let mut cloud = CloudSim::with_seed(cat, 7);
+        let mut lifetimes = Vec::new();
+        for i in 0..40 {
+            let id = cloud.request(MarketId(2), 1.0, hours(i as f64 * 30.0));
+            lifetimes.push(id);
+        }
+        let _ = cloud.events_until(hours(3000.0));
+        for id in lifetimes {
+            let rec = cloud.instance(id);
+            assert_eq!(rec.state, InstanceState::Revoked);
+            let life = rec.ended_at.unwrap() - rec.ready_at;
+            assert!(life <= SimDuration::from_hours(24));
+        }
+    }
+
+    #[test]
+    fn running_ids_reflect_lifecycle() {
+        let mut cloud = fixture();
+        let a = cloud.request(MarketId(0), 0.40, SimTime::ZERO);
+        let b = cloud.request(MarketId(1), 0.40, SimTime::ZERO);
+        let _ = cloud.events_until(hours(1.0));
+        assert_eq!(cloud.running(), vec![a, b]);
+        let _ = cloud.events_until(hours(12.0));
+        assert_eq!(cloud.running(), vec![b]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Piecewise-constant price traces.
+
+use flint_simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant price series over virtual time.
+///
+/// The trace is a sorted list of `(instant, price)` change-points; the
+/// price at any instant is the price of the latest change-point at or
+/// before it. Traces are immutable once built, mirroring how Flint's node
+/// manager consumes recorded price history.
+///
+/// # Examples
+///
+/// ```
+/// use flint_market::PriceTrace;
+/// use flint_simtime::SimTime;
+///
+/// let trace = PriceTrace::from_points(vec![
+///     (SimTime::from_millis(0), 0.10),
+///     (SimTime::from_millis(1000), 0.50),
+/// ]);
+/// assert_eq!(trace.price_at(SimTime::from_millis(500)), 0.10);
+/// assert_eq!(trace.price_at(SimTime::from_millis(1500)), 0.50);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceTrace {
+    /// Sorted, deduplicated change points.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl PriceTrace {
+    /// Creates a flat trace at `price` starting at the epoch.
+    pub fn flat(price: f64) -> Self {
+        PriceTrace {
+            points: vec![(SimTime::ZERO, price)],
+        }
+    }
+
+    /// Builds a trace from `(instant, price)` points.
+    ///
+    /// Points are sorted by time; for duplicate timestamps the last price
+    /// wins. An initial point at the epoch is synthesized from the first
+    /// price if missing so `price_at` is total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or any price is negative or non-finite.
+    pub fn from_points(mut points: Vec<(SimTime, f64)>) -> Self {
+        assert!(!points.is_empty(), "a price trace needs at least one point");
+        assert!(
+            points.iter().all(|(_, p)| p.is_finite() && *p >= 0.0),
+            "prices must be finite and non-negative"
+        );
+        points.sort_by_key(|(t, _)| *t);
+        // Last write wins for duplicate timestamps.
+        let mut dedup: Vec<(SimTime, f64)> = Vec::with_capacity(points.len());
+        for (t, p) in points {
+            match dedup.last_mut() {
+                Some((lt, lp)) if *lt == t => *lp = p,
+                _ => dedup.push((t, p)),
+            }
+        }
+        if dedup[0].0 != SimTime::ZERO {
+            let first_price = dedup[0].1;
+            dedup.insert(0, (SimTime::ZERO, first_price));
+        }
+        PriceTrace { points: dedup }
+    }
+
+    /// Returns the price in effect at instant `t`.
+    pub fn price_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by_key(&t, |(pt, _)| *pt) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Returns the change points within `[from, to)`, plus the price in
+    /// effect at `from`.
+    pub fn segment(&self, from: SimTime, to: SimTime) -> Vec<(SimTime, f64)> {
+        let mut out = vec![(from, self.price_at(from))];
+        for &(t, p) in &self.points {
+            if t > from && t < to {
+                out.push((t, p));
+            }
+        }
+        out
+    }
+
+    /// Returns the time-weighted mean price over `[from, to)`.
+    ///
+    /// Returns the price at `from` when the window is empty.
+    pub fn mean_price(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return self.price_at(from);
+        }
+        let seg = self.segment(from, to);
+        let mut acc = 0.0;
+        for (i, &(t, p)) in seg.iter().enumerate() {
+            let end = if i + 1 < seg.len() { seg[i + 1].0 } else { to };
+            acc += p * (end - t).as_millis() as f64;
+        }
+        acc / (to - from).as_millis() as f64
+    }
+
+    /// Returns the first instant strictly after `t` at which the price
+    /// rises above `threshold`, or `None` if it never does within the
+    /// trace horizon.
+    ///
+    /// If the price already exceeds `threshold` at `t`, the *next*
+    /// up-crossing is still reported only after the price first drops to
+    /// or below the threshold (this models "you cannot be revoked twice").
+    pub fn next_up_crossing(&self, t: SimTime, threshold: f64) -> Option<SimTime> {
+        let mut above = self.price_at(t) > threshold;
+        for &(pt, p) in &self.points {
+            if pt <= t {
+                continue;
+            }
+            let now_above = p > threshold;
+            if now_above && !above {
+                return Some(pt);
+            }
+            above = now_above;
+        }
+        None
+    }
+
+    /// Returns every up-crossing of `threshold` in `[from, to)`.
+    pub fn up_crossings(&self, from: SimTime, to: SimTime, threshold: f64) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut cur = from;
+        while let Some(t) = self.next_up_crossing(cur, threshold) {
+            if t >= to {
+                break;
+            }
+            out.push(t);
+            cur = t;
+        }
+        out
+    }
+
+    /// Estimates the mean time between up-crossings of `threshold` over
+    /// the window `[from, to)` — the MTTF a server bid at `threshold`
+    /// would observe.
+    ///
+    /// With zero crossings in the window the estimate is censored: the
+    /// window length itself is a lower bound, and we return `window * 10`
+    /// as an optimistic-but-finite stand-in (matching how Flint treats
+    /// very quiet markets as near-on-demand rather than infinitely safe).
+    pub fn mttf_at(&self, from: SimTime, to: SimTime, threshold: f64) -> SimDuration {
+        let window = to - from;
+        if window.is_zero() {
+            return SimDuration::MAX;
+        }
+        let n = self.up_crossings(from, to, threshold).len() as u64;
+        if n == 0 {
+            window * 10
+        } else {
+            window / n
+        }
+    }
+
+    /// Samples the trace at a fixed `step`, returning prices for
+    /// `[from, to)`. Used for correlation estimation.
+    pub fn sample(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < to {
+            out.push(self.price_at(t));
+            t += step;
+        }
+        out
+    }
+
+    /// Returns the last change point of the trace (its horizon).
+    pub fn horizon(&self) -> SimTime {
+        self.points.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Returns the raw change points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Returns the maximum price attained anywhere on the trace.
+    pub fn max_price(&self) -> f64 {
+        self.points.iter().map(|(_, p)| *p).fold(0.0, f64::max)
+    }
+
+    /// Serializes the trace as CSV (`hours,price` rows) — the format of
+    /// public spot-price archives, so generated traces can be compared
+    /// against or swapped for real ones.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("hours,price\n");
+        for (t, p) in &self.points {
+            out.push_str(&format!("{:.6},{:.6}\n", t.as_hours_f64(), p));
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV produced by [`PriceTrace::to_csv`]
+    /// (header optional). Returns `None` on any malformed row or if no
+    /// points parse.
+    pub fn from_csv(csv: &str) -> Option<PriceTrace> {
+        let mut points = Vec::new();
+        for line in csv.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("hours") {
+                continue;
+            }
+            let (h, p) = line.split_once(',')?;
+            let hours: f64 = h.trim().parse().ok()?;
+            let price: f64 = p.trim().parse().ok()?;
+            if !(hours.is_finite() && price.is_finite() && price >= 0.0) {
+                return None;
+            }
+            points.push((SimTime::from_hours_f64(hours), price));
+        }
+        if points.is_empty() {
+            return None;
+        }
+        Some(PriceTrace::from_points(points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn step_trace() -> PriceTrace {
+        PriceTrace::from_points(vec![
+            (t(0), 0.1),
+            (t(100), 0.5),
+            (t(200), 0.1),
+            (t(300), 0.8),
+        ])
+    }
+
+    #[test]
+    fn flat_trace_is_constant() {
+        let tr = PriceTrace::flat(0.25);
+        assert_eq!(tr.price_at(t(0)), 0.25);
+        assert_eq!(tr.price_at(t(1_000_000)), 0.25);
+    }
+
+    #[test]
+    fn price_lookup_uses_latest_point() {
+        let tr = step_trace();
+        assert_eq!(tr.price_at(t(0)), 0.1);
+        assert_eq!(tr.price_at(t(99)), 0.1);
+        assert_eq!(tr.price_at(t(100)), 0.5);
+        assert_eq!(tr.price_at(t(250)), 0.1);
+        assert_eq!(tr.price_at(t(301)), 0.8);
+    }
+
+    #[test]
+    fn from_points_sorts_and_dedups() {
+        let tr = PriceTrace::from_points(vec![(t(50), 0.3), (t(10), 0.1), (t(50), 0.4)]);
+        assert_eq!(tr.price_at(t(60)), 0.4);
+        assert_eq!(tr.price_at(t(0)), 0.1); // synthesized epoch point
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_trace_panics() {
+        let _ = PriceTrace::from_points(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_price_panics() {
+        let _ = PriceTrace::from_points(vec![(t(0), -1.0)]);
+    }
+
+    #[test]
+    fn mean_price_weights_by_time() {
+        let tr = PriceTrace::from_points(vec![(t(0), 1.0), (t(100), 3.0)]);
+        // [0,200): 100ms at 1.0 + 100ms at 3.0 = mean 2.0.
+        assert!((tr.mean_price(t(0), t(200)) - 2.0).abs() < 1e-12);
+        // Window entirely within first segment.
+        assert!((tr.mean_price(t(10), t(50)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_price_empty_window_falls_back() {
+        let tr = step_trace();
+        assert_eq!(tr.mean_price(t(150), t(150)), 0.5);
+    }
+
+    #[test]
+    fn up_crossing_detection() {
+        let tr = step_trace();
+        // Bid 0.3: price exceeds at t=100 and t=300.
+        assert_eq!(tr.next_up_crossing(t(0), 0.3), Some(t(100)));
+        assert_eq!(tr.next_up_crossing(t(100), 0.3), Some(t(300)));
+        assert_eq!(tr.up_crossings(t(0), t(1000), 0.3), vec![t(100), t(300)]);
+        // Bid above max price: never revoked.
+        assert_eq!(tr.next_up_crossing(t(0), 1.0), None);
+    }
+
+    #[test]
+    fn already_above_requires_drop_first() {
+        let tr = step_trace();
+        // At t=100 price is 0.5 > 0.2; next crossing should be t=300, after
+        // dropping back below at t=200.
+        assert_eq!(tr.next_up_crossing(t(100), 0.2), Some(t(300)));
+    }
+
+    #[test]
+    fn mttf_estimates() {
+        let tr = step_trace();
+        let window = SimDuration::from_millis(1000);
+        // Two crossings of 0.3 in [0, 1000) => MTTF 500ms.
+        assert_eq!(tr.mttf_at(t(0), t(1000), 0.3), window / 2);
+        // No crossings of 1.0 => censored at 10x the window.
+        assert_eq!(tr.mttf_at(t(0), t(1000), 1.0), window * 10);
+    }
+
+    #[test]
+    fn sampling_matches_lookup() {
+        let tr = step_trace();
+        let s = tr.sample(t(0), t(400), SimDuration::from_millis(100));
+        assert_eq!(s, vec![0.1, 0.5, 0.1, 0.8]);
+    }
+
+    #[test]
+    fn max_price_over_trace() {
+        assert_eq!(step_trace().max_price(), 0.8);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let tr = step_trace();
+        let csv = tr.to_csv();
+        let back = PriceTrace::from_csv(&csv).expect("parse");
+        // Millisecond-resolution round trip.
+        for t in [0u64, 50, 150, 250, 350] {
+            assert_eq!(
+                back.price_at(SimTime::from_millis(t)),
+                tr.price_at(SimTime::from_millis(t))
+            );
+        }
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(PriceTrace::from_csv("").is_none());
+        assert!(PriceTrace::from_csv("hours,price\n1.0,abc").is_none());
+        assert!(PriceTrace::from_csv("1.0,-3").is_none());
+        assert!(PriceTrace::from_csv("hours,price\n2.5,0.25").is_some());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests of the virtual-time algebra.
+
+use flint_simtime::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Duration addition is commutative and associative (with saturation).
+    #[test]
+    fn duration_addition_laws(a in 0u64..1u64<<40, b in 0u64..1u64<<40, c in 0u64..1u64<<40) {
+        let (a, b, c) = (
+            SimDuration::from_millis(a),
+            SimDuration::from_millis(b),
+            SimDuration::from_millis(c),
+        );
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + SimDuration::ZERO, a);
+    }
+
+    /// Instant/duration algebra round-trips: (t + d) - t == d and
+    /// (t + d) - d == t.
+    #[test]
+    fn instant_round_trip(t in 0u64..1u64<<40, d in 0u64..1u64<<40) {
+        let t = SimTime::from_millis(t);
+        let d = SimDuration::from_millis(d);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    /// Subtraction saturates at zero: never panics, never wraps.
+    #[test]
+    fn saturating_subtraction(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let (da, db) = (SimDuration::from_millis(a), SimDuration::from_millis(b));
+        let diff = da - db;
+        if a >= b {
+            prop_assert_eq!(diff.as_millis(), a - b);
+        } else {
+            prop_assert_eq!(diff, SimDuration::ZERO);
+        }
+    }
+
+    /// Fractional-hours conversion round-trips within a millisecond.
+    #[test]
+    fn hours_round_trip(h in 0.0f64..100_000.0) {
+        let d = SimDuration::from_hours_f64(h);
+        prop_assert!((d.as_hours_f64() - h).abs() < 1.0 / 3_600_000.0 + 1e-9);
+    }
+
+    /// The event queue pops every scheduled event exactly once, in
+    /// non-decreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 0..50)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(*t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "ties must pop in schedule order");
+                }
+            }
+            last = Some((t, i));
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,88 @@
+//! Explore the transient-server markets the way Flint's node manager
+//! does: backward-looking statistics, expected-cost ranking, and the
+//! policies' actual selections.
+//!
+//! ```sh
+//! cargo run --release --example market_explorer
+//! ```
+
+use flint::core::{
+    BatchSelection, BidPolicy, InteractiveSelection, JobProfile, MarketView, SelectionConfig,
+    SelectionPolicy,
+};
+use flint::market::MarketCatalog;
+use flint::simtime::{SimDuration, SimTime};
+use flint::store::StorageConfig;
+
+fn main() {
+    let catalog = MarketCatalog::synthetic_ec2(42, SimDuration::from_days(60));
+    let cfg = SelectionConfig::default();
+    let job = JobProfile::default();
+    let view = MarketView {
+        catalog: &catalog,
+        now: SimTime::ZERO + SimDuration::from_days(30),
+        bid: BidPolicy::OnDemandPrice,
+        cfg: &cfg,
+        job: &job,
+        storage: StorageConfig::default(),
+        n: 10,
+    };
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "market", "current$", "mean$", "MTTF", "E[T]/T", "E[cost]/hr"
+    );
+    for m in catalog.spot_markets() {
+        let s = view.stats(m.id);
+        println!(
+            "{:<28} {:>10.4} {:>10.4} {:>10} {:>10.4} {:>12.4}",
+            m.name,
+            s.current_price,
+            s.mean_price,
+            s.mttf.to_string(),
+            view.factor(m.id),
+            view.cost_rate(m.id),
+        );
+    }
+    println!(
+        "{:<28} {:>10.4} {:>10} {:>10} {:>10.4} {:>12.4}",
+        "on-demand",
+        view.on_demand_rate(),
+        "-",
+        "inf",
+        1.0,
+        view.on_demand_rate(),
+    );
+
+    let mut batch = BatchSelection;
+    let alloc = batch.initial(&view);
+    println!("\nflint-batch picks:");
+    for (m, n) in &alloc {
+        println!("  {:>2} x {}", n, catalog.market(*m).name);
+    }
+
+    let mut interactive = InteractiveSelection::default();
+    let alloc = interactive.initial(&view);
+    println!("flint-interactive picks (uncorrelated diversification):");
+    for (m, n) in &alloc {
+        println!("  {:>2} x {}", n, catalog.market(*m).name);
+    }
+
+    // Show the correlation structure the interactive policy avoids.
+    let ids: Vec<_> = catalog.spot_markets().iter().map(|m| m.id).collect();
+    let corr = view.correlations(&ids);
+    println!("\npairwise spike correlation (x100):");
+    print!("     ");
+    for id in &ids {
+        print!(" m{:<3}", id.0);
+    }
+    println!();
+    for (i, id) in ids.iter().enumerate() {
+        print!("m{:<4}", id.0);
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..ids.len() {
+            print!(" {:>4.0}", corr[i][j] * 100.0);
+        }
+        println!();
+    }
+}

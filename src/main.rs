@@ -1,0 +1,311 @@
+//! The `flint` command-line interface: run workloads on simulated
+//! transient clusters, explore markets, and regenerate the paper's
+//! experiments.
+//!
+//! ```sh
+//! flint workload pagerank --gb 2 --workers 10 --failures 5 --checkpoint
+//! flint markets --seed 42 --days 60
+//! flint mc --policy fleet --hours 24
+//! flint experiment fig08
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use flint::core::FlintCheckpointPolicy;
+use flint::engine::{
+    Driver, DriverConfig, NoCheckpoint, ScriptedInjector, WorkerEvent, WorkerSpec,
+};
+use flint::market::MarketCatalog;
+use flint::model::{run_mc, CkptMode, McConfig, PolicyKind};
+use flint::simtime::{SimDuration, SimTime};
+use flint::workloads::{Als, KMeans, PageRank, Tpch, Workload, WorkloadConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "workload" => cmd_workload(&args, &flags),
+        "markets" => cmd_markets(&flags),
+        "mc" => cmd_mc(&flags),
+        "experiment" => cmd_experiment(&args),
+        "trace" => cmd_trace(&flags),
+        "--help" | "-h" | "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "flint — batch-interactive data-intensive processing on transient servers
+
+USAGE:
+  flint workload <pagerank|kmeans|als|tpch> [--gb N] [--iterations N]
+        [--workers N] [--failures K] [--mttf H] [--checkpoint] [--seed N]
+        [--dot FILE]   (write the executed lineage graph as Graphviz DOT)
+  flint markets [--seed N] [--days N]
+  flint mc [--policy batch|interactive|fleet|od] [--hours N] [--seed N]
+  flint experiment <name>   (fig02a fig02b fig03 fig04 fig06a fig06b fig06c
+                             fig07 fig08 fig09 fig10a fig10b fig11a fig11b
+                             multiaz storage ablation_* ext_*)
+  flint trace [--seed N] [--days N] [--market I]   (CSV price trace to stdout)"
+    );
+}
+
+fn parse_flags(rest: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if let Some(name) = rest[i].strip_prefix("--") {
+            let value = rest
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".to_string());
+            if value != "true" {
+                i += 1;
+            }
+            flags.insert(name.to_string(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> f64 {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag_u(flags: &HashMap<String, String>, name: &str, default: u64) -> u64 {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_workload(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(name) = args.get(1) else {
+        eprintln!("workload: missing name");
+        return ExitCode::FAILURE;
+    };
+    let cfg = WorkloadConfig {
+        dataset_gb: flag_f64(flags, "gb", 2.0),
+        partitions: flag_u(flags, "partitions", 20) as u32,
+        iterations: flag_u(flags, "iterations", 5) as u32,
+        seed: flag_u(flags, "seed", 42),
+    };
+    let wl: Box<dyn Workload> = match name.as_str() {
+        "pagerank" => Box::new(PageRank::new(cfg)),
+        "kmeans" => Box::new(KMeans::new(cfg)),
+        "als" => Box::new(Als::new(cfg)),
+        "tpch" => Box::new(Tpch::new(cfg)),
+        other => {
+            eprintln!("unknown workload: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = flag_u(flags, "workers", 10);
+    let failures = flag_u(flags, "failures", 0) as u32;
+    let checkpoint = flags.contains_key("checkpoint");
+    let mttf = SimDuration::from_hours_f64(flag_f64(flags, "mttf", 20.0));
+
+    // Time the failure-free run first so failures can strike mid-job.
+    let mut driver_cfg = DriverConfig::default();
+    driver_cfg.cost.size_scale = wl.recommended_size_scale();
+    let baseline = {
+        let mut d = Driver::new(
+            driver_cfg.clone(),
+            Box::new(NoCheckpoint),
+            Box::new(flint::engine::NoFailures),
+        );
+        for _ in 0..workers {
+            d.add_worker(WorkerSpec::r3_large());
+        }
+        wl.run(&mut d).expect("baseline run");
+        d.now().since_epoch()
+    };
+
+    let mut events = Vec::new();
+    let strike = SimTime::ZERO + baseline / 2;
+    for ext in 1..=u64::from(failures) {
+        events.push((strike, WorkerEvent::Remove { ext_id: ext }));
+        events.push((
+            strike + SimDuration::from_secs(120),
+            WorkerEvent::Add {
+                ext_id: 1000 + ext,
+                spec: WorkerSpec::r3_large(),
+            },
+        ));
+    }
+    let hooks: Box<dyn flint::engine::CheckpointHooks> = if checkpoint {
+        Box::new(FlintCheckpointPolicy::with_mttf(mttf))
+    } else {
+        Box::new(NoCheckpoint)
+    };
+    let mut d = Driver::new(driver_cfg, hooks, Box::new(ScriptedInjector::new(events)));
+    for ext in 1..=workers {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+    let summary = wl.run(&mut d).expect("workload run");
+    let runtime = d.now().since_epoch();
+    println!("workload     : {}", summary.name);
+    println!("records      : {}", summary.records);
+    println!("checksum     : {:#018x}", summary.checksum);
+    println!("baseline     : {baseline}");
+    println!("runtime      : {runtime}");
+    println!(
+        "increase     : {:+.1}%",
+        (runtime.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0
+    );
+    let s = d.stats();
+    println!("tasks        : {}", s.tasks_run);
+    println!("recompute    : {}", s.recompute_time);
+    println!(
+        "checkpoints  : {} ({} GB)",
+        s.checkpoints_written,
+        s.checkpoint_bytes / 1_000_000_000
+    );
+    println!("restores     : {}", s.restores);
+    println!("revocations  : {}", s.revocations);
+    if let Some(path) = flags.get("dot") {
+        match std::fs::write(path, d.lineage().to_dot()) {
+            Ok(()) => println!("lineage DOT  : written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_markets(flags: &HashMap<String, String>) -> ExitCode {
+    let seed = flag_u(flags, "seed", 42);
+    let days = flag_u(flags, "days", 60);
+    let cat = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(days));
+    let now = SimTime::ZERO + SimDuration::from_days(days.saturating_sub(1));
+    let window = SimDuration::from_days(7);
+    println!(
+        "{:<28} {:>10} {:>10} {:>12}",
+        "market", "current$", "mean$", "MTTF"
+    );
+    for m in cat.spot_markets() {
+        let s = m.stats(now, window, m.on_demand_price);
+        println!(
+            "{:<28} {:>10.4} {:>10.4} {:>12}",
+            m.name,
+            s.current_price,
+            s.mean_price,
+            s.mttf.to_string()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_mc(flags: &HashMap<String, String>) -> ExitCode {
+    let policy = match flags.get("policy").map(String::as_str).unwrap_or("batch") {
+        "batch" => PolicyKind::FlintBatch,
+        "interactive" => PolicyKind::FlintInteractive,
+        "fleet" => PolicyKind::SpotFleetCheapest,
+        "od" | "on-demand" => PolicyKind::OnDemand,
+        other => {
+            eprintln!("unknown policy: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hours = flag_u(flags, "hours", 24);
+    let seed = flag_u(flags, "seed", 0);
+    let cat = MarketCatalog::synthetic_ec2(40, SimDuration::from_days(90));
+    let ckpt = if flags.contains_key("no-checkpoint") {
+        CkptMode::None
+    } else {
+        CkptMode::Adaptive
+    };
+    let r = run_mc(
+        &cat,
+        &McConfig {
+            job_length: SimDuration::from_hours(hours),
+            policy,
+            ckpt,
+            seed,
+            ..McConfig::default()
+        },
+    );
+    println!("policy        : {}", policy.name());
+    println!("runtime       : {}", r.runtime);
+    println!("compute cost  : ${:.2}", r.compute_cost);
+    println!("storage cost  : ${:.2}", r.storage_cost);
+    println!("unit cost     : {:.3} (on-demand = 1.0)", r.unit_cost());
+    println!(
+        "revocations   : {} events / {} servers",
+        r.revocation_events, r.servers_revoked
+    );
+    println!("stall fraction: {:.1}%", r.stall_fraction * 100.0);
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(flags: &HashMap<String, String>) -> ExitCode {
+    let seed = flag_u(flags, "seed", 42);
+    let days = flag_u(flags, "days", 60);
+    let market = flag_u(flags, "market", 0) as u32;
+    let cat = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(days));
+    if market as usize >= cat.len() {
+        eprintln!("market index out of range (catalog has {})", cat.len());
+        return ExitCode::FAILURE;
+    }
+    print!(
+        "{}",
+        cat.market(flint::market::MarketId(market)).trace.to_csv()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_experiment(args: &[String]) -> ExitCode {
+    use flint_bench::{ablations, exp_engine, exp_market, exp_model};
+    let Some(name) = args.get(1) else {
+        eprintln!("experiment: missing name");
+        return ExitCode::FAILURE;
+    };
+    let table = match name.as_str() {
+        "fig02a" => exp_market::fig02a_ec2_availability(),
+        "fig02b" => exp_market::fig02b_gce_availability(),
+        "fig03" => exp_engine::fig03_memory_pressure(),
+        "fig04" => exp_market::fig04_correlation(),
+        "fig06a" => exp_engine::fig06a_ckpt_tax(),
+        "fig06b" => exp_engine::fig06b_system_ckpt(),
+        "fig06c" => exp_engine::fig06c_volatility(),
+        "fig07" => exp_engine::fig07_single_revocation(),
+        "fig08" => exp_engine::fig08_concurrent_failures(),
+        "fig09" => exp_engine::fig09_interactive(),
+        "fig10a" => exp_model::fig10a_mttf_sweep(),
+        "fig10b" => exp_model::fig10b_flint_vs_spark(),
+        "fig11a" => exp_model::fig11a_unit_cost(),
+        "fig11b" => exp_model::fig11b_bid_sweep(),
+        "multiaz" => exp_engine::tab_multi_az(),
+        "storage" => exp_model::tab_storage_cost(),
+        "ablation_tau" => ablations::ablation_fixed_tau(),
+        "ablation_periodic" => ablations::ablation_adaptive_vs_periodic(),
+        "ablation_fastpath" => ablations::ablation_shuffle_fastpath(),
+        "ablation_markets" => ablations::ablation_market_count(),
+        "ablation_bids" => ablations::ablation_bid_stratification(),
+        "ext_streaming" => ablations::ext_streaming_latency(),
+        "ablation_delta" => ablations::ablation_adaptive_delta(),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{table}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,101 @@
+//! One-call convenience: run a workload on a Flint-managed transient
+//! cluster and get both the result and the bill.
+
+use flint_core::{CostReport, FlintCluster, FlintConfig};
+use flint_engine::Result;
+use flint_market::MarketCatalog;
+use flint_workloads::{Workload, WorkloadSummary};
+
+/// Everything a Flint-managed workload run produces.
+#[derive(Debug, Clone)]
+pub struct FlintRun {
+    /// The workload's result digest.
+    pub summary: WorkloadSummary,
+    /// The final bill (cluster terminated).
+    pub report: CostReport,
+    /// Total virtual running time of the workload, in seconds.
+    pub runtime_secs: f64,
+    /// Engine statistics snapshot.
+    pub stats: flint_engine::RunStats,
+}
+
+/// Launches a Flint cluster for `config`, sizes the engine's cost model
+/// to the workload's recommended scale, runs the workload to completion,
+/// shuts the cluster down, and returns results plus the bill.
+///
+/// # Examples
+///
+/// ```
+/// use flint::runner::run_on_flint;
+/// use flint::core::{FlintConfig, Mode};
+/// use flint::market::MarketCatalog;
+/// use flint::simtime::SimDuration;
+/// use flint::workloads::{PageRank, WorkloadConfig};
+///
+/// let catalog = MarketCatalog::synthetic_ec2(7, SimDuration::from_days(30));
+/// let wl = PageRank::new(WorkloadConfig {
+///     dataset_gb: 0.3,
+///     partitions: 4,
+///     iterations: 2,
+///     seed: 1,
+/// });
+/// let run = run_on_flint(catalog, FlintConfig { n_workers: 4, ..FlintConfig::default() }, &wl)
+///     .unwrap();
+/// assert!(run.summary.records > 0);
+/// assert!(run.report.compute_cost >= 0.0);
+/// ```
+pub fn run_on_flint(
+    catalog: MarketCatalog,
+    config: FlintConfig,
+    workload: &dyn Workload,
+) -> Result<FlintRun> {
+    let mut cluster = FlintCluster::launch(catalog, config);
+    let mut cost = *cluster.driver().cost_model();
+    cost.size_scale = workload.recommended_size_scale();
+    cluster.driver_mut().set_cost_model(cost);
+
+    let started = cluster.driver().now();
+    let summary = workload.run(cluster.driver_mut())?;
+    let runtime_secs = (cluster.driver().now() - started).as_secs_f64();
+    let stats = cluster.driver().stats().clone();
+    let report = cluster.shutdown();
+    Ok(FlintRun {
+        summary,
+        report,
+        runtime_secs,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_core::Mode;
+    use flint_simtime::SimDuration;
+    use flint_workloads::{KMeans, WorkloadConfig};
+
+    #[test]
+    fn end_to_end_run_with_bill() {
+        let catalog = MarketCatalog::synthetic_ec2(3, SimDuration::from_days(30));
+        let wl = KMeans::new(WorkloadConfig {
+            dataset_gb: 0.5,
+            partitions: 4,
+            iterations: 2,
+            seed: 2,
+        });
+        let run = run_on_flint(
+            catalog,
+            FlintConfig {
+                n_workers: 4,
+                mode: Mode::Interactive,
+                ..FlintConfig::default()
+            },
+            &wl,
+        )
+        .unwrap();
+        assert_eq!(run.summary.records, 10); // k centroids
+        assert!(run.runtime_secs > 0.0);
+        assert!(run.report.compute_cost > 0.0);
+        assert_eq!(run.report.policy, "flint-interactive");
+    }
+}

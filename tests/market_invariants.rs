@@ -1,0 +1,104 @@
+//! Property-based tests of the market simulator: billing, revocation
+//! ordering, and trace consistency.
+
+use flint::market::{
+    hourly_spot_cost, CloudSim, InstanceEvent, MarketCatalog, PriceTrace, TraceGenerator,
+    TraceProfile,
+};
+use flint::simtime::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = PriceTrace> {
+    (0u64..100, 0.05f64..0.5).prop_map(|(seed, od)| {
+        let gen = TraceGenerator::new(seed, SimTime::ZERO + SimDuration::from_days(60));
+        gen.generate("prop", &TraceProfile::volatile(od))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Billing is non-negative, monotone in interval length, and bounded
+    /// by peak-price × ceil(hours).
+    #[test]
+    fn billing_bounds(trace in arb_trace(), start_h in 0.0f64..500.0, dur_h in 0.0f64..72.0) {
+        let start = SimTime::from_hours_f64(start_h);
+        let end = start + SimDuration::from_hours_f64(dur_h);
+        let c = hourly_spot_cost(&trace, start, end, false);
+        prop_assert!(c >= 0.0);
+        let longer = hourly_spot_cost(&trace, start, end + SimDuration::from_hours(2), false);
+        prop_assert!(longer >= c - 1e-12);
+        let hours = dur_h.ceil() + 1.0;
+        prop_assert!(c <= trace.max_price() * hours + 1e-9);
+        // Provider revocation never costs more than user termination.
+        let revoked = hourly_spot_cost(&trace, start, end, true);
+        prop_assert!(revoked <= c + 1e-12);
+    }
+
+    /// Instance lifecycles are well-ordered: Ready ≤ Warning ≤ Revoked,
+    /// and the warning leads by at most the platform's lead time.
+    #[test]
+    fn lifecycle_ordering(seed in 0u64..20, bid_mult in 0.3f64..3.0, req_h in 0.0f64..200.0) {
+        let cat = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(30));
+        let mut cloud = CloudSim::with_seed(cat, seed);
+        let m = cloud.catalog().spot_markets()[0].id;
+        let bid = cloud.catalog().market(m).on_demand_price * bid_mult;
+        let t0 = SimTime::from_hours_f64(req_h);
+        let id = cloud.request(m, bid, t0);
+        let evs = cloud.events_until(SimTime::ZERO + SimDuration::from_days(40));
+
+        let mut ready = None;
+        let mut warn = None;
+        let mut revoked = None;
+        for (t, ev) in evs {
+            if ev.instance() != id { continue; }
+            match ev {
+                InstanceEvent::Ready { .. } => ready = Some(t),
+                InstanceEvent::Warning { .. } => warn = Some(t),
+                InstanceEvent::Revoked { .. } => revoked = Some(t),
+            }
+        }
+        let ready = ready.expect("instance must become ready");
+        prop_assert!(ready == t0 + CloudSim::DEFAULT_ACQUISITION_DELAY);
+        if let Some(r) = revoked {
+            let w = warn.expect("revocation must be preceded by a warning");
+            prop_assert!(w <= r);
+            prop_assert!(r - w <= SimDuration::from_secs(120));
+            prop_assert!(w >= ready);
+            // The price at the instant of revocation exceeds the bid.
+            let price = cloud.catalog().market(m).price_at(r);
+            prop_assert!(price > bid, "revoked at price {price} <= bid {bid}");
+        }
+    }
+
+    /// Trace invariants: sampled prices equal point lookups; the mean over
+    /// a window lies within [min, max] of the samples.
+    #[test]
+    fn trace_consistency(trace in arb_trace(), from_h in 0.0f64..500.0) {
+        let from = SimTime::from_hours_f64(from_h);
+        let to = from + SimDuration::from_hours(24);
+        let step = SimDuration::from_mins(30);
+        let samples = trace.sample(from, to, step);
+        for (i, s) in samples.iter().enumerate() {
+            let t = from + step * i as u64;
+            prop_assert_eq!(*s, trace.price_at(t));
+        }
+        let mean = trace.mean_price(from, to);
+        let lo = trace.sample(from, to, SimDuration::from_mins(1)).into_iter().fold(f64::INFINITY, f64::min);
+        let hi = trace.max_price();
+        prop_assert!(mean >= lo - 1e-12 && mean <= hi + 1e-12);
+    }
+
+    /// MTTF estimates shrink (weakly) as the bid drops.
+    #[test]
+    fn mttf_monotone_in_bid(trace in arb_trace()) {
+        let from = SimTime::ZERO;
+        let to = SimTime::ZERO + SimDuration::from_days(60);
+        let od = 0.5;
+        let low = trace.mttf_at(from, to, 0.3 * od);
+        let mid = trace.mttf_at(from, to, 1.0 * od);
+        let high = trace.mttf_at(from, to, 5.0 * od);
+        prop_assert!(low <= mid || low == to - from);
+        prop_assert!(mid <= high || mid == to - from);
+    }
+}

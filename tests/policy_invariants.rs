@@ -1,0 +1,113 @@
+//! Property-based tests of Flint's policy mathematics (Eq. 1–4) and
+//! selection behaviour.
+
+use flint::core::{
+    expected_runtime_factor, harmonic_mttf, optimal_tau, runtime_variance, BatchSelection,
+    BidPolicy, JobProfile, MarketView, SelectionConfig, SelectionPolicy,
+};
+use flint::market::MarketCatalog;
+use flint::simtime::{SimDuration, SimTime};
+use flint::store::StorageConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// τ = √(2δ·MTTF): monotone in both arguments and dimensionally sane
+    /// (τ between δ and MTTF for δ < MTTF).
+    #[test]
+    fn tau_monotone_and_bounded(delta_s in 1u64..600, mttf_h in 1u64..1000) {
+        let delta = SimDuration::from_secs(delta_s);
+        let mttf = SimDuration::from_hours(mttf_h);
+        let tau = optimal_tau(delta, mttf);
+        let tau_bigger_delta = optimal_tau(delta * 4, mttf);
+        let tau_bigger_mttf = optimal_tau(delta, mttf * 4);
+        prop_assert!(tau_bigger_delta >= tau);
+        prop_assert!(tau_bigger_mttf >= tau);
+        // √(2δM) doubles when either argument quadruples.
+        let r = tau_bigger_mttf.as_secs_f64() / tau.as_secs_f64();
+        prop_assert!((r - 2.0).abs() < 0.01, "quadrupling MTTF should double tau, got {r}");
+        if delta < mttf {
+            prop_assert!(tau >= delta, "tau {tau} below delta {delta}");
+            prop_assert!(tau <= mttf, "tau {tau} above mttf {mttf}");
+        }
+    }
+
+    /// The expected runtime factor at τ* is never worse than at 2τ* or
+    /// τ*/2 — the first-order optimality the policy relies on.
+    #[test]
+    fn tau_star_locally_optimal(delta_s in 5u64..600, mttf_h in 1u64..200) {
+        let delta = SimDuration::from_secs(delta_s);
+        let mttf = SimDuration::from_hours(mttf_h);
+        let rd = SimDuration::from_secs(120);
+        let star = optimal_tau(delta, mttf);
+        let f = |tau: SimDuration| expected_runtime_factor(delta, tau, mttf, rd, 1.0);
+        prop_assert!(f(star) <= f(star * 2) + 1e-9);
+        prop_assert!(f(star) <= f(star / 2) + 1e-9);
+    }
+
+    /// Harmonic MTTF is below the weakest member and scales like m for
+    /// identical members.
+    #[test]
+    fn harmonic_mttf_bounds(hours in proptest::collection::vec(1u64..500, 1..6)) {
+        let mttfs: Vec<SimDuration> = hours.iter().map(|h| SimDuration::from_hours(*h)).collect();
+        let agg = harmonic_mttf(&mttfs);
+        let min = *mttfs.iter().min().unwrap();
+        prop_assert!(agg <= min);
+        let m = mttfs.len() as u64;
+        prop_assert!(agg * m >= min, "aggregate too small: {agg} * {m} < {min}");
+    }
+
+    /// Diversification reduces variance: m equal markets always beat one
+    /// (Eq. 3 + 4, the basis of Policy 2).
+    #[test]
+    fn diversification_cuts_variance(mttf_h in 2u64..200, m in 2u32..8) {
+        let t = SimDuration::from_hours(4);
+        let delta = SimDuration::from_secs(60);
+        let rd = SimDuration::from_secs(120);
+        let single = runtime_variance(t, delta, SimDuration::from_hours(mttf_h), rd, 1);
+        let agg = SimDuration::from_hours_f64(mttf_h as f64 / f64::from(m));
+        let multi = runtime_variance(t, delta, agg, rd, m);
+        prop_assert!(
+            multi < single,
+            "m={m}: variance {multi} should be below single-market {single}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The batch policy's pick minimizes expected cost over every stable
+    /// candidate (brute-force cross-check), at arbitrary decision times.
+    #[test]
+    fn batch_selection_is_brute_force_optimal(day in 8u64..80, seed in 0u64..5) {
+        let cat = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(90));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = MarketView {
+            catalog: &cat,
+            now: SimTime::ZERO + SimDuration::from_days(day),
+            bid: BidPolicy::OnDemandPrice,
+            cfg: &cfg,
+            job: &job,
+            storage: StorageConfig::default(),
+            n: 10,
+        };
+        let mut p = BatchSelection;
+        let pick = p.initial(&view)[0].0;
+        let pick_rate = if pick == cat.on_demand_id() {
+            view.on_demand_rate()
+        } else {
+            view.cost_rate(pick)
+        };
+        for c in view.candidates() {
+            prop_assert!(
+                view.cost_rate(c) >= pick_rate - 1e-12,
+                "candidate {:?} at {} beats pick {:?} at {}",
+                c, view.cost_rate(c), pick, pick_rate
+            );
+        }
+        prop_assert!(pick_rate <= view.on_demand_rate() + 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the engine's core correctness invariant:
+//! under ANY revocation schedule, recovery (recomputation + checkpoint
+//! restore) produces results bit-identical to a failure-free run.
+
+use flint::core::FlintCheckpointPolicy;
+use flint::engine::{
+    Driver, DriverConfig, NoCheckpoint, ScriptedInjector, Value, WorkerEvent, WorkerSpec,
+};
+use flint::simtime::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Builds a deterministic multi-stage job and returns its sorted output.
+fn run_job(driver: &mut Driver, seed: i64) -> Vec<Value> {
+    let src = driver
+        .ctx()
+        .parallelize((0..400).map(|i| Value::from_i64(i * seed % 101)), 8);
+    let pairs = driver.ctx().map(src, |v| {
+        Value::pair(Value::Int(v.as_i64().unwrap() % 7), v.clone())
+    });
+    let grouped = driver.ctx().reduce_by_key(pairs, 5, |a, b| {
+        Value::Int(a.as_i64().unwrap_or(0) + b.as_i64().unwrap_or(0))
+    });
+    let swapped = driver.ctx().map(grouped, |p| {
+        let (k, v) = p.clone().into_pair().unwrap();
+        Value::pair(v, k)
+    });
+    let sorted = driver.ctx().sort_by_key(swapped, 3, true);
+    let mut out = driver.collect(sorted).unwrap();
+    out.sort();
+    out
+}
+
+/// A revocation schedule: (milliseconds, workers to kill, replace?).
+fn schedules() -> impl Strategy<Value = Vec<(u64, u8, bool)>> {
+    proptest::collection::vec((1_000u64..600_000, 1u8..4, proptest::bool::ANY), 0..4)
+}
+
+fn scripted(events: &[(u64, u8, bool)], n_workers: u64) -> ScriptedInjector {
+    let mut evs = Vec::new();
+    let mut next_victim = 1u64;
+    let mut next_repl = 100u64;
+    for (ms, k, replace) in events {
+        for _ in 0..*k {
+            if next_victim > n_workers {
+                break;
+            }
+            let t = SimTime::from_millis(*ms);
+            evs.push((
+                t,
+                WorkerEvent::Remove {
+                    ext_id: next_victim,
+                },
+            ));
+            next_victim += 1;
+            if *replace {
+                evs.push((
+                    t + SimDuration::from_secs(120),
+                    WorkerEvent::Add {
+                        ext_id: next_repl,
+                        spec: WorkerSpec::r3_large(),
+                    },
+                ));
+                next_repl += 1;
+            }
+        }
+    }
+    ScriptedInjector::new(evs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any revocation schedule (with at least one surviving or replaced
+    /// worker) yields byte-identical results, without checkpointing.
+    #[test]
+    fn recomputation_is_exact(seed in 1i64..50, events in schedules()) {
+        let mut clean = Driver::local(6);
+        let golden = run_job(&mut clean, seed);
+
+        let mut cfg = DriverConfig::default();
+        cfg.cost.size_scale = 5e5; // paper-scale pressure from tiny data
+        let mut d = Driver::new(
+            cfg,
+            Box::new(NoCheckpoint),
+            Box::new(scripted(&events, 6)),
+        );
+        for ext in 1..=6u64 {
+            d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+        }
+        // Guarantee progress even if the schedule kills everyone without
+        // replacement.
+        d.add_worker_with_ext(999, WorkerSpec::r3_large());
+
+        let got = run_job(&mut d, seed);
+        prop_assert_eq!(got, golden);
+    }
+
+    /// Same invariant with Flint's adaptive checkpointing active: restores
+    /// must also be exact.
+    #[test]
+    fn checkpointed_recovery_is_exact(seed in 1i64..50, events in schedules()) {
+        let mut clean = Driver::local(6);
+        let golden = run_job(&mut clean, seed);
+
+        let mut cfg = DriverConfig::default();
+        cfg.cost.size_scale = 5e5;
+        let mut d = Driver::new(
+            cfg,
+            Box::new(FlintCheckpointPolicy::with_mttf(SimDuration::from_mins(20))),
+            Box::new(scripted(&events, 6)),
+        );
+        for ext in 1..=6u64 {
+            d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+        }
+        d.add_worker_with_ext(999, WorkerSpec::r3_large());
+
+        let got = run_job(&mut d, seed);
+        prop_assert_eq!(got, golden);
+    }
+
+    /// Explicitly checkpointed datasets survive arbitrary later failures
+    /// and always restore to the same contents.
+    #[test]
+    fn checkpoint_round_trip(data in proptest::collection::vec(-1000i64..1000, 1..200)) {
+        let mut d = Driver::local(3);
+        let src = d.ctx().parallelize(data.iter().copied().map(Value::from_i64), 4);
+        let mapped = d.ctx().map(src, |v| Value::Int(v.as_i64().unwrap() * 3));
+        d.checkpoint_now(mapped).unwrap();
+
+        let mut expect: Vec<i64> = data.iter().map(|x| x * 3).collect();
+        expect.sort_unstable();
+        let mut got: Vec<i64> = d
+            .collect(mapped)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}
