@@ -4,9 +4,95 @@
 //! itself (wall-clock, not virtual time).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flint_engine::{Driver, HashPartitioner, Partitioner, Value};
+use flint_engine::{
+    Driver, DriverConfig, HashPartitioner, NoCheckpoint, NoFailures, Partitioner, Value, WorkerSpec,
+};
 use flint_market::{MarketCatalog, TraceGenerator, TraceProfile};
 use flint_simtime::{SimDuration, SimTime};
+
+/// One 8-partition wide stage (map_partitions feeding a shuffle), the
+/// workload shape the wave executor parallelizes: all 8 shuffle-map
+/// tasks become ready in a single wave. `stall` emulates a blocking
+/// data-source read per partition (zero for the pure CPU-bound variant).
+fn wide_stage(host_threads: usize, stall: std::time::Duration) -> u64 {
+    let mut d = Driver::new(
+        DriverConfig {
+            host_threads,
+            ..DriverConfig::default()
+        },
+        Box::new(NoCheckpoint),
+        Box::new(NoFailures),
+    );
+    for _ in 0..4 {
+        d.add_worker(WorkerSpec::r3_large());
+    }
+    let src = d.ctx().parallelize((0..8_000).map(Value::from_i64), 8);
+    let hashed = d.ctx().map_partitions(src, 4.0, move |_, data| {
+        if !stall.is_zero() {
+            std::thread::sleep(stall);
+        }
+        data.iter()
+            .map(|v| {
+                // splitmix-style finalizer iterated to simulate a
+                // CPU-bound kernel (~µs per element of real work).
+                let mut x = v.as_i64().unwrap_or(0) as u64 ^ 0x9e37_79b9_7f4a_7c15;
+                for _ in 0..400 {
+                    x ^= x >> 33;
+                    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                    x ^= x >> 29;
+                }
+                Value::pair(Value::Int((x % 16) as i64), Value::Int((x % 1_000) as i64))
+            })
+            .collect()
+    });
+    let reduced = d.ctx().reduce_by_key(hashed, 8, |a, b| {
+        Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+    });
+    d.count(reduced).unwrap()
+}
+
+/// Sequential-vs-parallel wave execution on the same wide stage, plus
+/// one-shot speedup reports (the acceptance gate is >= 2x at 8 threads).
+/// Two variants: a pure CPU-bound kernel, whose speedup tracks the
+/// machine's core count, and a kernel with a blocking source read, whose
+/// tasks overlap on any machine (that one carries the gate on 1-core
+/// hosts).
+fn bench_wave_executor(c: &mut Criterion) {
+    let stall = std::time::Duration::from_millis(10);
+    c.bench_function("wide_stage_8p_cpu_host_threads_1", |b| {
+        b.iter(|| wide_stage(1, std::time::Duration::ZERO))
+    });
+    c.bench_function("wide_stage_8p_cpu_host_threads_8", |b| {
+        b.iter(|| wide_stage(8, std::time::Duration::ZERO))
+    });
+    c.bench_function("wide_stage_8p_blocking_host_threads_1", |b| {
+        b.iter(|| wide_stage(1, stall))
+    });
+    c.bench_function("wide_stage_8p_blocking_host_threads_8", |b| {
+        b.iter(|| wide_stage(8, stall))
+    });
+    let timed = |threads: usize, stall: std::time::Duration| {
+        let t0 = std::time::Instant::now();
+        let n = wide_stage(threads, stall);
+        (t0.elapsed(), n)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for (label, s) in [
+        ("cpu-bound", std::time::Duration::ZERO),
+        ("blocking-source", stall),
+    ] {
+        let (seq, n1) = timed(1, s);
+        let (par, n8) = timed(8, s);
+        assert_eq!(n1, n8, "parallel wave changed the answer");
+        println!(
+            "wave executor {label} wide-stage speedup (8 vs 1 host threads, \
+             {cores} cores): {:.2}x ({:?} -> {:?})",
+            seq.as_secs_f64() / par.as_secs_f64().max(1e-9),
+            seq,
+            par
+        );
+    }
+}
 
 fn bench_wordcount_job(c: &mut Criterion) {
     c.bench_function("engine_wordcount_2k_records", |b| {
@@ -56,6 +142,6 @@ fn bench_catalog_generation(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = bench_wordcount_job, bench_hash_partitioner, bench_trace_lookup, bench_catalog_generation
+    targets = bench_wave_executor, bench_wordcount_job, bench_hash_partitioner, bench_trace_lookup, bench_catalog_generation
 );
 criterion_main!(micro);

@@ -70,9 +70,59 @@ impl Table {
         let dir = results_dir();
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.json"));
-        fs::write(&path, serde_json::to_string_pretty(self)?)?;
+        fs::write(&path, self.to_json())?;
         Ok(())
     }
+
+    /// Renders the table as pretty-printed JSON. Tables are flat
+    /// (strings and arrays of strings), so the encoding is done by
+    /// hand; only string escaping needs care.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!("  \"note\": {},\n", json_str(&self.note)));
+        out.push_str(&format!(
+            "  \"headers\": {},\n",
+            json_str_array(&self.headers)
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            out.push_str(&json_str_array(row));
+        }
+        out.push_str(if self.rows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 fn results_dir() -> PathBuf {
@@ -127,6 +177,27 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("=== T ==="));
         assert!(s.contains("1.5%"));
+    }
+
+    #[test]
+    fn json_encoding_escapes_and_nests() {
+        let mut t = Table::new("Q\"uo\\te", &["h1", "h2"]).with_note("line\nbreak");
+        t.push_row(vec!["a".into(), "b\tc".into()]);
+        let j = t.to_json();
+        assert!(j.contains(r#""title": "Q\"uo\\te""#));
+        assert!(j.contains(r#""note": "line\nbreak""#));
+        assert!(j.contains(r#"["h1", "h2"]"#));
+        assert!(j.contains(r#"["a", "b\tc"]"#));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_encoding_empty_rows() {
+        let t = Table::new("T", &["a"]);
+        let j = t.to_json();
+        assert!(j.contains("\"rows\": []"));
     }
 
     #[test]

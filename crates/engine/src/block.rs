@@ -186,6 +186,37 @@ impl BlockManager {
         None
     }
 
+    /// Looks up a block's data without touching LRU state.
+    ///
+    /// This is the read half of [`BlockManager::get`], split out so the
+    /// parallel wave executor can read a consistent snapshot from many
+    /// host threads (`&self`) and replay the LRU bumps later, in
+    /// deterministic task order, via [`BlockManager::touch`].
+    pub fn peek_data(&self, key: &BlockKey) -> Option<(PartitionData, BlockLocation, u64)> {
+        if let Some(b) = self.mem.get(key) {
+            return Some((b.data.clone(), BlockLocation::Memory, b.vbytes));
+        }
+        if let Some(b) = self.disk.get(key) {
+            return Some((b.data.clone(), BlockLocation::Disk, b.vbytes));
+        }
+        None
+    }
+
+    /// Bumps a block's LRU stamp without reading its data — the write
+    /// half of [`BlockManager::get`]. Returns `true` if the block exists.
+    pub fn touch(&mut self, key: &BlockKey) -> bool {
+        let lu = self.tick();
+        if let Some(b) = self.mem.get_mut(key) {
+            b.last_use = lu;
+            return true;
+        }
+        if let Some(b) = self.disk.get_mut(key) {
+            b.last_use = lu;
+            return true;
+        }
+        false
+    }
+
     /// Returns the location of a block without touching LRU state.
     pub fn peek(&self, key: &BlockKey) -> Option<(BlockLocation, u64)> {
         if let Some(b) = self.mem.get(key) {
@@ -338,6 +369,34 @@ mod tests {
         assert_eq!(bm.mem_used(), 0);
         assert_eq!(bm.disk_used(), 0);
         assert!(bm.keys().is_empty());
+    }
+
+    #[test]
+    fn peek_data_then_touch_equals_get() {
+        // Two managers, same inserts: peek_data + touch must leave the
+        // LRU state identical to a plain get.
+        let mut a = BlockManager::new(250, 1000);
+        let mut b = BlockManager::new(250, 1000);
+        for bm in [&mut a, &mut b] {
+            bm.insert(key(0), data(1), 100);
+            bm.insert(key(1), data(1), 100);
+        }
+        let (da, loc_a, vb_a) = a.get(&key(0)).unwrap();
+        let (db, loc_b, vb_b) = b.peek_data(&key(0)).unwrap();
+        assert!(b.touch(&key(0)));
+        assert_eq!((da.len(), loc_a, vb_a), (db.len(), loc_b, vb_b));
+        // Same eviction victim afterwards (key 1 is LRU in both).
+        a.insert(key(2), data(1), 100);
+        b.insert(key(2), data(1), 100);
+        assert_eq!(a.peek(&key(1)).unwrap().0, BlockLocation::Disk);
+        assert_eq!(b.peek(&key(1)).unwrap().0, BlockLocation::Disk);
+    }
+
+    #[test]
+    fn touch_missing_block_is_noop() {
+        let mut bm = BlockManager::new(100, 100);
+        assert!(!bm.touch(&key(9)));
+        assert!(bm.peek_data(&key(9)).is_none());
     }
 
     #[test]

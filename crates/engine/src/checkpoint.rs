@@ -42,6 +42,18 @@ fn shuffle_key(s: ShuffleId, map_part: u32) -> String {
     format!("shuffle-{:06}/part-{:05}", s.0, map_part)
 }
 
+/// Byte-exact size of one partition's serialized checkpoint payload: an
+/// 8-byte record count followed by each record's 4-byte length frame and
+/// encoded bytes ([`crate::Value::size_bytes`]).
+///
+/// This walk is the expensive part of preparing a checkpoint write, so
+/// the wave executor runs it on the host thread pool alongside task
+/// materialization; the determinism suite asserts the resulting sizes are
+/// identical for every `host_threads` setting.
+pub fn wire_size(data: &[crate::Value]) -> u64 {
+    8 + data.iter().map(|v| 4 + v.size_bytes()).sum::<u64>()
+}
+
 impl CheckpointStore {
     /// Creates an empty checkpoint store with the given bandwidth model.
     pub fn new(cfg: StorageConfig) -> Self {
@@ -209,6 +221,14 @@ mod tests {
 
     fn data() -> PartitionData {
         Arc::new(vec![])
+    }
+
+    #[test]
+    fn wire_size_is_framing_plus_payload() {
+        assert_eq!(wire_size(&[]), 8);
+        let vals = vec![crate::Value::Int(1), crate::Value::from_str_("abc")];
+        let payload: u64 = vals.iter().map(crate::Value::size_bytes).sum();
+        assert_eq!(wire_size(&vals), 8 + 2 * 4 + payload);
     }
 
     #[test]

@@ -180,6 +180,31 @@ impl Cluster {
         Some((wid, data, loc, bytes))
     }
 
+    /// Fetches a block's data from anywhere in the alive cluster without
+    /// mutating LRU state — the read-snapshot analogue of
+    /// [`Cluster::fetch`], usable from parallel wave threads. Callers
+    /// replay the LRU bump afterwards with [`Cluster::touch`].
+    pub fn peek_fetch(
+        &self,
+        key: &BlockKey,
+    ) -> Option<(WorkerId, PartitionData, BlockLocation, u64)> {
+        let (wid, _, _) = self.locate(key)?;
+        let w = &self.workers[wid.0 as usize];
+        let (data, loc, bytes) = w.blocks.peek_data(key)?;
+        Some((wid, data, loc, bytes))
+    }
+
+    /// Bumps a block's LRU stamp on one worker (deferred half of a
+    /// [`Cluster::peek_fetch`]). No-op if the worker died or dropped the
+    /// block since the peek.
+    pub fn touch(&mut self, wid: WorkerId, key: &BlockKey) {
+        if let Some(w) = self.workers.get_mut(wid.0 as usize) {
+            if w.alive {
+                w.blocks.touch(key);
+            }
+        }
+    }
+
     /// Removes a block from every worker (e.g. when superseded).
     pub fn remove_everywhere(&mut self, key: &BlockKey) {
         for w in &mut self.workers {
@@ -296,6 +321,23 @@ mod tests {
             w.earliest_free(SimTime::from_millis(70)),
             SimTime::from_millis(70)
         );
+    }
+
+    #[test]
+    fn peek_fetch_matches_fetch_without_lru_bump() {
+        let mut c = Cluster::new();
+        let a = c.add_worker(1, spec(), SimTime::ZERO);
+        c.worker_mut(a)
+            .blocks
+            .insert(key(3), Arc::new(vec![Value::Int(7)]), 12);
+        let (wid, data, loc, vb) = c.peek_fetch(&key(3)).unwrap();
+        assert_eq!((wid, loc, vb), (a, crate::BlockLocation::Memory, 12));
+        assert_eq!(data.len(), 1);
+        // Touch after peek; on a dead worker it is a no-op.
+        c.touch(a, &key(3));
+        c.remove_by_ext(1);
+        c.touch(a, &key(3));
+        assert!(c.peek_fetch(&key(3)).is_none());
     }
 
     #[test]

@@ -2,21 +2,21 @@
 //! handling, and checkpoint orchestration.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
-use std::sync::Arc;
 
 use flint_simtime::{Clock, SimDuration, SimTime};
 use flint_store::StorageConfig;
 
-use crate::block::{BlockKey, BlockLocation};
+use crate::block::BlockKey;
 use crate::checkpoint::CheckpointStore;
 use crate::cluster::{Cluster, WorkerId, WorkerSpec};
 use crate::context::EngineContext;
 use crate::cost::CostModel;
 use crate::error::{EngineError, Result};
+use crate::executor::{self, CacheEffect, TaskOutput, WaveCtx};
 use crate::hooks::{CheckpointDirective, CheckpointHooks, LineageView, NoCheckpoint};
 use crate::injector::{FailureInjector, NoFailures, WorkerEvent};
 use crate::rdd::{PartitionData, RddId, RddOp, RddRef};
-use crate::shuffle::{Partitioner, RangePartitioner, ShuffleId, ShuffleKind};
+use crate::shuffle::{RangePartitioner, ShuffleId};
 use crate::stats::{ActionRecord, RunStats};
 use crate::value::Value;
 
@@ -30,6 +30,13 @@ pub struct DriverConfig {
     /// Hard cap on scheduler loop iterations per action, guarding against
     /// revocation livelock (MTTF far below task granularity).
     pub max_iterations: u64,
+    /// Host threads used to materialize each scheduling wave's tasks in
+    /// parallel (real wall-clock parallelism; virtual time is
+    /// unaffected). Results are committed in fixed task-key order on the
+    /// driver thread, so any value — including 1 — produces bit-identical
+    /// results, statistics, and virtual-time trajectories. See the
+    /// `executor` module docs for the compute/commit split.
+    pub host_threads: usize,
 }
 
 impl Default for DriverConfig {
@@ -38,13 +45,18 @@ impl Default for DriverConfig {
             cost: CostModel::default(),
             storage: StorageConfig::default(),
             max_iterations: 5_000_000,
+            host_threads: 1,
         }
     }
 }
 
 /// A schedulable unit of work.
+///
+/// The derived `Ord` defines the commit order within a wave: outputs are
+/// admitted in ascending `TaskKey` order regardless of which host thread
+/// computed them first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum TaskKey {
+pub(crate) enum TaskKey {
     /// Produce the shuffle map output block for `(shuffle, map_part)`.
     ShuffleMap { shuffle: ShuffleId, map_part: u32 },
     /// Materialize and cache partition `part` of the job target.
@@ -55,7 +67,7 @@ enum TaskKey {
 
 /// A pending checkpoint write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum CkptJob {
+pub(crate) enum CkptJob {
     /// Checkpoint `(rdd, part)`.
     RddPart(RddId, u32),
     /// Checkpoint a shuffle map output (systems-level baseline).
@@ -67,8 +79,8 @@ enum CkptJob {
 enum Commit {
     /// Insert a block into the executing worker's store.
     Block(BlockKey),
-    /// Write a checkpoint object.
-    Checkpoint(CkptJob),
+    /// Write a checkpoint object of `wire` serialized bytes.
+    Checkpoint { job: CkptJob, wire: u64 },
 }
 
 #[derive(Debug, Clone)]
@@ -88,7 +100,7 @@ struct Running {
 /// between planning and execution (cannot normally happen; handled by
 /// replanning).
 #[derive(Debug)]
-struct MissingShuffle;
+pub(crate) struct MissingShuffle;
 
 /// The execution engine: owns the lineage context, the simulated cluster,
 /// the checkpoint store, and the virtual clock.
@@ -114,11 +126,6 @@ pub struct Driver {
     last_pumped: SimTime,
     next_local_ext: u64,
     task_seq: u64,
-    /// Partition sizes computed during the current materialize call,
-    /// in chain order (deepest ancestor first). Applied to the lineage at
-    /// task *commit* time so the execution frontier advances in the order
-    /// RDDs logically complete.
-    touched_scratch: Vec<(RddId, u32, u64)>,
 }
 
 impl Driver {
@@ -149,15 +156,21 @@ impl Driver {
             last_pumped: SimTime::ZERO,
             next_local_ext: 1 << 40,
             task_seq: 0,
-            touched_scratch: Vec::new(),
         }
     }
 
     /// Creates a driver with `n` healthy local workers, no checkpointing
-    /// policy, and no failures — a correctness sandbox.
+    /// policy, and no failures — a correctness sandbox. Wave execution
+    /// uses all available host cores (results are identical to
+    /// `host_threads = 1` by construction).
     pub fn local(n: u32) -> Self {
         let mut d = Driver::new(
-            DriverConfig::default(),
+            DriverConfig {
+                host_threads: std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+                ..DriverConfig::default()
+            },
             Box::new(NoCheckpoint),
             Box::new(NoFailures),
         );
@@ -428,14 +441,24 @@ impl Driver {
                 return Ok(());
             }
 
-            // Assign compute tasks, then checkpoint writes.
+            // Materialize every ready task in parallel against the
+            // wave-start snapshot, then admit the results sequentially in
+            // fixed task-key order (`plan_ready` yields sorted keys), so
+            // scheduling and accounting are bit-identical for any
+            // `host_threads` setting. Checkpoint writes follow.
+            let pending: Vec<TaskKey> = ready
+                .into_iter()
+                .filter(|k| !self.in_flight.contains(k))
+                .collect();
             let mut assigned_any = false;
-            for key in ready {
-                if self.in_flight.contains(&key) {
-                    continue;
-                }
-                if self.assign_task(key) {
-                    assigned_any = true;
+            if !pending.is_empty() && self.cluster.alive_count() > 0 {
+                let outputs = self.compute_wave(&pending);
+                for (key, out) in pending.into_iter().zip(outputs) {
+                    if let Some(out) = out {
+                        if self.admit_task(key, out) {
+                            assigned_any = true;
+                        }
+                    }
                 }
             }
             self.assign_checkpoint_jobs();
@@ -706,9 +729,81 @@ impl Driver {
         Some(least_loaded)
     }
 
-    /// Assigns one compute task. Returns `false` if no worker is
-    /// available or materialization hit a transient miss.
-    fn assign_task(&mut self, key: TaskKey) -> bool {
+    /// Builds the immutable snapshot the wave executor's host threads
+    /// read. Borrowing rules guarantee the snapshot cannot change while a
+    /// wave is computing.
+    fn wave_ctx(&self) -> WaveCtx<'_> {
+        WaveCtx {
+            lineage: self.ctx.lineage(),
+            cluster: &self.cluster,
+            ckpt: &self.ckpt,
+            cost: &self.config.cost,
+            computed_once: &self.computed_once,
+            range_cache: &self.range_cache,
+        }
+    }
+
+    /// Materializes a wave of compute tasks in parallel. Outputs come
+    /// back in input order; `None` marks a transient shuffle miss.
+    fn compute_wave(&self, keys: &[TaskKey]) -> Vec<Option<TaskOutput>> {
+        let ctx = self.wave_ctx();
+        executor::run_wave(self.config.host_threads, keys, |k| {
+            executor::compute_task(&ctx, *k)
+        })
+    }
+
+    /// Serializes a wave of checkpoint jobs in parallel. `None` marks a
+    /// vanished payload (dropped silently, as the job is replanned or
+    /// moot).
+    fn compute_ckpt_wave(&self, jobs: &[CkptJob]) -> Vec<Option<TaskOutput>> {
+        let ctx = self.wave_ctx();
+        executor::run_wave(self.config.host_threads, jobs, |j| {
+            executor::compute_ckpt(&ctx, *j)
+        })
+    }
+
+    /// Applies a computed task's recorded side effects — stat deltas,
+    /// resolved range partitioners, `computed_once` entries, and deferred
+    /// cache mutations — against the now-chosen `worker`, and prices the
+    /// task's network reads (charged only when the source worker is not
+    /// the executing one). Runs on the driver thread, in admission order.
+    fn apply_output_effects(&mut self, out: &TaskOutput, worker: WorkerId) -> SimDuration {
+        self.stats.restores += out.restores;
+        self.stats.restore_time += out.restore_time;
+        self.stats.recompute_time += out.recompute_time;
+        for (s, rp) in &out.resolved {
+            // First admitted resolution wins; later tasks resolved the
+            // same bounds from the same snapshot.
+            self.range_cache.entry(*s).or_insert_with(|| rp.clone());
+        }
+        for cp in &out.computed {
+            self.computed_once.insert(*cp);
+        }
+        for e in &out.effects {
+            match e {
+                CacheEffect::Touch(wid, bk) => self.cluster.touch(*wid, bk),
+                CacheEffect::TouchLocal(bk) => self.cluster.touch(worker, bk),
+                CacheEffect::Insert(bk, data, vb) => {
+                    let w = self.cluster.worker_mut(worker);
+                    if w.alive {
+                        w.blocks.insert(*bk, data.clone(), *vb);
+                    }
+                }
+            }
+        }
+        let mut net = SimDuration::ZERO;
+        for f in &out.net {
+            if f.source != worker {
+                net += self.config.cost.net_time(f.vbytes);
+            }
+        }
+        net
+    }
+
+    /// Admits one computed task: picks the worker, applies the recorded
+    /// effects, prices network time, and reserves a core. Returns `false`
+    /// if no worker is available.
+    fn admit_task(&mut self, key: TaskKey, out: TaskOutput) -> bool {
         let (rdd, part, commit) = match key {
             TaskKey::Output { rdd, part } => {
                 (rdd, part, Commit::Block(BlockKey::RddPart { rdd, part }))
@@ -726,130 +821,109 @@ impl Driver {
         let Some(worker) = self.pick_worker(self.preferred_worker(rdd, part)) else {
             return false;
         };
-        self.touched_scratch.clear();
-        let (mut data, mut dur) = match self.materialize(rdd, part, worker) {
-            Ok(x) => x,
-            Err(MissingShuffle) => return false,
-        };
-        // Map-side combine (Spark `reduceByKey` pre-aggregation).
-        if let TaskKey::ShuffleMap { shuffle, .. } = key {
-            if let Some(combine) = self.ctx.lineage().shuffle(shuffle).combine.clone() {
-                let vb = self.config.cost.vbytes(Self::real_bytes(&data));
-                dur += self.config.cost.compute_time(vb, 1.0);
-                let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
-                let mut non_pairs: Vec<Value> = Vec::new();
-                for v in data.iter() {
-                    match v {
-                        Value::Pair(k, val) => match agg.get_mut(k) {
-                            Some(acc) => *acc = combine(acc, val),
-                            None => {
-                                agg.insert(k.as_ref().clone(), val.as_ref().clone());
-                            }
-                        },
-                        other => non_pairs.push(other.clone()),
-                    }
-                }
-                let mut combined: Vec<Value> =
-                    agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
-                combined.extend(non_pairs);
-                data = Arc::new(combined);
-            }
-        }
-        let dur = dur + self.config.cost.task_overhead;
+        let net = self.apply_output_effects(&out, worker);
+        let dur = out.base_dur + net + self.config.cost.task_overhead;
         let now = self.clock.now();
         let w = self.cluster.worker_mut(worker);
         let core = w.earliest_free_core();
         let start = w.cores_busy_until[core].max(now);
         let finish = start + dur;
         w.cores_busy_until[core] = finish;
-        let real: u64 = data.iter().map(Value::size_bytes).sum::<u64>() + 16;
-        let vbytes = self.config.cost.vbytes(real);
-        let touched = std::mem::take(&mut self.touched_scratch);
         self.task_seq += 1;
         self.running.push(Running {
             key,
             worker,
             finish,
-            data,
-            vbytes,
+            data: out.data,
+            vbytes: out.vbytes,
             duration: dur,
             commit,
-            touched,
+            touched: out.touched,
             seq: self.task_seq,
         });
         self.in_flight.insert(key);
         true
     }
 
-    /// Assigns every queued checkpoint write to a worker core.
+    /// True when a queued checkpoint job needs no work: it is already in
+    /// flight or its object is already durable.
+    fn ckpt_satisfied(&self, job: CkptJob) -> bool {
+        if self.in_flight.contains(&TaskKey::Ckpt(job)) {
+            return true;
+        }
+        match job {
+            CkptJob::RddPart(rdd, part) => self.ckpt.has(rdd, part),
+            CkptJob::Shuffle(s, mp) => self.ckpt.has_shuffle(s, mp),
+        }
+    }
+
+    /// Assigns every queued checkpoint write to a worker core. The
+    /// serialization walks and any payload materialization run on the
+    /// wave executor's host threads; admission (worker choice, core
+    /// reservation, contention stalls) stays in queue order on the driver
+    /// thread.
     fn assign_checkpoint_jobs(&mut self) {
-        while let Some(job) = self.ckpt_queue.pop_front() {
-            self.ckpt_queued.remove(&job);
-            if !self.assign_ckpt(job) {
-                // No workers: push back and stop (will retry later).
-                if self.ckpt_queued.insert(job) {
-                    self.ckpt_queue.push_front(job);
-                }
-                break;
+        if self.ckpt_queue.is_empty() || self.cluster.alive_count() == 0 {
+            return; // keep the queue intact until workers exist
+        }
+        let drained: Vec<CkptJob> = self.ckpt_queue.drain(..).collect();
+        self.ckpt_queued.clear();
+        let todo: Vec<CkptJob> = drained
+            .into_iter()
+            .filter(|job| !self.ckpt_satisfied(*job))
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let outputs = self.compute_ckpt_wave(&todo);
+        for (job, out) in todo.into_iter().zip(outputs) {
+            // A vanished payload (dead shuffle block, missing shuffle
+            // input) is dropped silently; the partition is replanned or
+            // moot.
+            let Some(out) = out else { continue };
+            if !self.admit_ckpt(job, out) && self.ckpt_queued.insert(job) {
+                // Lost the worker between compute and admit: requeue.
+                self.ckpt_queue.push_back(job);
             }
         }
     }
 
-    fn assign_ckpt(&mut self, job: CkptJob) -> bool {
-        let key = TaskKey::Ckpt(job);
-        if self.in_flight.contains(&key) {
-            return true; // already being written
-        }
-        match job {
+    /// Admits one serialized checkpoint job. Returns `false` if no worker
+    /// can host the write.
+    fn admit_ckpt(&mut self, job: CkptJob, out: TaskOutput) -> bool {
+        let worker = match job {
             CkptJob::RddPart(rdd, part) => {
-                if self.ckpt.has(rdd, part) {
-                    return true;
+                match self.pick_worker(self.preferred_worker(rdd, part)) {
+                    Some(w) => w,
+                    None => return false,
                 }
-                let Some(worker) = self.pick_worker(self.preferred_worker(rdd, part)) else {
-                    return false;
-                };
-                self.touched_scratch.clear();
-                let (data, _resolve) = match self.materialize(rdd, part, worker) {
-                    Ok(x) => x,
-                    Err(MissingShuffle) => return true, // drop silently; replanned later
-                };
-                let real: u64 = data.iter().map(Value::size_bytes).sum::<u64>() + 16;
-                let vbytes = self.config.cost.vbytes(real);
-                // Durable-write bandwidth is a per-NODE resource shared by
-                // all cores; with one writer per core, each sees 1/cores
-                // of the node's EBS bandwidth. Only the write is charged:
-                // Flint's checkpoint tasks capture partitions as they are
-                // produced (§4), so no recomputation is needed.
-                let cores = u64::from(self.cluster.worker(worker).spec.cores.max(1));
-                let write = self.ckpt.config().write_time(vbytes * cores, 1);
-                self.start_ckpt_task(key, worker, data, vbytes, write, job);
-                true
             }
-            CkptJob::Shuffle(s, mp) => {
-                if self.ckpt.has_shuffle(s, mp) {
-                    return true;
-                }
-                let bk = BlockKey::ShuffleMap {
-                    shuffle: s,
-                    map_part: mp,
-                };
-                let Some((wid, data, _, vbytes)) = self.cluster.fetch(&bk) else {
-                    return true; // block gone; nothing to snapshot
-                };
-                let cores = u64::from(self.cluster.worker(wid).spec.cores.max(1));
-                let write = self.ckpt.config().write_time(vbytes * cores, 1);
-                self.start_ckpt_task(key, wid, data, vbytes, write, job);
-                true
-            }
-        }
+            // A shuffle snapshot is written by the worker holding the
+            // map output block.
+            CkptJob::Shuffle(..) => match out.source {
+                Some(w) if self.cluster.worker(w).alive => w,
+                _ => return false,
+            },
+        };
+        // Materialization time (including network reads) is discarded:
+        // Flint's checkpoint tasks capture partitions as they are
+        // produced (§4), so no recomputation is charged — but bookkeeping
+        // side effects (restores, cache inserts, LRU bumps) still apply.
+        let _net = self.apply_output_effects(&out, worker);
+        // Durable-write bandwidth is a per-NODE resource shared by all
+        // cores; with one writer per core, each sees 1/cores of the
+        // node's EBS bandwidth.
+        let cores = u64::from(self.cluster.worker(worker).spec.cores.max(1));
+        let write = self.ckpt.config().write_time(out.vbytes * cores, 1);
+        self.start_ckpt_task(TaskKey::Ckpt(job), worker, out, write, job);
+        true
     }
 
     fn start_ckpt_task(
         &mut self,
         key: TaskKey,
         worker: WorkerId,
-        data: PartitionData,
-        vbytes: u64,
+        out: TaskOutput,
         dur: SimDuration,
         job: CkptJob,
     ) {
@@ -868,17 +942,19 @@ impl Driver {
                 *busy = (*busy).max(now) + stall;
             }
         }
-        let touched = std::mem::take(&mut self.touched_scratch);
         self.task_seq += 1;
         self.running.push(Running {
             key,
             worker,
             finish,
-            data,
-            vbytes,
+            data: out.data,
+            vbytes: out.vbytes,
             duration: dur,
-            commit: Commit::Checkpoint(job),
-            touched,
+            commit: Commit::Checkpoint {
+                job,
+                wire: out.wire,
+            },
+            touched: out.touched,
             seq: self.task_seq,
         });
         self.in_flight.insert(key);
@@ -909,11 +985,12 @@ impl Driver {
                     self.fire_materialized(rdd, now);
                 }
             }
-            Commit::Checkpoint(job) => {
+            Commit::Checkpoint { job, wire } => {
                 self.apply_touched(r.touched.clone(), now);
                 self.stats.checkpoint_time += r.duration;
                 self.stats.checkpoints_written += 1;
                 self.stats.checkpoint_bytes += r.vbytes;
+                self.stats.checkpoint_wire_bytes += wire;
                 match job {
                     CkptJob::RddPart(rdd, part) => {
                         let n = self.ctx.lineage().meta(rdd).num_partitions;
@@ -1022,315 +1099,6 @@ impl Driver {
     }
 
     // ------------------------------------------------------------------
-    // Materialization (real data, modeled time)
-    // ------------------------------------------------------------------
-
-    fn real_bytes(data: &[Value]) -> u64 {
-        data.iter().map(Value::size_bytes).sum::<u64>() + 16
-    }
-
-    /// Computes `(rdd, part)` on `on_worker`, returning the data and the
-    /// modeled duration. Uses (in order): durable checkpoint, cluster
-    /// cache, recursive recomputation through the lineage.
-    fn materialize(
-        &mut self,
-        rdd: RddId,
-        part: u32,
-        on_worker: WorkerId,
-    ) -> std::result::Result<(PartitionData, SimDuration), MissingShuffle> {
-        // 1. Cluster cache (memory or local disk beats a durable read).
-        let bk = BlockKey::RddPart { rdd, part };
-        if let Some((wid, data, loc, vb)) = self.cluster.fetch(&bk) {
-            let mut dur = SimDuration::ZERO;
-            if loc == BlockLocation::Disk {
-                dur += self.config.cost.disk_time(vb);
-            }
-            if wid != on_worker {
-                dur += self.config.cost.net_time(vb);
-            }
-            return Ok((data, dur));
-        }
-
-        // 2. Durable checkpoint.
-        if self.ckpt.has(rdd, part) {
-            let data = self
-                .ckpt
-                .get(rdd, part)
-                .expect("checkpoint bitmap and store agree")
-                .clone();
-            let vb = self
-                .ckpt
-                .size_of(rdd, part)
-                .unwrap_or_else(|| self.config.cost.vbytes(Self::real_bytes(&data)));
-            let dur = self.ckpt.config().read_time(vb, 1);
-            self.stats.restore_time += dur;
-            self.stats.restores += 1;
-            // Re-cache the restored partition if the RDD is persisted so
-            // subsequent reads stay in memory.
-            if self.ctx.lineage().is_persisted(rdd) {
-                let w = self.cluster.worker_mut(on_worker);
-                if w.alive {
-                    w.blocks.insert(bk, data.clone(), vb);
-                }
-            }
-            return Ok((data, dur));
-        }
-
-        // 3. Recompute from lineage.
-        let meta = self.ctx.lineage().meta(rdd);
-        let op = meta.op.clone();
-        let parents = meta.parents.clone();
-        let was_before = self.computed_once.contains(&(rdd, part));
-        let factor = op.cost_factor();
-
-        let (out, own_dur, child_dur): (Vec<Value>, SimDuration, SimDuration) = match op {
-            RddOp::Parallelize { data } => {
-                let d = data[part as usize].clone();
-                let vb = self.config.cost.vbytes(Self::real_bytes(&d));
-                (d, self.config.cost.source_time(vb), SimDuration::ZERO)
-            }
-            RddOp::Union => {
-                let (p, pp) = self.ctx.lineage().union_source(rdd, part);
-                let (pd, pdur) = self.materialize(p, pp, on_worker)?;
-                (pd.as_ref().clone(), SimDuration::ZERO, pdur)
-            }
-            RddOp::Coalesce { group } => {
-                let parent = parents[0];
-                let n = self.ctx.lineage().meta(parent).num_partitions;
-                let lo = part * group;
-                let hi = (lo + group).min(n);
-                let mut out = Vec::new();
-                let mut cdur = SimDuration::ZERO;
-                for pp in lo..hi {
-                    let (pd, pdur) = self.materialize(parent, pp, on_worker)?;
-                    cdur += pdur;
-                    out.extend(pd.iter().cloned());
-                }
-                (out, SimDuration::ZERO, cdur)
-            }
-            RddOp::Map { f } => {
-                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
-                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
-                let out = pd.iter().map(|v| f(v)).collect();
-                (out, self.config.cost.compute_time(vb, factor), pdur)
-            }
-            RddOp::Filter { p } => {
-                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
-                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
-                let out = pd.iter().filter(|v| p(v)).cloned().collect();
-                (out, self.config.cost.compute_time(vb, factor), pdur)
-            }
-            RddOp::FlatMap { f } => {
-                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
-                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
-                let out = pd.iter().flat_map(|v| f(v)).collect();
-                (out, self.config.cost.compute_time(vb, factor), pdur)
-            }
-            RddOp::MapPartitions { f, .. } => {
-                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
-                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
-                let out = f(part, &pd);
-                (out, self.config.cost.compute_time(vb, factor), pdur)
-            }
-            RddOp::Sample { fraction, seed } => {
-                let (pd, pdur) = self.materialize(parents[0], part, on_worker)?;
-                let vb = self.config.cost.vbytes(Self::real_bytes(&pd));
-                let out = deterministic_sample(&pd, fraction, seed, rdd, part);
-                (out, self.config.cost.compute_time(vb, factor), pdur)
-            }
-            RddOp::ShuffleAgg { shuffle, combine } => {
-                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part, on_worker)?;
-                let vb = self.config.cost.vbytes(Self::real_bytes(&inputs));
-                let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
-                for v in &inputs {
-                    if let Value::Pair(k, val) = v {
-                        match agg.get_mut(k) {
-                            Some(acc) => *acc = combine(acc, val),
-                            None => {
-                                agg.insert(k.as_ref().clone(), val.as_ref().clone());
-                            }
-                        }
-                    }
-                }
-                let out = agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
-                (out, self.config.cost.compute_time(vb, factor), fdur)
-            }
-            RddOp::ShuffleGroup { shuffle } => {
-                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part, on_worker)?;
-                let vb = self.config.cost.vbytes(Self::real_bytes(&inputs));
-                let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
-                for v in &inputs {
-                    if let Value::Pair(k, val) = v {
-                        groups
-                            .entry(k.as_ref().clone())
-                            .or_default()
-                            .push(val.as_ref().clone());
-                    }
-                }
-                let out = groups
-                    .into_iter()
-                    .map(|(k, vs)| Value::pair(k, Value::list(vs)))
-                    .collect();
-                (out, self.config.cost.compute_time(vb, factor), fdur)
-            }
-            RddOp::CoGroup { shuffles } => {
-                let mut fdur = SimDuration::ZERO;
-                let mut per_parent: Vec<Vec<Value>> = Vec::with_capacity(shuffles.len());
-                for s in &shuffles {
-                    let (inputs, d) = self.fetch_shuffle_bucket(*s, part, on_worker)?;
-                    fdur += d;
-                    per_parent.push(inputs);
-                }
-                let total: u64 = per_parent.iter().map(|v| Self::real_bytes(v)).sum();
-                let vb = self.config.cost.vbytes(total);
-                let mut groups: BTreeMap<Value, Vec<Vec<Value>>> = BTreeMap::new();
-                for (i, inputs) in per_parent.iter().enumerate() {
-                    for v in inputs {
-                        if let Value::Pair(k, val) = v {
-                            groups
-                                .entry(k.as_ref().clone())
-                                .or_insert_with(|| vec![Vec::new(); per_parent.len()])[i]
-                                .push(val.as_ref().clone());
-                        }
-                    }
-                }
-                let out = groups
-                    .into_iter()
-                    .map(|(k, gs)| {
-                        Value::pair(k, Value::list(gs.into_iter().map(Value::list).collect()))
-                    })
-                    .collect();
-                (out, self.config.cost.compute_time(vb, factor), fdur)
-            }
-            RddOp::SortByKey { shuffle, ascending } => {
-                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part, on_worker)?;
-                let vb = self.config.cost.vbytes(Self::real_bytes(&inputs));
-                let mut out = inputs;
-                out.sort_by(|a, b| {
-                    let ka = a.key().unwrap_or(a);
-                    let kb = b.key().unwrap_or(b);
-                    if ascending {
-                        ka.cmp(kb)
-                    } else {
-                        kb.cmp(ka)
-                    }
-                });
-                (out, self.config.cost.compute_time(vb, factor), fdur)
-            }
-        };
-
-        if was_before {
-            self.stats.recompute_time += own_dur;
-        }
-        let data: PartitionData = Arc::new(out);
-        let real = Self::real_bytes(&data);
-        // Deferred: the size is recorded into the lineage when the task
-        // commits, so materialization hooks observe RDDs in completion
-        // order (ancestors before descendants within one task chain).
-        self.touched_scratch.push((rdd, part, real));
-        self.computed_once.insert((rdd, part));
-        if self.ctx.lineage().is_persisted(rdd) {
-            let vb = self.config.cost.vbytes(real);
-            let w = self.cluster.worker_mut(on_worker);
-            if w.alive {
-                w.blocks
-                    .insert(BlockKey::RddPart { rdd, part }, data.clone(), vb);
-            }
-        }
-        Ok((data, own_dur + child_dur))
-    }
-
-    /// Fetches the reduce-side bucket `part` of `shuffle` from every map
-    /// output block, charging transfer time for the bucket bytes.
-    fn fetch_shuffle_bucket(
-        &mut self,
-        shuffle: ShuffleId,
-        part: u32,
-        on_worker: WorkerId,
-    ) -> std::result::Result<(Vec<Value>, SimDuration), MissingShuffle> {
-        let info = self.ctx.lineage().shuffle(shuffle).clone();
-        let m = self.ctx.lineage().meta(info.parent).num_partitions;
-
-        // Resolve the partitioner (range bounds are sampled lazily at the
-        // barrier and cached for deterministic recomputation).
-        let partitioner: Box<dyn Partitioner> = match info.kind {
-            ShuffleKind::Hash { parts } => Box::new(crate::HashPartitioner::new(parts)),
-            ShuffleKind::Range { parts, ascending } => {
-                if !self.range_cache.contains_key(&shuffle) {
-                    let rp = self.resolve_range_partitioner(shuffle, m, parts, ascending)?;
-                    self.range_cache.insert(shuffle, rp);
-                }
-                Box::new(self.range_cache[&shuffle].clone())
-            }
-        };
-
-        let mut out = Vec::new();
-        let mut dur = SimDuration::ZERO;
-        for mp in 0..m {
-            let (block, local, from_disk, from_store) =
-                self.read_shuffle_block(shuffle, mp, on_worker)?;
-            let mut bucket_bytes = 0u64;
-            for v in block.iter() {
-                let key = v.key().unwrap_or(v);
-                if partitioner.partition_for(key) == part {
-                    bucket_bytes += v.size_bytes();
-                    out.push(v.clone());
-                }
-            }
-            let vb = self.config.cost.vbytes(bucket_bytes);
-            if from_store {
-                dur += self.ckpt.config().read_time(vb, 1);
-            } else {
-                if from_disk {
-                    dur += self.config.cost.disk_time(vb);
-                }
-                if !local {
-                    dur += self.config.cost.net_time(vb);
-                }
-            }
-        }
-        Ok((out, dur))
-    }
-
-    fn read_shuffle_block(
-        &mut self,
-        shuffle: ShuffleId,
-        mp: u32,
-        on_worker: WorkerId,
-    ) -> std::result::Result<(PartitionData, bool, bool, bool), MissingShuffle> {
-        let bk = BlockKey::ShuffleMap {
-            shuffle,
-            map_part: mp,
-        };
-        if let Some((wid, data, loc, _)) = self.cluster.fetch(&bk) {
-            return Ok((data, wid == on_worker, loc == BlockLocation::Disk, false));
-        }
-        if let Some(data) = self.ckpt.get_shuffle(shuffle, mp) {
-            return Ok((data.clone(), false, false, true));
-        }
-        Err(MissingShuffle)
-    }
-
-    fn resolve_range_partitioner(
-        &mut self,
-        shuffle: ShuffleId,
-        map_parts: u32,
-        parts: u32,
-        ascending: bool,
-    ) -> std::result::Result<RangePartitioner, MissingShuffle> {
-        let mut sample = Vec::new();
-        for mp in 0..map_parts {
-            let (block, _, _, _) = self.read_shuffle_block(shuffle, mp, WorkerId(u32::MAX))?;
-            // Cap the per-block sample to keep planning cheap.
-            let stride = (block.len() / 256).max(1);
-            for v in block.iter().step_by(stride) {
-                sample.push(v.key().unwrap_or(v).clone());
-            }
-        }
-        Ok(RangePartitioner::from_sample(sample, parts, ascending))
-    }
-
-    // ------------------------------------------------------------------
     // Gather
     // ------------------------------------------------------------------
 
@@ -1403,23 +1171,6 @@ impl Driver {
         }
         Ok(())
     }
-}
-
-/// Deterministic Bernoulli sampling for `RddOp::Sample`.
-fn deterministic_sample(
-    data: &[Value],
-    fraction: f64,
-    seed: u64,
-    rdd: RddId,
-    part: u32,
-) -> Vec<Value> {
-    use rand::Rng;
-    let mut rng =
-        flint_simtime::rng::stream(seed ^ (u64::from(rdd.0) << 32), &format!("sample:{part}"));
-    data.iter()
-        .filter(|_| rng.gen_bool(fraction.clamp(0.0, 1.0)))
-        .cloned()
-        .collect()
 }
 
 #[cfg(test)]

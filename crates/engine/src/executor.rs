@@ -1,0 +1,725 @@
+//! Parallel wave execution with deterministic commit.
+//!
+//! The driver schedules work in *waves*: every planning pass yields the
+//! set of ready tasks, whose real-data materialization (lineage
+//! recomputation, shuffle-bucket fetches, checkpoint serialization) is
+//! the expensive part of a simulated run. This module computes those
+//! results on a pool of scoped host threads while keeping the simulation
+//! bit-for-bit deterministic:
+//!
+//! * **Compute phase (parallel, pure).** Each task runs
+//!   [`compute_task`]/[`compute_ckpt`] against an immutable [`WaveCtx`]
+//!   snapshot of the lineage, cluster caches, checkpoint store, and cost
+//!   model. Nothing is mutated; every would-be side effect (LRU bumps,
+//!   cache inserts, stat deltas, resolved range partitioners) is
+//!   *recorded* in the returned [`TaskOutput`]. Durations that depend on
+//!   the executing worker (network fetches) are recorded as
+//!   [`NetFetch`]es and priced later.
+//! * **Commit phase (sequential, ordered).** The driver admits outputs
+//!   in fixed task-key order on its own thread: it picks the worker,
+//!   prices network time, applies the recorded effects, and reserves a
+//!   core. Because admission order, worker choice, and every mutation are
+//!   independent of how the compute phase was scheduled, any
+//!   `host_threads` setting produces identical results, stats, and
+//!   virtual-time trajectories.
+//!
+//! Compared to the previous depth-first in-place materializer, tasks in
+//! the same wave read the wave-start snapshot rather than each other's
+//! incidental cache inserts. Results are unchanged (closures are pure and
+//! sampling is seed-keyed); only modeled durations can differ from the
+//! old sequential interleaving, and they remain identical across thread
+//! counts.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use flint_simtime::SimDuration;
+
+use crate::block::{BlockKey, BlockLocation};
+use crate::checkpoint::{wire_size, CheckpointStore};
+use crate::cluster::{Cluster, WorkerId};
+use crate::cost::CostModel;
+use crate::driver::{CkptJob, MissingShuffle, TaskKey};
+use crate::lineage::Lineage;
+use crate::rdd::{PartitionData, RddId, RddOp};
+use crate::shuffle::{HashPartitioner, Partitioner, RangePartitioner, ShuffleId, ShuffleKind};
+use crate::value::Value;
+
+/// Immutable snapshot of everything a wave's tasks may read.
+///
+/// All fields are shared references, so the whole context is `Sync` and
+/// can be borrowed by every host thread of a wave simultaneously.
+pub(crate) struct WaveCtx<'a> {
+    pub lineage: &'a Lineage,
+    pub cluster: &'a Cluster,
+    pub ckpt: &'a CheckpointStore,
+    pub cost: &'a CostModel,
+    pub computed_once: &'a HashSet<(RddId, u32)>,
+    pub range_cache: &'a BTreeMap<ShuffleId, RangePartitioner>,
+}
+
+// The wave executor shares the snapshot and task closures across scoped
+// threads; this fails to compile if any engine type silently loses
+// Send/Sync (e.g. an Rc or RefCell sneaking into the lineage).
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<WaveCtx<'static>>();
+};
+
+/// A block read whose network cost depends on the (not yet chosen)
+/// executing worker: priced at admission, charged only if the source is
+/// remote.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NetFetch {
+    pub source: WorkerId,
+    pub vbytes: u64,
+}
+
+/// A deferred, ordered cache mutation recorded during the compute phase
+/// and replayed at admission. Replaying in recorded order reproduces the
+/// LRU stamp sequence a sequential execution of the task would have
+/// produced.
+#[derive(Debug, Clone)]
+pub(crate) enum CacheEffect {
+    /// Bump the LRU stamp of a block on the worker that held it.
+    Touch(WorkerId, BlockKey),
+    /// Bump a block inserted earlier by this same task (it lives on the
+    /// executing worker, unknown during compute).
+    TouchLocal(BlockKey),
+    /// Insert a block into the executing worker's store.
+    Insert(BlockKey, PartitionData, u64),
+}
+
+/// Everything a task's parallel compute phase produced: the data, the
+/// worker-independent duration, and a ledger of deferred mutations for
+/// the driver to apply in task-key order.
+pub(crate) struct TaskOutput {
+    /// Final partition data (map-side combine already applied).
+    pub data: PartitionData,
+    /// Virtual size of `data` under the cost model.
+    pub vbytes: u64,
+    /// Byte-exact serialized size (checkpoint tasks only, else 0).
+    pub wire: u64,
+    /// Source/compute/disk/durable-read time, independent of the
+    /// executing worker.
+    pub base_dur: SimDuration,
+    /// Reads whose network time depends on the chosen worker.
+    pub net: Vec<NetFetch>,
+    /// Deferred cache mutations, in execution order.
+    pub effects: Vec<CacheEffect>,
+    /// Partition sizes computed along the chain (ancestors first).
+    pub touched: Vec<(RddId, u32, u64)>,
+    /// Partitions newly computed (for `computed_once` bookkeeping).
+    pub computed: Vec<(RddId, u32)>,
+    /// Range partitioners resolved during this task.
+    pub resolved: Vec<(ShuffleId, RangePartitioner)>,
+    /// For shuffle checkpoint jobs: the worker holding the map block.
+    pub source: Option<WorkerId>,
+    /// Checkpoint restores performed.
+    pub restores: u64,
+    /// Time spent in those restores.
+    pub restore_time: SimDuration,
+    /// Portion of `base_dur` that recomputed previously-materialized
+    /// partitions.
+    pub recompute_time: SimDuration,
+}
+
+/// Runs `f` over `items` on up to `host_threads` scoped threads, pulling
+/// work from a shared atomic cursor. Results come back in input order, so
+/// the caller's sequential commit loop is independent of scheduling.
+/// `host_threads <= 1` degenerates to a plain in-order loop over the very
+/// same function — the single- and multi-threaded paths cannot diverge.
+pub(crate) fn run_wave<T, O, F>(host_threads: usize, items: &[T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    let n_threads = host_threads.min(items.len());
+    if n_threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, O)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("wave worker thread panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Computes one compute task (`Output` or `ShuffleMap`) against the wave
+/// snapshot. Returns `None` when a required shuffle input vanished
+/// between planning and execution (the driver replans).
+pub(crate) fn compute_task(ctx: &WaveCtx<'_>, key: TaskKey) -> Option<TaskOutput> {
+    let (rdd, part) = match key {
+        TaskKey::Output { rdd, part } => (rdd, part),
+        TaskKey::ShuffleMap { shuffle, map_part } => {
+            (ctx.lineage.shuffle(shuffle).parent, map_part)
+        }
+        TaskKey::Ckpt(_) => unreachable!("checkpoint jobs use compute_ckpt"),
+    };
+    let mut b = TaskBuilder::new(ctx);
+    let (mut data, mut dur) = match b.materialize(rdd, part) {
+        Ok(x) => x,
+        Err(MissingShuffle) => return None,
+    };
+    // Map-side combine (Spark `reduceByKey` pre-aggregation).
+    if let TaskKey::ShuffleMap { shuffle, .. } = key {
+        if let Some(combine) = ctx.lineage.shuffle(shuffle).combine.clone() {
+            let vb = ctx.cost.vbytes(real_bytes(&data));
+            dur += ctx.cost.compute_time(vb, 1.0);
+            let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
+            let mut non_pairs: Vec<Value> = Vec::new();
+            for v in data.iter() {
+                match v {
+                    Value::Pair(k, val) => match agg.get_mut(k) {
+                        Some(acc) => *acc = combine(acc, val),
+                        None => {
+                            agg.insert(k.as_ref().clone(), val.as_ref().clone());
+                        }
+                    },
+                    other => non_pairs.push(other.clone()),
+                }
+            }
+            let mut combined: Vec<Value> =
+                agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
+            combined.extend(non_pairs);
+            data = Arc::new(combined);
+        }
+    }
+    let vbytes = ctx.cost.vbytes(real_bytes(&data));
+    Some(b.finish(data, vbytes, 0, dur, None))
+}
+
+/// Computes one checkpoint job: materializes (or peeks) the payload and
+/// runs the serialization walk on the wave thread. Returns `None` when
+/// the payload is gone (vanished shuffle block or missing shuffle input)
+/// and the job should be dropped silently, as the sequential path did.
+pub(crate) fn compute_ckpt(ctx: &WaveCtx<'_>, job: CkptJob) -> Option<TaskOutput> {
+    match job {
+        CkptJob::RddPart(rdd, part) => {
+            let mut b = TaskBuilder::new(ctx);
+            // Only the durable write is charged: Flint's checkpoint tasks
+            // capture partitions as they are produced (§4), so the
+            // materialization duration is discarded.
+            let (data, _resolve) = match b.materialize(rdd, part) {
+                Ok(x) => x,
+                Err(MissingShuffle) => return None,
+            };
+            let vbytes = ctx.cost.vbytes(real_bytes(&data));
+            let wire = wire_size(&data);
+            Some(b.finish(data, vbytes, wire, SimDuration::ZERO, None))
+        }
+        CkptJob::Shuffle(s, mp) => {
+            let bk = BlockKey::ShuffleMap {
+                shuffle: s,
+                map_part: mp,
+            };
+            let (wid, data, _, vbytes) = ctx.cluster.peek_fetch(&bk)?;
+            let mut b = TaskBuilder::new(ctx);
+            b.effects.push(CacheEffect::Touch(wid, bk));
+            let wire = wire_size(&data);
+            Some(b.finish(data, vbytes, wire, SimDuration::ZERO, Some(wid)))
+        }
+    }
+}
+
+/// Real payload size of one partition, matching the sequential driver's
+/// accounting (16 bytes of fixed per-partition overhead).
+pub(crate) fn real_bytes(data: &[Value]) -> u64 {
+    data.iter().map(Value::size_bytes).sum::<u64>() + 16
+}
+
+/// Deterministic Bernoulli sampling for [`RddOp::Sample`]: keyed by seed,
+/// RDD, and partition, so results are independent of execution order and
+/// thread count.
+pub(crate) fn deterministic_sample(
+    data: &[Value],
+    fraction: f64,
+    seed: u64,
+    rdd: RddId,
+    part: u32,
+) -> Vec<Value> {
+    use rand::Rng;
+    let mut rng =
+        flint_simtime::rng::stream(seed ^ (u64::from(rdd.0) << 32), &format!("sample:{part}"));
+    data.iter()
+        .filter(|_| rng.gen_bool(fraction.clamp(0.0, 1.0)))
+        .cloned()
+        .collect()
+}
+
+/// Accumulates one task's pure computation against a [`WaveCtx`].
+struct TaskBuilder<'c, 'a> {
+    ctx: &'c WaveCtx<'a>,
+    net: Vec<NetFetch>,
+    effects: Vec<CacheEffect>,
+    touched: Vec<(RddId, u32, u64)>,
+    computed: Vec<(RddId, u32)>,
+    resolved: Vec<(ShuffleId, RangePartitioner)>,
+    restores: u64,
+    restore_time: SimDuration,
+    recompute_time: SimDuration,
+    /// Blocks this task has queued for insertion, visible to its own
+    /// later reads (mirrors the sequential materializer, where a
+    /// persisted ancestor cached mid-task is a free local hit for the
+    /// rest of the task).
+    local: HashMap<BlockKey, PartitionData>,
+}
+
+impl<'c, 'a> TaskBuilder<'c, 'a> {
+    fn new(ctx: &'c WaveCtx<'a>) -> Self {
+        TaskBuilder {
+            ctx,
+            net: Vec::new(),
+            effects: Vec::new(),
+            touched: Vec::new(),
+            computed: Vec::new(),
+            resolved: Vec::new(),
+            restores: 0,
+            restore_time: SimDuration::ZERO,
+            recompute_time: SimDuration::ZERO,
+            local: HashMap::new(),
+        }
+    }
+
+    fn finish(
+        self,
+        data: PartitionData,
+        vbytes: u64,
+        wire: u64,
+        base_dur: SimDuration,
+        source: Option<WorkerId>,
+    ) -> TaskOutput {
+        TaskOutput {
+            data,
+            vbytes,
+            wire,
+            base_dur,
+            net: self.net,
+            effects: self.effects,
+            touched: self.touched,
+            computed: self.computed,
+            resolved: self.resolved,
+            source,
+            restores: self.restores,
+            restore_time: self.restore_time,
+            recompute_time: self.recompute_time,
+        }
+    }
+
+    fn was_computed_before(&self, rdd: RddId, part: u32) -> bool {
+        self.ctx.computed_once.contains(&(rdd, part)) || self.computed.contains(&(rdd, part))
+    }
+
+    /// Computes `(rdd, part)`, returning the data and the
+    /// worker-independent duration. Uses (in order): this task's own
+    /// pending inserts, the wave-start cluster cache, the durable
+    /// checkpoint store, recursive recomputation through the lineage.
+    fn materialize(
+        &mut self,
+        rdd: RddId,
+        part: u32,
+    ) -> std::result::Result<(PartitionData, SimDuration), MissingShuffle> {
+        let bk = BlockKey::RddPart { rdd, part };
+
+        // 0. A block this task already queued for insertion: a free
+        //    local memory hit on the executing worker.
+        if let Some(data) = self.local.get(&bk) {
+            let data = data.clone();
+            self.effects.push(CacheEffect::TouchLocal(bk));
+            return Ok((data, SimDuration::ZERO));
+        }
+
+        // 1. Cluster cache (memory or local disk beats a durable read).
+        if let Some((wid, data, loc, vb)) = self.ctx.cluster.peek_fetch(&bk) {
+            self.effects.push(CacheEffect::Touch(wid, bk));
+            let mut dur = SimDuration::ZERO;
+            if loc == BlockLocation::Disk {
+                dur += self.ctx.cost.disk_time(vb);
+            }
+            self.net.push(NetFetch {
+                source: wid,
+                vbytes: vb,
+            });
+            return Ok((data, dur));
+        }
+
+        // 2. Durable checkpoint.
+        if self.ctx.ckpt.has(rdd, part) {
+            let data = self
+                .ctx
+                .ckpt
+                .get(rdd, part)
+                .expect("checkpoint bitmap and store agree")
+                .clone();
+            let vb = self
+                .ctx
+                .ckpt
+                .size_of(rdd, part)
+                .unwrap_or_else(|| self.ctx.cost.vbytes(real_bytes(&data)));
+            let dur = self.ctx.ckpt.config().read_time(vb, 1);
+            self.restore_time += dur;
+            self.restores += 1;
+            // Re-cache the restored partition if the RDD is persisted so
+            // subsequent reads stay in memory.
+            if self.ctx.lineage.is_persisted(rdd) {
+                self.effects.push(CacheEffect::Insert(bk, data.clone(), vb));
+                self.local.insert(bk, data.clone());
+            }
+            return Ok((data, dur));
+        }
+
+        // 3. Recompute from lineage.
+        let meta = self.ctx.lineage.meta(rdd);
+        let op = meta.op.clone();
+        let parents = meta.parents.clone();
+        let was_before = self.was_computed_before(rdd, part);
+        let factor = op.cost_factor();
+
+        let (out, own_dur, child_dur): (Vec<Value>, SimDuration, SimDuration) = match op {
+            RddOp::Parallelize { data } => {
+                let d = data[part as usize].clone();
+                let vb = self.ctx.cost.vbytes(real_bytes(&d));
+                (d, self.ctx.cost.source_time(vb), SimDuration::ZERO)
+            }
+            RddOp::Union => {
+                let (p, pp) = self.ctx.lineage.union_source(rdd, part);
+                let (pd, pdur) = self.materialize(p, pp)?;
+                (pd.as_ref().clone(), SimDuration::ZERO, pdur)
+            }
+            RddOp::Coalesce { group } => {
+                let parent = parents[0];
+                let n = self.ctx.lineage.meta(parent).num_partitions;
+                let lo = part * group;
+                let hi = (lo + group).min(n);
+                let mut out = Vec::new();
+                let mut cdur = SimDuration::ZERO;
+                for pp in lo..hi {
+                    let (pd, pdur) = self.materialize(parent, pp)?;
+                    cdur += pdur;
+                    out.extend(pd.iter().cloned());
+                }
+                (out, SimDuration::ZERO, cdur)
+            }
+            RddOp::Map { f } => {
+                let (pd, pdur) = self.materialize(parents[0], part)?;
+                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let out = pd.iter().map(|v| f(v)).collect();
+                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::Filter { p } => {
+                let (pd, pdur) = self.materialize(parents[0], part)?;
+                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let out = pd.iter().filter(|v| p(v)).cloned().collect();
+                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::FlatMap { f } => {
+                let (pd, pdur) = self.materialize(parents[0], part)?;
+                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let out = pd.iter().flat_map(|v| f(v)).collect();
+                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::MapPartitions { f, .. } => {
+                let (pd, pdur) = self.materialize(parents[0], part)?;
+                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let out = f(part, &pd);
+                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::Sample { fraction, seed } => {
+                let (pd, pdur) = self.materialize(parents[0], part)?;
+                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let out = deterministic_sample(&pd, fraction, seed, rdd, part);
+                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+            }
+            RddOp::ShuffleAgg { shuffle, combine } => {
+                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let vb = self.ctx.cost.vbytes(real_bytes(&inputs));
+                let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
+                for v in &inputs {
+                    if let Value::Pair(k, val) = v {
+                        match agg.get_mut(k) {
+                            Some(acc) => *acc = combine(acc, val),
+                            None => {
+                                agg.insert(k.as_ref().clone(), val.as_ref().clone());
+                            }
+                        }
+                    }
+                }
+                let out = agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
+                (out, self.ctx.cost.compute_time(vb, factor), fdur)
+            }
+            RddOp::ShuffleGroup { shuffle } => {
+                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let vb = self.ctx.cost.vbytes(real_bytes(&inputs));
+                let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
+                for v in &inputs {
+                    if let Value::Pair(k, val) = v {
+                        groups
+                            .entry(k.as_ref().clone())
+                            .or_default()
+                            .push(val.as_ref().clone());
+                    }
+                }
+                let out = groups
+                    .into_iter()
+                    .map(|(k, vs)| Value::pair(k, Value::list(vs)))
+                    .collect();
+                (out, self.ctx.cost.compute_time(vb, factor), fdur)
+            }
+            RddOp::CoGroup { shuffles } => {
+                let mut fdur = SimDuration::ZERO;
+                let mut per_parent: Vec<Vec<Value>> = Vec::with_capacity(shuffles.len());
+                for s in &shuffles {
+                    let (inputs, d) = self.fetch_shuffle_bucket(*s, part)?;
+                    fdur += d;
+                    per_parent.push(inputs);
+                }
+                let total: u64 = per_parent.iter().map(|v| real_bytes(v)).sum();
+                let vb = self.ctx.cost.vbytes(total);
+                let mut groups: BTreeMap<Value, Vec<Vec<Value>>> = BTreeMap::new();
+                for (i, inputs) in per_parent.iter().enumerate() {
+                    for v in inputs {
+                        if let Value::Pair(k, val) = v {
+                            groups
+                                .entry(k.as_ref().clone())
+                                .or_insert_with(|| vec![Vec::new(); per_parent.len()])[i]
+                                .push(val.as_ref().clone());
+                        }
+                    }
+                }
+                let out = groups
+                    .into_iter()
+                    .map(|(k, gs)| {
+                        Value::pair(k, Value::list(gs.into_iter().map(Value::list).collect()))
+                    })
+                    .collect();
+                (out, self.ctx.cost.compute_time(vb, factor), fdur)
+            }
+            RddOp::SortByKey { shuffle, ascending } => {
+                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let vb = self.ctx.cost.vbytes(real_bytes(&inputs));
+                let mut out = inputs;
+                out.sort_by(|a, b| {
+                    let ka = a.key().unwrap_or(a);
+                    let kb = b.key().unwrap_or(b);
+                    if ascending {
+                        ka.cmp(kb)
+                    } else {
+                        kb.cmp(ka)
+                    }
+                });
+                (out, self.ctx.cost.compute_time(vb, factor), fdur)
+            }
+        };
+
+        if was_before {
+            self.recompute_time += own_dur;
+        }
+        let data: PartitionData = Arc::new(out);
+        let real = real_bytes(&data);
+        // Deferred: the size is recorded into the lineage when the task
+        // commits, so materialization hooks observe RDDs in completion
+        // order (ancestors before descendants within one task chain).
+        self.touched.push((rdd, part, real));
+        self.computed.push((rdd, part));
+        if self.ctx.lineage.is_persisted(rdd) {
+            let vb = self.ctx.cost.vbytes(real);
+            self.effects.push(CacheEffect::Insert(bk, data.clone(), vb));
+            self.local.insert(bk, data.clone());
+        }
+        Ok((data, own_dur + child_dur))
+    }
+
+    /// Fetches the reduce-side bucket `part` of `shuffle` from every map
+    /// output block, charging disk/durable time directly and recording
+    /// network transfers for pricing at admission.
+    fn fetch_shuffle_bucket(
+        &mut self,
+        shuffle: ShuffleId,
+        part: u32,
+    ) -> std::result::Result<(Vec<Value>, SimDuration), MissingShuffle> {
+        let info = self.ctx.lineage.shuffle(shuffle).clone();
+        let m = self.ctx.lineage.meta(info.parent).num_partitions;
+
+        // Resolve the partitioner (range bounds are sampled lazily at the
+        // barrier and cached for deterministic recomputation).
+        let partitioner: Box<dyn Partitioner> = match info.kind {
+            ShuffleKind::Hash { parts } => Box::new(HashPartitioner::new(parts)),
+            ShuffleKind::Range { parts, ascending } => {
+                let cached = self
+                    .ctx
+                    .range_cache
+                    .get(&shuffle)
+                    .or_else(|| {
+                        self.resolved
+                            .iter()
+                            .find(|(s, _)| *s == shuffle)
+                            .map(|(_, rp)| rp)
+                    })
+                    .cloned();
+                let rp = match cached {
+                    Some(rp) => rp,
+                    None => {
+                        let rp = self.resolve_range_partitioner(shuffle, m, parts, ascending)?;
+                        self.resolved.push((shuffle, rp.clone()));
+                        rp
+                    }
+                };
+                Box::new(rp)
+            }
+        };
+
+        let mut out = Vec::new();
+        let mut dur = SimDuration::ZERO;
+        for mp in 0..m {
+            let (block, source, from_disk, from_store) = self.read_shuffle_block(shuffle, mp)?;
+            let mut bucket_bytes = 0u64;
+            for v in block.iter() {
+                let key = v.key().unwrap_or(v);
+                if partitioner.partition_for(key) == part {
+                    bucket_bytes += v.size_bytes();
+                    out.push(v.clone());
+                }
+            }
+            let vb = self.ctx.cost.vbytes(bucket_bytes);
+            if from_store {
+                dur += self.ctx.ckpt.config().read_time(vb, 1);
+            } else {
+                if from_disk {
+                    dur += self.ctx.cost.disk_time(vb);
+                }
+                if let Some(wid) = source {
+                    self.net.push(NetFetch {
+                        source: wid,
+                        vbytes: vb,
+                    });
+                }
+            }
+        }
+        Ok((out, dur))
+    }
+
+    /// Reads one shuffle map block: `(data, holding worker, from_disk,
+    /// from_store)`. The worker is `None` for durable-store reads.
+    #[allow(clippy::type_complexity)]
+    fn read_shuffle_block(
+        &mut self,
+        shuffle: ShuffleId,
+        mp: u32,
+    ) -> std::result::Result<(PartitionData, Option<WorkerId>, bool, bool), MissingShuffle> {
+        let bk = BlockKey::ShuffleMap {
+            shuffle,
+            map_part: mp,
+        };
+        if let Some((wid, data, loc, _)) = self.ctx.cluster.peek_fetch(&bk) {
+            self.effects.push(CacheEffect::Touch(wid, bk));
+            return Ok((data, Some(wid), loc == BlockLocation::Disk, false));
+        }
+        if let Some(data) = self.ctx.ckpt.get_shuffle(shuffle, mp) {
+            return Ok((data.clone(), None, false, true));
+        }
+        Err(MissingShuffle)
+    }
+
+    fn resolve_range_partitioner(
+        &mut self,
+        shuffle: ShuffleId,
+        map_parts: u32,
+        parts: u32,
+        ascending: bool,
+    ) -> std::result::Result<RangePartitioner, MissingShuffle> {
+        let mut sample = Vec::new();
+        for mp in 0..map_parts {
+            let (block, _, _, _) = self.read_shuffle_block(shuffle, mp)?;
+            // Cap the per-block sample to keep planning cheap.
+            let stride = (block.len() / 256).max(1);
+            for v in block.iter().step_by(stride) {
+                sample.push(v.key().unwrap_or(v).clone());
+            }
+        }
+        Ok(RangePartitioner::from_sample(sample, parts, ascending))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_wave_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = run_wave(threads, &items, |x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_wave_uses_multiple_threads_when_asked() {
+        // With 8 threads over blocking-free work we can at least verify
+        // every item ran exactly once.
+        let counter = AtomicU64::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let out = run_wave(8, &items, |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            *x
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn run_wave_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(run_wave(8, &empty, |x| *x).is_empty());
+        assert_eq!(run_wave(8, &[42u32], |x| *x + 1), vec![43]);
+    }
+
+    #[test]
+    fn run_wave_overlaps_blocking_tasks() {
+        // Eight 30 ms sleeps take ~240 ms sequentially; with 8 threads
+        // they overlap to ~30 ms even on a single CPU. The generous bound
+        // still proves concurrency.
+        let items: Vec<u32> = (0..8).collect();
+        let t0 = std::time::Instant::now();
+        let out = run_wave(8, &items, |x| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            *x
+        });
+        let elapsed = t0.elapsed();
+        assert_eq!(out, items);
+        assert!(
+            elapsed < std::time::Duration::from_millis(150),
+            "8 blocking tasks did not overlap: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wave worker thread panicked")]
+    fn run_wave_propagates_panics() {
+        let items: Vec<u32> = (0..10).collect();
+        let _ = run_wave(4, &items, |x| {
+            assert!(*x != 7, "boom");
+            *x
+        });
+    }
+}

@@ -49,6 +49,7 @@ mod cost;
 mod dataset;
 mod driver;
 mod error;
+mod executor;
 mod hooks;
 mod injector;
 mod lineage;
@@ -58,7 +59,7 @@ mod stats;
 mod value;
 
 pub use block::{BlockKey, BlockLocation, BlockManager, BlockStoreSnapshot};
-pub use checkpoint::{checkpoint_key, CheckpointStore};
+pub use checkpoint::{checkpoint_key, wire_size, CheckpointStore};
 pub use cluster::{Cluster, Worker, WorkerId, WorkerSpec};
 pub use context::EngineContext;
 pub use cost::CostModel;

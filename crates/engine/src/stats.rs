@@ -27,7 +27,9 @@ impl ActionRecord {
 /// running time, checkpointing overhead ("checkpointing tax"), time lost
 /// to recomputation after revocations, and time stalled acquiring
 /// replacement servers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// `PartialEq` exists so the determinism suite can assert that runs at
+/// different `host_threads` settings produce bit-identical accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Number of compute tasks executed.
     pub tasks_run: u64,
@@ -42,6 +44,10 @@ pub struct RunStats {
     pub checkpoints_written: u64,
     /// Virtual bytes of checkpoints written.
     pub checkpoint_bytes: u64,
+    /// Byte-exact serialized size of checkpoints written (see
+    /// [`crate::wire_size`]); computed on the wave executor's host
+    /// threads.
+    pub checkpoint_wire_bytes: u64,
     /// Time spent restoring partitions from durable checkpoints.
     pub restore_time: SimDuration,
     /// Number of partitions restored from checkpoints.

@@ -1,0 +1,188 @@
+//! The wave executor's determinism contract: for a fixed seed and
+//! workload, every `host_threads` setting produces bit-identical
+//! results, execution statistics, virtual-time trajectories, and
+//! checkpoint contents. The parallel compute phase may schedule task
+//! materialization in any order across host threads, but commits happen
+//! in fixed task-key order, so nothing observable can depend on the
+//! thread count.
+
+use flint_engine::{
+    Driver, DriverConfig, NoCheckpoint, RunStats, ScriptedInjector, Value, WorkerEvent, WorkerSpec,
+};
+use flint_simtime::{SimDuration, SimTime};
+
+/// Everything observable about one run, for cross-thread-count equality.
+#[derive(Debug, PartialEq)]
+struct RunFingerprint {
+    result: Vec<Value>,
+    stats: RunStats,
+    /// (rdd, part, virtual bytes) of every durable checkpoint object.
+    ckpt_sizes: Vec<(u32, u32, u64)>,
+    finished_at: SimTime,
+}
+
+/// A multi-stage workload exercising every nondeterminism hazard at
+/// once: persisted ancestors shared across tasks, seeded sampling,
+/// hash and range shuffles, a join, checkpoint writes, and a mid-job
+/// revocation plus replacement.
+fn run_once(host_threads: usize) -> RunFingerprint {
+    let mut cfg = DriverConfig {
+        host_threads,
+        ..DriverConfig::default()
+    };
+    cfg.cost.size_scale = 5e5; // paper-scale pressure from tiny data
+    let injector = ScriptedInjector::new(vec![
+        (
+            SimTime::from_millis(40_000),
+            WorkerEvent::Remove { ext_id: 2 },
+        ),
+        (
+            SimTime::from_millis(160_000),
+            WorkerEvent::Add {
+                ext_id: 100,
+                spec: WorkerSpec::r3_large(),
+            },
+        ),
+    ]);
+    let mut d = Driver::new(cfg, Box::new(NoCheckpoint), Box::new(injector));
+    for ext in 1..=4u64 {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+
+    let src = d
+        .ctx()
+        .parallelize((0..600).map(|i| Value::from_i64(i * 37 % 251)), 8);
+    let pairs = d.ctx().map(src, |v| {
+        Value::pair(Value::Int(v.as_i64().unwrap() % 13), v.clone())
+    });
+    let pairs = d.ctx().persist(pairs);
+    let sums = d.ctx().reduce_by_key(pairs, 5, |a, b| {
+        Value::Int(a.as_i64().unwrap_or(0) + b.as_i64().unwrap_or(0))
+    });
+    let sampled = d.ctx().sample(pairs, 0.4, 7);
+    let ones = d.ctx().map_values(sampled, |_| Value::Int(1));
+    let counts = d.ctx().reduce_by_key(ones, 4, |a, b| {
+        Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+    });
+    let joined = d.ctx().join(sums, counts, 4);
+    let sorted = d.ctx().sort_by_key(joined, 3, true);
+
+    let mut result = d.collect(sorted).unwrap();
+    result.sort();
+    d.checkpoint_now(sums).unwrap();
+
+    let mut ckpt_sizes = Vec::new();
+    for rdd in d.checkpoints().checkpointed_rdds() {
+        let n = d.lineage().meta(rdd).num_partitions;
+        for part in 0..n {
+            if let Some(vb) = d.checkpoints().size_of(rdd, part) {
+                ckpt_sizes.push((rdd.0, part, vb));
+            }
+        }
+    }
+    ckpt_sizes.sort();
+
+    RunFingerprint {
+        result,
+        stats: d.stats().clone(),
+        ckpt_sizes,
+        finished_at: d.now(),
+    }
+}
+
+#[test]
+fn identical_runs_across_host_thread_counts() {
+    let sequential = run_once(1);
+    assert!(
+        !sequential.result.is_empty(),
+        "workload must produce output"
+    );
+    assert!(
+        sequential.stats.checkpoints_written > 0,
+        "workload must write checkpoints"
+    );
+    assert!(
+        sequential.stats.checkpoint_wire_bytes > 0,
+        "serialized checkpoint sizes must be recorded"
+    );
+    assert_eq!(sequential.stats.revocations, 1, "revocation must land");
+    for threads in [2usize, 8] {
+        let parallel = run_once(threads);
+        assert_eq!(
+            parallel, sequential,
+            "host_threads={threads} diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_self_consistent() {
+    // Same thread count twice: guards against hidden global state
+    // (ambient RNG, time-of-day) leaking into the simulation.
+    assert_eq!(run_once(8), run_once(8));
+}
+
+#[test]
+fn local_driver_defaults_to_available_parallelism() {
+    // `Driver::local` may pick any host_threads; results must still match
+    // an explicit single-threaded configuration.
+    let mut a = Driver::local(4);
+    let mut b = Driver::new(
+        DriverConfig::default(),
+        Box::new(NoCheckpoint),
+        Box::new(flint_engine::NoFailures),
+    );
+    for _ in 0..4 {
+        b.add_worker(WorkerSpec::r3_large());
+    }
+    let build = |d: &mut Driver| {
+        let src = d.ctx().parallelize((0..200).map(Value::from_i64), 8);
+        let sq = d.ctx().map(src, |v| {
+            let x = v.as_i64().unwrap();
+            Value::Int(x * x % 97)
+        });
+        let pairs = d.ctx().map(sq, |v| Value::pair(v.clone(), Value::Int(1)));
+        d.ctx().reduce_by_key(pairs, 6, |x, y| {
+            Value::Int(x.as_i64().unwrap() + y.as_i64().unwrap())
+        })
+    };
+    let ra = build(&mut a);
+    let rb = build(&mut b);
+    let mut va = a.collect(ra).unwrap();
+    let mut vb = b.collect(rb).unwrap();
+    va.sort();
+    vb.sort();
+    assert_eq!(va, vb);
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.now(), b.now());
+}
+
+#[test]
+fn virtual_makespan_is_thread_count_independent() {
+    // Focused variant: wall-clock parallelism must not leak into the
+    // virtual clock, even without failures or checkpoints.
+    let mut finishes = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut d = Driver::new(
+            DriverConfig {
+                host_threads: threads,
+                ..DriverConfig::default()
+            },
+            Box::new(NoCheckpoint),
+            Box::new(flint_engine::NoFailures),
+        );
+        for _ in 0..4 {
+            d.add_worker(WorkerSpec::r3_large());
+        }
+        let src = d.ctx().parallelize((0..400).map(Value::from_i64), 16);
+        let pairs = d.ctx().map(src, |v| {
+            Value::pair(Value::Int(v.as_i64().unwrap() % 5), v.clone())
+        });
+        let grouped = d.ctx().group_by_key(pairs, 8);
+        d.count(grouped).unwrap();
+        finishes.push((d.now(), d.stats().clone()));
+    }
+    assert_eq!(finishes[0], finishes[1]);
+    assert_eq!(finishes[0], finishes[2]);
+    assert!(finishes[0].0 > SimTime::ZERO + SimDuration::from_millis(1));
+}

@@ -182,7 +182,13 @@ impl<T> DurableStore<T> {
         self.objects.get(key).map(|o| &o.payload)
     }
 
-    /// Returns the virtual size of the object under `key`, if present.
+    /// Returns the instant the object under `key` was written, if
+    /// present (e.g. for checkpoint-age policies).
+    pub fn written_at(&self, key: &str) -> Option<SimTime> {
+        self.objects.get(key).map(|o| o.written_at)
+    }
+
+    /// Returns an object's virtual size in bytes.
     pub fn size_of(&self, key: &str) -> Option<u64> {
         self.objects.get(key).map(|o| o.bytes)
     }

@@ -67,6 +67,39 @@ fn scripted(events: &[(u64, u8, bool)], n_workers: u64) -> ScriptedInjector {
     ScriptedInjector::new(evs)
 }
 
+/// Mid-wave revocation under parallel wave execution: workers die while
+/// a wave's tasks are in flight, forcing lineage recovery. At any
+/// `host_threads` the run must produce the same answer AND the same
+/// simulated makespan/accounting — parallelism is wall-clock only.
+#[test]
+fn parallel_recovery_matches_sequential() {
+    let run = |host_threads: usize| {
+        let mut cfg = DriverConfig::default();
+        cfg.cost.size_scale = 5e5;
+        cfg.host_threads = host_threads;
+        // Kill two workers (one replaced) 20 s in — well inside the
+        // first stage at this size_scale — then a third later.
+        let inj = scripted(&[(20_000, 2, true), (45_000, 1, false)], 6);
+        let mut d = Driver::new(cfg, Box::new(NoCheckpoint), Box::new(inj));
+        for ext in 1..=6u64 {
+            d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+        }
+        d.add_worker_with_ext(999, WorkerSpec::r3_large());
+        let out = run_job(&mut d, 17);
+        (out, d.stats().clone(), d.now())
+    };
+    let sequential = run(1);
+    assert!(
+        sequential.1.revocations >= 1,
+        "schedule must revoke mid-job (got {:?})",
+        sequential.1
+    );
+    let parallel = run(8);
+    assert_eq!(parallel.0, sequential.0, "answers diverged");
+    assert_eq!(parallel.2, sequential.2, "simulated makespan diverged");
+    assert_eq!(parallel.1, sequential.1, "run statistics diverged");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -1,0 +1,151 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion`/`Bencher` API subset the workspace's bench
+//! targets use, with genuine wall-clock measurement: each sample times
+//! one routine invocation with `std::time::Instant`, after one untimed
+//! warm-up call. Reports min/mean/max per benchmark. No statistical
+//! analysis, plots, or baselines — the numbers are real, the tooling
+//! around them is not.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: `f` is called once untimed (warm-up), then
+    /// once per sample with timing recorded by [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { last: None };
+        f(&mut b); // warm-up, discarded
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.last = None;
+            f(&mut b);
+            samples.push(b.last.expect("bench routine must call Bencher::iter"));
+        }
+        report(id, &samples);
+        self
+    }
+}
+
+/// Times one routine invocation per call, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once and records its wall-clock duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.last = Some(start.elapsed());
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main`, running each group (harness args are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut n = 0u32;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("probe", |b| {
+                b.iter(|| {
+                    n += 1;
+                    n
+                })
+            });
+        // 1 warm-up + 3 samples.
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

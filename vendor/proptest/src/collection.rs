@@ -1,0 +1,28 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: core::ops::Range<usize>,
+}
+
+/// A vector whose length is uniform in `len` and whose elements come
+/// from `elem`.
+pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(
+        !len.is_empty(),
+        "collection::vec needs a non-empty length range"
+    );
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rand::Rng::gen_range(rng, self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

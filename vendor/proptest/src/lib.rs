@@ -1,0 +1,230 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the combinator subset this workspace's property tests
+//! use — `proptest!`, `Strategy` (`prop_map`, `prop_recursive`,
+//! `boxed`), `prop_oneof!`, `Just`, `any`, range and tuple strategies,
+//! `collection::vec`, `bool::ANY`, simple `[a-z]{m,n}` string patterns,
+//! and `prop_assert*` — as a generation-only property runner.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! index and the deterministic per-test seed instead of a minimized
+//! input), and case generation is seeded from the test name so runs
+//! are reproducible without a persistence file.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+
+mod patterns;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// Strategies over `bool`, mirroring `proptest::bool`.
+pub mod bool {
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    /// Uniformly random booleans (mirrors `proptest::bool::ANY`).
+    pub const ANY: BoolAny = BoolAny;
+
+    impl crate::Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::TestRng) -> bool {
+            rand::Rng::gen(rng)
+        }
+    }
+}
+
+/// The generator driving each test case.
+pub type TestRng = rand::StdRng;
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Builds the deterministic per-test generator (seeded from the test
+/// name via FNV-1a, so each property gets an independent stream).
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+    };
+}
+
+/// Defines property tests: each `fn` becomes a `#[test]` that runs the
+/// body over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest: property `{}` failed at case {}/{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Property-scoped assertion; maps to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-scoped equality assertion; maps to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-scoped inequality assertion; maps to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_tree() -> impl Strategy<Value = usize> {
+        // Depth counter: leaves are 0; each recursion level adds one.
+        let leaf = Just(0usize);
+        leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a.max(b) + 1)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -4i64..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        /// Vec strategies respect their length range and element bounds.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| *x < 5));
+        }
+
+        /// Mapped and one-of strategies compose.
+        #[test]
+        fn mapped_oneof(v in prop_oneof![
+            (0u8..10).prop_map(|x| x as u32),
+            Just(99u32),
+        ]) {
+            prop_assert!(v < 10 || v == 99);
+        }
+
+        /// String patterns honor the class and repetition count.
+        #[test]
+        fn string_pattern(s in "[a-c]{1,4}") {
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        /// Recursive strategies stay within the requested depth.
+        #[test]
+        fn recursion_bounded(d in arb_tree()) {
+            prop_assert!(d <= 3);
+        }
+
+        /// Tuple + bool::ANY strategies generate.
+        #[test]
+        fn tuples_and_bools(t in (1u64..5, crate::bool::ANY)) {
+            prop_assert!((1..5).contains(&t.0));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::Rng;
+        let a = crate::rng_for("x").gen::<u64>();
+        let b = crate::rng_for("x").gen::<u64>();
+        let c = crate::rng_for("y").gen::<u64>();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal string-pattern generation for `&str` strategies.
+//!
+//! Supports the subset the workspace uses: sequences of atoms, where an
+//! atom is a literal character or a character class `[a-z0-9_]` of
+//! single characters and inclusive ranges, optionally followed by a
+//! repetition count `{n}` or `{m,n}`. Anything fancier is rejected
+//! loudly rather than silently mis-generated.
+
+use crate::TestRng;
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let set = class_alphabet(&chars[i + 1..close], pattern);
+                i = close + 1;
+                set
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '|' | '(' | ')' | '.' => {
+                panic!("unsupported pattern syntax {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            parse_counts(&spec, pattern)
+        } else {
+            (1, 1)
+        };
+        let n = rand::Rng::gen_range(rng, lo..=hi);
+        for _ in 0..n {
+            let k = rand::Rng::gen_range(rng, 0..alphabet.len());
+            out.push(alphabet[k]);
+        }
+    }
+    out
+}
+
+fn class_alphabet(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty [] in pattern {pattern:?}");
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (lo, hi) = (body[j], body[j + 2]);
+            assert!(lo <= hi, "reversed range in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            j += 3;
+        } else {
+            set.push(body[j]);
+            j += 1;
+        }
+    }
+    set
+}
+
+fn parse_counts(spec: &str, pattern: &str) -> (usize, usize) {
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition {spec:?} in pattern {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        Some((lo, hi)) => {
+            let (lo, hi) = (parse(lo), parse(hi));
+            assert!(lo <= hi, "reversed repetition in pattern {pattern:?}");
+            (lo, hi)
+        }
+        None => {
+            let n = parse(spec);
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_counts() {
+        let mut rng = crate::rng_for("patterns");
+        for _ in 0..200 {
+            let s = generate("[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut rng = crate::rng_for("patterns2");
+        let s = generate("x[01]{3}y", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+        assert!(s[1..4].chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported pattern")]
+    fn rejects_unsupported_syntax() {
+        let mut rng = crate::rng_for("patterns3");
+        generate("a+", &mut rng);
+    }
+}

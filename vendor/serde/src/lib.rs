@@ -1,0 +1,58 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as markers —
+//! no serializer is ever driven (on-disk sizes are modeled by the cost
+//! model, not produced by encoding). The traits here are empty with
+//! blanket impls, so every `T: Serialize` bound in the codebase is
+//! satisfied without generating any code.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`; blanket-implemented.
+pub mod de {
+    /// Owned deserialization marker, mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        a: u32,
+        b: String,
+    }
+
+    fn assert_serialize<T: super::Serialize>() {}
+    fn assert_deserialize_owned<T: super::de::DeserializeOwned>() {}
+
+    #[test]
+    fn derives_compile_and_bounds_hold() {
+        assert_serialize::<Probe>();
+        assert_deserialize_owned::<Probe>();
+        let p = Probe {
+            a: 1,
+            b: "x".into(),
+        };
+        assert_eq!(
+            p,
+            Probe {
+                a: 1,
+                b: "x".into()
+            }
+        );
+    }
+}
