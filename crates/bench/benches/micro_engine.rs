@@ -16,10 +16,7 @@ use flint_simtime::{SimDuration, SimTime};
 /// data-source read per partition (zero for the pure CPU-bound variant).
 fn wide_stage(host_threads: usize, stall: std::time::Duration) -> u64 {
     let mut d = Driver::new(
-        DriverConfig {
-            host_threads,
-            ..DriverConfig::default()
-        },
+        DriverConfig::builder().host_threads(host_threads).build(),
         Box::new(NoCheckpoint),
         Box::new(NoFailures),
     );

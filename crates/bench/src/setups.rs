@@ -162,10 +162,11 @@ fn schedule(opts: &RunOpts) -> Vec<(SimTime, WorkerEvent)> {
 
 /// Builds a calibrated driver for `workload` under `opts`.
 pub fn build_driver(workload: &dyn Workload, opts: &RunOpts) -> Driver {
-    let mut cfg = DriverConfig::default();
-    cfg.cost.size_scale = workload.recommended_size_scale();
+    let mut cfg = DriverConfig::builder()
+        .size_scale(workload.recommended_size_scale())
+        .storage(opts.storage)
+        .build();
     cfg.cost.source_mib_s = opts.source_mib_s;
-    cfg.storage = opts.storage;
     let mut d = Driver::new(
         cfg,
         opts.hooks.build(),

@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use flint_engine::{CheckpointDirective, CheckpointHooks, LineageView, RddId};
+use flint_engine::{
+    CheckpointDirective, CheckpointHooks, Event, EventKind, EventSink, LineageView, RddId,
+};
 use flint_simtime::{SimDuration, SimTime};
 use parking_lot::Mutex;
 
@@ -135,6 +137,7 @@ impl CheckpointHooks for FlintCheckpointPolicy {
     fn on_rdd_materialized(
         &mut self,
         view: &LineageView<'_>,
+        events: &mut dyn EventSink,
         rdd: RddId,
         now: SimTime,
     ) -> Vec<CheckpointDirective> {
@@ -153,6 +156,15 @@ impl CheckpointHooks for FlintCheckpointPolicy {
         // updates the checkpointing interval τ").
         if self.adaptive_delta {
             self.update_delta(view.frontier_delta());
+            let s = self.shared.lock();
+            events.emit(&Event {
+                t: now,
+                kind: EventKind::TauAdapted {
+                    delta_ms: s.delta.as_millis(),
+                    tau_ms: s.tau.as_millis(),
+                    mttf_ms: s.mttf.as_millis(),
+                },
+            });
         }
         let tau = self.current_tau();
         if tau == SimDuration::MAX {
@@ -242,6 +254,7 @@ impl CheckpointHooks for PeriodicRddCheckpoint {
     fn on_rdd_materialized(
         &mut self,
         view: &LineageView<'_>,
+        _events: &mut dyn EventSink,
         rdd: RddId,
         now: SimTime,
     ) -> Vec<CheckpointDirective> {
@@ -276,7 +289,12 @@ impl PeriodicSystemCheckpoint {
 }
 
 impl CheckpointHooks for PeriodicSystemCheckpoint {
-    fn poll(&mut self, _view: &LineageView<'_>, now: SimTime) -> Vec<CheckpointDirective> {
+    fn poll(
+        &mut self,
+        _view: &LineageView<'_>,
+        _events: &mut dyn EventSink,
+        now: SimTime,
+    ) -> Vec<CheckpointDirective> {
         if self.interval == SimDuration::MAX || now - self.last < self.interval {
             return Vec::new();
         }
@@ -291,6 +309,10 @@ mod tests {
     use flint_engine::{CheckpointStore, CostModel, Lineage, RddOp};
     use flint_store::StorageConfig;
     use std::sync::Arc as StdArc;
+
+    fn sink() -> flint_engine::TraceHandle {
+        flint_engine::TraceHandle::disabled()
+    }
 
     struct Fixture {
         lineage: Lineage,
@@ -358,7 +380,7 @@ mod tests {
         let mut p = FlintCheckpointPolicy::with_mttf(SimDuration::from_hours(1));
         // τ for δ=2min, MTTF=1h is ~28 min; at t = 1h the timer is due.
         let now = SimTime::from_hours_f64(1.0);
-        let d = p.on_rdd_materialized(&fx.view(), tip, now);
+        let d = p.on_rdd_materialized(&fx.view(), &mut sink(), tip, now);
         assert_eq!(d, vec![CheckpointDirective::Checkpoint(tip)]);
     }
 
@@ -368,7 +390,7 @@ mod tests {
         let ids = fx.add_chain(3);
         let tip = *ids.last().unwrap(); // not persisted, not shuffle
         let mut p = FlintCheckpointPolicy::with_mttf(SimDuration::from_hours(1));
-        let d = p.on_rdd_materialized(&fx.view(), tip, SimTime::from_hours_f64(1.0));
+        let d = p.on_rdd_materialized(&fx.view(), &mut sink(), tip, SimTime::from_hours_f64(1.0));
         assert!(
             d.is_empty(),
             "transient narrow RDDs are not durable-write candidates"
@@ -381,8 +403,12 @@ mod tests {
         let ids = fx.add_chain(3);
         let mut p = FlintCheckpointPolicy::with_mttf(SimDuration::from_hours(1));
         let now = SimTime::from_hours_f64(1.0);
-        assert!(p.on_rdd_materialized(&fx.view(), ids[0], now).is_empty());
-        assert!(p.on_rdd_materialized(&fx.view(), ids[1], now).is_empty());
+        assert!(p
+            .on_rdd_materialized(&fx.view(), &mut sink(), ids[0], now)
+            .is_empty());
+        assert!(p
+            .on_rdd_materialized(&fx.view(), &mut sink(), ids[1], now)
+            .is_empty());
     }
 
     #[test]
@@ -391,7 +417,12 @@ mod tests {
         let ids = fx.add_chain(2);
         let mut p = FlintCheckpointPolicy::with_mttf(SimDuration::from_hours(50));
         // τ(2min, 50h) ≈ 1.8h; a few minutes in, nothing should fire.
-        let d = p.on_rdd_materialized(&fx.view(), ids[1], SimTime::from_hours_f64(0.1));
+        let d = p.on_rdd_materialized(
+            &fx.view(),
+            &mut sink(),
+            ids[1],
+            SimTime::from_hours_f64(0.1),
+        );
         assert!(d.is_empty());
     }
 
@@ -400,7 +431,12 @@ mod tests {
         let mut fx = Fixture::new();
         let ids = fx.add_chain(2);
         let mut p = FlintCheckpointPolicy::with_mttf(SimDuration::MAX);
-        let d = p.on_rdd_materialized(&fx.view(), ids[1], SimTime::from_hours_f64(1000.0));
+        let d = p.on_rdd_materialized(
+            &fx.view(),
+            &mut sink(),
+            ids[1],
+            SimTime::from_hours_f64(1000.0),
+        );
         assert!(d.is_empty());
     }
 
@@ -450,7 +486,7 @@ mod tests {
         // At τ/8 past zero the narrow timer is NOT due but the shuffle
         // timer IS.
         let now = SimTime::ZERO + tau / 8 + SimDuration::from_secs(1);
-        let d = p.on_rdd_materialized(&fx.view(), red, now);
+        let d = p.on_rdd_materialized(&fx.view(), &mut sink(), red, now);
         assert_eq!(d, vec![CheckpointDirective::Checkpoint(red)]);
     }
 
@@ -482,10 +518,10 @@ mod tests {
         let mut p = PeriodicRddCheckpoint::new(SimDuration::from_mins(10));
         // Not due yet.
         assert!(p
-            .on_rdd_materialized(&fx.view(), red, SimTime::from_millis(1000))
+            .on_rdd_materialized(&fx.view(), &mut sink(), red, SimTime::from_millis(1000))
             .is_empty());
         // Due: fires exactly on the fixed interval, MTTF-independent.
-        let d = p.on_rdd_materialized(&fx.view(), red, SimTime::from_hours_f64(0.2));
+        let d = p.on_rdd_materialized(&fx.view(), &mut sink(), red, SimTime::from_hours_f64(0.2));
         assert_eq!(d, vec![CheckpointDirective::Checkpoint(red)]);
     }
 
@@ -493,12 +529,16 @@ mod tests {
     fn system_checkpoint_fires_periodically() {
         let fx = Fixture::new();
         let mut p = PeriodicSystemCheckpoint::new(SimDuration::from_mins(30));
-        assert!(p.poll(&fx.view(), SimTime::from_hours_f64(0.1)).is_empty());
-        let d = p.poll(&fx.view(), SimTime::from_hours_f64(0.6));
+        assert!(p
+            .poll(&fx.view(), &mut sink(), SimTime::from_hours_f64(0.1))
+            .is_empty());
+        let d = p.poll(&fx.view(), &mut sink(), SimTime::from_hours_f64(0.6));
         assert_eq!(d, vec![CheckpointDirective::CheckpointAllCached]);
         // Immediately after firing, quiet again.
-        assert!(p.poll(&fx.view(), SimTime::from_hours_f64(0.7)).is_empty());
-        let d2 = p.poll(&fx.view(), SimTime::from_hours_f64(1.2));
+        assert!(p
+            .poll(&fx.view(), &mut sink(), SimTime::from_hours_f64(0.7))
+            .is_empty());
+        let d2 = p.poll(&fx.view(), &mut sink(), SimTime::from_hours_f64(1.2));
         assert_eq!(d2.len(), 1);
     }
 }

@@ -1,6 +1,6 @@
 //! [`FlintCluster`]: the assembled managed service.
 
-use flint_engine::{CheckpointHooks, Driver, DriverConfig, NoCheckpoint};
+use flint_engine::{CheckpointHooks, Driver, DriverConfig, NoCheckpoint, TraceHandle};
 use flint_market::{CloudSim, EbsCostModel, MarketCatalog};
 use flint_simtime::{SimDuration, SimTime};
 
@@ -21,6 +21,11 @@ pub enum Mode {
 }
 
 /// Configuration of a [`FlintCluster`].
+///
+/// Construct through [`FlintConfig::builder`] — the supported path, kept
+/// stable as fields are added (struct-literal construction is
+/// deprecated-in-spirit and may break when this becomes
+/// `#[non_exhaustive]`).
 #[derive(Debug, Clone)]
 pub struct FlintConfig {
     /// Cluster size `N` (the paper's evaluation uses 10).
@@ -40,6 +45,9 @@ pub struct FlintConfig {
     /// Session start within the price traces; defaults to two weeks in so
     /// the backward-looking window has history.
     pub start: SimTime,
+    /// Shared event-trace handle. Disabled (no sinks) by default; attach
+    /// a sink before launch to capture the run's full event stream.
+    pub trace: TraceHandle,
 }
 
 impl Default for FlintConfig {
@@ -53,7 +61,99 @@ impl Default for FlintConfig {
             driver: DriverConfig::default(),
             seed: 0,
             start: SimTime::ZERO + SimDuration::from_days(14),
+            trace: TraceHandle::disabled(),
         }
+    }
+}
+
+impl FlintConfig {
+    /// Starts a builder preloaded with the paper's defaults (`N = 10`,
+    /// batch mode, the §5.5 cost model, start two weeks into the traces).
+    pub fn builder() -> FlintConfigBuilder {
+        FlintConfigBuilder::default()
+    }
+}
+
+/// Fluent builder for [`FlintConfig`]. Every setter has a paper-default
+/// value, so `FlintConfig::builder().build()` equals
+/// `FlintConfig::default()`.
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::{FlintConfig, Mode};
+///
+/// let cfg = FlintConfig::builder()
+///     .n_workers(6)
+///     .mode(Mode::Interactive)
+///     .seed(7)
+///     .build();
+/// assert_eq!(cfg.n_workers, 6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlintConfigBuilder {
+    cfg: FlintConfig,
+}
+
+impl FlintConfigBuilder {
+    /// Cluster size `N` (paper default 10).
+    pub fn n_workers(mut self, n: u32) -> Self {
+        self.cfg.n_workers = n;
+        self
+    }
+
+    /// Batch or interactive policy pair.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Market-selection configuration.
+    pub fn selection(mut self, selection: SelectionConfig) -> Self {
+        self.cfg.selection = selection;
+        self
+    }
+
+    /// Job profile for Eq. 1–4.
+    pub fn job(mut self, job: JobProfile) -> Self {
+        self.cfg.job = job;
+        self
+    }
+
+    /// Bidding policy.
+    pub fn bid(mut self, bid: BidPolicy) -> Self {
+        self.cfg.bid = bid;
+        self
+    }
+
+    /// Engine configuration (cost model, storage bandwidth, threads).
+    pub fn driver(mut self, driver: DriverConfig) -> Self {
+        self.cfg.driver = driver;
+        self
+    }
+
+    /// Seed for the cloud simulator (preemptible lifetimes).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Session start within the price traces.
+    pub fn start(mut self, start: SimTime) -> Self {
+        self.cfg.start = start;
+        self
+    }
+
+    /// Attaches a trace handle; engine, market, and policy events are
+    /// all emitted on it.
+    pub fn trace(mut self, trace: TraceHandle) -> Self {
+        self.cfg.trace = trace;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> FlintConfig {
+        self.cfg
     }
 }
 
@@ -90,7 +190,8 @@ impl FlintCluster {
         policy: Box<dyn SelectionPolicy>,
         hooks: Option<Box<dyn CheckpointHooks>>,
     ) -> FlintCluster {
-        let cloud = CloudSim::with_seed(catalog, config.seed);
+        let mut cloud = CloudSim::with_seed(catalog, config.seed);
+        cloud.set_trace(config.trace.clone());
         let ft = new_shared(SimDuration::MAX);
         let (nm_injector, nm) = NodeManager::launch(
             cloud,
@@ -108,6 +209,7 @@ impl FlintCluster {
             None => Box::new(FlintCheckpointPolicy::new(ft.clone())),
         };
         let mut driver = Driver::new(config.driver.clone(), hooks, Box::new(nm_injector));
+        driver.set_trace(config.trace.clone());
         driver.warp_to(config.start);
         FlintCluster {
             driver,
@@ -210,13 +312,8 @@ mod tests {
 
     #[test]
     fn batch_cluster_runs_jobs_end_to_end() {
-        let mut cluster = FlintCluster::launch(
-            catalog(),
-            FlintConfig {
-                n_workers: 6,
-                ..FlintConfig::default()
-            },
-        );
+        let mut cluster =
+            FlintCluster::launch(catalog(), FlintConfig::builder().n_workers(6).build());
         assert_eq!(word_count(cluster.driver_mut()), 50);
         // Hold the cluster for 10 hours so hourly billing amortizes.
         let until = cluster.driver().now() + SimDuration::from_hours(10);
@@ -236,11 +333,10 @@ mod tests {
     fn interactive_cluster_spans_markets() {
         let mut cluster = FlintCluster::launch(
             catalog(),
-            FlintConfig {
-                n_workers: 8,
-                mode: Mode::Interactive,
-                ..FlintConfig::default()
-            },
+            FlintConfig::builder()
+                .n_workers(8)
+                .mode(Mode::Interactive)
+                .build(),
         );
         assert_eq!(word_count(cluster.driver_mut()), 50);
         assert!(cluster.node_manager().active_markets().len() >= 2);
@@ -258,10 +354,7 @@ mod tests {
     fn no_checkpoint_variant_never_writes() {
         let mut cluster = FlintCluster::launch_without_checkpointing(
             catalog(),
-            FlintConfig {
-                n_workers: 4,
-                ..FlintConfig::default()
-            },
+            FlintConfig::builder().n_workers(4).build(),
         );
         let _ = word_count(cluster.driver_mut());
         assert_eq!(cluster.driver().stats().checkpoints_written, 0);
@@ -271,13 +364,8 @@ mod tests {
 
     #[test]
     fn long_session_with_checkpointing_accrues_storage_cost() {
-        let mut cluster = FlintCluster::launch(
-            catalog(),
-            FlintConfig {
-                n_workers: 6,
-                ..FlintConfig::default()
-            },
-        );
+        let mut cluster =
+            FlintCluster::launch(catalog(), FlintConfig::builder().n_workers(6).build());
         // Force a low MTTF so τ is short and checkpoints happen quickly.
         cluster.ft_state().lock().mttf = SimDuration::from_hours(1);
         let driver = cluster.driver_mut();

@@ -40,11 +40,8 @@
 //! use flint_engine::Value;
 //!
 //! let catalog = MarketCatalog::synthetic_ec2(7, SimDuration::from_days(30));
-//! let mut cluster = FlintCluster::launch(catalog, FlintConfig {
-//!     n_workers: 4,
-//!     mode: Mode::Batch,
-//!     ..FlintConfig::default()
-//! });
+//! let config = FlintConfig::builder().n_workers(4).mode(Mode::Batch).build();
+//! let mut cluster = FlintCluster::launch(catalog, config);
 //!
 //! let driver = cluster.driver_mut();
 //! let nums = driver.ctx().parallelize((0..1000).map(Value::from_i64), 8);
@@ -72,7 +69,7 @@ pub use ckpt_policy::{
     new_shared, FlintCheckpointPolicy, FtShared, FtSharedHandle, PeriodicRddCheckpoint,
     PeriodicSystemCheckpoint,
 };
-pub use flint::{FlintCluster, FlintConfig, Mode};
+pub use flint::{FlintCluster, FlintConfig, FlintConfigBuilder, Mode};
 pub use node_manager::{NodeManager, NodeManagerHandle};
 pub use report::CostReport;
 pub use selection::{

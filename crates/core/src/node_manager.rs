@@ -64,6 +64,12 @@ impl NmInner {
 
     fn request_allocation(&mut self, alloc: &[(MarketId, u32)], now: SimTime) {
         for (market, count) in alloc {
+            self.cloud
+                .trace()
+                .emit_with(now, || flint_engine::EventKind::MarketSelected {
+                    market: u64::from(market.0),
+                    workers: u64::from(*count),
+                });
             let m = self.cloud.catalog().market(*market);
             let bid = self.bid.bid_for(m);
             for _ in 0..*count {
@@ -94,6 +100,11 @@ impl NmInner {
             })
             .collect();
         let agg = harmonic_mttf(&mttfs);
+        self.cloud
+            .trace()
+            .emit_with(now, || flint_engine::EventKind::MttfUpdated {
+                mttf_ms: agg.as_millis(),
+            });
         let mut ft = self.ft.lock();
         ft.mttf = agg;
     }
@@ -165,6 +176,14 @@ impl NmInner {
                     self.policy.replacement(&view, failed, count)
                 };
                 self.replacements += 1;
+                let round = self.replacements;
+                self.cloud
+                    .trace()
+                    .emit_with(t, || flint_engine::EventKind::ReplacementRound {
+                        round,
+                        lost: u64::from(count),
+                        requested: alloc.iter().map(|(_, c)| u64::from(*c)).sum(),
+                    });
                 self.request_allocation(&alloc, t);
             }
             // Replacement requests may schedule Ready events ≤ `to`;

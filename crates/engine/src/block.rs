@@ -25,6 +25,33 @@ pub enum BlockKey {
     },
 }
 
+impl std::fmt::Display for BlockKey {
+    /// Compact label used in trace events: `rdd(3:1)` / `shuffle(2:0)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockKey::RddPart { rdd, part } => write!(f, "rdd({}:{})", rdd.0, part),
+            BlockKey::ShuffleMap { shuffle, map_part } => {
+                write!(f, "shuffle({}:{})", shuffle.0, map_part)
+            }
+        }
+    }
+}
+
+/// What one [`BlockManager::insert_traced`] call did to the cache:
+/// which victims it displaced and whether the new block found a home.
+/// The driver folds this into `CacheInsert`/`CacheSpill`/`CacheEvict`
+/// trace events.
+#[derive(Debug, Default, Clone)]
+pub struct InsertOutcome {
+    /// The inserted block was stored (memory or disk).
+    pub stored: bool,
+    /// `(victim, vbytes)` demoted memory → disk to make room.
+    pub spilled: Vec<(BlockKey, u64)>,
+    /// `(victim, vbytes)` dropped entirely (includes the inserted block
+    /// itself when nothing could hold it).
+    pub dropped: Vec<(BlockKey, u64)>,
+}
+
 /// Where a block currently lives on a worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockLocation {
@@ -87,16 +114,29 @@ impl BlockManager {
     /// disk) as needed. Returns `false` if the block itself could not be
     /// stored anywhere.
     pub fn insert(&mut self, key: BlockKey, data: PartitionData, vbytes: u64) -> bool {
+        self.insert_traced(key, data, vbytes).stored
+    }
+
+    /// [`BlockManager::insert`] with a full account of the cache churn
+    /// it caused, so callers can trace spills and evictions.
+    pub fn insert_traced(
+        &mut self,
+        key: BlockKey,
+        data: PartitionData,
+        vbytes: u64,
+    ) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
         // Refuse pathological single blocks bigger than both tiers.
         if vbytes > self.mem_capacity && vbytes > self.disk_capacity {
             self.dropped_bytes += vbytes;
-            return false;
+            outcome.dropped.push((key, vbytes));
+            return outcome;
         }
         self.remove(&key);
         let lu = self.tick();
         if vbytes <= self.mem_capacity {
             while self.mem_used + vbytes > self.mem_capacity {
-                if !self.evict_one_to_disk() {
+                if !self.evict_one_to_disk(&mut outcome) {
                     break;
                 }
             }
@@ -110,16 +150,25 @@ impl BlockManager {
                     },
                 );
                 self.mem_used += vbytes;
-                return true;
+                outcome.stored = true;
+                return outcome;
             }
         }
         // Fall back to disk.
-        self.store_on_disk(key, data, vbytes)
+        outcome.stored = self.store_on_disk(key, data, vbytes, &mut outcome.dropped);
+        outcome
     }
 
-    fn store_on_disk(&mut self, key: BlockKey, data: PartitionData, vbytes: u64) -> bool {
+    fn store_on_disk(
+        &mut self,
+        key: BlockKey,
+        data: PartitionData,
+        vbytes: u64,
+        dropped: &mut Vec<(BlockKey, u64)>,
+    ) -> bool {
         if vbytes > self.disk_capacity {
             self.dropped_bytes += vbytes;
+            dropped.push((key, vbytes));
             return false;
         }
         while self.disk_used + vbytes > self.disk_capacity {
@@ -127,6 +176,7 @@ impl BlockManager {
                 if let Some(b) = self.disk.remove(&victim) {
                     self.disk_used -= b.vbytes;
                     self.dropped_bytes += b.vbytes;
+                    dropped.push((victim, b.vbytes));
                 }
             } else {
                 break;
@@ -134,6 +184,7 @@ impl BlockManager {
         }
         if self.disk_used + vbytes > self.disk_capacity {
             self.dropped_bytes += vbytes;
+            dropped.push((key, vbytes));
             return false;
         }
         let lu = self.tick();
@@ -157,7 +208,7 @@ impl BlockManager {
 
     /// Evicts the least-recently-used memory block to disk. Returns
     /// `false` when memory is already empty.
-    fn evict_one_to_disk(&mut self) -> bool {
+    fn evict_one_to_disk(&mut self, outcome: &mut InsertOutcome) -> bool {
         let Some(victim) = self.lru_key(&self.mem) else {
             return false;
         };
@@ -166,7 +217,8 @@ impl BlockManager {
         self.spilled_bytes += b.vbytes;
         let vbytes = b.vbytes;
         let data = b.data;
-        let _ = self.store_on_disk(victim, data, vbytes);
+        outcome.spilled.push((victim, vbytes));
+        let _ = self.store_on_disk(victim, data, vbytes, &mut outcome.dropped);
         true
     }
 

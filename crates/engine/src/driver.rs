@@ -5,8 +5,9 @@ use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 use flint_simtime::{Clock, SimDuration, SimTime};
 use flint_store::StorageConfig;
+use flint_trace::{EventKind, TraceHandle};
 
-use crate::block::BlockKey;
+use crate::block::{BlockKey, InsertOutcome};
 use crate::checkpoint::CheckpointStore;
 use crate::cluster::{Cluster, WorkerId, WorkerSpec};
 use crate::context::EngineContext;
@@ -21,6 +22,11 @@ use crate::stats::{ActionRecord, RunStats};
 use crate::value::Value;
 
 /// Tuning knobs for a [`Driver`].
+///
+/// Construct through [`DriverConfig::builder`] — the supported path, kept
+/// stable as fields are added (struct-literal construction is
+/// deprecated-in-spirit and may break when this becomes
+/// `#[non_exhaustive]`).
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
     /// The virtual-time cost model.
@@ -47,6 +53,73 @@ impl Default for DriverConfig {
             max_iterations: 5_000_000,
             host_threads: 1,
         }
+    }
+}
+
+impl DriverConfig {
+    /// Starts a builder preloaded with the defaults (the §5.5 cost model,
+    /// default EBS bandwidth, one host thread).
+    pub fn builder() -> DriverConfigBuilder {
+        DriverConfigBuilder::default()
+    }
+}
+
+/// Fluent builder for [`DriverConfig`];
+/// `DriverConfig::builder().build()` equals `DriverConfig::default()`.
+///
+/// # Examples
+///
+/// ```
+/// use flint_engine::DriverConfig;
+///
+/// let cfg = DriverConfig::builder()
+///     .host_threads(8)
+///     .size_scale(5e5)
+///     .build();
+/// assert_eq!(cfg.host_threads, 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DriverConfigBuilder {
+    cfg: DriverConfig,
+}
+
+impl DriverConfigBuilder {
+    /// The virtual-time cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// The durable-storage bandwidth model.
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.cfg.storage = storage;
+        self
+    }
+
+    /// Hard cap on scheduler loop iterations per action.
+    pub fn max_iterations(mut self, max: u64) -> Self {
+        self.cfg.max_iterations = max;
+        self
+    }
+
+    /// Host threads used to materialize each wave in parallel. Any value
+    /// produces bit-identical results; see [`DriverConfig::host_threads`].
+    pub fn host_threads(mut self, threads: usize) -> Self {
+        self.cfg.host_threads = threads;
+        self
+    }
+
+    /// Convenience: sets the cost model's virtual-size multiplier
+    /// (`cost.size_scale`), the usual knob for simulating paper-scale
+    /// datasets from small in-memory collections.
+    pub fn size_scale(mut self, scale: f64) -> Self {
+        self.cfg.cost.size_scale = scale;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> DriverConfig {
+        self.cfg
     }
 }
 
@@ -114,6 +187,7 @@ pub struct Driver {
     injector: Box<dyn FailureInjector>,
     clock: Clock,
     stats: RunStats,
+    trace: TraceHandle,
     config: DriverConfig,
     range_cache: BTreeMap<ShuffleId, RangePartitioner>,
     computed_once: HashSet<(RddId, u32)>,
@@ -144,6 +218,7 @@ impl Driver {
             injector,
             clock: Clock::new(),
             stats: RunStats::default(),
+            trace: TraceHandle::disabled(),
             config,
             range_cache: BTreeMap::new(),
             computed_once: HashSet::new(),
@@ -414,12 +489,20 @@ impl Driver {
             return Err(EngineError::UnknownRdd(target));
         }
         let started = self.clock.now();
+        let name = format!("{label}(rdd-{})", target.0);
+        self.trace
+            .emit_with(started, || EventKind::ActionStarted { name: name.clone() });
         self.pump_injector();
         self.run_job(target)?;
         let parts = self.gather(target)?;
         let finished = self.clock.now();
+        self.trace
+            .emit_with(finished, || EventKind::ActionFinished {
+                name: name.clone(),
+                millis: (finished - started).as_millis(),
+            });
         self.stats.actions.push(ActionRecord {
-            name: format!("{label}(rdd-{})", target.0),
+            name,
             started,
             finished,
         });
@@ -452,6 +535,10 @@ impl Driver {
                 .collect();
             let mut assigned_any = false;
             if !pending.is_empty() && self.cluster.alive_count() > 0 {
+                self.trace
+                    .emit_with(self.clock.now(), || EventKind::WaveStarted {
+                        tasks: pending.len() as u64,
+                    });
                 let outputs = self.compute_wave(&pending);
                 for (key, out) in pending.into_iter().zip(outputs) {
                     if let Some(out) = out {
@@ -476,6 +563,9 @@ impl Driver {
                 (None, Some(ti)) => {
                     // Stalled waiting for workers.
                     self.stats.stall_time += ti - now;
+                    self.trace.emit_with(now, || EventKind::Stalled {
+                        millis: (ti - now).as_millis(),
+                    });
                     self.clock.advance_to(ti);
                     self.pump_injector();
                 }
@@ -525,14 +615,20 @@ impl Driver {
             match ev {
                 WorkerEvent::Add { ext_id, spec } => {
                     self.cluster.add_worker(ext_id, spec, t);
+                    self.trace
+                        .emit_with(t, || EventKind::WorkerAdded { ext: ext_id });
                 }
                 WorkerEvent::Warn { ext_id } => {
                     self.stats.warnings += 1;
+                    self.trace
+                        .emit_with(t, || EventKind::RevocationWarning { ext: ext_id });
                     self.hooks.on_warning(ext_id, t);
                 }
                 WorkerEvent::Remove { ext_id } => {
                     if let Some(wid) = self.cluster.remove_by_ext(ext_id) {
                         self.stats.revocations += 1;
+                        self.trace
+                            .emit_with(t, || EventKind::WorkerRevoked { ext: ext_id });
                         self.hooks.on_revocation(ext_id, t);
                         self.invalidate_worker(wid);
                     }
@@ -729,6 +825,55 @@ impl Driver {
         Some(least_loaded)
     }
 
+    /// Attaches the shared trace handle; the driver emits all engine
+    /// lifecycle events on it, in commit order.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The driver's trace handle (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Emits the cache-churn events for one traced block insert: any
+    /// spills and evictions the insert forced, then the insert itself.
+    fn emit_cache(&self, t: SimTime, ext: u64, key: BlockKey, vbytes: u64, out: &InsertOutcome) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        for (bk, vb) in &out.spilled {
+            self.trace.emit(
+                t,
+                EventKind::CacheSpill {
+                    worker: ext,
+                    block: bk.to_string(),
+                    vbytes: *vb,
+                },
+            );
+        }
+        for (bk, vb) in &out.dropped {
+            self.trace.emit(
+                t,
+                EventKind::CacheEvict {
+                    worker: ext,
+                    block: bk.to_string(),
+                    vbytes: *vb,
+                },
+            );
+        }
+        if out.stored {
+            self.trace.emit(
+                t,
+                EventKind::CacheInsert {
+                    worker: ext,
+                    block: key.to_string(),
+                    vbytes,
+                },
+            );
+        }
+    }
+
     /// Builds the immutable snapshot the wave executor's host threads
     /// read. Borrowing rules guarantee the snapshot cannot change while a
     /// wave is computing.
@@ -740,6 +885,7 @@ impl Driver {
             cost: &self.config.cost,
             computed_once: &self.computed_once,
             range_cache: &self.range_cache,
+            trace_enabled: self.trace.is_enabled(),
         }
     }
 
@@ -771,6 +917,15 @@ impl Driver {
         self.stats.restores += out.restores;
         self.stats.restore_time += out.restore_time;
         self.stats.recompute_time += out.recompute_time;
+        let now = self.clock.now();
+        if self.trace.is_enabled() {
+            // Compute-phase events were buffered in the effect ledger;
+            // replaying them here (admission order) keeps the stream
+            // identical for every `host_threads` setting.
+            for ev in &out.events {
+                self.trace.emit(now, ev.clone());
+            }
+        }
         for (s, rp) in &out.resolved {
             // First admitted resolution wins; later tasks resolved the
             // same bounds from the same snapshot.
@@ -786,7 +941,9 @@ impl Driver {
                 CacheEffect::Insert(bk, data, vb) => {
                     let w = self.cluster.worker_mut(worker);
                     if w.alive {
-                        w.blocks.insert(*bk, data.clone(), *vb);
+                        let ext = w.ext_id;
+                        let outcome = w.blocks.insert_traced(*bk, data.clone(), *vb);
+                        self.emit_cache(now, ext, *bk, *vb, &outcome);
                     }
                 }
             }
@@ -966,9 +1123,29 @@ impl Driver {
             Commit::Block(key) => {
                 self.stats.tasks_run += 1;
                 self.stats.compute_time += r.duration;
+                let ext = self.cluster.worker(r.worker).ext_id;
+                self.trace.emit_with(now, || {
+                    let (kind, id, part) = match r.key {
+                        TaskKey::ShuffleMap { shuffle, map_part } => {
+                            ("shuffle", u64::from(shuffle.0), u64::from(map_part))
+                        }
+                        TaskKey::Output { rdd, part } => {
+                            ("output", u64::from(rdd.0), u64::from(part))
+                        }
+                        TaskKey::Ckpt(_) => unreachable!("ckpt tasks commit as Checkpoint"),
+                    };
+                    EventKind::TaskFinished {
+                        kind: kind.to_string(),
+                        id,
+                        part,
+                        worker: ext,
+                        millis: r.duration.as_millis(),
+                    }
+                });
                 let w = self.cluster.worker_mut(r.worker);
                 if w.alive {
-                    w.blocks.insert(key, r.data, r.vbytes);
+                    let outcome = w.blocks.insert_traced(key, r.data, r.vbytes);
+                    self.emit_cache(now, ext, key, r.vbytes, &outcome);
                 }
                 if let BlockKey::RddPart { rdd, part } = key {
                     self.computed_once.insert((rdd, part));
@@ -991,6 +1168,20 @@ impl Driver {
                 self.stats.checkpoints_written += 1;
                 self.stats.checkpoint_bytes += r.vbytes;
                 self.stats.checkpoint_wire_bytes += wire;
+                self.trace.emit_with(now, || {
+                    let block = match job {
+                        CkptJob::RddPart(rdd, part) => BlockKey::RddPart { rdd, part }.to_string(),
+                        CkptJob::Shuffle(shuffle, map_part) => {
+                            BlockKey::ShuffleMap { shuffle, map_part }.to_string()
+                        }
+                    };
+                    EventKind::CheckpointWritten {
+                        block,
+                        vbytes: r.vbytes,
+                        wire_bytes: wire,
+                        millis: r.duration.as_millis(),
+                    }
+                });
                 match job {
                     CkptJob::RddPart(rdd, part) => {
                         let n = self.ctx.lineage().meta(rdd).num_partitions;
@@ -1000,7 +1191,13 @@ impl Driver {
                         if self.ckpt.is_fully_checkpointed(rdd) {
                             // Paper §4: checkpointing an RDD terminates its
                             // lineage; ancestors' checkpoints become garbage.
-                            self.ckpt.gc(self.ctx.lineage(), now);
+                            let deleted = self.ckpt.gc(self.ctx.lineage(), now);
+                            if deleted > 0 {
+                                self.trace.emit_with(now, || EventKind::CheckpointGc {
+                                    rdd: u64::from(rdd.0),
+                                    blocks: deleted as u64,
+                                });
+                            }
                         }
                     }
                     CkptJob::Shuffle(s, mp) => {
@@ -1035,7 +1232,9 @@ impl Driver {
             cost: &self.config.cost,
             storage: self.ckpt.config(),
         };
-        let directives = self.hooks.on_rdd_materialized(&view, rdd, now);
+        let directives = self
+            .hooks
+            .on_rdd_materialized(&view, &mut self.trace, rdd, now);
         self.apply_directives(directives);
     }
 
@@ -1048,7 +1247,7 @@ impl Driver {
             cost: &self.config.cost,
             storage: self.ckpt.config(),
         };
-        let directives = self.hooks.poll(&view, now);
+        let directives = self.hooks.poll(&view, &mut self.trace, now);
         self.apply_directives(directives);
     }
 
@@ -1063,13 +1262,33 @@ impl Driver {
                         continue;
                     }
                     let n = self.ctx.lineage().meta(rdd).num_partitions;
+                    let mut enqueued = 0u64;
                     for part in 0..n {
                         if !self.ckpt.has(rdd, part) {
                             let job = CkptJob::RddPart(rdd, part);
                             if self.ckpt_queued.insert(job) {
                                 self.ckpt_queue.push_back(job);
+                                enqueued += 1;
                             }
                         }
+                    }
+                    if self.trace.is_enabled() {
+                        let view = LineageView {
+                            lineage: self.ctx.lineage(),
+                            checkpoints: &self.ckpt,
+                            alive_workers: self.cluster.alive_count(),
+                            cost: &self.config.cost,
+                            storage: self.ckpt.config(),
+                        };
+                        let delta_ms = view.checkpoint_delta(rdd).as_millis();
+                        self.trace.emit(
+                            self.clock.now(),
+                            EventKind::CheckpointScheduled {
+                                rdd: u64::from(rdd.0),
+                                parts: enqueued,
+                                delta_ms,
+                            },
+                        );
                     }
                 }
                 CheckpointDirective::CheckpointAllCached => {
@@ -1115,6 +1334,17 @@ impl Driver {
                     let d = self.ckpt.get(target, p).expect("bitmap agrees").clone();
                     total_vb += self.ckpt.size_of(target, p).unwrap_or(0);
                     self.stats.restores += 1;
+                    // Gather reads count as restores but charge no restore
+                    // time (the transfer is priced below), hence millis: 0.
+                    self.trace
+                        .emit_with(self.clock.now(), || EventKind::Restored {
+                            block: BlockKey::RddPart {
+                                rdd: target,
+                                part: p,
+                            }
+                            .to_string(),
+                            millis: 0,
+                        });
                     parts.push(d);
                 } else if let Some((_, d, _, vb)) = self.cluster.fetch(&BlockKey::RddPart {
                     rdd: target,
@@ -1160,6 +1390,9 @@ impl Driver {
                 match self.injector.next_event_after(now) {
                     Some(ti) => {
                         self.stats.stall_time += ti - now;
+                        self.trace.emit_with(now, || EventKind::Stalled {
+                            millis: (ti - now).as_millis(),
+                        });
                         self.clock.advance_to(ti);
                         self.pump_injector();
                         continue;

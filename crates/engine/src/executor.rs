@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use flint_simtime::SimDuration;
+use flint_trace::EventKind;
 
 use crate::block::{BlockKey, BlockLocation};
 use crate::checkpoint::{wire_size, CheckpointStore};
@@ -57,6 +58,10 @@ pub(crate) struct WaveCtx<'a> {
     pub cost: &'a CostModel,
     pub computed_once: &'a HashSet<(RddId, u32)>,
     pub range_cache: &'a BTreeMap<ShuffleId, RangePartitioner>,
+    /// Whether a trace sink is attached. When false, tasks skip
+    /// recording [`TaskOutput::events`] entirely, preserving the
+    /// zero-overhead-when-disabled contract on the hot path.
+    pub trace_enabled: bool,
 }
 
 // The wave executor shares the snapshot and task closures across scoped
@@ -123,6 +128,12 @@ pub(crate) struct TaskOutput {
     /// Portion of `base_dur` that recomputed previously-materialized
     /// partitions.
     pub recompute_time: SimDuration,
+    /// Trace events recorded during the parallel compute phase
+    /// (restores, recomputation cascades). Buffered here — part of the
+    /// effect ledger — and emitted by the driver at admission, in
+    /// task-key order, so the trace stream is bit-identical for any
+    /// `host_threads` setting. Empty when tracing is disabled.
+    pub events: Vec<EventKind>,
 }
 
 /// Runs `f` over `items` on up to `host_threads` scoped threads, pulling
@@ -277,6 +288,11 @@ struct TaskBuilder<'c, 'a> {
     restores: u64,
     restore_time: SimDuration,
     recompute_time: SimDuration,
+    /// Buffered trace events (only filled when `ctx.trace_enabled`).
+    events: Vec<EventKind>,
+    /// Current `materialize` recursion depth: 0 for the task's own
+    /// partition, increasing toward recomputed ancestors.
+    depth: u32,
     /// Blocks this task has queued for insertion, visible to its own
     /// later reads (mirrors the sequential materializer, where a
     /// persisted ancestor cached mid-task is a free local hit for the
@@ -296,6 +312,8 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             restores: 0,
             restore_time: SimDuration::ZERO,
             recompute_time: SimDuration::ZERO,
+            events: Vec::new(),
+            depth: 0,
             local: HashMap::new(),
         }
     }
@@ -322,6 +340,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             restores: self.restores,
             restore_time: self.restore_time,
             recompute_time: self.recompute_time,
+            events: self.events,
         }
     }
 
@@ -334,6 +353,17 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
     /// pending inserts, the wave-start cluster cache, the durable
     /// checkpoint store, recursive recomputation through the lineage.
     fn materialize(
+        &mut self,
+        rdd: RddId,
+        part: u32,
+    ) -> std::result::Result<(PartitionData, SimDuration), MissingShuffle> {
+        self.depth += 1;
+        let r = self.materialize_inner(rdd, part);
+        self.depth -= 1;
+        r
+    }
+
+    fn materialize_inner(
         &mut self,
         rdd: RddId,
         part: u32,
@@ -378,6 +408,12 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             let dur = self.ctx.ckpt.config().read_time(vb, 1);
             self.restore_time += dur;
             self.restores += 1;
+            if self.ctx.trace_enabled {
+                self.events.push(EventKind::Restored {
+                    block: bk.to_string(),
+                    millis: dur.as_millis(),
+                });
+            }
             // Re-cache the restored partition if the RDD is persisted so
             // subsequent reads stay in memory.
             if self.ctx.lineage.is_persisted(rdd) {
@@ -532,6 +568,13 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
 
         if was_before {
             self.recompute_time += own_dur;
+            if self.ctx.trace_enabled {
+                self.events.push(EventKind::Recomputed {
+                    block: bk.to_string(),
+                    depth: u64::from(self.depth - 1),
+                    millis: own_dur.as_millis(),
+                });
+            }
         }
         let data: PartitionData = Arc::new(out);
         let real = real_bytes(&data);

@@ -9,6 +9,7 @@
 
 use flint_simtime::{SimDuration, SimTime};
 use flint_store::StorageConfig;
+use flint_trace::EventSink;
 
 use crate::{CheckpointStore, CostModel, Lineage, RddId};
 
@@ -67,6 +68,9 @@ pub enum CheckpointDirective {
 /// Checkpointing policy callbacks, invoked by the driver.
 ///
 /// All methods have no-op defaults so trivial policies stay trivial.
+/// Decision-point hooks also receive the run's [`EventSink`], so a policy
+/// can narrate *why* it decided (e.g. τ re-estimation) into the same
+/// ordered stream the engine's lifecycle events land in.
 pub trait CheckpointHooks {
     /// Called when every partition of `rdd` has been materialized for the
     /// first time. This is the paper's "new RDD generated at the frontier"
@@ -74,6 +78,7 @@ pub trait CheckpointHooks {
     fn on_rdd_materialized(
         &mut self,
         _view: &LineageView<'_>,
+        _events: &mut dyn EventSink,
         _rdd: RddId,
         _now: SimTime,
     ) -> Vec<CheckpointDirective> {
@@ -83,7 +88,12 @@ pub trait CheckpointHooks {
     /// Called on every scheduler event-loop step; lets timer-based
     /// policies (e.g. periodic whole-memory checkpoints) fire without a
     /// materialization event.
-    fn poll(&mut self, _view: &LineageView<'_>, _now: SimTime) -> Vec<CheckpointDirective> {
+    fn poll(
+        &mut self,
+        _view: &LineageView<'_>,
+        _events: &mut dyn EventSink,
+        _now: SimTime,
+    ) -> Vec<CheckpointDirective> {
         Vec::new()
     }
 
@@ -165,9 +175,10 @@ mod tests {
             storage: &storage,
         };
         let mut h = NoCheckpoint;
-        assert!(h.poll(&view, SimTime::ZERO).is_empty());
+        let mut sink = flint_trace::TraceHandle::disabled();
+        assert!(h.poll(&view, &mut sink, SimTime::ZERO).is_empty());
         assert!(h
-            .on_rdd_materialized(&view, RddId(0), SimTime::ZERO)
+            .on_rdd_materialized(&view, &mut sink, RddId(0), SimTime::ZERO)
             .is_empty());
     }
 }

@@ -64,7 +64,7 @@ pub use cluster::{Cluster, Worker, WorkerId, WorkerSpec};
 pub use context::EngineContext;
 pub use cost::CostModel;
 pub use dataset::{Dataset, Datum, DenseVector};
-pub use driver::{Driver, DriverConfig};
+pub use driver::{Driver, DriverConfig, DriverConfigBuilder};
 pub use error::{EngineError, Result};
 pub use hooks::{CheckpointDirective, CheckpointHooks, LineageView, NoCheckpoint};
 pub use injector::{FailureInjector, NoFailures, ScriptedInjector, WorkerEvent};
@@ -75,3 +75,7 @@ pub use shuffle::{
 };
 pub use stats::{ActionRecord, RunStats};
 pub use value::Value;
+
+// Re-exported so policy crates implementing [`CheckpointHooks`] can name
+// the sink types without a direct `flint-trace` dependency.
+pub use flint_trace::{Event, EventKind, EventSink, TraceHandle};

@@ -33,10 +33,7 @@ fn op_strategy() -> impl Strategy<Value = OpCode> {
 /// Builds the pipeline and returns the sorted output plus run totals.
 fn run_dag(host_threads: usize, seed: i64, ops: &[OpCode]) -> (Vec<Value>, String) {
     let mut d = Driver::new(
-        DriverConfig {
-            host_threads,
-            ..DriverConfig::default()
-        },
+        DriverConfig::builder().host_threads(host_threads).build(),
         Box::new(NoCheckpoint),
         Box::new(NoFailures),
     );

@@ -26,11 +26,10 @@ struct RunFingerprint {
 /// hash and range shuffles, a join, checkpoint writes, and a mid-job
 /// revocation plus replacement.
 fn run_once(host_threads: usize) -> RunFingerprint {
-    let mut cfg = DriverConfig {
-        host_threads,
-        ..DriverConfig::default()
-    };
-    cfg.cost.size_scale = 5e5; // paper-scale pressure from tiny data
+    let cfg = DriverConfig::builder()
+        .host_threads(host_threads)
+        .size_scale(5e5) // paper-scale pressure from tiny data
+        .build();
     let injector = ScriptedInjector::new(vec![
         (
             SimTime::from_millis(40_000),
@@ -164,10 +163,7 @@ fn virtual_makespan_is_thread_count_independent() {
     let mut finishes = Vec::new();
     for threads in [1usize, 2, 8] {
         let mut d = Driver::new(
-            DriverConfig {
-                host_threads: threads,
-                ..DriverConfig::default()
-            },
+            DriverConfig::builder().host_threads(threads).build(),
             Box::new(NoCheckpoint),
             Box::new(flint_engine::NoFailures),
         );

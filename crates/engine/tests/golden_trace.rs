@@ -1,0 +1,216 @@
+//! The trace subsystem's determinism and completeness contracts:
+//!
+//! * **Golden trace** — with tracing enabled, the JSONL event stream is
+//!   *byte-identical* for every `host_threads` setting, even under
+//!   scripted revocation. Compute-phase events are buffered in the wave
+//!   executor's effect ledger and replayed in commit order, so thread
+//!   scheduling cannot reorder the stream.
+//! * **Completeness** — folding the stream through `MetricsAggregator`
+//!   reproduces the engine's independently-tracked `RunStats`
+//!   field-for-field, byte counters included. A trace is a complete
+//!   record of a run, not a lossy sample.
+
+use flint_engine::{
+    CheckpointDirective, CheckpointHooks, Driver, DriverConfig, EventSink, LineageView, RddId,
+    RunStats, ScriptedInjector, TraceHandle, Value, WorkerEvent, WorkerSpec,
+};
+use flint_simtime::SimTime;
+use flint_trace::{Event, MetricsAggregator};
+
+/// Local mark-on-generation policy: checkpoint the first sufficiently
+/// large RDD that materializes. Keeps this crate's tests independent of
+/// `flint-core` while still driving the directive → scheduled → written
+/// event path.
+struct CheckpointFirstLarge {
+    done: bool,
+}
+
+impl CheckpointHooks for CheckpointFirstLarge {
+    fn on_rdd_materialized(
+        &mut self,
+        view: &LineageView<'_>,
+        _events: &mut dyn EventSink,
+        rdd: RddId,
+        _now: SimTime,
+    ) -> Vec<CheckpointDirective> {
+        if self.done || view.rdd_vbytes(rdd) == 0 {
+            return Vec::new();
+        }
+        self.done = true;
+        vec![CheckpointDirective::Checkpoint(rdd)]
+    }
+}
+
+/// Runs the determinism suite's multi-stage workload — persisted
+/// ancestors, seeded sampling, hash/range shuffles, a join, policy-driven
+/// checkpoints, and a mid-job revocation plus replacement — with tracing
+/// on, and returns the JSONL stream plus the engine's own stats.
+fn run_traced(host_threads: usize) -> (String, RunStats) {
+    let cfg = DriverConfig::builder()
+        .host_threads(host_threads)
+        .size_scale(5e5)
+        .build();
+    let injector = ScriptedInjector::new(vec![
+        (
+            SimTime::from_millis(40_000),
+            WorkerEvent::Remove { ext_id: 2 },
+        ),
+        (
+            SimTime::from_millis(160_000),
+            WorkerEvent::Add {
+                ext_id: 100,
+                spec: WorkerSpec::r3_large(),
+            },
+        ),
+    ]);
+    let mut d = Driver::new(
+        cfg,
+        Box::new(CheckpointFirstLarge { done: false }),
+        Box::new(injector),
+    );
+    let trace = TraceHandle::disabled();
+    let reader = trace.attach_memory(0);
+    d.set_trace(trace);
+    for ext in 1..=4u64 {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+
+    let src = d
+        .ctx()
+        .parallelize((0..600).map(|i| Value::from_i64(i * 37 % 251)), 8);
+    let pairs = d.ctx().map(src, |v| {
+        Value::pair(Value::Int(v.as_i64().unwrap() % 13), v.clone())
+    });
+    let pairs = d.ctx().persist(pairs);
+    let sums = d.ctx().reduce_by_key(pairs, 5, |a, b| {
+        Value::Int(a.as_i64().unwrap_or(0) + b.as_i64().unwrap_or(0))
+    });
+    let sampled = d.ctx().sample(pairs, 0.4, 7);
+    let ones = d.ctx().map_values(sampled, |_| Value::Int(1));
+    let counts = d.ctx().reduce_by_key(ones, 4, |a, b| {
+        Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+    });
+    let joined = d.ctx().join(sums, counts, 4);
+    let sorted = d.ctx().sort_by_key(joined, 3, true);
+    d.collect(sorted).unwrap();
+    d.checkpoint_now(sums).unwrap();
+
+    (reader.to_jsonl(), d.stats().clone())
+}
+
+#[test]
+fn golden_trace_is_identical_across_host_thread_counts() {
+    let (golden, stats) = run_traced(1);
+    assert!(!golden.is_empty(), "an enabled trace must capture events");
+    assert!(stats.revocations > 0, "revocation must land mid-job");
+    assert!(stats.checkpoints_written > 0, "policy must checkpoint");
+    for threads in [2usize, 8] {
+        let (jsonl, other_stats) = run_traced(threads);
+        assert_eq!(other_stats, stats, "host_threads={threads} stats diverged");
+        assert_eq!(
+            jsonl, golden,
+            "host_threads={threads} produced a different event stream"
+        );
+    }
+}
+
+#[test]
+fn aggregator_reproduces_run_stats_exactly() {
+    let (jsonl, stats) = run_traced(2);
+    let events: Vec<Event> = jsonl
+        .lines()
+        .map(|l| Event::from_json(l).expect("every emitted line must parse"))
+        .collect();
+    let agg = MetricsAggregator::from_events(&events);
+
+    assert_eq!(agg.events, events.len() as u64);
+    assert_eq!(agg.tasks_run, stats.tasks_run);
+    assert_eq!(agg.compute_time_ms, stats.compute_time.as_millis());
+    assert_eq!(agg.recompute_time_ms, stats.recompute_time.as_millis());
+    assert_eq!(agg.checkpoint_time_ms, stats.checkpoint_time.as_millis());
+    assert_eq!(agg.checkpoints_written, stats.checkpoints_written);
+    assert_eq!(agg.checkpoint_bytes, stats.checkpoint_bytes);
+    assert_eq!(agg.checkpoint_wire_bytes, stats.checkpoint_wire_bytes);
+    assert_eq!(agg.restore_time_ms, stats.restore_time.as_millis());
+    assert_eq!(agg.restores, stats.restores);
+    assert_eq!(agg.stall_time_ms, stats.stall_time.as_millis());
+    assert_eq!(agg.revocations, stats.revocations);
+    assert_eq!(agg.warnings, stats.warnings);
+    assert_eq!(agg.actions, stats.actions.len() as u64);
+    assert!(agg.waves > 0);
+    assert!(agg.cache_inserts > 0);
+    assert!(agg.checkpoints_scheduled > 0);
+}
+
+#[test]
+fn trace_round_trips_through_json() {
+    let (jsonl, _) = run_traced(1);
+    for line in jsonl.lines() {
+        let ev = Event::from_json(line).expect("line must parse");
+        assert_eq!(ev.to_json(), line, "JSON round-trip must be lossless");
+    }
+}
+
+#[test]
+fn timestamps_never_go_backwards() {
+    let (jsonl, _) = run_traced(8);
+    let mut prev = SimTime::ZERO;
+    for line in jsonl.lines() {
+        let ev = Event::from_json(line).unwrap();
+        assert!(ev.t >= prev, "event stream must be time-ordered");
+        prev = ev.t;
+    }
+}
+
+#[test]
+fn disabled_trace_records_nothing_and_changes_nothing() {
+    // A run with no sink attached must behave identically to one with a
+    // sink (same stats), with zero events recorded.
+    let (_, traced_stats) = run_traced(4);
+    let cfg = DriverConfig::builder()
+        .host_threads(4)
+        .size_scale(5e5)
+        .build();
+    let injector = ScriptedInjector::new(vec![
+        (
+            SimTime::from_millis(40_000),
+            WorkerEvent::Remove { ext_id: 2 },
+        ),
+        (
+            SimTime::from_millis(160_000),
+            WorkerEvent::Add {
+                ext_id: 100,
+                spec: WorkerSpec::r3_large(),
+            },
+        ),
+    ]);
+    let mut d = Driver::new(
+        cfg,
+        Box::new(CheckpointFirstLarge { done: false }),
+        Box::new(injector),
+    );
+    assert!(!d.trace().is_enabled());
+    for ext in 1..=4u64 {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+    let src = d
+        .ctx()
+        .parallelize((0..600).map(|i| Value::from_i64(i * 37 % 251)), 8);
+    let pairs = d.ctx().map(src, |v| {
+        Value::pair(Value::Int(v.as_i64().unwrap() % 13), v.clone())
+    });
+    let pairs = d.ctx().persist(pairs);
+    let sums = d.ctx().reduce_by_key(pairs, 5, |a, b| {
+        Value::Int(a.as_i64().unwrap_or(0) + b.as_i64().unwrap_or(0))
+    });
+    let sampled = d.ctx().sample(pairs, 0.4, 7);
+    let ones = d.ctx().map_values(sampled, |_| Value::Int(1));
+    let counts = d.ctx().reduce_by_key(ones, 4, |a, b| {
+        Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
+    });
+    let joined = d.ctx().join(sums, counts, 4);
+    let sorted = d.ctx().sort_by_key(joined, 3, true);
+    d.collect(sorted).unwrap();
+    d.checkpoint_now(sums).unwrap();
+    assert_eq!(d.stats(), &traced_stats, "tracing must not perturb the run");
+}

@@ -2,6 +2,7 @@
 
 use flint_simtime::rng::stream;
 use flint_simtime::{EventQueue, SimDuration, SimTime};
+use flint_trace::{EventKind, TraceHandle};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -112,6 +113,7 @@ pub struct CloudSim {
     events: EventQueue<InstanceEvent>,
     acquisition_delay: SimDuration,
     seed: u64,
+    trace: TraceHandle,
 }
 
 impl CloudSim {
@@ -137,7 +139,19 @@ impl CloudSim {
             events: EventQueue::new(),
             acquisition_delay: Self::DEFAULT_ACQUISITION_DELAY,
             seed,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches the shared trace handle; market and instance lifecycle
+    /// events (bids, price spikes, billing) are emitted on it.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The simulator's trace handle (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Overrides the acquisition delay (for experiments).
@@ -209,16 +223,54 @@ impl CloudSim {
             state: InstanceState::Pending,
             revocation_at,
         });
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                EventKind::PriceTick {
+                    market: u64::from(market.0),
+                    price: m.trace.price_at(now),
+                },
+            );
+            self.trace.emit(
+                now,
+                EventKind::BidPlaced {
+                    market: u64::from(market.0),
+                    bid,
+                },
+            );
+            self.trace.emit(
+                now,
+                EventKind::InstanceRequested {
+                    instance: id.0,
+                    market: u64::from(market.0),
+                },
+            );
+        }
         id
     }
 
     /// Terminates an instance at `now` (user-initiated). No-op if already
     /// ended.
     pub fn terminate(&mut self, id: InstanceId, now: SimTime) {
-        let rec = &mut self.instances[id.0 as usize];
-        if rec.is_active() {
+        let ended = {
+            let rec = &mut self.instances[id.0 as usize];
+            if !rec.is_active() {
+                return;
+            }
             rec.state = InstanceState::Terminated;
             rec.ended_at = Some(now.max(rec.requested_at));
+            rec.ended_at.unwrap()
+        };
+        if self.trace.is_enabled() {
+            self.trace
+                .emit(ended, EventKind::InstanceTerminated { instance: id.0 });
+            self.trace.emit(
+                ended,
+                EventKind::InstanceBilled {
+                    instance: id.0,
+                    cost: self.instance_cost(id, ended),
+                },
+            );
         }
     }
 
@@ -230,29 +282,81 @@ impl CloudSim {
     pub fn events_until(&mut self, t: SimTime) -> Vec<(SimTime, InstanceEvent)> {
         let mut out = Vec::new();
         while let Some((at, ev)) = self.events.pop_before(t) {
-            let rec = &mut self.instances[ev.instance().0 as usize];
-            match ev {
-                InstanceEvent::Ready { .. } => {
-                    if rec.state == InstanceState::Pending {
-                        rec.state = InstanceState::Running;
-                        out.push((at, ev));
+            let delivered = {
+                let rec = &mut self.instances[ev.instance().0 as usize];
+                match ev {
+                    InstanceEvent::Ready { .. } => {
+                        if rec.state == InstanceState::Pending {
+                            rec.state = InstanceState::Running;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    InstanceEvent::Warning { .. } => rec.is_active(),
+                    InstanceEvent::Revoked { .. } => {
+                        if rec.is_active() {
+                            rec.state = InstanceState::Revoked;
+                            rec.ended_at = Some(at);
+                            true
+                        } else {
+                            false
+                        }
                     }
                 }
-                InstanceEvent::Warning { .. } => {
-                    if rec.is_active() {
-                        out.push((at, ev));
-                    }
+            };
+            if delivered {
+                if self.trace.is_enabled() {
+                    self.emit_lifecycle(at, ev);
                 }
-                InstanceEvent::Revoked { .. } => {
-                    if rec.is_active() {
-                        rec.state = InstanceState::Revoked;
-                        rec.ended_at = Some(at);
-                        out.push((at, ev));
-                    }
-                }
+                out.push((at, ev));
             }
         }
         out
+    }
+
+    /// Emits the trace events for one delivered lifecycle event. A
+    /// delivered revocation also settles the instance's bill (its cost is
+    /// final from that instant) and, on spot markets, records the price
+    /// spike that caused it.
+    fn emit_lifecycle(&self, at: SimTime, ev: InstanceEvent) {
+        let id = ev.instance();
+        match ev {
+            InstanceEvent::Ready { .. } => {
+                self.trace
+                    .emit(at, EventKind::InstanceReady { instance: id.0 });
+            }
+            InstanceEvent::Warning { .. } => {
+                self.trace
+                    .emit(at, EventKind::InstanceWarned { instance: id.0 });
+            }
+            InstanceEvent::Revoked { .. } => {
+                let rec = self.instance(id);
+                let m = self.catalog.market(rec.market);
+                if matches!(m.kind, MarketKind::Spot) {
+                    let price = m.trace.price_at(at);
+                    if price > rec.bid {
+                        self.trace.emit(
+                            at,
+                            EventKind::PriceSpike {
+                                market: u64::from(rec.market.0),
+                                price,
+                                bid: rec.bid,
+                            },
+                        );
+                    }
+                }
+                self.trace
+                    .emit(at, EventKind::InstanceRevoked { instance: id.0 });
+                self.trace.emit(
+                    at,
+                    EventKind::InstanceBilled {
+                        instance: id.0,
+                        cost: self.instance_cost(id, at),
+                    },
+                );
+            }
+        }
     }
 
     /// Returns the next pending event time, if any.

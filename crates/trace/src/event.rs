@@ -1,0 +1,600 @@
+//! The typed event vocabulary and its JSONL wire form.
+//!
+//! Every observable state change in a Flint run — engine task lifecycle,
+//! cache churn, checkpoint decisions, market price action, cluster
+//! repair — is one [`Event`]: a [`SimTime`] timestamp plus an
+//! [`EventKind`] payload. The JSON encoding is deliberately flat (one
+//! object per line, scalar fields only) so traces can be diffed,
+//! grepped, and parsed without a real serde implementation; the
+//! vendored `serde` shim is marker-only, so both directions of the
+//! codec here are hand-rolled and byte-deterministic.
+
+use flint_simtime::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual instant at which the event was committed to the stream.
+    pub t: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Encodes the event as a single flat JSON object (no trailing
+    /// newline). The field order is fixed per variant, so equal events
+    /// encode to identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"ev\":\"{}\"",
+            self.t.as_millis(),
+            self.kind.name()
+        );
+        self.kind.write_fields(&mut s);
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line produced by [`Event::to_json`].
+    pub fn from_json(line: &str) -> Result<Event, ParseError> {
+        let fields = parse_flat_object(line)?;
+        let t = fields.u64("t")?;
+        let name = fields.str("ev")?;
+        let kind = EventKind::from_fields(name, &fields)?;
+        Ok(Event {
+            t: SimTime::from_millis(t),
+            kind,
+        })
+    }
+}
+
+macro_rules! event_kinds {
+    ($( $(#[$meta:meta])* $name:ident { $( $(#[$fmeta:meta])* $field:ident : $ty:tt ),* $(,)? } ),* $(,)?) => {
+        /// The closed vocabulary of things a trace can record.
+        ///
+        /// Field types are deliberately primitive (`u64`, `f64`,
+        /// `String`) rather than engine/market types: `flint-trace`
+        /// sits below every other crate in the dependency graph, so
+        /// emitters translate their ids at the call site.
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        // Variant *fields* are primitive and self-describing; the
+        // variant docs above each carry the semantics.
+        #[allow(missing_docs)]
+        pub enum EventKind {
+            $( $(#[$meta])* $name { $( $(#[$fmeta])* $field: $ty, )* } ,)*
+        }
+
+        impl EventKind {
+            /// Stable wire name of the variant (the `"ev"` field).
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( EventKind::$name { .. } => stringify!($name), )*
+                }
+            }
+
+            /// Every wire name, in declaration order. Used by
+            /// `trace validate` to report the known vocabulary.
+            pub const NAMES: &'static [&'static str] = &[
+                $( stringify!($name), )*
+            ];
+
+            fn write_fields(&self, out: &mut String) {
+                match self {
+                    $( EventKind::$name { $( $field, )* } => {
+                        $( field_codec!(@encode $ty, out, stringify!($field), $field); )*
+                    } )*
+                }
+            }
+
+            fn from_fields(name: &str, fields: &Fields) -> Result<EventKind, ParseError> {
+                match name {
+                    $( stringify!($name) => Ok(EventKind::$name {
+                        $( $field: field_codec!(@decode $ty, fields, stringify!($field)), )*
+                    }), )*
+                    other => Err(ParseError::UnknownEvent(other.to_string())),
+                }
+            }
+        }
+    };
+}
+
+macro_rules! field_codec {
+    (@encode u64, $out:expr, $key:expr, $val:expr) => {{
+        let _ = write!($out, ",\"{}\":{}", $key, $val);
+    }};
+    (@encode f64, $out:expr, $key:expr, $val:expr) => {{
+        let _ = write!($out, ",\"{}\":{}", $key, fmt_f64(*$val));
+    }};
+    (@encode String, $out:expr, $key:expr, $val:expr) => {{
+        let _ = write!($out, ",\"{}\":", $key);
+        push_json_str($out, $val);
+    }};
+    (@decode u64, $fields:expr, $key:expr) => {
+        $fields.u64($key)?
+    };
+    (@decode f64, $fields:expr, $key:expr) => {
+        $fields.f64($key)?
+    };
+    (@decode String, $fields:expr, $key:expr) => {
+        $fields.str($key)?.to_string()
+    };
+}
+
+event_kinds! {
+    // ── engine: action / wave / task lifecycle ─────────────────────
+    /// An action (job) entered the driver.
+    ActionStarted { name: String },
+    /// An action completed; `millis` is its virtual latency.
+    ActionFinished { name: String, millis: u64 },
+    /// A wave of ready tasks was dispatched to the parallel executor.
+    WaveStarted { tasks: u64 },
+    /// One task committed. `kind` is `"shuffle"`, `"output"`, or
+    /// `"ckpt"`; `id`/`part` identify the stage partition; `worker`
+    /// is the external (cloud) id of the host it ran on.
+    TaskFinished { kind: String, id: u64, part: u64, worker: u64, millis: u64 },
+
+    // ── engine: block-manager cache ────────────────────────────────
+    /// A block entered a worker's memory store.
+    CacheInsert { worker: u64, block: String, vbytes: u64 },
+    /// A cached block was demoted from memory to local disk by LRU
+    /// pressure.
+    CacheSpill { worker: u64, block: String, vbytes: u64 },
+    /// A cached block was dropped entirely (disk full or unspillable).
+    CacheEvict { worker: u64, block: String, vbytes: u64 },
+
+    // ── engine + policy: checkpointing ─────────────────────────────
+    /// A checkpoint policy directed the driver to persist an RDD;
+    /// `delta_ms` is the lineage recomputation debt (δ) the directive
+    /// retires.
+    CheckpointScheduled { rdd: u64, parts: u64, delta_ms: u64 },
+    /// One partition checkpoint landed in durable storage, with both
+    /// the modelled (`vbytes`) and byte-exact serialized
+    /// (`wire_bytes`) sizes.
+    CheckpointWritten { block: String, vbytes: u64, wire_bytes: u64, millis: u64 },
+    /// Superseded checkpoint blocks were garbage-collected after `rdd`
+    /// became fully checkpointed and terminated its lineage.
+    CheckpointGc { rdd: u64, blocks: u64 },
+    /// A partition was restored from a checkpoint instead of
+    /// recomputed.
+    Restored { block: String, millis: u64 },
+    /// A previously-materialized partition had to be recomputed after
+    /// a loss; `depth` is its distance from the deepest available
+    /// ancestor in the lineage walk.
+    Recomputed { block: String, depth: u64, millis: u64 },
+    /// The adaptive policy re-estimated τ = √(2·δ·MTTF).
+    TauAdapted { delta_ms: u64, tau_ms: u64, mttf_ms: u64 },
+
+    // ── engine: cluster membership ─────────────────────────────────
+    /// A worker joined the engine cluster.
+    WorkerAdded { ext: u64 },
+    /// A revocation warning reached the driver.
+    RevocationWarning { ext: u64 },
+    /// A worker was revoked and its volatile state dropped.
+    WorkerRevoked { ext: u64 },
+    /// The driver sat with zero usable workers for `millis`.
+    Stalled { millis: u64 },
+
+    // ── market: bidding, prices, instances ─────────────────────────
+    /// A bid was placed on a spot market.
+    BidPlaced { market: u64, bid: f64 },
+    /// Spot price observed at request time.
+    PriceTick { market: u64, price: f64 },
+    /// The spot price crossed above an instance's bid.
+    PriceSpike { market: u64, price: f64, bid: f64 },
+    /// An instance was requested from the cloud.
+    InstanceRequested { instance: u64, market: u64 },
+    /// A requested instance became ready.
+    InstanceReady { instance: u64 },
+    /// The provider issued a revocation warning for an instance.
+    InstanceWarned { instance: u64 },
+    /// The provider revoked an instance.
+    InstanceRevoked { instance: u64 },
+    /// The tenant terminated an instance.
+    InstanceTerminated { instance: u64 },
+    /// Final compute bill for one instance lifetime (§5.5 hourly
+    /// rounding; the partial final hour is free iff provider-revoked).
+    InstanceBilled { instance: u64, cost: f64 },
+
+    // ── core: node manager / selection ─────────────────────────────
+    /// One round of replacing revoked servers.
+    ReplacementRound { round: u64, lost: u64, requested: u64 },
+    /// Cluster-wide MTTF re-estimate after membership change.
+    MttfUpdated { mttf_ms: u64 },
+    /// The selection policy allocated workers to a market.
+    MarketSelected { market: u64, workers: u64 },
+}
+
+/// Formats an `f64` exactly as Rust's shortest-roundtrip `Display`,
+/// forcing a `.0` suffix on integral values so the token is
+/// unambiguously a float on the wire.
+fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a JSONL line failed to parse back into an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Structural JSON error (not a flat object of scalars).
+    Malformed(String),
+    /// The `"ev"` name is not in the [`EventKind`] vocabulary.
+    UnknownEvent(String),
+    /// A required field is absent.
+    MissingField(&'static str, String),
+    /// A field is present but has the wrong scalar type.
+    BadField(String, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(m) => write!(f, "malformed JSON: {m}"),
+            ParseError::UnknownEvent(e) => write!(f, "unknown event variant {e:?}"),
+            ParseError::MissingField(k, ev) => write!(f, "missing field {k:?} in {ev}"),
+            ParseError::BadField(k, why) => write!(f, "bad field {k:?}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Str(String),
+    /// Numbers keep their raw text so `u64` round-trips without a
+    /// detour through `f64`.
+    Num(String),
+}
+
+/// A parsed flat JSON object: ordered `(key, scalar)` pairs.
+#[derive(Debug, Default)]
+struct Fields(Vec<(String, Scalar)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&Scalar> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn u64(&self, key: &'static str) -> Result<u64, ParseError> {
+        match self.get(key) {
+            Some(Scalar::Num(raw)) => raw
+                .parse::<u64>()
+                .map_err(|_| ParseError::BadField(key.into(), format!("{raw:?} is not a u64"))),
+            Some(Scalar::Str(_)) => Err(ParseError::BadField(
+                key.into(),
+                "expected number, got string".into(),
+            )),
+            None => Err(ParseError::MissingField(key, self.ev_name())),
+        }
+    }
+
+    fn f64(&self, key: &'static str) -> Result<f64, ParseError> {
+        match self.get(key) {
+            Some(Scalar::Num(raw)) => raw
+                .parse::<f64>()
+                .map_err(|_| ParseError::BadField(key.into(), format!("{raw:?} is not an f64"))),
+            Some(Scalar::Str(_)) => Err(ParseError::BadField(
+                key.into(),
+                "expected number, got string".into(),
+            )),
+            None => Err(ParseError::MissingField(key, self.ev_name())),
+        }
+    }
+
+    fn str(&self, key: &'static str) -> Result<&str, ParseError> {
+        match self.get(key) {
+            Some(Scalar::Str(s)) => Ok(s),
+            Some(Scalar::Num(_)) => Err(ParseError::BadField(
+                key.into(),
+                "expected string, got number".into(),
+            )),
+            None => Err(ParseError::MissingField(key, self.ev_name())),
+        }
+    }
+
+    fn ev_name(&self) -> String {
+        match self.get("ev") {
+            Some(Scalar::Str(s)) => s.clone(),
+            _ => "<unknown>".into(),
+        }
+    }
+}
+
+/// Parses exactly the subset of JSON the encoder emits: one flat
+/// object whose values are strings or numbers.
+fn parse_flat_object(line: &str) -> Result<Fields, ParseError> {
+    let mut chars = line.trim().char_indices().peekable();
+    let src = line.trim();
+    let err = |m: &str| ParseError::Malformed(m.to_string());
+
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err(err("expected '{'")),
+    }
+    let mut fields = Fields::default();
+    // Empty object.
+    if let Some((_, '}')) = chars.peek().copied() {
+        chars.next();
+        return finishing(chars, fields);
+    }
+    loop {
+        let key = parse_string(&mut chars, src)?;
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(err("expected ':' after key")),
+        }
+        let value = match chars.peek().copied() {
+            Some((_, '"')) => Scalar::Str(parse_string(&mut chars, src)?),
+            Some((start, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = start;
+                while let Some(&(i, c)) = chars.peek() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        end = i + c.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Scalar::Num(src[start..end].to_string())
+            }
+            _ => return Err(err("expected string or number value")),
+        };
+        fields.0.push((key, value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            _ => return Err(err("expected ',' or '}'")),
+        }
+    }
+    finishing(chars, fields)
+}
+
+fn finishing(
+    mut rest: std::iter::Peekable<std::str::CharIndices<'_>>,
+    fields: Fields,
+) -> Result<Fields, ParseError> {
+    match rest.next() {
+        None => Ok(fields),
+        Some(_) => Err(ParseError::Malformed(
+            "trailing characters after '}'".into(),
+        )),
+    }
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    _src: &str,
+) -> Result<String, ParseError> {
+    let err = |m: &str| ParseError::Malformed(m.to_string());
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(err("expected '\"'")),
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|(_, c)| c.to_digit(16))
+                            .ok_or_else(|| err("bad \\u escape"))?;
+                        code = code * 16 + d;
+                    }
+                    out.push(char::from_u32(code).ok_or_else(|| err("bad \\u code point"))?);
+                }
+                _ => return Err(err("bad escape")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err(err("unterminated string")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let t = SimTime::from_millis(1234);
+        let kinds = vec![
+            EventKind::ActionStarted {
+                name: "collect(rdd-12)".into(),
+            },
+            EventKind::ActionFinished {
+                name: "count".into(),
+                millis: 777,
+            },
+            EventKind::WaveStarted { tasks: 9 },
+            EventKind::TaskFinished {
+                kind: "shuffle".into(),
+                id: 2,
+                part: 3,
+                worker: 41,
+                millis: 500,
+            },
+            EventKind::CacheInsert {
+                worker: 1,
+                block: "rdd(3:0)".into(),
+                vbytes: 1024,
+            },
+            EventKind::CacheSpill {
+                worker: 1,
+                block: "rdd(2:0)".into(),
+                vbytes: 99,
+            },
+            EventKind::CacheEvict {
+                worker: 1,
+                block: "rdd(1:0)".into(),
+                vbytes: 7,
+            },
+            EventKind::CheckpointScheduled {
+                rdd: 5,
+                parts: 8,
+                delta_ms: 60_000,
+            },
+            EventKind::CheckpointWritten {
+                block: "rdd(5:1)".into(),
+                vbytes: 4096,
+                wire_bytes: 4111,
+                millis: 12,
+            },
+            EventKind::CheckpointGc { rdd: 2, blocks: 8 },
+            EventKind::Restored {
+                block: "rdd(5:1)".into(),
+                millis: 3,
+            },
+            EventKind::Recomputed {
+                block: "rdd(4:2)".into(),
+                depth: 3,
+                millis: 45,
+            },
+            EventKind::TauAdapted {
+                delta_ms: 30_000,
+                tau_ms: 900_000,
+                mttf_ms: 3_600_000,
+            },
+            EventKind::WorkerAdded { ext: 17 },
+            EventKind::RevocationWarning { ext: 17 },
+            EventKind::WorkerRevoked { ext: 17 },
+            EventKind::Stalled { millis: 120_000 },
+            EventKind::BidPlaced {
+                market: 3,
+                bid: 0.35,
+            },
+            EventKind::PriceTick {
+                market: 3,
+                price: 0.0721,
+            },
+            EventKind::PriceSpike {
+                market: 3,
+                price: 1.5,
+                bid: 0.35,
+            },
+            EventKind::InstanceRequested {
+                instance: 9,
+                market: 3,
+            },
+            EventKind::InstanceReady { instance: 9 },
+            EventKind::InstanceWarned { instance: 9 },
+            EventKind::InstanceRevoked { instance: 9 },
+            EventKind::InstanceTerminated { instance: 9 },
+            EventKind::InstanceBilled {
+                instance: 9,
+                cost: 1.0,
+            },
+            EventKind::ReplacementRound {
+                round: 2,
+                lost: 3,
+                requested: 3,
+            },
+            EventKind::MttfUpdated { mttf_ms: 9_000_000 },
+            EventKind::MarketSelected {
+                market: 1,
+                workers: 10,
+            },
+        ];
+        kinds.into_iter().map(|kind| Event { t, kind }).collect()
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_json() {
+        for ev in sample_events() {
+            let line = ev.to_json();
+            let back = Event::from_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(ev, back, "roundtrip mismatch for {line}");
+            // Re-encoding the parsed event is byte-identical.
+            assert_eq!(line, back.to_json());
+        }
+        // The sample set covers the whole vocabulary.
+        let mut seen: Vec<&str> = sample_events().iter().map(|e| e.kind.name()).collect();
+        seen.dedup();
+        assert_eq!(seen.len(), EventKind::NAMES.len());
+    }
+
+    #[test]
+    fn floats_encode_unambiguously() {
+        let ev = Event {
+            t: SimTime::from_millis(0),
+            kind: EventKind::InstanceBilled {
+                instance: 1,
+                cost: 2.0,
+            },
+        };
+        assert!(ev.to_json().contains("\"cost\":2.0"));
+        let back = Event::from_json(&ev.to_json()).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn strings_with_specials_roundtrip() {
+        let ev = Event {
+            t: SimTime::from_millis(5),
+            kind: EventKind::ActionStarted {
+                name: "weird \"name\"\n\\tab\t".into(),
+            },
+        };
+        let back = Event::from_json(&ev.to_json()).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Event::from_json("").is_err());
+        assert!(Event::from_json("{\"t\":1}").is_err());
+        assert!(Event::from_json("{\"t\":1,\"ev\":\"NoSuchEvent\"}").is_err());
+        assert!(Event::from_json("{\"t\":1,\"ev\":\"WaveStarted\"}").is_err());
+        assert!(Event::from_json("{\"t\":1,\"ev\":\"WaveStarted\",\"tasks\":2}x").is_err());
+        assert!(Event::from_json("{\"t\":\"one\",\"ev\":\"WaveStarted\",\"tasks\":2}").is_err());
+        // Nested structures are outside the flat-scalar subset.
+        assert!(Event::from_json("{\"t\":1,\"ev\":\"WaveStarted\",\"tasks\":[2]}").is_err());
+    }
+
+    #[test]
+    fn unknown_event_error_names_the_variant() {
+        let err = Event::from_json("{\"t\":1,\"ev\":\"Bogus\"}").unwrap_err();
+        assert_eq!(err, ParseError::UnknownEvent("Bogus".into()));
+        assert!(EventKind::NAMES.contains(&"TauAdapted"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Sinks and the shared trace bus.
+//!
+//! Emitters across the workspace hold clones of one [`TraceHandle`];
+//! all of them feed the same [`TraceBus`], which fans each event out
+//! to every attached [`EventSink`]. With no sinks attached the handle
+//! is inert: `emit_with` is a single relaxed atomic load, and payload
+//! closures are never run — the zero-overhead-when-disabled contract
+//! the `micro_engine` bench polices.
+
+use crate::event::{Event, EventKind};
+use flint_simtime::SimTime;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Receiver of a trace stream. Implementations must not reorder or
+/// drop events (the in-memory ring may drop from the *front* once its
+/// capacity is reached — that is its documented contract).
+pub trait EventSink: Send {
+    /// Accepts one event. Called on the driver thread, in commit order.
+    fn emit(&mut self, event: &Event);
+    /// Flushes buffered output, if any.
+    fn flush(&mut self) {}
+}
+
+/// Fan-out over the attached sinks. Usually owned by a [`TraceHandle`].
+#[derive(Default)]
+pub struct TraceBus {
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl TraceBus {
+    /// A bus with no sinks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether at least one sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Attaches a sink; all subsequent events reach it.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Broadcasts an already-built event to every sink.
+    pub fn broadcast(&mut self, event: &Event) {
+        for s in &mut self.sinks {
+            s.emit(event);
+        }
+    }
+
+    /// Flushes all sinks.
+    pub fn flush(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// Cloneable, thread-safe handle to a shared [`TraceBus`].
+///
+/// The engine driver, the cloud simulator, and the node manager all
+/// hold clones of the same handle, so a run produces one totally
+/// ordered stream. Emission only ever happens on the driver thread
+/// (compute-phase events are buffered in the task-output ledger and
+/// committed in task-key order), so the stream is deterministic.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    enabled: Arc<AtomicBool>,
+    bus: Arc<Mutex<TraceBus>>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// A handle with no sinks: every emit is a no-op costing one
+    /// relaxed atomic load.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A handle with one initial sink attached.
+    pub fn with_sink(sink: Box<dyn EventSink>) -> Self {
+        let h = Self::default();
+        h.add_sink(sink);
+        h
+    }
+
+    /// Whether any sink is attached (i.e. whether emits do work).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a sink, enabling the handle.
+    pub fn add_sink(&self, sink: Box<dyn EventSink>) {
+        let mut bus = self.bus.lock();
+        bus.add_sink(sink);
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Attaches a bounded in-memory ring and returns its reader.
+    /// `capacity == 0` means unbounded.
+    pub fn attach_memory(&self, capacity: usize) -> MemoryReader {
+        let (sink, reader) = memory_sink(capacity);
+        self.add_sink(Box::new(sink));
+        reader
+    }
+
+    /// Emits `kind` at time `t`. Prefer [`TraceHandle::emit_with`] on
+    /// hot paths so payload construction is skipped when disabled.
+    pub fn emit(&self, t: SimTime, kind: EventKind) {
+        if self.is_enabled() {
+            self.bus.lock().broadcast(&Event { t, kind });
+        }
+    }
+
+    /// Emits lazily: `f` runs only if a sink is attached.
+    pub fn emit_with(&self, t: SimTime, f: impl FnOnce() -> EventKind) {
+        if self.is_enabled() {
+            self.bus.lock().broadcast(&Event { t, kind: f() });
+        }
+    }
+
+    /// Flushes every attached sink.
+    pub fn flush(&self) {
+        if self.is_enabled() {
+            self.bus.lock().flush();
+        }
+    }
+}
+
+/// Adapter so a `TraceHandle` can be handed to APIs that take a
+/// `&mut dyn EventSink` (e.g. [`CheckpointHooks`] policy callbacks):
+/// events pushed into it are broadcast on the shared bus.
+///
+/// [`CheckpointHooks`]: https://docs.rs/flint-engine
+impl EventSink for TraceHandle {
+    fn emit(&mut self, event: &Event) {
+        if self.is_enabled() {
+            self.bus.lock().broadcast(event);
+        }
+    }
+
+    fn flush(&mut self) {
+        TraceHandle::flush(self);
+    }
+}
+
+/// Bounded FIFO ring buffer of events, for tests and `trace summary`
+/// over live runs.
+pub struct MemorySink {
+    buf: Arc<Mutex<VecDeque<Event>>>,
+    capacity: usize,
+}
+
+/// Reading side of a [`MemorySink`].
+#[derive(Clone)]
+pub struct MemoryReader {
+    buf: Arc<Mutex<VecDeque<Event>>>,
+}
+
+/// Creates a ring sink and its reader. `capacity == 0` = unbounded.
+pub fn memory_sink(capacity: usize) -> (MemorySink, MemoryReader) {
+    let buf = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        MemorySink {
+            buf: buf.clone(),
+            capacity,
+        },
+        MemoryReader { buf },
+    )
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        let mut buf = self.buf.lock();
+        if self.capacity > 0 && buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+impl MemoryReader {
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// Renders the retained events as a JSONL document (one
+    /// [`Event::to_json`] line each, `\n`-terminated).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.buf.lock().iter() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Streams events as JSONL to any writer (file, stdout, `Vec<u8>`).
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    lines: u64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. Each event becomes one `\n`-terminated line.
+    pub fn new(out: W) -> Self {
+        Self { out, lines: 0 }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        // Sinks have no error channel; a failed trace write must not
+        // abort the simulated run. Undersized output is caught by
+        // `trace validate`.
+        let _ = self.out.write_all(event.to_json().as_bytes());
+        let _ = self.out.write_all(b"\n");
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: u64) -> Event {
+        Event {
+            t: SimTime::from_millis(ms),
+            kind: EventKind::WaveStarted { tasks: ms },
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_runs_payload_closures() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        h.emit_with(SimTime::from_millis(1), || panic!("must not be built"));
+    }
+
+    #[test]
+    fn attached_ring_sees_events_in_order() {
+        let h = TraceHandle::disabled();
+        let reader = h.attach_memory(0);
+        assert!(h.is_enabled());
+        for i in 0..5 {
+            h.emit(SimTime::from_millis(i), EventKind::WaveStarted { tasks: i });
+        }
+        let got = reader.events();
+        assert_eq!(got.len(), 5);
+        assert!(got.windows(2).all(|w| w[0].t <= w[1].t));
+        assert_eq!(reader.to_jsonl().lines().count(), 5);
+    }
+
+    #[test]
+    fn ring_capacity_drops_oldest() {
+        let (mut sink, reader) = memory_sink(3);
+        for i in 0..10 {
+            sink.emit(&ev(i));
+        }
+        let got = reader.events();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].t, SimTime::from_millis(7));
+        assert_eq!(got[2].t, SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.emit(&ev(1));
+            sink.emit(&ev(2));
+            assert_eq!(sink.lines(), 2);
+            sink.flush();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.lines() {
+            Event::from_json(line).unwrap();
+        }
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let h = TraceHandle::disabled();
+        let a = h.attach_memory(0);
+        let b = h.attach_memory(0);
+        h.emit(SimTime::from_millis(3), EventKind::WaveStarted { tasks: 1 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn handle_as_event_sink_broadcasts() {
+        let mut h = TraceHandle::disabled();
+        let reader = h.attach_memory(0);
+        let sink: &mut dyn EventSink = &mut h;
+        sink.emit(&ev(9));
+        assert_eq!(reader.len(), 1);
+    }
+}

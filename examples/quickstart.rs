@@ -27,11 +27,10 @@ fn main() {
     // bids the on-demand price, and replaces any revoked server.
     let mut cluster = FlintCluster::launch(
         catalog,
-        FlintConfig {
-            n_workers: 6,
-            mode: Mode::Batch,
-            ..FlintConfig::default()
-        },
+        FlintConfig::builder()
+            .n_workers(6)
+            .mode(Mode::Batch)
+            .build(),
     );
 
     // Classic word count through the engine's RDD API.

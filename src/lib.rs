@@ -17,6 +17,10 @@
 //!   policies, the node manager, and the paper's baselines;
 //! * [`model`] — the trace-driven Monte-Carlo methodology behind the
 //!   paper's long-horizon cost figures;
+//! * [`trace`] — the structured event-trace subsystem: one ordered,
+//!   deterministic stream of typed lifecycle events (tasks, caches,
+//!   checkpoints, markets, billing) with JSONL sinks and a metrics
+//!   aggregator;
 //! * [`workloads`] — PageRank, KMeans, ALS, and TPC-H, written against
 //!   the engine's public API the way their Spark counterparts are.
 //!
@@ -33,11 +37,8 @@
 //!
 //! // Launch Flint: it picks the cheapest-expected-cost market, bids the
 //! // on-demand price, and checkpoints adaptively.
-//! let mut cluster = FlintCluster::launch(catalog, FlintConfig {
-//!     n_workers: 4,
-//!     mode: Mode::Batch,
-//!     ..FlintConfig::default()
-//! });
+//! let config = FlintConfig::builder().n_workers(4).mode(Mode::Batch).build();
+//! let mut cluster = FlintCluster::launch(catalog, config);
 //!
 //! // Run a job through the engine.
 //! let driver = cluster.driver_mut();
@@ -61,4 +62,5 @@ pub use flint_market as market;
 pub use flint_model as model;
 pub use flint_simtime as simtime;
 pub use flint_store as store;
+pub use flint_trace as trace;
 pub use flint_workloads as workloads;

@@ -12,13 +12,15 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use flint::core::FlintCheckpointPolicy;
+use flint::core::{FlintCheckpointPolicy, FlintConfig, Mode};
 use flint::engine::{
     Driver, DriverConfig, NoCheckpoint, ScriptedInjector, WorkerEvent, WorkerSpec,
 };
 use flint::market::MarketCatalog;
 use flint::model::{run_mc, CkptMode, McConfig, PolicyKind};
+use flint::runner::run_on_flint;
 use flint::simtime::{SimDuration, SimTime};
+use flint::trace::{Event, JsonlSink, MetricsAggregator, TraceHandle};
 use flint::workloads::{Als, KMeans, PageRank, Tpch, Workload, WorkloadConfig};
 
 fn main() -> ExitCode {
@@ -29,11 +31,12 @@ fn main() -> ExitCode {
     };
     let flags = parse_flags(&args[1..]);
     match cmd.as_str() {
+        "run" => cmd_run(&args, &flags),
         "workload" => cmd_workload(&args, &flags),
         "markets" => cmd_markets(&flags),
         "mc" => cmd_mc(&flags),
         "experiment" => cmd_experiment(&args),
-        "trace" => cmd_trace(&flags),
+        "trace" => cmd_trace(&args, &flags),
         "--help" | "-h" | "help" => {
             usage();
             ExitCode::SUCCESS
@@ -51,6 +54,10 @@ fn usage() {
         "flint — batch-interactive data-intensive processing on transient servers
 
 USAGE:
+  flint run <pagerank|kmeans|als|tpch> [--gb N] [--partitions N]
+        [--iterations N] [--seed N] [--workers N] [--mode batch|interactive]
+        [--trace FILE]   (run on a Flint-managed cluster; --trace writes
+                          the structured event stream as JSONL)
   flint workload <pagerank|kmeans|als|tpch> [--gb N] [--iterations N]
         [--workers N] [--failures K] [--mttf H] [--checkpoint] [--seed N]
         [--dot FILE]   (write the executed lineage graph as Graphviz DOT)
@@ -59,7 +66,11 @@ USAGE:
   flint experiment <name>   (fig02a fig02b fig03 fig04 fig06a fig06b fig06c
                              fig07 fig08 fig09 fig10a fig10b fig11a fig11b
                              multiaz storage ablation_* ext_*)
-  flint trace [--seed N] [--days N] [--market I]   (CSV price trace to stdout)"
+  flint trace summary <FILE>    (fold a JSONL event trace into run metrics)
+  flint trace validate <FILE>   (parse-check a JSONL event trace)
+  flint trace prices [--seed N] [--days N] [--market I]
+                                (CSV price trace to stdout; also the
+                                 default when no subcommand is given)"
     );
 }
 
@@ -97,26 +108,93 @@ fn flag_u(flags: &HashMap<String, String>, name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn cmd_workload(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
-    let Some(name) = args.get(1) else {
-        eprintln!("workload: missing name");
-        return ExitCode::FAILURE;
-    };
+fn parse_workload(name: &str, flags: &HashMap<String, String>) -> Option<Box<dyn Workload>> {
     let cfg = WorkloadConfig {
         dataset_gb: flag_f64(flags, "gb", 2.0),
         partitions: flag_u(flags, "partitions", 20) as u32,
         iterations: flag_u(flags, "iterations", 5) as u32,
         seed: flag_u(flags, "seed", 42),
     };
-    let wl: Box<dyn Workload> = match name.as_str() {
-        "pagerank" => Box::new(PageRank::new(cfg)),
-        "kmeans" => Box::new(KMeans::new(cfg)),
-        "als" => Box::new(Als::new(cfg)),
-        "tpch" => Box::new(Tpch::new(cfg)),
+    match name {
+        "pagerank" => Some(Box::new(PageRank::new(cfg))),
+        "kmeans" => Some(Box::new(KMeans::new(cfg))),
+        "als" => Some(Box::new(Als::new(cfg))),
+        "tpch" => Some(Box::new(Tpch::new(cfg))),
+        _ => None,
+    }
+}
+
+fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(name) = args.get(1) else {
+        eprintln!("run: missing workload name");
+        return ExitCode::FAILURE;
+    };
+    let Some(wl) = parse_workload(name, flags) else {
+        eprintln!("unknown workload: {name}");
+        return ExitCode::FAILURE;
+    };
+    let mode = match flags.get("mode").map(String::as_str).unwrap_or("batch") {
+        "batch" => Mode::Batch,
+        "interactive" => Mode::Interactive,
         other => {
-            eprintln!("unknown workload: {other}");
+            eprintln!("unknown mode: {other} (expected batch|interactive)");
             return ExitCode::FAILURE;
         }
+    };
+    let trace = TraceHandle::disabled();
+    if let Some(path) = flags.get("trace") {
+        match std::fs::File::create(path) {
+            Ok(f) => trace.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("could not create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let catalog =
+        MarketCatalog::synthetic_ec2(flag_u(flags, "seed", 42), SimDuration::from_days(30));
+    let config = FlintConfig::builder()
+        .n_workers(flag_u(flags, "workers", 10) as u32)
+        .mode(mode)
+        .seed(flag_u(flags, "seed", 42))
+        .trace(trace)
+        .build();
+    let run = match run_on_flint(catalog, config, wl.as_ref()) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("workload     : {}", run.summary.name);
+    println!("records      : {}", run.summary.records);
+    println!("checksum     : {:#018x}", run.summary.checksum);
+    println!("runtime      : {:.1}s", run.runtime_secs);
+    println!("tasks        : {}", run.stats.tasks_run);
+    println!(
+        "checkpoints  : {} ({} GB)",
+        run.stats.checkpoints_written,
+        run.stats.checkpoint_bytes / 1_000_000_000
+    );
+    println!("restores     : {}", run.stats.restores);
+    println!("revocations  : {}", run.stats.revocations);
+    println!("policy       : {}", run.cost.policy);
+    println!("compute cost : ${:.2}", run.cost.compute_cost);
+    println!("storage cost : ${:.2}", run.cost.storage_cost);
+    if let Some(path) = flags.get("trace") {
+        println!("trace        : written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_workload(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(name) = args.get(1) else {
+        eprintln!("workload: missing name");
+        return ExitCode::FAILURE;
+    };
+    let Some(wl) = parse_workload(name, flags) else {
+        eprintln!("unknown workload: {name}");
+        return ExitCode::FAILURE;
     };
     let workers = flag_u(flags, "workers", 10);
     let failures = flag_u(flags, "failures", 0) as u32;
@@ -255,7 +333,79 @@ fn cmd_mc(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_trace(flags: &HashMap<String, String>) -> ExitCode {
+fn cmd_trace(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    // `flint trace --seed N …` (no subcommand) keeps its original meaning:
+    // dump a market price trace as CSV.
+    let sub = args
+        .get(1)
+        .map(String::as_str)
+        .filter(|s| !s.starts_with("--"))
+        .unwrap_or("prices");
+    match sub {
+        "prices" => cmd_trace_prices(flags),
+        "summary" | "validate" => {
+            let Some(path) = args.get(2).filter(|p| !p.starts_with("--")) else {
+                eprintln!("trace {sub}: missing FILE");
+                return ExitCode::FAILURE;
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("could not read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let events = match parse_trace(&text) {
+                Ok(evs) => evs,
+                Err(msg) => {
+                    eprintln!("{path}: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if sub == "validate" {
+                println!("{path}: OK ({} events)", events.len());
+            } else {
+                print!("{}", MetricsAggregator::from_events(&events));
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown trace subcommand: {other} (expected summary|validate|prices)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses a JSONL event trace, enforcing the stream invariants a real run
+/// guarantees: every line decodes, there is at least one event, and
+/// timestamps never go backwards.
+fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Some(prev) = events.last() {
+            let prev: &Event = prev;
+            if ev.t < prev.t {
+                return Err(format!(
+                    "line {}: timestamp {} goes backwards (previous {})",
+                    i + 1,
+                    ev.t,
+                    prev.t
+                ));
+            }
+        }
+        events.push(ev);
+    }
+    if events.is_empty() {
+        return Err("no events".to_string());
+    }
+    Ok(events)
+}
+
+fn cmd_trace_prices(flags: &HashMap<String, String>) -> ExitCode {
     let seed = flag_u(flags, "seed", 42);
     let days = flag_u(flags, "days", 60);
     let market = flag_u(flags, "market", 0) as u32;

@@ -1,22 +1,27 @@
 //! One-call convenience: run a workload on a Flint-managed transient
-//! cluster and get both the result and the bill.
+//! cluster and get the result, the bill, and (optionally) the full
+//! event trace.
 
 use flint_core::{CostReport, FlintCluster, FlintConfig};
-use flint_engine::Result;
+use flint_engine::{Result, TraceHandle};
 use flint_market::MarketCatalog;
 use flint_workloads::{Workload, WorkloadSummary};
 
 /// Everything a Flint-managed workload run produces.
 #[derive(Debug, Clone)]
-pub struct FlintRun {
+pub struct RunReport {
     /// The workload's result digest.
     pub summary: WorkloadSummary,
-    /// The final bill (cluster terminated).
-    pub report: CostReport,
     /// Total virtual running time of the workload, in seconds.
     pub runtime_secs: f64,
     /// Engine statistics snapshot.
     pub stats: flint_engine::RunStats,
+    /// The final bill (cluster terminated).
+    pub cost: CostReport,
+    /// The run's trace handle, when the launch config had one enabled
+    /// (a sink attached). Flushed before return; read it back through
+    /// whatever sink was attached (memory ring, JSONL file, …).
+    pub trace: Option<TraceHandle>,
 }
 
 /// Launches a Flint cluster for `config`, sizes the engine's cost model
@@ -27,7 +32,7 @@ pub struct FlintRun {
 ///
 /// ```
 /// use flint::runner::run_on_flint;
-/// use flint::core::{FlintConfig, Mode};
+/// use flint::core::FlintConfig;
 /// use flint::market::MarketCatalog;
 /// use flint::simtime::SimDuration;
 /// use flint::workloads::{PageRank, WorkloadConfig};
@@ -39,31 +44,34 @@ pub struct FlintRun {
 ///     iterations: 2,
 ///     seed: 1,
 /// });
-/// let run = run_on_flint(catalog, FlintConfig { n_workers: 4, ..FlintConfig::default() }, &wl)
-///     .unwrap();
+/// let run = run_on_flint(catalog, FlintConfig::builder().n_workers(4).build(), &wl).unwrap();
 /// assert!(run.summary.records > 0);
-/// assert!(run.report.compute_cost >= 0.0);
+/// assert!(run.cost.compute_cost >= 0.0);
+/// assert!(run.trace.is_none()); // no sink attached
 /// ```
 pub fn run_on_flint(
     catalog: MarketCatalog,
     config: FlintConfig,
     workload: &dyn Workload,
-) -> Result<FlintRun> {
+) -> Result<RunReport> {
+    let trace = config.trace.clone();
     let mut cluster = FlintCluster::launch(catalog, config);
-    let mut cost = *cluster.driver().cost_model();
-    cost.size_scale = workload.recommended_size_scale();
-    cluster.driver_mut().set_cost_model(cost);
+    let mut cost_model = *cluster.driver().cost_model();
+    cost_model.size_scale = workload.recommended_size_scale();
+    cluster.driver_mut().set_cost_model(cost_model);
 
     let started = cluster.driver().now();
     let summary = workload.run(cluster.driver_mut())?;
     let runtime_secs = (cluster.driver().now() - started).as_secs_f64();
     let stats = cluster.driver().stats().clone();
-    let report = cluster.shutdown();
-    Ok(FlintRun {
+    let cost = cluster.shutdown();
+    trace.flush();
+    Ok(RunReport {
         summary,
-        report,
         runtime_secs,
         stats,
+        cost,
+        trace: trace.is_enabled().then_some(trace),
     })
 }
 
@@ -83,19 +91,23 @@ mod tests {
             iterations: 2,
             seed: 2,
         });
+        let trace = TraceHandle::disabled();
+        let reader = trace.attach_memory(0);
         let run = run_on_flint(
             catalog,
-            FlintConfig {
-                n_workers: 4,
-                mode: Mode::Interactive,
-                ..FlintConfig::default()
-            },
+            FlintConfig::builder()
+                .n_workers(4)
+                .mode(Mode::Interactive)
+                .trace(trace)
+                .build(),
             &wl,
         )
         .unwrap();
         assert_eq!(run.summary.records, 10); // k centroids
         assert!(run.runtime_secs > 0.0);
-        assert!(run.report.compute_cost > 0.0);
-        assert_eq!(run.report.policy, "flint-interactive");
+        assert!(run.cost.compute_cost > 0.0);
+        assert_eq!(run.cost.policy, "flint-interactive");
+        assert!(run.trace.is_some());
+        assert!(!reader.is_empty(), "an enabled trace must capture events");
     }
 }

@@ -27,11 +27,10 @@ fn batch_cluster_survives_trace_driven_revocations() {
 
     let mut cluster = FlintCluster::launch(
         catalog(),
-        FlintConfig {
-            n_workers: 6,
-            mode: Mode::Batch,
-            ..FlintConfig::default()
-        },
+        FlintConfig::builder()
+            .n_workers(6)
+            .mode(Mode::Batch)
+            .build(),
     );
     // Size the engine like the workload expects.
     let mut cost = *cluster.driver().cost_model();
@@ -63,11 +62,10 @@ fn interactive_cluster_diversifies_and_answers_queries() {
     });
     let mut cluster = FlintCluster::launch(
         catalog(),
-        FlintConfig {
-            n_workers: 8,
-            mode: Mode::Interactive,
-            ..FlintConfig::default()
-        },
+        FlintConfig::builder()
+            .n_workers(8)
+            .mode(Mode::Interactive)
+            .build(),
     );
     assert!(cluster.node_manager().active_markets().len() >= 2);
 
@@ -85,13 +83,7 @@ fn interactive_cluster_diversifies_and_answers_queries() {
 
 #[test]
 fn adaptive_checkpoints_appear_during_long_sessions() {
-    let mut cluster = FlintCluster::launch(
-        catalog(),
-        FlintConfig {
-            n_workers: 4,
-            ..FlintConfig::default()
-        },
-    );
+    let mut cluster = FlintCluster::launch(catalog(), FlintConfig::builder().n_workers(4).build());
     cluster.ft_state().lock().mttf = SimDuration::from_hours(2);
     let driver = cluster.driver_mut();
     let base = driver.ctx().parallelize((0..2000).map(Value::from_i64), 8);
@@ -125,13 +117,7 @@ fn adaptive_checkpoints_appear_during_long_sessions() {
 #[test]
 fn gce_catalog_runs_end_to_end() {
     let catalog = MarketCatalog::synthetic_gce(5, SimDuration::from_days(30));
-    let mut cluster = FlintCluster::launch(
-        catalog,
-        FlintConfig {
-            n_workers: 4,
-            ..FlintConfig::default()
-        },
-    );
+    let mut cluster = FlintCluster::launch(catalog, FlintConfig::builder().n_workers(4).build());
     let driver = cluster.driver_mut();
     let xs = driver.ctx().parallelize((0..500).map(Value::from_i64), 4);
     let doubled = driver
@@ -156,11 +142,10 @@ fn long_session_replaces_revoked_workers_transparently() {
     // query must succeed.
     let mut cluster = FlintCluster::launch(
         catalog(),
-        FlintConfig {
-            n_workers: 5,
-            mode: Mode::Interactive,
-            ..FlintConfig::default()
-        },
+        FlintConfig::builder()
+            .n_workers(5)
+            .mode(Mode::Interactive)
+            .build(),
     );
     let driver = cluster.driver_mut();
     let xs = driver.ctx().parallelize((0..300).map(Value::from_i64), 5);
