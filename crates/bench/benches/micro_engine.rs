@@ -3,9 +3,12 @@
 //! lookups. These guard against performance regressions in the simulator
 //! itself (wall-clock, not virtual time).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use flint_engine::{
-    Driver, DriverConfig, HashPartitioner, NoCheckpoint, NoFailures, Partitioner, Value, WorkerSpec,
+    BlockKey, BlockManager, Driver, DriverConfig, HashPartitioner, NoCheckpoint, NoFailures,
+    PartitionData, Partitioner, RddId, Value, WorkerSpec,
 };
 use flint_market::{MarketCatalog, TraceGenerator, TraceProfile};
 use flint_simtime::{SimDuration, SimTime};
@@ -91,6 +94,64 @@ fn bench_wave_executor(c: &mut Criterion) {
     }
 }
 
+/// An M-maps-by-R-reduces shuffle with distinct keys (so map-side
+/// combine collapses nothing): each of `parts` map partitions produces
+/// `records_per_map` pairs that are grouped into `parts` reduce
+/// partitions. The reduce-side fetch path dominates; single host thread
+/// so the measurement is pure per-task cost, not parallel speedup.
+fn shuffle_stage(parts: u32, records_per_map: i64) -> u64 {
+    let mut d = Driver::new(
+        DriverConfig::builder().host_threads(1).build(),
+        Box::new(NoCheckpoint),
+        Box::new(NoFailures),
+    );
+    for _ in 0..4 {
+        d.add_worker(WorkerSpec::r3_large());
+    }
+    let n = i64::from(parts) * records_per_map;
+    let src = d.ctx().parallelize((0..n).map(Value::from_i64), parts);
+    let pairs = d.ctx().map(src, |v| Value::pair(v.clone(), Value::Int(1)));
+    let grouped = d.ctx().group_by_key(pairs, parts);
+    d.count(grouped).unwrap()
+}
+
+fn bench_shuffle_scaling(c: &mut Criterion) {
+    c.bench_function("shuffle_16maps_x_16reduces", |b| {
+        b.iter(|| shuffle_stage(16, 300))
+    });
+    c.bench_function("shuffle_64maps_x_64reduces", |b| {
+        b.iter(|| shuffle_stage(64, 300))
+    });
+}
+
+/// Sustained eviction churn: a small two-tier cache with thousands of
+/// one-byte blocks pushed through it, interleaved with LRU touches. Every
+/// insert past capacity evicts memory→disk and drops from disk, so this
+/// measures the eviction-victim selection path.
+fn bench_eviction_churn(c: &mut Criterion) {
+    let empty: PartitionData = Arc::new(Vec::new());
+    c.bench_function("block_manager_eviction_churn_4k", |b| {
+        b.iter(|| {
+            let mut bm = BlockManager::new(500, 500);
+            let mut acc = 0u64;
+            for i in 0..4000u32 {
+                let k = BlockKey::RddPart {
+                    rdd: RddId(0),
+                    part: i,
+                };
+                bm.insert(k, empty.clone(), 1);
+                // Re-touch an older block so the LRU order keeps churning.
+                bm.touch(&BlockKey::RddPart {
+                    rdd: RddId(0),
+                    part: i / 2,
+                });
+                acc += bm.mem_used();
+            }
+            acc
+        })
+    });
+}
+
 fn bench_wordcount_job(c: &mut Criterion) {
     c.bench_function("engine_wordcount_2k_records", |b| {
         b.iter(|| {
@@ -139,6 +200,6 @@ fn bench_catalog_generation(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = bench_wave_executor, bench_wordcount_job, bench_hash_partitioner, bench_trace_lookup, bench_catalog_generation
+    targets = bench_wave_executor, bench_shuffle_scaling, bench_eviction_churn, bench_wordcount_job, bench_hash_partitioner, bench_trace_lookup, bench_catalog_generation
 );
 criterion_main!(micro);

@@ -1,9 +1,10 @@
 //! Per-worker block management: memory cache, disk spill, hard loss.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use crate::rdd::{PartitionData, RddId};
-use crate::shuffle::ShuffleId;
+use crate::shuffle::{BucketedBlock, ShuffleId};
 use crate::WorkerId;
 
 /// Key of a cached block.
@@ -37,6 +38,89 @@ impl std::fmt::Display for BlockKey {
     }
 }
 
+/// The payload of a cached or checkpointed block.
+///
+/// RDD partitions are always `Flat`. Shuffle map outputs start `Flat`
+/// and become `Bucketed` once their partitioner is known — eagerly for
+/// hash shuffles, lazily (at the barrier, when the [`RangePartitioner`]
+/// resolves) for range shuffles. Both forms hold the same record
+/// multiset, so payload-byte and wire-size accounting are identical;
+/// only the reduce-side access path differs (O(1) bucket lookup vs. a
+/// full scan).
+///
+/// [`RangePartitioner`]: crate::shuffle::RangePartitioner
+#[derive(Debug, Clone)]
+pub enum BlockData {
+    /// Records in production order (RDD partitions, unresolved-range
+    /// shuffle map outputs).
+    Flat(PartitionData),
+    /// A shuffle map output pre-partitioned into reduce buckets.
+    Bucketed(Arc<BucketedBlock>),
+}
+
+impl BlockData {
+    /// The flat partition payload, or `None` for a bucketed block.
+    pub fn flat(&self) -> Option<&PartitionData> {
+        match self {
+            BlockData::Flat(d) => Some(d),
+            BlockData::Bucketed(_) => None,
+        }
+    }
+
+    /// The bucketed payload, or `None` for a flat block.
+    pub fn bucketed(&self) -> Option<&Arc<BucketedBlock>> {
+        match self {
+            BlockData::Flat(_) => None,
+            BlockData::Bucketed(b) => Some(b),
+        }
+    }
+
+    /// Record count (identical across forms).
+    pub fn len(&self) -> usize {
+        match self {
+            BlockData::Flat(d) => d.len(),
+            BlockData::Bucketed(b) => b.len(),
+        }
+    }
+
+    /// `true` when the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload bytes: the sum of every record's
+    /// [`size_bytes`](crate::Value::size_bytes), identical across forms
+    /// (bucketing reorders records, it never changes the multiset).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            BlockData::Flat(d) => d.iter().map(crate::Value::size_bytes).sum(),
+            BlockData::Bucketed(b) => b.payload_bytes(),
+        }
+    }
+
+    /// Byte-exact serialized checkpoint size: the same framing walk as
+    /// [`crate::checkpoint::wire_size`], order-independent and therefore
+    /// identical across forms.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            BlockData::Flat(d) => crate::checkpoint::wire_size(d),
+            BlockData::Bucketed(b) => 8 + b.payload_bytes() + 4 * b.len() as u64,
+        }
+    }
+}
+
+impl From<PartitionData> for BlockData {
+    fn from(d: PartitionData) -> Self {
+        BlockData::Flat(d)
+    }
+}
+
+impl From<Arc<BucketedBlock>> for BlockData {
+    fn from(b: Arc<BucketedBlock>) -> Self {
+        BlockData::Bucketed(b)
+    }
+}
+
 /// What one [`BlockManager::insert_traced`] call did to the cache:
 /// which victims it displaced and whether the new block found a home.
 /// The driver folds this into `CacheInsert`/`CacheSpill`/`CacheEvict`
@@ -63,9 +147,61 @@ pub enum BlockLocation {
 
 #[derive(Debug, Clone)]
 struct Block {
-    data: PartitionData,
+    data: BlockData,
     vbytes: u64,
     last_use: u64,
+}
+
+/// One storage tier (memory or disk): the block map plus an ordered
+/// `(last_use, key)` index kept in exact sync with it, so the LRU victim
+/// is an O(log n) `first()` lookup instead of a full map scan. Stamps
+/// come from the manager's global clock and are unique, but the index
+/// orders by `(last_use, key)` anyway — the same tie-break the old
+/// linear `min_by_key` scan used, so eviction victims are identical.
+#[derive(Debug, Clone, Default)]
+struct Tier {
+    map: HashMap<BlockKey, Block>,
+    lru: BTreeSet<(u64, BlockKey)>,
+    used: u64,
+}
+
+impl Tier {
+    fn insert(&mut self, key: BlockKey, b: Block) {
+        debug_assert!(!self.map.contains_key(&key), "caller removes first");
+        self.lru.insert((b.last_use, key));
+        self.used += b.vbytes;
+        self.map.insert(key, b);
+    }
+
+    fn remove(&mut self, key: &BlockKey) -> Option<Block> {
+        let b = self.map.remove(key)?;
+        self.lru.remove(&(b.last_use, *key));
+        self.used -= b.vbytes;
+        Some(b)
+    }
+
+    /// Re-stamps `key` to `lu`, keeping the index in sync. Returns
+    /// `true` if the block exists in this tier.
+    fn touch(&mut self, key: &BlockKey, lu: u64) -> bool {
+        let Some(b) = self.map.get_mut(key) else {
+            return false;
+        };
+        self.lru.remove(&(b.last_use, *key));
+        b.last_use = lu;
+        self.lru.insert((lu, *key));
+        true
+    }
+
+    /// The least-recently-used block: minimum `(last_use, key)`.
+    fn lru_key(&self) -> Option<BlockKey> {
+        self.lru.first().map(|(_, k)| *k)
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+        self.used = 0;
+    }
 }
 
 /// A single worker's block store: an LRU memory cache backed by local
@@ -76,12 +212,10 @@ struct Block {
 /// paper-scale memory pressure — this is what reproduces Figure 3.
 #[derive(Debug, Clone)]
 pub struct BlockManager {
-    mem: HashMap<BlockKey, Block>,
-    disk: HashMap<BlockKey, Block>,
+    mem: Tier,
+    disk: Tier,
     mem_capacity: u64,
     disk_capacity: u64,
-    mem_used: u64,
-    disk_used: u64,
     clock: u64,
     /// Cumulative virtual bytes spilled memory→disk.
     pub spilled_bytes: u64,
@@ -93,12 +227,10 @@ impl BlockManager {
     /// Creates a block manager with the given virtual capacities.
     pub fn new(mem_capacity: u64, disk_capacity: u64) -> Self {
         BlockManager {
-            mem: HashMap::new(),
-            disk: HashMap::new(),
+            mem: Tier::default(),
+            disk: Tier::default(),
             mem_capacity,
             disk_capacity,
-            mem_used: 0,
-            disk_used: 0,
             clock: 0,
             spilled_bytes: 0,
             dropped_bytes: 0,
@@ -113,7 +245,7 @@ impl BlockManager {
     /// Inserts a block, evicting LRU blocks to disk (and dropping from
     /// disk) as needed. Returns `false` if the block itself could not be
     /// stored anywhere.
-    pub fn insert(&mut self, key: BlockKey, data: PartitionData, vbytes: u64) -> bool {
+    pub fn insert(&mut self, key: BlockKey, data: impl Into<BlockData>, vbytes: u64) -> bool {
         self.insert_traced(key, data, vbytes).stored
     }
 
@@ -122,9 +254,10 @@ impl BlockManager {
     pub fn insert_traced(
         &mut self,
         key: BlockKey,
-        data: PartitionData,
+        data: impl Into<BlockData>,
         vbytes: u64,
     ) -> InsertOutcome {
+        let data = data.into();
         let mut outcome = InsertOutcome::default();
         // Refuse pathological single blocks bigger than both tiers.
         if vbytes > self.mem_capacity && vbytes > self.disk_capacity {
@@ -135,12 +268,12 @@ impl BlockManager {
         self.remove(&key);
         let lu = self.tick();
         if vbytes <= self.mem_capacity {
-            while self.mem_used + vbytes > self.mem_capacity {
+            while self.mem.used + vbytes > self.mem_capacity {
                 if !self.evict_one_to_disk(&mut outcome) {
                     break;
                 }
             }
-            if self.mem_used + vbytes <= self.mem_capacity {
+            if self.mem.used + vbytes <= self.mem_capacity {
                 self.mem.insert(
                     key,
                     Block {
@@ -149,7 +282,6 @@ impl BlockManager {
                         last_use: lu,
                     },
                 );
-                self.mem_used += vbytes;
                 outcome.stored = true;
                 return outcome;
             }
@@ -162,7 +294,7 @@ impl BlockManager {
     fn store_on_disk(
         &mut self,
         key: BlockKey,
-        data: PartitionData,
+        data: BlockData,
         vbytes: u64,
         dropped: &mut Vec<(BlockKey, u64)>,
     ) -> bool {
@@ -171,10 +303,9 @@ impl BlockManager {
             dropped.push((key, vbytes));
             return false;
         }
-        while self.disk_used + vbytes > self.disk_capacity {
-            if let Some(victim) = self.lru_key(&self.disk) {
+        while self.disk.used + vbytes > self.disk_capacity {
+            if let Some(victim) = self.disk.lru_key() {
                 if let Some(b) = self.disk.remove(&victim) {
-                    self.disk_used -= b.vbytes;
                     self.dropped_bytes += b.vbytes;
                     dropped.push((victim, b.vbytes));
                 }
@@ -182,7 +313,7 @@ impl BlockManager {
                 break;
             }
         }
-        if self.disk_used + vbytes > self.disk_capacity {
+        if self.disk.used + vbytes > self.disk_capacity {
             self.dropped_bytes += vbytes;
             dropped.push((key, vbytes));
             return false;
@@ -196,43 +327,33 @@ impl BlockManager {
                 last_use: lu,
             },
         );
-        self.disk_used += vbytes;
         true
-    }
-
-    fn lru_key(&self, map: &HashMap<BlockKey, Block>) -> Option<BlockKey> {
-        map.iter()
-            .min_by_key(|(k, b)| (b.last_use, **k))
-            .map(|(k, _)| *k)
     }
 
     /// Evicts the least-recently-used memory block to disk. Returns
     /// `false` when memory is already empty.
     fn evict_one_to_disk(&mut self, outcome: &mut InsertOutcome) -> bool {
-        let Some(victim) = self.lru_key(&self.mem) else {
+        let Some(victim) = self.mem.lru_key() else {
             return false;
         };
         let b = self.mem.remove(&victim).expect("victim exists");
-        self.mem_used -= b.vbytes;
         self.spilled_bytes += b.vbytes;
-        let vbytes = b.vbytes;
-        let data = b.data;
-        outcome.spilled.push((victim, vbytes));
-        let _ = self.store_on_disk(victim, data, vbytes, &mut outcome.dropped);
+        outcome.spilled.push((victim, b.vbytes));
+        let _ = self.store_on_disk(victim, b.data, b.vbytes, &mut outcome.dropped);
         true
     }
 
     /// Looks up a block, touching its LRU stamp. Disk hits are *not*
     /// promoted automatically; the caller charges the disk-read time and
     /// may re-insert.
-    pub fn get(&mut self, key: &BlockKey) -> Option<(PartitionData, BlockLocation, u64)> {
+    pub fn get(&mut self, key: &BlockKey) -> Option<(BlockData, BlockLocation, u64)> {
         let lu = self.tick();
-        if let Some(b) = self.mem.get_mut(key) {
-            b.last_use = lu;
+        if self.mem.touch(key, lu) {
+            let b = &self.mem.map[key];
             return Some((b.data.clone(), BlockLocation::Memory, b.vbytes));
         }
-        if let Some(b) = self.disk.get_mut(key) {
-            b.last_use = lu;
+        if self.disk.touch(key, lu) {
+            let b = &self.disk.map[key];
             return Some((b.data.clone(), BlockLocation::Disk, b.vbytes));
         }
         None
@@ -244,11 +365,11 @@ impl BlockManager {
     /// parallel wave executor can read a consistent snapshot from many
     /// host threads (`&self`) and replay the LRU bumps later, in
     /// deterministic task order, via [`BlockManager::touch`].
-    pub fn peek_data(&self, key: &BlockKey) -> Option<(PartitionData, BlockLocation, u64)> {
-        if let Some(b) = self.mem.get(key) {
+    pub fn peek_data(&self, key: &BlockKey) -> Option<(BlockData, BlockLocation, u64)> {
+        if let Some(b) = self.mem.map.get(key) {
             return Some((b.data.clone(), BlockLocation::Memory, b.vbytes));
         }
-        if let Some(b) = self.disk.get(key) {
+        if let Some(b) = self.disk.map.get(key) {
             return Some((b.data.clone(), BlockLocation::Disk, b.vbytes));
         }
         None
@@ -258,23 +379,32 @@ impl BlockManager {
     /// half of [`BlockManager::get`]. Returns `true` if the block exists.
     pub fn touch(&mut self, key: &BlockKey) -> bool {
         let lu = self.tick();
-        if let Some(b) = self.mem.get_mut(key) {
-            b.last_use = lu;
-            return true;
+        self.mem.touch(key, lu) || self.disk.touch(key, lu)
+    }
+
+    /// Replaces a block's payload in place, without touching its LRU
+    /// stamp, virtual size, or the eviction clock.
+    ///
+    /// This is the lazy-bucketing hook: when a range shuffle's
+    /// partitioner resolves at the barrier, the driver converts that
+    /// shuffle's resident map blocks from [`BlockData::Flat`] to
+    /// [`BlockData::Bucketed`]. The conversion preserves the record
+    /// multiset and all accounting, so cache behavior (LRU order,
+    /// spills, drops) is bit-identical to a run that never converted.
+    pub fn replace_payload(&mut self, key: &BlockKey, f: impl FnOnce(&BlockData) -> BlockData) {
+        if let Some(b) = self.mem.map.get_mut(key) {
+            b.data = f(&b.data);
+        } else if let Some(b) = self.disk.map.get_mut(key) {
+            b.data = f(&b.data);
         }
-        if let Some(b) = self.disk.get_mut(key) {
-            b.last_use = lu;
-            return true;
-        }
-        false
     }
 
     /// Returns the location of a block without touching LRU state.
     pub fn peek(&self, key: &BlockKey) -> Option<(BlockLocation, u64)> {
-        if let Some(b) = self.mem.get(key) {
+        if let Some(b) = self.mem.map.get(key) {
             return Some((BlockLocation::Memory, b.vbytes));
         }
-        if let Some(b) = self.disk.get(key) {
+        if let Some(b) = self.disk.map.get(key) {
             return Some((BlockLocation::Disk, b.vbytes));
         }
         None
@@ -282,31 +412,29 @@ impl BlockManager {
 
     /// Removes a block from both tiers, returning `true` if it existed.
     pub fn remove(&mut self, key: &BlockKey) -> bool {
-        let mut found = false;
-        if let Some(b) = self.mem.remove(key) {
-            self.mem_used -= b.vbytes;
-            found = true;
-        }
-        if let Some(b) = self.disk.remove(key) {
-            self.disk_used -= b.vbytes;
-            found = true;
-        }
-        found
+        let in_mem = self.mem.remove(key).is_some();
+        let on_disk = self.disk.remove(key).is_some();
+        in_mem || on_disk
     }
 
     /// Returns all keys currently held (memory then disk, unordered).
     pub fn keys(&self) -> Vec<BlockKey> {
-        self.mem.keys().chain(self.disk.keys()).copied().collect()
+        self.mem
+            .map
+            .keys()
+            .chain(self.disk.map.keys())
+            .copied()
+            .collect()
     }
 
     /// Virtual bytes resident in memory.
     pub fn mem_used(&self) -> u64 {
-        self.mem_used
+        self.mem.used
     }
 
     /// Virtual bytes resident on disk.
     pub fn disk_used(&self) -> u64 {
-        self.disk_used
+        self.disk.used
     }
 
     /// Memory capacity in virtual bytes.
@@ -318,8 +446,6 @@ impl BlockManager {
     pub fn clear(&mut self) {
         self.mem.clear();
         self.disk.clear();
-        self.mem_used = 0;
-        self.disk_used = 0;
     }
 }
 

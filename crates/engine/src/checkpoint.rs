@@ -7,6 +7,7 @@ use std::collections::HashSet;
 use flint_simtime::SimTime;
 use flint_store::{DurableStore, StorageConfig};
 
+use crate::block::BlockData;
 use crate::rdd::{PartitionData, RddId};
 use crate::shuffle::ShuffleId;
 use crate::Lineage;
@@ -28,7 +29,7 @@ pub fn checkpoint_key(rdd: RddId, part: u32) -> String {
 /// garbage collector.
 #[derive(Debug)]
 pub struct CheckpointStore {
-    store: DurableStore<PartitionData>,
+    store: DurableStore<BlockData>,
     /// Which partitions of each RDD are durably stored.
     parts: HashMap<RddId, Vec<bool>>,
     /// Which shuffle map outputs are durably stored (used only by the
@@ -64,22 +65,39 @@ impl CheckpointStore {
         }
     }
 
-    /// Durably stores one shuffle map output.
+    /// Durably stores one shuffle map output (flat or bucketed — a
+    /// restore serves back whichever form was captured).
     pub fn put_shuffle(
         &mut self,
         s: ShuffleId,
         map_part: u32,
-        data: PartitionData,
+        data: impl Into<BlockData>,
         vbytes: u64,
         now: SimTime,
     ) {
-        self.store.put(&shuffle_key(s, map_part), data, vbytes, now);
+        self.store
+            .put(&shuffle_key(s, map_part), data.into(), vbytes, now);
         self.shuffle_parts.insert((s, map_part));
     }
 
     /// Returns the checkpointed shuffle map output, if present.
-    pub fn get_shuffle(&self, s: ShuffleId, map_part: u32) -> Option<&PartitionData> {
+    pub fn get_shuffle(&self, s: ShuffleId, map_part: u32) -> Option<&BlockData> {
         self.store.get(&shuffle_key(s, map_part))
+    }
+
+    /// Replaces a stored shuffle map output's payload in place, without
+    /// simulating a write or changing its recorded size — the durable
+    /// half of the lazy range-bucketing conversion (see
+    /// [`crate::BlockManager::replace_payload`]).
+    pub fn replace_shuffle_payload(
+        &mut self,
+        s: ShuffleId,
+        map_part: u32,
+        f: impl FnOnce(&BlockData) -> BlockData,
+    ) {
+        if let Some(data) = self.store.get_mut(&shuffle_key(s, map_part)) {
+            *data = f(data);
+        }
     }
 
     /// Returns `true` if the shuffle map output is durably stored.
@@ -93,12 +111,12 @@ impl CheckpointStore {
     }
 
     /// Returns the underlying durable store.
-    pub fn store(&self) -> &DurableStore<PartitionData> {
+    pub fn store(&self) -> &DurableStore<BlockData> {
         &self.store
     }
 
     /// Returns the underlying durable store mutably (cost accounting).
-    pub fn store_mut(&mut self) -> &mut DurableStore<PartitionData> {
+    pub fn store_mut(&mut self) -> &mut DurableStore<BlockData> {
         &mut self.store
     }
 
@@ -113,12 +131,12 @@ impl CheckpointStore {
         rdd: RddId,
         part: u32,
         num_partitions: u32,
-        data: PartitionData,
+        data: impl Into<BlockData>,
         vbytes: u64,
         now: SimTime,
     ) {
         self.store
-            .put(&checkpoint_key(rdd, part), data, vbytes, now);
+            .put(&checkpoint_key(rdd, part), data.into(), vbytes, now);
         let bits = self
             .parts
             .entry(rdd)
@@ -129,8 +147,12 @@ impl CheckpointStore {
     }
 
     /// Returns the checkpointed data for `(rdd, part)`, if present.
+    /// Only shuffle map outputs are ever bucketed, so RDD partition
+    /// checkpoints are always served flat.
     pub fn get(&self, rdd: RddId, part: u32) -> Option<&PartitionData> {
-        self.store.get(&checkpoint_key(rdd, part))
+        self.store
+            .get(&checkpoint_key(rdd, part))
+            .map(|d| d.flat().expect("RDD partition checkpoints are flat"))
     }
 
     /// Returns the stored virtual size of `(rdd, part)`, if present.

@@ -4,8 +4,7 @@ use std::collections::HashMap;
 
 use flint_simtime::SimTime;
 
-use crate::block::{BlockKey, BlockLocation, BlockManager, BlockStoreSnapshot};
-use crate::rdd::PartitionData;
+use crate::block::{BlockData, BlockKey, BlockLocation, BlockManager, BlockStoreSnapshot};
 
 /// Identifier of a worker slot within the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -170,10 +169,7 @@ impl Cluster {
     }
 
     /// Fetches a block's data from anywhere in the alive cluster.
-    pub fn fetch(
-        &mut self,
-        key: &BlockKey,
-    ) -> Option<(WorkerId, PartitionData, BlockLocation, u64)> {
+    pub fn fetch(&mut self, key: &BlockKey) -> Option<(WorkerId, BlockData, BlockLocation, u64)> {
         let (wid, _, _) = self.locate(key)?;
         let w = &mut self.workers[wid.0 as usize];
         let (data, loc, bytes) = w.blocks.get(key)?;
@@ -184,10 +180,7 @@ impl Cluster {
     /// mutating LRU state — the read-snapshot analogue of
     /// [`Cluster::fetch`], usable from parallel wave threads. Callers
     /// replay the LRU bump afterwards with [`Cluster::touch`].
-    pub fn peek_fetch(
-        &self,
-        key: &BlockKey,
-    ) -> Option<(WorkerId, PartitionData, BlockLocation, u64)> {
+    pub fn peek_fetch(&self, key: &BlockKey) -> Option<(WorkerId, BlockData, BlockLocation, u64)> {
         let (wid, _, _) = self.locate(key)?;
         let w = &self.workers[wid.0 as usize];
         let (data, loc, bytes) = w.blocks.peek_data(key)?;
@@ -201,6 +194,21 @@ impl Cluster {
         if let Some(w) = self.workers.get_mut(wid.0 as usize) {
             if w.alive {
                 w.blocks.touch(key);
+            }
+        }
+    }
+
+    /// Applies an in-place payload conversion to `key` on every alive
+    /// worker holding it (see [`BlockManager::replace_payload`]); LRU
+    /// state and accounting are untouched.
+    pub fn replace_payload_everywhere(
+        &mut self,
+        key: &BlockKey,
+        f: impl Fn(&BlockData) -> BlockData,
+    ) {
+        for w in &mut self.workers {
+            if w.alive {
+                w.blocks.replace_payload(key, &f);
             }
         }
     }

@@ -2,12 +2,13 @@
 //! handling, and checkpoint orchestration.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::Arc;
 
 use flint_simtime::{Clock, SimDuration, SimTime};
 use flint_store::StorageConfig;
 use flint_trace::{EventKind, TraceHandle};
 
-use crate::block::{BlockKey, InsertOutcome};
+use crate::block::{BlockData, BlockKey, InsertOutcome};
 use crate::checkpoint::CheckpointStore;
 use crate::cluster::{Cluster, WorkerId, WorkerSpec};
 use crate::context::EngineContext;
@@ -17,7 +18,7 @@ use crate::executor::{self, CacheEffect, TaskOutput, WaveCtx};
 use crate::hooks::{CheckpointDirective, CheckpointHooks, LineageView, NoCheckpoint};
 use crate::injector::{FailureInjector, NoFailures, WorkerEvent};
 use crate::rdd::{PartitionData, RddId, RddOp, RddRef};
-use crate::shuffle::{RangePartitioner, ShuffleId};
+use crate::shuffle::{BucketedBlock, RangePartitioner, ShuffleId};
 use crate::stats::{ActionRecord, RunStats};
 use crate::value::Value;
 
@@ -161,7 +162,7 @@ struct Running {
     key: TaskKey,
     worker: WorkerId,
     finish: SimTime,
-    data: PartitionData,
+    data: BlockData,
     vbytes: u64,
     duration: SimDuration,
     commit: Commit,
@@ -349,10 +350,12 @@ impl Driver {
     /// Materializes `r` and returns all its elements in partition order.
     pub fn collect(&mut self, r: RddRef) -> Result<Vec<Value>> {
         let parts = self.run_action(r.id, "collect")?;
-        Ok(parts
-            .into_iter()
-            .flat_map(|p| p.iter().cloned().collect::<Vec<_>>())
-            .collect())
+        let total = parts.iter().map(|p| p.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.extend_from_slice(&p);
+        }
+        Ok(out)
     }
 
     /// Materializes `r` and returns its element count.
@@ -928,8 +931,13 @@ impl Driver {
         }
         for (s, rp) in &out.resolved {
             // First admitted resolution wins; later tasks resolved the
-            // same bounds from the same snapshot.
-            self.range_cache.entry(*s).or_insert_with(|| rp.clone());
+            // same bounds from the same snapshot. The winning insert also
+            // converts the shuffle's resident map blocks to bucketed
+            // form, so subsequent waves take the O(1) fetch path.
+            if !self.range_cache.contains_key(s) {
+                self.range_cache.insert(*s, rp.clone());
+                self.bucketize_resolved_shuffle(*s, rp);
+            }
         }
         for cp in &out.computed {
             self.computed_once.insert(*cp);
@@ -955,6 +963,37 @@ impl Driver {
             }
         }
         net
+    }
+
+    /// Converts a freshly-resolved range shuffle's resident map blocks —
+    /// cluster caches and durable snapshots — from flat to bucketed
+    /// form, in place.
+    ///
+    /// Runs exactly once per shuffle, at the deterministic admission
+    /// point where the partitioner enters `range_cache`, so every wave
+    /// snapshot sees either all-flat (pre-resolution) or bucketed state.
+    /// The conversion preserves record multisets, virtual sizes, LRU
+    /// stamps, and the eviction clock, so cache behavior and all
+    /// accounting are bit-identical to a run that never converted; map
+    /// blocks recomputed after this point bucket eagerly in
+    /// `compute_task` instead.
+    fn bucketize_resolved_shuffle(&mut self, s: ShuffleId, rp: &RangePartitioner) {
+        let parent = self.ctx.lineage().shuffle(s).parent;
+        let m = self.ctx.lineage().meta(parent).num_partitions;
+        for mp in 0..m {
+            let bk = BlockKey::ShuffleMap {
+                shuffle: s,
+                map_part: mp,
+            };
+            let convert = |bd: &BlockData| match bd {
+                BlockData::Flat(d) => {
+                    BlockData::Bucketed(Arc::new(BucketedBlock::partition(d, rp)))
+                }
+                b @ BlockData::Bucketed(_) => b.clone(),
+            };
+            self.cluster.replace_payload_everywhere(&bk, convert);
+            self.ckpt.replace_shuffle_payload(s, mp, convert);
+        }
     }
 
     /// Admits one computed task: picks the worker, applies the recorded
@@ -1023,12 +1062,13 @@ impl Driver {
         if self.ckpt_queue.is_empty() || self.cluster.alive_count() == 0 {
             return; // keep the queue intact until workers exist
         }
-        let drained: Vec<CkptJob> = self.ckpt_queue.drain(..).collect();
+        let mut todo: Vec<CkptJob> = Vec::with_capacity(self.ckpt_queue.len());
+        while let Some(job) = self.ckpt_queue.pop_front() {
+            if !self.ckpt_satisfied(job) {
+                todo.push(job);
+            }
+        }
         self.ckpt_queued.clear();
-        let todo: Vec<CkptJob> = drained
-            .into_iter()
-            .filter(|job| !self.ckpt_satisfied(*job))
-            .collect();
         if todo.is_empty() {
             return;
         }
@@ -1351,7 +1391,11 @@ impl Driver {
                     part: p,
                 }) {
                     total_vb += vb;
-                    parts.push(d);
+                    parts.push(
+                        d.flat()
+                            .expect("RDD partition blocks are always flat")
+                            .clone(),
+                    );
                 } else {
                     ok = false;
                     break;

@@ -37,14 +37,16 @@ use std::sync::Arc;
 use flint_simtime::SimDuration;
 use flint_trace::EventKind;
 
-use crate::block::{BlockKey, BlockLocation};
+use crate::block::{BlockData, BlockKey, BlockLocation};
 use crate::checkpoint::{wire_size, CheckpointStore};
 use crate::cluster::{Cluster, WorkerId};
 use crate::cost::CostModel;
 use crate::driver::{CkptJob, MissingShuffle, TaskKey};
 use crate::lineage::Lineage;
 use crate::rdd::{PartitionData, RddId, RddOp};
-use crate::shuffle::{HashPartitioner, Partitioner, RangePartitioner, ShuffleId, ShuffleKind};
+use crate::shuffle::{
+    BucketedBlock, HashPartitioner, Partitioner, RangePartitioner, ShuffleId, ShuffleKind,
+};
 use crate::value::Value;
 
 /// Immutable snapshot of everything a wave's tasks may read.
@@ -100,8 +102,9 @@ pub(crate) enum CacheEffect {
 /// worker-independent duration, and a ledger of deferred mutations for
 /// the driver to apply in task-key order.
 pub(crate) struct TaskOutput {
-    /// Final partition data (map-side combine already applied).
-    pub data: PartitionData,
+    /// Final block payload (map-side combine applied; shuffle map
+    /// outputs bucketed when their partitioner is known).
+    pub data: BlockData,
     /// Virtual size of `data` under the cost model.
     pub vbytes: u64,
     /// Byte-exact serialized size (checkpoint tasks only, else 0).
@@ -187,15 +190,15 @@ pub(crate) fn compute_task(ctx: &WaveCtx<'_>, key: TaskKey) -> Option<TaskOutput
         TaskKey::Ckpt(_) => unreachable!("checkpoint jobs use compute_ckpt"),
     };
     let mut b = TaskBuilder::new(ctx);
-    let (mut data, mut dur) = match b.materialize(rdd, part) {
+    let (mut data, mut vbytes, mut dur) = match b.materialize(rdd, part) {
         Ok(x) => x,
         Err(MissingShuffle) => return None,
     };
     // Map-side combine (Spark `reduceByKey` pre-aggregation).
+    let mut combined_dirty = false;
     if let TaskKey::ShuffleMap { shuffle, .. } = key {
         if let Some(combine) = ctx.lineage.shuffle(shuffle).combine.clone() {
-            let vb = ctx.cost.vbytes(real_bytes(&data));
-            dur += ctx.cost.compute_time(vb, 1.0);
+            dur += ctx.cost.compute_time(vbytes, 1.0);
             let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
             let mut non_pairs: Vec<Value> = Vec::new();
             for v in data.iter() {
@@ -213,10 +216,48 @@ pub(crate) fn compute_task(ctx: &WaveCtx<'_>, key: TaskKey) -> Option<TaskOutput
                 agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
             combined.extend(non_pairs);
             data = Arc::new(combined);
+            combined_dirty = true;
         }
     }
-    let vbytes = ctx.cost.vbytes(real_bytes(&data));
-    Some(b.finish(data, vbytes, 0, dur, None))
+    // Bucket shuffle map outputs once, at materialization: one pass over
+    // the records replaces the per-reduce-task O(N) scans. Hash shuffles
+    // always know their partitioner; range shuffles stay flat until the
+    // barrier resolves (and caches) the bounds, after which the driver
+    // converts resident blocks in place and recomputed blocks take this
+    // eager path.
+    let out: BlockData = match key {
+        TaskKey::ShuffleMap { shuffle, .. } => match shuffle_map_partitioner(ctx, shuffle) {
+            Some(p) => {
+                let bb = BucketedBlock::partition(&data, p.as_ref());
+                // Bucketing preserves the record multiset, so the virtual
+                // size is unchanged; the bucket walk already summed the
+                // payload bytes.
+                vbytes = ctx.cost.vbytes(bb.payload_bytes() + 16);
+                Arc::new(bb).into()
+            }
+            None => {
+                if combined_dirty {
+                    vbytes = ctx.cost.vbytes(real_bytes(&data));
+                }
+                data.into()
+            }
+        },
+        _ => data.into(),
+    };
+    Some(b.finish(out, vbytes, 0, dur, None))
+}
+
+/// The partitioner a shuffle's map outputs should be bucketed with, if
+/// it is already known: always for hash shuffles, only after barrier
+/// resolution for range shuffles.
+fn shuffle_map_partitioner(ctx: &WaveCtx<'_>, shuffle: ShuffleId) -> Option<Box<dyn Partitioner>> {
+    match ctx.lineage.shuffle(shuffle).kind {
+        ShuffleKind::Hash { parts } => Some(Box::new(HashPartitioner::new(parts))),
+        ShuffleKind::Range { .. } => ctx
+            .range_cache
+            .get(&shuffle)
+            .map(|rp| Box::new(rp.clone()) as Box<dyn Partitioner>),
+    }
 }
 
 /// Computes one checkpoint job: materializes (or peeks) the payload and
@@ -230,13 +271,12 @@ pub(crate) fn compute_ckpt(ctx: &WaveCtx<'_>, job: CkptJob) -> Option<TaskOutput
             // Only the durable write is charged: Flint's checkpoint tasks
             // capture partitions as they are produced (§4), so the
             // materialization duration is discarded.
-            let (data, _resolve) = match b.materialize(rdd, part) {
+            let (data, vbytes, _resolve) = match b.materialize(rdd, part) {
                 Ok(x) => x,
                 Err(MissingShuffle) => return None,
             };
-            let vbytes = ctx.cost.vbytes(real_bytes(&data));
             let wire = wire_size(&data);
-            Some(b.finish(data, vbytes, wire, SimDuration::ZERO, None))
+            Some(b.finish(data.into(), vbytes, wire, SimDuration::ZERO, None))
         }
         CkptJob::Shuffle(s, mp) => {
             let bk = BlockKey::ShuffleMap {
@@ -246,7 +286,7 @@ pub(crate) fn compute_ckpt(ctx: &WaveCtx<'_>, job: CkptJob) -> Option<TaskOutput
             let (wid, data, _, vbytes) = ctx.cluster.peek_fetch(&bk)?;
             let mut b = TaskBuilder::new(ctx);
             b.effects.push(CacheEffect::Touch(wid, bk));
-            let wire = wire_size(&data);
+            let wire = data.wire_size();
             Some(b.finish(data, vbytes, wire, SimDuration::ZERO, Some(wid)))
         }
     }
@@ -293,11 +333,11 @@ struct TaskBuilder<'c, 'a> {
     /// Current `materialize` recursion depth: 0 for the task's own
     /// partition, increasing toward recomputed ancestors.
     depth: u32,
-    /// Blocks this task has queued for insertion, visible to its own
-    /// later reads (mirrors the sequential materializer, where a
-    /// persisted ancestor cached mid-task is a free local hit for the
-    /// rest of the task).
-    local: HashMap<BlockKey, PartitionData>,
+    /// Blocks this task has queued for insertion, with their virtual
+    /// sizes, visible to its own later reads (mirrors the sequential
+    /// materializer, where a persisted ancestor cached mid-task is a
+    /// free local hit for the rest of the task).
+    local: HashMap<BlockKey, (PartitionData, u64)>,
 }
 
 impl<'c, 'a> TaskBuilder<'c, 'a> {
@@ -320,7 +360,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
 
     fn finish(
         self,
-        data: PartitionData,
+        data: BlockData,
         vbytes: u64,
         wire: u64,
         base_dur: SimDuration,
@@ -348,15 +388,21 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         self.ctx.computed_once.contains(&(rdd, part)) || self.computed.contains(&(rdd, part))
     }
 
-    /// Computes `(rdd, part)`, returning the data and the
-    /// worker-independent duration. Uses (in order): this task's own
-    /// pending inserts, the wave-start cluster cache, the durable
-    /// checkpoint store, recursive recomputation through the lineage.
+    /// Computes `(rdd, part)`, returning the data, its virtual size
+    /// under the cost model, and the worker-independent duration. Uses
+    /// (in order): this task's own pending inserts, the wave-start
+    /// cluster cache, the durable checkpoint store, recursive
+    /// recomputation through the lineage.
+    ///
+    /// The returned virtual size equals `cost.vbytes(real_bytes(&data))`
+    /// on every path (caches and the checkpoint store record it at
+    /// insert time), so callers reuse it instead of re-walking the
+    /// payload.
     fn materialize(
         &mut self,
         rdd: RddId,
         part: u32,
-    ) -> std::result::Result<(PartitionData, SimDuration), MissingShuffle> {
+    ) -> std::result::Result<(PartitionData, u64, SimDuration), MissingShuffle> {
         self.depth += 1;
         let r = self.materialize_inner(rdd, part);
         self.depth -= 1;
@@ -367,19 +413,23 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         &mut self,
         rdd: RddId,
         part: u32,
-    ) -> std::result::Result<(PartitionData, SimDuration), MissingShuffle> {
+    ) -> std::result::Result<(PartitionData, u64, SimDuration), MissingShuffle> {
         let bk = BlockKey::RddPart { rdd, part };
 
         // 0. A block this task already queued for insertion: a free
         //    local memory hit on the executing worker.
-        if let Some(data) = self.local.get(&bk) {
-            let data = data.clone();
+        if let Some((data, vb)) = self.local.get(&bk) {
+            let (data, vb) = (data.clone(), *vb);
             self.effects.push(CacheEffect::TouchLocal(bk));
-            return Ok((data, SimDuration::ZERO));
+            return Ok((data, vb, SimDuration::ZERO));
         }
 
         // 1. Cluster cache (memory or local disk beats a durable read).
         if let Some((wid, data, loc, vb)) = self.ctx.cluster.peek_fetch(&bk) {
+            let data = data
+                .flat()
+                .expect("RDD partition blocks are always flat")
+                .clone();
             self.effects.push(CacheEffect::Touch(wid, bk));
             let mut dur = SimDuration::ZERO;
             if loc == BlockLocation::Disk {
@@ -389,7 +439,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 source: wid,
                 vbytes: vb,
             });
-            return Ok((data, dur));
+            return Ok((data, vb, dur));
         }
 
         // 2. Durable checkpoint.
@@ -418,9 +468,9 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             // subsequent reads stay in memory.
             if self.ctx.lineage.is_persisted(rdd) {
                 self.effects.push(CacheEffect::Insert(bk, data.clone(), vb));
-                self.local.insert(bk, data.clone());
+                self.local.insert(bk, (data.clone(), vb));
             }
-            return Ok((data, dur));
+            return Ok((data, vb, dur));
         }
 
         // 3. Recompute from lineage.
@@ -438,7 +488,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             }
             RddOp::Union => {
                 let (p, pp) = self.ctx.lineage.union_source(rdd, part);
-                let (pd, pdur) = self.materialize(p, pp)?;
+                let (pd, _, pdur) = self.materialize(p, pp)?;
                 (pd.as_ref().clone(), SimDuration::ZERO, pdur)
             }
             RddOp::Coalesce { group } => {
@@ -449,45 +499,40 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 let mut out = Vec::new();
                 let mut cdur = SimDuration::ZERO;
                 for pp in lo..hi {
-                    let (pd, pdur) = self.materialize(parent, pp)?;
+                    let (pd, _, pdur) = self.materialize(parent, pp)?;
                     cdur += pdur;
                     out.extend(pd.iter().cloned());
                 }
                 (out, SimDuration::ZERO, cdur)
             }
             RddOp::Map { f } => {
-                let (pd, pdur) = self.materialize(parents[0], part)?;
-                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let (pd, vb, pdur) = self.materialize(parents[0], part)?;
                 let out = pd.iter().map(|v| f(v)).collect();
                 (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::Filter { p } => {
-                let (pd, pdur) = self.materialize(parents[0], part)?;
-                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let (pd, vb, pdur) = self.materialize(parents[0], part)?;
                 let out = pd.iter().filter(|v| p(v)).cloned().collect();
                 (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::FlatMap { f } => {
-                let (pd, pdur) = self.materialize(parents[0], part)?;
-                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let (pd, vb, pdur) = self.materialize(parents[0], part)?;
                 let out = pd.iter().flat_map(|v| f(v)).collect();
                 (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::MapPartitions { f, .. } => {
-                let (pd, pdur) = self.materialize(parents[0], part)?;
-                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let (pd, vb, pdur) = self.materialize(parents[0], part)?;
                 let out = f(part, &pd);
                 (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::Sample { fraction, seed } => {
-                let (pd, pdur) = self.materialize(parents[0], part)?;
-                let vb = self.ctx.cost.vbytes(real_bytes(&pd));
+                let (pd, vb, pdur) = self.materialize(parents[0], part)?;
                 let out = deterministic_sample(&pd, fraction, seed, rdd, part);
                 (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::ShuffleAgg { shuffle, combine } => {
-                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
-                let vb = self.ctx.cost.vbytes(real_bytes(&inputs));
+                let (inputs, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let vb = self.ctx.cost.vbytes(bytes + 16);
                 let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
                 for v in &inputs {
                     if let Value::Pair(k, val) = v {
@@ -503,8 +548,8 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 (out, self.ctx.cost.compute_time(vb, factor), fdur)
             }
             RddOp::ShuffleGroup { shuffle } => {
-                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
-                let vb = self.ctx.cost.vbytes(real_bytes(&inputs));
+                let (inputs, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let vb = self.ctx.cost.vbytes(bytes + 16);
                 let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
                 for v in &inputs {
                     if let Value::Pair(k, val) = v {
@@ -522,13 +567,14 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             }
             RddOp::CoGroup { shuffles } => {
                 let mut fdur = SimDuration::ZERO;
+                let mut total = 0u64;
                 let mut per_parent: Vec<Vec<Value>> = Vec::with_capacity(shuffles.len());
                 for s in &shuffles {
-                    let (inputs, d) = self.fetch_shuffle_bucket(*s, part)?;
+                    let (inputs, bytes, d) = self.fetch_shuffle_bucket(*s, part)?;
                     fdur += d;
+                    total += bytes + 16;
                     per_parent.push(inputs);
                 }
-                let total: u64 = per_parent.iter().map(|v| real_bytes(v)).sum();
                 let vb = self.ctx.cost.vbytes(total);
                 let mut groups: BTreeMap<Value, Vec<Vec<Value>>> = BTreeMap::new();
                 for (i, inputs) in per_parent.iter().enumerate() {
@@ -550,8 +596,8 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 (out, self.ctx.cost.compute_time(vb, factor), fdur)
             }
             RddOp::SortByKey { shuffle, ascending } => {
-                let (inputs, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
-                let vb = self.ctx.cost.vbytes(real_bytes(&inputs));
+                let (inputs, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let vb = self.ctx.cost.vbytes(bytes + 16);
                 let mut out = inputs;
                 out.sort_by(|a, b| {
                     let ka = a.key().unwrap_or(a);
@@ -578,27 +624,34 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         }
         let data: PartitionData = Arc::new(out);
         let real = real_bytes(&data);
+        let vb = self.ctx.cost.vbytes(real);
         // Deferred: the size is recorded into the lineage when the task
         // commits, so materialization hooks observe RDDs in completion
         // order (ancestors before descendants within one task chain).
         self.touched.push((rdd, part, real));
         self.computed.push((rdd, part));
         if self.ctx.lineage.is_persisted(rdd) {
-            let vb = self.ctx.cost.vbytes(real);
             self.effects.push(CacheEffect::Insert(bk, data.clone(), vb));
-            self.local.insert(bk, data.clone());
+            self.local.insert(bk, (data.clone(), vb));
         }
-        Ok((data, own_dur + child_dur))
+        Ok((data, vb, own_dur + child_dur))
     }
 
     /// Fetches the reduce-side bucket `part` of `shuffle` from every map
     /// output block, charging disk/durable time directly and recording
-    /// network transfers for pricing at admission.
+    /// network transfers for pricing at admission. Returns the records,
+    /// their summed payload bytes (without the 16-byte partition
+    /// overhead), and the worker-independent duration.
+    ///
+    /// Bucketed map blocks serve the request as an O(1) slice copy; flat
+    /// blocks (range shuffles before barrier resolution) fall back to
+    /// the full partition-assignment scan. Both paths yield the same
+    /// records in the same order — buckets preserve production order.
     fn fetch_shuffle_bucket(
         &mut self,
         shuffle: ShuffleId,
         part: u32,
-    ) -> std::result::Result<(Vec<Value>, SimDuration), MissingShuffle> {
+    ) -> std::result::Result<(Vec<Value>, u64, SimDuration), MissingShuffle> {
         let info = self.ctx.lineage.shuffle(shuffle).clone();
         let m = self.ctx.lineage.meta(info.parent).num_partitions;
 
@@ -631,17 +684,28 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         };
 
         let mut out = Vec::new();
+        let mut payload = 0u64;
         let mut dur = SimDuration::ZERO;
         for mp in 0..m {
             let (block, source, from_disk, from_store) = self.read_shuffle_block(shuffle, mp)?;
-            let mut bucket_bytes = 0u64;
-            for v in block.iter() {
-                let key = v.key().unwrap_or(v);
-                if partitioner.partition_for(key) == part {
-                    bucket_bytes += v.size_bytes();
-                    out.push(v.clone());
+            let bucket_bytes = match &block {
+                BlockData::Bucketed(bb) => {
+                    out.extend_from_slice(bb.bucket(part));
+                    bb.bucket_bytes(part)
                 }
-            }
+                BlockData::Flat(d) => {
+                    let mut bytes = 0u64;
+                    for v in d.iter() {
+                        let key = v.key().unwrap_or(v);
+                        if partitioner.partition_for(key) == part {
+                            bytes += v.size_bytes();
+                            out.push(v.clone());
+                        }
+                    }
+                    bytes
+                }
+            };
+            payload += bucket_bytes;
             let vb = self.ctx.cost.vbytes(bucket_bytes);
             if from_store {
                 dur += self.ctx.ckpt.config().read_time(vb, 1);
@@ -657,7 +721,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 }
             }
         }
-        Ok((out, dur))
+        Ok((out, payload, dur))
     }
 
     /// Reads one shuffle map block: `(data, holding worker, from_disk,
@@ -667,7 +731,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         &mut self,
         shuffle: ShuffleId,
         mp: u32,
-    ) -> std::result::Result<(PartitionData, Option<WorkerId>, bool, bool), MissingShuffle> {
+    ) -> std::result::Result<(BlockData, Option<WorkerId>, bool, bool), MissingShuffle> {
         let bk = BlockKey::ShuffleMap {
             shuffle,
             map_part: mp,
@@ -692,6 +756,16 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         let mut sample = Vec::new();
         for mp in 0..map_parts {
             let (block, _, _, _) = self.read_shuffle_block(shuffle, mp)?;
+            // Blocks of an unresolved range shuffle are flat by
+            // construction: bucketing only happens once the partitioner
+            // this function is about to produce has been cached, and the
+            // cache is monotone, so resolution never runs again after
+            // that point. Sampling raw production order keeps the
+            // resolved bounds byte-identical to the pre-bucketing
+            // engine.
+            let block = block
+                .flat()
+                .expect("range shuffle map blocks stay flat until resolution");
             // Cap the per-block sample to keep planning cheap.
             let stride = (block.len() / 256).max(1);
             for v in block.iter().step_by(stride) {

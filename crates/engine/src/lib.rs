@@ -58,7 +58,7 @@ mod shuffle;
 mod stats;
 mod value;
 
-pub use block::{BlockKey, BlockLocation, BlockManager, BlockStoreSnapshot};
+pub use block::{BlockData, BlockKey, BlockLocation, BlockManager, BlockStoreSnapshot};
 pub use checkpoint::{checkpoint_key, wire_size, CheckpointStore};
 pub use cluster::{Cluster, Worker, WorkerId, WorkerSpec};
 pub use context::EngineContext;
@@ -71,7 +71,8 @@ pub use injector::{FailureInjector, NoFailures, ScriptedInjector, WorkerEvent};
 pub use lineage::Lineage;
 pub use rdd::{Dependency, PartitionData, RddId, RddMeta, RddOp, RddRef};
 pub use shuffle::{
-    HashPartitioner, Partitioner, RangePartitioner, ShuffleId, ShuffleInfo, ShuffleKind,
+    BucketedBlock, HashPartitioner, Partitioner, RangePartitioner, ShuffleId, ShuffleInfo,
+    ShuffleKind,
 };
 pub use stats::{ActionRecord, RunStats};
 pub use value::Value;

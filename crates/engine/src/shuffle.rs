@@ -115,6 +115,93 @@ impl Partitioner for RangePartitioner {
     }
 }
 
+/// A shuffle map output pre-partitioned into its reduce buckets.
+///
+/// Built once when the map block materializes (or lazily, for range
+/// shuffles, once the [`RangePartitioner`] is resolved at the barrier):
+/// records are routed to `num_partitions()` buckets in original block
+/// order, and each bucket's payload bytes are summed as a side effect.
+/// Reduce tasks then read their bucket in O(1) instead of rescanning and
+/// rehashing the whole block, and the per-fetch byte accounting is a
+/// lookup instead of a walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketedBlock {
+    /// Per-reduce-partition records, original order preserved within
+    /// each bucket.
+    buckets: Vec<Vec<Value>>,
+    /// Per-bucket payload bytes (sum of [`Value::size_bytes`], no
+    /// per-partition framing overhead) — exactly what a reduce-side scan
+    /// of the flat block would have accumulated for that bucket.
+    bucket_bytes: Vec<u64>,
+}
+
+impl BucketedBlock {
+    /// Partitions `records` into `p.num_partitions()` reduce buckets.
+    ///
+    /// Routing matches the reduce-side scan it replaces: pairs are
+    /// bucketed by key, non-pair records by the value itself.
+    pub fn partition(records: &[Value], p: &dyn Partitioner) -> Self {
+        let n = p.num_partitions().max(1) as usize;
+        let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); n];
+        let mut bucket_bytes = vec![0u64; n];
+        for v in records {
+            let key = v.key().unwrap_or(v);
+            let idx = p.partition_for(key) as usize;
+            // A record routed outside `0..n` would never match any reduce
+            // task's `partition_for(key) == part` scan, so drop it here
+            // too (cannot happen for the engine's partitioners).
+            if let Some(b) = buckets.get_mut(idx) {
+                bucket_bytes[idx] += v.size_bytes();
+                b.push(v.clone());
+            }
+        }
+        BucketedBlock {
+            buckets,
+            bucket_bytes,
+        }
+    }
+
+    /// The number of reduce buckets.
+    pub fn num_buckets(&self) -> u32 {
+        self.buckets.len() as u32
+    }
+
+    /// The records routed to reduce partition `part` (empty for an
+    /// out-of-range partition).
+    pub fn bucket(&self, part: u32) -> &[Value] {
+        self.buckets
+            .get(part as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Payload bytes of bucket `part` (sum of record sizes).
+    pub fn bucket_bytes(&self, part: u32) -> u64 {
+        self.bucket_bytes.get(part as usize).copied().unwrap_or(0)
+    }
+
+    /// Total records across all buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no bucket holds any record.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// Total payload bytes across all buckets (no framing overhead).
+    pub fn payload_bytes(&self) -> u64 {
+        self.bucket_bytes.iter().sum()
+    }
+
+    /// Iterates every record, bucket-major. Byte and count totals are
+    /// identical to the flat block's; only the order differs.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.buckets.iter().flatten()
+    }
+}
+
 /// The partitioning scheme declared for a shuffle at RDD-creation time.
 ///
 /// Range bounds cannot be known until the map side has produced keys, so

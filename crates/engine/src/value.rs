@@ -352,7 +352,7 @@ mod tests {
         assert_eq!(Value::from_bool(true).as_bool(), Some(true));
         assert_eq!(Value::vector(vec![1.0]).as_vector(), Some(&[1.0][..]));
         let p = Value::pair(Value::from_i64(1), Value::from_i64(2));
-        assert_eq!(p.clone().into_pair(), Some((Value::Int(1), Value::Int(2))));
+        assert_eq!(p.into_pair(), Some((Value::Int(1), Value::Int(2))));
         assert_eq!(Value::Null.as_i64(), None);
     }
 

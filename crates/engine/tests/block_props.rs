@@ -1,8 +1,10 @@
 //! Property tests of the block manager: capacity invariants hold under
-//! arbitrary insert/get/remove sequences.
+//! arbitrary insert/get/remove sequences, and the indexed LRU picks the
+//! exact victims the old linear scan picked.
 
 use flint_engine::{BlockKey, BlockManager, RddId};
 use proptest::prelude::*;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 #[derive(Debug, Clone)]
@@ -81,5 +83,244 @@ proptest! {
         for k in keys {
             prop_assert!(bm.get(&key(k)).is_some());
         }
+    }
+
+    /// The indexed LRU (`BTreeSet<(last_use, key)>`) selects the exact
+    /// victim sequence — spills and drops, in order — that the original
+    /// linear `min_by_key` scan selected, under randomized insert /
+    /// touch / get / remove workloads that force heavy churn.
+    #[test]
+    fn indexed_lru_victims_match_linear_scan(
+        ops in arb_churn_ops(),
+        mem in 100u64..600,
+        disk in 100u64..600,
+    ) {
+        let mut bm = BlockManager::new(mem, disk);
+        let mut reference = LinearScanLru::new(mem, disk);
+        for op in ops {
+            match op {
+                ChurnOp::Insert(k, b) => {
+                    let got = bm.insert_traced(key(k), Arc::new(vec![]), b);
+                    let want = reference.insert(key(k), b);
+                    prop_assert_eq!(got.stored, want.stored, "stored for {:?}", key(k));
+                    prop_assert_eq!(&got.spilled, &want.spilled, "spill victims");
+                    prop_assert_eq!(&got.dropped, &want.dropped, "drop victims");
+                }
+                ChurnOp::Touch(k) => {
+                    prop_assert_eq!(bm.touch(&key(k)), reference.touch(&key(k)));
+                }
+                ChurnOp::Get(k) => {
+                    let got = bm.get(&key(k)).map(|(_, loc, vb)| (loc, vb));
+                    prop_assert_eq!(got, reference.get(&key(k)));
+                }
+                ChurnOp::Remove(k) => {
+                    prop_assert_eq!(bm.remove(&key(k)), reference.remove(&key(k)));
+                }
+            }
+            prop_assert_eq!(bm.mem_used(), reference.mem_used);
+            prop_assert_eq!(bm.disk_used(), reference.disk_used);
+        }
+        // Final resident sets agree tier-for-tier.
+        for k in bm.keys() {
+            prop_assert_eq!(bm.peek(&k), reference.peek(&k), "final state of {:?}", k);
+        }
+        prop_assert_eq!(bm.keys().len(), reference.mem.len() + reference.disk.len());
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Insert(u32, u64),
+    Touch(u32),
+    Get(u32),
+    Remove(u32),
+}
+
+fn arb_churn_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..24, 1u64..300).prop_map(|(k, b)| ChurnOp::Insert(k, b)),
+            (0u32..24, 1u64..300).prop_map(|(k, b)| ChurnOp::Insert(k, b)),
+            (0u32..24).prop_map(ChurnOp::Touch),
+            (0u32..24).prop_map(ChurnOp::Get),
+            (0u32..24).prop_map(ChurnOp::Remove),
+        ],
+        0..120,
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RefBlock {
+    vbytes: u64,
+    last_use: u64,
+}
+
+#[derive(Debug, Default)]
+struct RefOutcome {
+    stored: bool,
+    spilled: Vec<(BlockKey, u64)>,
+    dropped: Vec<(BlockKey, u64)>,
+}
+
+/// A faithful transcription of the pre-index `BlockManager`: plain
+/// `HashMap` tiers, victims found by a full `min_by_key((last_use, key))`
+/// scan, and the exact original clock-tick sequence (one tick per
+/// insert attempt, a second tick when a block lands on disk, one tick
+/// per get/touch even on a miss).
+struct LinearScanLru {
+    mem: HashMap<BlockKey, RefBlock>,
+    disk: HashMap<BlockKey, RefBlock>,
+    mem_used: u64,
+    disk_used: u64,
+    mem_cap: u64,
+    disk_cap: u64,
+    clock: u64,
+}
+
+impl LinearScanLru {
+    fn new(mem_cap: u64, disk_cap: u64) -> Self {
+        LinearScanLru {
+            mem: HashMap::new(),
+            disk: HashMap::new(),
+            mem_used: 0,
+            disk_used: 0,
+            mem_cap,
+            disk_cap,
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn scan_victim(map: &HashMap<BlockKey, RefBlock>) -> Option<BlockKey> {
+        map.iter()
+            .min_by_key(|(k, b)| (b.last_use, **k))
+            .map(|(k, _)| *k)
+    }
+
+    fn insert(&mut self, key: BlockKey, vbytes: u64) -> RefOutcome {
+        let mut out = RefOutcome::default();
+        if vbytes > self.mem_cap && vbytes > self.disk_cap {
+            out.dropped.push((key, vbytes));
+            return out;
+        }
+        self.remove(&key);
+        let lu = self.tick();
+        if vbytes <= self.mem_cap {
+            while self.mem_used + vbytes > self.mem_cap {
+                let Some(victim) = Self::scan_victim(&self.mem) else {
+                    break;
+                };
+                let b = self.mem.remove(&victim).unwrap();
+                self.mem_used -= b.vbytes;
+                out.spilled.push((victim, b.vbytes));
+                self.store_on_disk(victim, b.vbytes, &mut out.dropped);
+            }
+            if self.mem_used + vbytes <= self.mem_cap {
+                self.mem.insert(
+                    key,
+                    RefBlock {
+                        vbytes,
+                        last_use: lu,
+                    },
+                );
+                self.mem_used += vbytes;
+                out.stored = true;
+                return out;
+            }
+        }
+        out.stored = self.store_on_disk(key, vbytes, &mut out.dropped);
+        out
+    }
+
+    fn store_on_disk(
+        &mut self,
+        key: BlockKey,
+        vbytes: u64,
+        dropped: &mut Vec<(BlockKey, u64)>,
+    ) -> bool {
+        if vbytes > self.disk_cap {
+            dropped.push((key, vbytes));
+            return false;
+        }
+        while self.disk_used + vbytes > self.disk_cap {
+            let Some(victim) = Self::scan_victim(&self.disk) else {
+                break;
+            };
+            let b = self.disk.remove(&victim).unwrap();
+            self.disk_used -= b.vbytes;
+            dropped.push((victim, b.vbytes));
+        }
+        if self.disk_used + vbytes > self.disk_cap {
+            dropped.push((key, vbytes));
+            return false;
+        }
+        let lu = self.tick();
+        self.disk.insert(
+            key,
+            RefBlock {
+                vbytes,
+                last_use: lu,
+            },
+        );
+        self.disk_used += vbytes;
+        true
+    }
+
+    fn touch(&mut self, key: &BlockKey) -> bool {
+        let lu = self.tick();
+        if let Some(b) = self.mem.get_mut(key) {
+            b.last_use = lu;
+            return true;
+        }
+        if let Some(b) = self.disk.get_mut(key) {
+            b.last_use = lu;
+            return true;
+        }
+        false
+    }
+
+    fn get(&mut self, key: &BlockKey) -> Option<(flint_engine::BlockLocation, u64)> {
+        let lu = self.tick();
+        if let Some(b) = self.mem.get_mut(key) {
+            b.last_use = lu;
+            return Some((flint_engine::BlockLocation::Memory, b.vbytes));
+        }
+        if let Some(b) = self.disk.get_mut(key) {
+            b.last_use = lu;
+            return Some((flint_engine::BlockLocation::Disk, b.vbytes));
+        }
+        None
+    }
+
+    fn remove(&mut self, key: &BlockKey) -> bool {
+        let in_mem = match self.mem.remove(key) {
+            Some(b) => {
+                self.mem_used -= b.vbytes;
+                true
+            }
+            None => false,
+        };
+        let on_disk = match self.disk.remove(key) {
+            Some(b) => {
+                self.disk_used -= b.vbytes;
+                true
+            }
+            None => false,
+        };
+        in_mem || on_disk
+    }
+
+    fn peek(&self, key: &BlockKey) -> Option<(flint_engine::BlockLocation, u64)> {
+        if let Some(b) = self.mem.get(key) {
+            return Some((flint_engine::BlockLocation::Memory, b.vbytes));
+        }
+        if let Some(b) = self.disk.get(key) {
+            return Some((flint_engine::BlockLocation::Disk, b.vbytes));
+        }
+        None
     }
 }

@@ -4,7 +4,10 @@
 //! execution (`host_threads = 1`) — same collected values, same
 //! statistics, same virtual finish time.
 
-use flint_engine::{Driver, DriverConfig, NoCheckpoint, NoFailures, RddRef, Value, WorkerSpec};
+use flint_engine::{
+    BucketedBlock, Driver, DriverConfig, HashPartitioner, NoCheckpoint, NoFailures, Partitioner,
+    RangePartitioner, RddRef, Value, WorkerSpec,
+};
 use proptest::prelude::*;
 
 /// One step of a randomly generated pipeline. Every step consumes and
@@ -84,6 +87,40 @@ fn run_dag(host_threads: usize, seed: i64, ops: &[OpCode]) -> (Vec<Value>, Strin
     (out, fingerprint)
 }
 
+/// The pre-bucketing reduce-side fetch: scan every record, keep those
+/// the partitioner assigns to `part`, in production order, summing
+/// their payload bytes. `BucketedBlock` must reproduce this exactly.
+fn reference_scan(records: &[Value], p: &dyn Partitioner, part: u32) -> (Vec<Value>, u64) {
+    let mut out = Vec::new();
+    let mut bytes = 0u64;
+    for v in records {
+        let key = v.key().unwrap_or(v);
+        if p.partition_for(key) == part {
+            bytes += v.size_bytes();
+            out.push(v.clone());
+        }
+    }
+    (out, bytes)
+}
+
+/// Asserts that a bucketed block serves every reduce partition with the
+/// same records, same order, and same byte accounting as the scan.
+fn assert_buckets_match_scan(records: &[Value], p: &dyn Partitioner) {
+    let bb = BucketedBlock::partition(records, p);
+    assert_eq!(bb.num_buckets(), p.num_partitions());
+    let mut total_records = 0usize;
+    let mut total_bytes = 0u64;
+    for part in 0..p.num_partitions() {
+        let (want, want_bytes) = reference_scan(records, p, part);
+        assert_eq!(bb.bucket(part), want.as_slice(), "bucket {part} records");
+        assert_eq!(bb.bucket_bytes(part), want_bytes, "bucket {part} bytes");
+        total_records += want.len();
+        total_bytes += want_bytes;
+    }
+    assert_eq!(bb.len(), total_records, "no record lost or duplicated");
+    assert_eq!(bb.payload_bytes(), total_bytes);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -98,5 +135,40 @@ proptest! {
         let (par_out, par_fp) = run_dag(8, seed, &ops);
         prop_assert_eq!(par_out, seq_out);
         prop_assert_eq!(par_fp, seq_fp);
+    }
+
+    /// Bucketing a shuffle map block is observably identical to the old
+    /// scan-per-reduce-partition path, for hash partitioners and for
+    /// range partitioners (ascending and descending), including byte
+    /// accounting, on arbitrary mixes of pair and non-pair records.
+    #[test]
+    fn bucketed_block_equals_reference_scan(
+        keys in proptest::collection::vec(-50i64..50, 0..120),
+        parts in 1u32..9,
+        sample_stride in 1usize..7,
+    ) {
+        let records: Vec<Value> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                if i % 11 == 3 {
+                    // Non-pair records partition by their own value.
+                    Value::Int(*k)
+                } else {
+                    Value::pair(Value::Int(*k), Value::Int(i as i64))
+                }
+            })
+            .collect();
+        let hash = HashPartitioner::new(parts);
+        assert_buckets_match_scan(&records, &hash);
+        let sample: Vec<Value> = records
+            .iter()
+            .step_by(sample_stride)
+            .map(|v| v.key().unwrap_or(v).clone())
+            .collect();
+        for ascending in [true, false] {
+            let range = RangePartitioner::from_sample(sample.clone(), parts, ascending);
+            assert_buckets_match_scan(&records, &range);
+        }
     }
 }

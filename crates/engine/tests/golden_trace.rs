@@ -114,6 +114,88 @@ fn golden_trace_is_identical_across_host_thread_counts() {
     }
 }
 
+/// A shuffle-dominated DAG exercising every bucketed-block code path:
+/// a wide hash shuffle (16 maps × 12 reduces), a range sort in each
+/// direction (flat until the barrier resolves the partitioner, then
+/// converted in place), a join (cogrouped hash shuffles), and a
+/// mid-job revocation that forces shuffle recomputation — recomputed
+/// hash map outputs bucket eagerly, and resolved range shuffles bucket
+/// through the cached partitioner.
+fn run_shuffle_heavy(host_threads: usize) -> (String, RunStats) {
+    let cfg = DriverConfig::builder()
+        .host_threads(host_threads)
+        .size_scale(5e5)
+        .build();
+    let injector = ScriptedInjector::new(vec![
+        (
+            SimTime::from_millis(60_000),
+            WorkerEvent::Remove { ext_id: 3 },
+        ),
+        (
+            SimTime::from_millis(200_000),
+            WorkerEvent::Add {
+                ext_id: 200,
+                spec: WorkerSpec::r3_large(),
+            },
+        ),
+    ]);
+    let mut d = Driver::new(
+        cfg,
+        Box::new(CheckpointFirstLarge { done: false }),
+        Box::new(injector),
+    );
+    let trace = TraceHandle::disabled();
+    let reader = trace.attach_memory(0);
+    d.set_trace(trace);
+    for ext in 1..=4u64 {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+
+    let src = d
+        .ctx()
+        .parallelize((0..960).map(|i| Value::from_i64(i * 53 % 307)), 16);
+    let pairs = d.ctx().map(src, |v| {
+        Value::pair(Value::Int(v.as_i64().unwrap() % 37), v.clone())
+    });
+    let grouped = d.ctx().group_by_key(pairs, 12);
+    let sizes = d
+        .ctx()
+        .map_values(grouped, |vs| Value::Int(i64::from(vs.size_bytes() as u32)));
+    let sorted_up = d.ctx().sort_by_key(sizes, 6, true);
+    let sorted_down = d.ctx().sort_by_key(sorted_up, 5, false);
+    let rejoined = d.ctx().join(sorted_down, sizes, 8);
+    d.collect(rejoined).unwrap();
+
+    (reader.to_jsonl(), d.stats().clone())
+}
+
+#[test]
+fn shuffle_heavy_golden_trace_is_identical_across_host_thread_counts() {
+    let (golden, stats) = run_shuffle_heavy(1);
+    assert!(!golden.is_empty(), "an enabled trace must capture events");
+    assert!(stats.revocations > 0, "revocation must land mid-job");
+    for threads in [2usize, 8] {
+        let (jsonl, other_stats) = run_shuffle_heavy(threads);
+        assert_eq!(other_stats, stats, "host_threads={threads} stats diverged");
+        assert_eq!(
+            jsonl, golden,
+            "host_threads={threads} produced a different event stream"
+        );
+    }
+    // The stream is also a complete record: folding it reproduces the
+    // engine's own counters even with bucketed shuffle blocks in play.
+    let events: Vec<Event> = golden
+        .lines()
+        .map(|l| Event::from_json(l).expect("every emitted line must parse"))
+        .collect();
+    let agg = MetricsAggregator::from_events(&events);
+    assert_eq!(agg.tasks_run, stats.tasks_run);
+    assert_eq!(agg.compute_time_ms, stats.compute_time.as_millis());
+    assert_eq!(agg.recompute_time_ms, stats.recompute_time.as_millis());
+    assert_eq!(agg.restores, stats.restores);
+    assert_eq!(agg.revocations, stats.revocations);
+}
+
 #[test]
 fn aggregator_reproduces_run_stats_exactly() {
     let (jsonl, stats) = run_traced(2);
