@@ -8,7 +8,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 use flint_engine::{
     BlockKey, BlockManager, Driver, DriverConfig, HashPartitioner, NoCheckpoint, NoFailures,
-    PartitionData, Partitioner, RddId, Value, WorkerSpec,
+    PartitionData, Partitioner, RddId, ScriptedInjector, Value, WorkerEvent, WorkerSpec,
 };
 use flint_market::{MarketCatalog, TraceGenerator, TraceProfile};
 use flint_simtime::{SimDuration, SimTime};
@@ -115,6 +115,125 @@ fn shuffle_stage(parts: u32, records_per_map: i64) -> u64 {
     d.count(grouped).unwrap()
 }
 
+/// A balanced `Pair` tree five levels deep: 31 interior pairs over 32
+/// `(Int, Str)` leaves, ~127 nodes in all. The pair *spine* is the part
+/// of a record a structural copy must duplicate node-by-node (and a
+/// recursive sizing walk must re-visit on every accounting pass), so
+/// the record-path benches below measure per-record copy and sizing
+/// cost through shuffle and checkpoint plumbing, not construction.
+fn deep_record(seed: i64) -> Value {
+    fn tree(seed: i64, depth: u32) -> Value {
+        if depth == 0 {
+            return Value::pair(
+                Value::Int(seed),
+                Value::from_str_(&format!("payload-{seed:016}")),
+            );
+        }
+        Value::pair(
+            tree(seed.wrapping_mul(2) + 1, depth - 1),
+            tree(seed.wrapping_mul(2) + 2, depth - 1),
+        )
+    }
+    tree(seed, 4)
+}
+
+/// `group_by_key` over deep nested records: every record crosses the
+/// map-output bucketing, the reduce-side fetch, and the group-building
+/// aggregation, so per-record copy cost dominates.
+fn groupby_deep_pairs() -> u64 {
+    let mut d = Driver::new(
+        DriverConfig::builder().host_threads(1).build(),
+        Box::new(NoCheckpoint),
+        Box::new(NoFailures),
+    );
+    for _ in 0..4 {
+        d.add_worker(WorkerSpec::r3_large());
+    }
+    let src = d.ctx().parallelize((0..2_400).map(Value::from_i64), 8);
+    let pairs = d.ctx().map(src, |v| {
+        let i = v.as_i64().unwrap();
+        Value::pair(Value::Int(i % 48), deep_record(i))
+    });
+    let grouped = d.ctx().group_by_key(pairs, 16);
+    d.count(grouped).unwrap()
+}
+
+/// An inner join where both sides carry fat payloads and every output
+/// record repeats a shared key: the cogroup + cross-product path copies
+/// each key and value once per joined combination.
+fn join_shared_keys() -> u64 {
+    let mut d = Driver::new(
+        DriverConfig::builder().host_threads(1).build(),
+        Box::new(NoCheckpoint),
+        Box::new(NoFailures),
+    );
+    for _ in 0..4 {
+        d.add_worker(WorkerSpec::r3_large());
+    }
+    let src_a = d.ctx().parallelize((0..1_200).map(Value::from_i64), 8);
+    let left = d.ctx().map(src_a, |v| {
+        let i = v.as_i64().unwrap();
+        Value::pair(
+            Value::from_str_(&format!("customer-key-{:06}", i % 40)),
+            deep_record(i),
+        )
+    });
+    let src_b = d.ctx().parallelize((0..1_200).map(Value::from_i64), 8);
+    let right = d.ctx().map(src_b, |v| {
+        let i = v.as_i64().unwrap();
+        Value::pair(
+            Value::from_str_(&format!("customer-key-{:06}", i % 40)),
+            Value::vector((0..8).map(|k| (i + k) as f64).collect()),
+        )
+    });
+    let joined = d.ctx().join(left, right, 8);
+    d.count(joined).unwrap()
+}
+
+/// Checkpoint a deep-record RDD, lose the whole cluster, and re-read it
+/// from the durable store: measures the serialize (wire sizing) walk on
+/// write plus the restore path on read.
+fn checkpoint_restore_roundtrip() -> u64 {
+    let remove_at = SimTime::from_hours_f64(1.0);
+    let add_at = SimTime::from_hours_f64(1.1);
+    let mut events: Vec<(SimTime, WorkerEvent)> = (1..=4u64)
+        .map(|ext| (remove_at, WorkerEvent::Remove { ext_id: ext }))
+        .collect();
+    events.extend((10..=13u64).map(|ext| {
+        (
+            add_at,
+            WorkerEvent::Add {
+                ext_id: ext,
+                spec: WorkerSpec::r3_large(),
+            },
+        )
+    }));
+    let mut d = Driver::new(
+        DriverConfig::builder().host_threads(1).build(),
+        Box::new(NoCheckpoint),
+        Box::new(ScriptedInjector::new(events)),
+    );
+    for ext in 1..=4u64 {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+    let src = d.ctx().parallelize((0..1_600).map(Value::from_i64), 8);
+    let recs = d.ctx().map(src, |v| {
+        let i = v.as_i64().unwrap();
+        Value::pair(Value::Int(i % 64), deep_record(i))
+    });
+    d.checkpoint_now(recs).unwrap();
+    d.idle_until(SimTime::from_hours_f64(1.2)).unwrap();
+    d.count(recs).unwrap()
+}
+
+fn bench_record_path(c: &mut Criterion) {
+    c.bench_function("groupby_deep_pairs", |b| b.iter(groupby_deep_pairs));
+    c.bench_function("join_shared_keys", |b| b.iter(join_shared_keys));
+    c.bench_function("checkpoint_restore_roundtrip", |b| {
+        b.iter(checkpoint_restore_roundtrip)
+    });
+}
+
 fn bench_shuffle_scaling(c: &mut Criterion) {
     c.bench_function("shuffle_16maps_x_16reduces", |b| {
         b.iter(|| shuffle_stage(16, 300))
@@ -200,6 +319,6 @@ fn bench_catalog_generation(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = bench_wave_executor, bench_shuffle_scaling, bench_eviction_churn, bench_wordcount_job, bench_hash_partitioner, bench_trace_lookup, bench_catalog_generation
+    targets = bench_wave_executor, bench_record_path, bench_shuffle_scaling, bench_eviction_churn, bench_wordcount_job, bench_hash_partitioner, bench_trace_lookup, bench_catalog_generation
 );
 criterion_main!(micro);

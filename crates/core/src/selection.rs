@@ -402,7 +402,7 @@ impl SelectionPolicy for InteractiveSelection {
 
     fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)> {
         let l = self.build_l(view);
-        self.last_l = l.clone();
+        self.last_l.clone_from(&l);
         if l.is_empty() {
             self.current = vec![view.catalog.on_demand_id()];
             return vec![(view.catalog.on_demand_id(), view.n)];
@@ -426,7 +426,7 @@ impl SelectionPolicy for InteractiveSelection {
                 break;
             }
         }
-        self.current = chosen.clone();
+        self.current.clone_from(&chosen);
         split_evenly(&chosen, view.n)
     }
 
@@ -442,7 +442,7 @@ impl SelectionPolicy for InteractiveSelection {
         let mut l = self.last_l.clone();
         if l.iter().all(|m| self.current.contains(m) || *m == failed) {
             l = self.build_l(view);
-            self.last_l = l.clone();
+            self.last_l.clone_from(&l);
         }
         let stable = |m: &MarketId| view.stats(*m).price_is_stable(view.cfg.stability_threshold);
         // Prefer an unused stable market; failing that, re-enter the

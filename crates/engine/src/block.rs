@@ -383,7 +383,9 @@ impl BlockManager {
     }
 
     /// Replaces a block's payload in place, without touching its LRU
-    /// stamp, virtual size, or the eviction clock.
+    /// stamp, virtual size, or the eviction clock. `f` returns `None` to
+    /// leave the payload untouched (already in the target form), which
+    /// skips the write entirely instead of re-cloning the block.
     ///
     /// This is the lazy-bucketing hook: when a range shuffle's
     /// partitioner resolves at the barrier, the driver converts that
@@ -391,11 +393,19 @@ impl BlockManager {
     /// [`BlockData::Bucketed`]. The conversion preserves the record
     /// multiset and all accounting, so cache behavior (LRU order,
     /// spills, drops) is bit-identical to a run that never converted.
-    pub fn replace_payload(&mut self, key: &BlockKey, f: impl FnOnce(&BlockData) -> BlockData) {
+    pub fn replace_payload(
+        &mut self,
+        key: &BlockKey,
+        f: impl FnOnce(&BlockData) -> Option<BlockData>,
+    ) {
         if let Some(b) = self.mem.map.get_mut(key) {
-            b.data = f(&b.data);
+            if let Some(new) = f(&b.data) {
+                b.data = new;
+            }
         } else if let Some(b) = self.disk.map.get_mut(key) {
-            b.data = f(&b.data);
+            if let Some(new) = f(&b.data) {
+                b.data = new;
+            }
         }
     }
 

@@ -88,15 +88,18 @@ impl CheckpointStore {
     /// Replaces a stored shuffle map output's payload in place, without
     /// simulating a write or changing its recorded size — the durable
     /// half of the lazy range-bucketing conversion (see
-    /// [`crate::BlockManager::replace_payload`]).
+    /// [`crate::BlockManager::replace_payload`]). `f` returns `None` to
+    /// leave the stored payload untouched (no re-clone).
     pub fn replace_shuffle_payload(
         &mut self,
         s: ShuffleId,
         map_part: u32,
-        f: impl FnOnce(&BlockData) -> BlockData,
+        f: impl FnOnce(&BlockData) -> Option<BlockData>,
     ) {
         if let Some(data) = self.store.get_mut(&shuffle_key(s, map_part)) {
-            *data = f(data);
+            if let Some(new) = f(data) {
+                *data = new;
+            }
         }
     }
 
@@ -284,7 +287,7 @@ mod tests {
         };
         let a = l.add_rdd("a", src, vec![], 1);
         let map = || RddOp::Map {
-            f: Arc::new(|v: &crate::Value| v.clone()),
+            f: crate::rdd::identity(),
         };
         let b = l.add_rdd("b", map(), vec![a], 1);
         let c = l.add_rdd("c", map(), vec![b], 1);
@@ -310,7 +313,7 @@ mod tests {
         let b = l.add_rdd(
             "b",
             RddOp::Map {
-                f: Arc::new(|v: &crate::Value| v.clone()),
+                f: crate::rdd::identity(),
             },
             vec![a],
             2,

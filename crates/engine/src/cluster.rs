@@ -200,11 +200,12 @@ impl Cluster {
 
     /// Applies an in-place payload conversion to `key` on every alive
     /// worker holding it (see [`BlockManager::replace_payload`]); LRU
-    /// state and accounting are untouched.
+    /// state and accounting are untouched. `f` returns `None` to leave
+    /// that worker's copy as is.
     pub fn replace_payload_everywhere(
         &mut self,
         key: &BlockKey,
-        f: impl Fn(&BlockData) -> BlockData,
+        f: impl Fn(&BlockData) -> Option<BlockData>,
     ) {
         for w in &mut self.workers {
             if w.alive {

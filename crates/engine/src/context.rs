@@ -228,27 +228,18 @@ impl EngineContext {
     pub fn join(&mut self, a: RddRef, b: RddRef, parts: u32) -> RddRef {
         let grouped = self.cogroup(a, b, parts);
         self.flat_map(grouped, |v| {
-            let (k, groups) = match v {
-                Value::Pair(k, g) => (k.as_ref().clone(), g.as_ref().clone()),
+            let Value::Pair(p) = v else { return vec![] };
+            let groups = match p.val().as_list() {
+                Some(g) if g.len() == 2 => g,
                 _ => return vec![],
             };
-            let groups = match groups.as_list() {
-                Some(g) if g.len() == 2 => g.to_vec(),
-                _ => return vec![],
-            };
-            let left = groups[0]
-                .as_list()
-                .map(<[Value]>::to_vec)
-                .unwrap_or_default();
-            let right = groups[1]
-                .as_list()
-                .map(<[Value]>::to_vec)
-                .unwrap_or_default();
+            let left = groups[0].as_list().unwrap_or(&[]);
+            let right = groups[1].as_list().unwrap_or(&[]);
             let mut out = Vec::with_capacity(left.len() * right.len());
-            for l in &left {
-                for r in &right {
+            for l in left {
+                for r in right {
                     out.push(Value::pair(
-                        k.clone(),
+                        p.key().clone(),
                         Value::list(vec![l.clone(), r.clone()]),
                     ));
                 }
@@ -314,7 +305,7 @@ impl EngineContext {
         f: impl Fn(&Value) -> Value + Send + Sync + 'static,
     ) -> RddRef {
         self.map(r, move |p| match p {
-            Value::Pair(k, v) => Value::pair(k.as_ref().clone(), f(v)),
+            Value::Pair(kv) => Value::pair(kv.key().clone(), f(kv.val())),
             other => other.clone(),
         })
     }

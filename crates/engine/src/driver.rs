@@ -986,10 +986,11 @@ impl Driver {
                 map_part: mp,
             };
             let convert = |bd: &BlockData| match bd {
-                BlockData::Flat(d) => {
-                    BlockData::Bucketed(Arc::new(BucketedBlock::partition(d, rp)))
-                }
-                b @ BlockData::Bucketed(_) => b.clone(),
+                BlockData::Flat(d) => Some(BlockData::Bucketed(Arc::new(
+                    BucketedBlock::partition(d, rp),
+                ))),
+                // Already bucketed: nothing to do, skip the write.
+                BlockData::Bucketed(_) => None,
             };
             self.cluster.replace_payload_everywhere(&bk, convert);
             self.ckpt.replace_shuffle_payload(s, mp, convert);
@@ -1157,7 +1158,7 @@ impl Driver {
         self.in_flight.insert(key);
     }
 
-    fn commit_task(&mut self, r: Running) {
+    fn commit_task(&mut self, mut r: Running) {
         let now = self.clock.now();
         match r.commit {
             Commit::Block(key) => {
@@ -1203,7 +1204,7 @@ impl Driver {
                 }
             }
             Commit::Checkpoint { job, wire } => {
-                self.apply_touched(r.touched.clone(), now);
+                self.apply_touched(std::mem::take(&mut r.touched), now);
                 self.stats.checkpoint_time += r.duration;
                 self.stats.checkpoints_written += 1;
                 self.stats.checkpoint_bytes += r.vbytes;

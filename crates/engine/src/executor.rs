@@ -203,10 +203,10 @@ pub(crate) fn compute_task(ctx: &WaveCtx<'_>, key: TaskKey) -> Option<TaskOutput
             let mut non_pairs: Vec<Value> = Vec::new();
             for v in data.iter() {
                 match v {
-                    Value::Pair(k, val) => match agg.get_mut(k) {
-                        Some(acc) => *acc = combine(acc, val),
+                    Value::Pair(p) => match agg.get_mut(p.key()) {
+                        Some(acc) => *acc = combine(acc, p.val()),
                         None => {
-                            agg.insert(k.as_ref().clone(), val.as_ref().clone());
+                            agg.insert(p.key().clone(), p.val().clone());
                         }
                     },
                     other => non_pairs.push(other.clone()),
@@ -480,16 +480,23 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         let was_before = self.was_computed_before(rdd, part);
         let factor = op.cost_factor();
 
-        let (out, own_dur, child_dur): (Vec<Value>, SimDuration, SimDuration) = match op {
+        // Arms yield `PartitionData` so pass-through operators (`Union`,
+        // the shared identity `Map`) hand the parent's Arc onward instead
+        // of copying records.
+        let (data, own_dur, child_dur): (PartitionData, SimDuration, SimDuration) = match op {
             RddOp::Parallelize { data } => {
                 let d = data[part as usize].clone();
                 let vb = self.ctx.cost.vbytes(real_bytes(&d));
-                (d, self.ctx.cost.source_time(vb), SimDuration::ZERO)
+                (
+                    Arc::new(d),
+                    self.ctx.cost.source_time(vb),
+                    SimDuration::ZERO,
+                )
             }
             RddOp::Union => {
                 let (p, pp) = self.ctx.lineage.union_source(rdd, part);
                 let (pd, _, pdur) = self.materialize(p, pp)?;
-                (pd.as_ref().clone(), SimDuration::ZERO, pdur)
+                (pd, SimDuration::ZERO, pdur)
             }
             RddOp::Coalesce { group } => {
                 let parent = parents[0];
@@ -503,102 +510,116 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                     cdur += pdur;
                     out.extend(pd.iter().cloned());
                 }
-                (out, SimDuration::ZERO, cdur)
+                (Arc::new(out), SimDuration::ZERO, cdur)
             }
             RddOp::Map { f } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
-                let out = pd.iter().map(|v| f(v)).collect();
+                // The identity transform shares the parent's records; the
+                // charged compute time depends only on the input size, so
+                // the short-circuit cannot move the clock.
+                let out = if crate::rdd::is_identity(&f) {
+                    pd
+                } else {
+                    Arc::new(pd.iter().map(|v| f(v)).collect())
+                };
                 (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::Filter { p } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
                 let out = pd.iter().filter(|v| p(v)).cloned().collect();
-                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::FlatMap { f } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
-                let out = pd.iter().flat_map(|v| f(v)).collect();
-                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+                let out: Vec<Value> = pd.iter().flat_map(|v| f(v)).collect();
+                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::MapPartitions { f, .. } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
                 let out = f(part, &pd);
-                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::Sample { fraction, seed } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
                 let out = deterministic_sample(&pd, fraction, seed, rdd, part);
-                (out, self.ctx.cost.compute_time(vb, factor), pdur)
+                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::ShuffleAgg { shuffle, combine } => {
-                let (inputs, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let (chunks, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
                 let vb = self.ctx.cost.vbytes(bytes + 16);
                 let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
-                for v in &inputs {
-                    if let Value::Pair(k, val) = v {
-                        match agg.get_mut(k) {
-                            Some(acc) => *acc = combine(acc, val),
+                for v in chunks.iter().flat_map(|c| c.iter()) {
+                    if let Value::Pair(p) = v {
+                        match agg.get_mut(p.key()) {
+                            Some(acc) => *acc = combine(acc, p.val()),
                             None => {
-                                agg.insert(k.as_ref().clone(), val.as_ref().clone());
+                                agg.insert(p.key().clone(), p.val().clone());
                             }
                         }
                     }
                 }
-                let out = agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
-                (out, self.ctx.cost.compute_time(vb, factor), fdur)
+                let out: Vec<Value> = agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
+                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), fdur)
             }
             RddOp::ShuffleGroup { shuffle } => {
-                let (inputs, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let (chunks, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
                 let vb = self.ctx.cost.vbytes(bytes + 16);
                 let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
-                for v in &inputs {
-                    if let Value::Pair(k, val) = v {
+                for v in chunks.iter().flat_map(|c| c.iter()) {
+                    if let Value::Pair(p) = v {
                         groups
-                            .entry(k.as_ref().clone())
+                            .entry(p.key().clone())
                             .or_default()
-                            .push(val.as_ref().clone());
+                            .push(p.val().clone());
                     }
                 }
-                let out = groups
+                let out: Vec<Value> = groups
                     .into_iter()
                     .map(|(k, vs)| Value::pair(k, Value::list(vs)))
                     .collect();
-                (out, self.ctx.cost.compute_time(vb, factor), fdur)
+                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), fdur)
             }
             RddOp::CoGroup { shuffles } => {
                 let mut fdur = SimDuration::ZERO;
                 let mut total = 0u64;
-                let mut per_parent: Vec<Vec<Value>> = Vec::with_capacity(shuffles.len());
+                let mut per_parent: Vec<Vec<PartitionData>> = Vec::with_capacity(shuffles.len());
                 for s in &shuffles {
-                    let (inputs, bytes, d) = self.fetch_shuffle_bucket(*s, part)?;
+                    let (chunks, bytes, d) = self.fetch_shuffle_bucket(*s, part)?;
                     fdur += d;
                     total += bytes + 16;
-                    per_parent.push(inputs);
+                    per_parent.push(chunks);
                 }
                 let vb = self.ctx.cost.vbytes(total);
                 let mut groups: BTreeMap<Value, Vec<Vec<Value>>> = BTreeMap::new();
-                for (i, inputs) in per_parent.iter().enumerate() {
-                    for v in inputs {
-                        if let Value::Pair(k, val) = v {
+                for (i, chunks) in per_parent.iter().enumerate() {
+                    for v in chunks.iter().flat_map(|c| c.iter()) {
+                        if let Value::Pair(p) = v {
                             groups
-                                .entry(k.as_ref().clone())
+                                .entry(p.key().clone())
                                 .or_insert_with(|| vec![Vec::new(); per_parent.len()])[i]
-                                .push(val.as_ref().clone());
+                                .push(p.val().clone());
                         }
                     }
                 }
-                let out = groups
+                let out: Vec<Value> = groups
                     .into_iter()
                     .map(|(k, gs)| {
                         Value::pair(k, Value::list(gs.into_iter().map(Value::list).collect()))
                     })
                     .collect();
-                (out, self.ctx.cost.compute_time(vb, factor), fdur)
+                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), fdur)
             }
             RddOp::SortByKey { shuffle, ascending } => {
-                let (inputs, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
+                let (chunks, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
                 let vb = self.ctx.cost.vbytes(bytes + 16);
-                let mut out = inputs;
+                // Concatenate the shared buckets (O(1) per record) in the
+                // same map-partition-major order the flat fetch produced,
+                // then sort stably: equal keys keep fetch order, exactly
+                // as before.
+                let mut out: Vec<Value> = Vec::with_capacity(chunks.iter().map(|c| c.len()).sum());
+                for c in &chunks {
+                    out.extend(c.iter().cloned());
+                }
                 out.sort_by(|a, b| {
                     let ka = a.key().unwrap_or(a);
                     let kb = b.key().unwrap_or(b);
@@ -608,7 +629,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                         kb.cmp(ka)
                     }
                 });
-                (out, self.ctx.cost.compute_time(vb, factor), fdur)
+                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), fdur)
             }
         };
 
@@ -622,7 +643,6 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 });
             }
         }
-        let data: PartitionData = Arc::new(out);
         let real = real_bytes(&data);
         let vb = self.ctx.cost.vbytes(real);
         // Deferred: the size is recorded into the lineage when the task
@@ -639,19 +659,22 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
 
     /// Fetches the reduce-side bucket `part` of `shuffle` from every map
     /// output block, charging disk/durable time directly and recording
-    /// network transfers for pricing at admission. Returns the records,
-    /// their summed payload bytes (without the 16-byte partition
-    /// overhead), and the worker-independent duration.
+    /// network transfers for pricing at admission. Returns one shared
+    /// chunk per map block (map-partition order), the records' summed
+    /// payload bytes (without the 16-byte partition overhead), and the
+    /// worker-independent duration.
     ///
-    /// Bucketed map blocks serve the request as an O(1) slice copy; flat
-    /// blocks (range shuffles before barrier resolution) fall back to
-    /// the full partition-assignment scan. Both paths yield the same
-    /// records in the same order — buckets preserve production order.
+    /// Bucketed map blocks serve the request as an O(1) shared handle —
+    /// zero record copies; flat blocks (range shuffles before barrier
+    /// resolution) fall back to the full partition-assignment scan.
+    /// Both paths yield the same records in the same order — buckets
+    /// preserve production order, and flattening the chunks in order
+    /// reproduces the old concatenated fetch exactly.
     fn fetch_shuffle_bucket(
         &mut self,
         shuffle: ShuffleId,
         part: u32,
-    ) -> std::result::Result<(Vec<Value>, u64, SimDuration), MissingShuffle> {
+    ) -> std::result::Result<(Vec<PartitionData>, u64, SimDuration), MissingShuffle> {
         let info = self.ctx.lineage.shuffle(shuffle).clone();
         let m = self.ctx.lineage.meta(info.parent).num_partitions;
 
@@ -683,25 +706,27 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             }
         };
 
-        let mut out = Vec::new();
+        let mut out: Vec<PartitionData> = Vec::with_capacity(m as usize);
         let mut payload = 0u64;
         let mut dur = SimDuration::ZERO;
         for mp in 0..m {
             let (block, source, from_disk, from_store) = self.read_shuffle_block(shuffle, mp)?;
             let bucket_bytes = match &block {
                 BlockData::Bucketed(bb) => {
-                    out.extend_from_slice(bb.bucket(part));
+                    out.push(bb.bucket_shared(part));
                     bb.bucket_bytes(part)
                 }
                 BlockData::Flat(d) => {
                     let mut bytes = 0u64;
+                    let mut sel = Vec::new();
                     for v in d.iter() {
                         let key = v.key().unwrap_or(v);
                         if partitioner.partition_for(key) == part {
                             bytes += v.size_bytes();
-                            out.push(v.clone());
+                            sel.push(v.clone());
                         }
                     }
+                    out.push(Arc::new(sel));
                     bytes
                 }
             };

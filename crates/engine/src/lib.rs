@@ -75,7 +75,7 @@ pub use shuffle::{
     ShuffleKind,
 };
 pub use stats::{ActionRecord, RunStats};
-pub use value::Value;
+pub use value::{ListVal, PairVal, Value};
 
 // Re-exported so policy crates implementing [`CheckpointHooks`] can name
 // the sink types without a direct `flint-trace` dependency.

@@ -40,6 +40,22 @@ pub type PartsFn = Arc<dyn Fn(u32, &[Value]) -> Vec<Value> + Send + Sync>;
 /// Two-value combiner for keyed aggregation and `reduce`.
 pub type AggFn = Arc<dyn Fn(&Value, &Value) -> Value + Send + Sync>;
 
+/// The shared identity transform. Code that needs a no-op `Map` (e.g.
+/// forcing a materialization point before a checkpoint) should use this
+/// single instance: the executor recognizes it by pointer and shares the
+/// parent partition's records outright instead of cloning each one.
+pub fn identity() -> MapFn {
+    static IDENTITY: std::sync::OnceLock<MapFn> = std::sync::OnceLock::new();
+    IDENTITY
+        .get_or_init(|| Arc::new(|v: &Value| v.clone()))
+        .clone()
+}
+
+/// Whether `f` is the shared [`identity`] transform.
+pub(crate) fn is_identity(f: &MapFn) -> bool {
+    Arc::ptr_eq(f, &identity())
+}
+
 /// The operator that produces an RDD from its parents.
 ///
 /// Operators fall into two classes, mirroring Spark's narrow/wide

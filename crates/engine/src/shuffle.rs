@@ -1,5 +1,8 @@
 //! Shuffle identifiers and partitioners.
 
+use std::sync::Arc;
+
+use crate::rdd::PartitionData;
 use crate::value::stable_hash;
 use crate::Value;
 
@@ -124,11 +127,15 @@ impl Partitioner for RangePartitioner {
 /// Reduce tasks then read their bucket in O(1) instead of rescanning and
 /// rehashing the whole block, and the per-fetch byte accounting is a
 /// lookup instead of a walk.
+///
+/// Buckets are `Arc`-shared ([`PartitionData`]): a reduce-side fetch
+/// takes a refcount-bumped handle via [`BucketedBlock::bucket_shared`]
+/// rather than copying the records.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BucketedBlock {
     /// Per-reduce-partition records, original order preserved within
-    /// each bucket.
-    buckets: Vec<Vec<Value>>,
+    /// each bucket, shared with every fetcher.
+    buckets: Vec<PartitionData>,
     /// Per-bucket payload bytes (sum of [`Value::size_bytes`], no
     /// per-partition framing overhead) — exactly what a reduce-side scan
     /// of the flat block would have accumulated for that bucket.
@@ -156,7 +163,7 @@ impl BucketedBlock {
             }
         }
         BucketedBlock {
-            buckets,
+            buckets: buckets.into_iter().map(Arc::new).collect(),
             bucket_bytes,
         }
     }
@@ -171,8 +178,15 @@ impl BucketedBlock {
     pub fn bucket(&self, part: u32) -> &[Value] {
         self.buckets
             .get(part as usize)
-            .map(Vec::as_slice)
+            .map(|b| b.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// A shared handle to reduce partition `part`'s records: an O(1)
+    /// refcount bump, no record copies (empty for an out-of-range
+    /// partition).
+    pub fn bucket_shared(&self, part: u32) -> PartitionData {
+        self.buckets.get(part as usize).cloned().unwrap_or_default()
     }
 
     /// Payload bytes of bucket `part` (sum of record sizes).
@@ -182,12 +196,12 @@ impl BucketedBlock {
 
     /// Total records across all buckets.
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(Vec::len).sum()
+        self.buckets.iter().map(|b| b.len()).sum()
     }
 
     /// `true` when no bucket holds any record.
     pub fn is_empty(&self) -> bool {
-        self.buckets.iter().all(Vec::is_empty)
+        self.buckets.iter().all(|b| b.is_empty())
     }
 
     /// Total payload bytes across all buckets (no framing overhead).
@@ -198,7 +212,7 @@ impl BucketedBlock {
     /// Iterates every record, bucket-major. Byte and count totals are
     /// identical to the flat block's; only the order differs.
     pub fn iter(&self) -> impl Iterator<Item = &Value> {
-        self.buckets.iter().flatten()
+        self.buckets.iter().flat_map(|b| b.iter())
     }
 }
 

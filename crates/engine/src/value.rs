@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::ops::Deref;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -18,6 +19,11 @@ use serde::{Deserialize, Serialize};
 /// `Value` implements total equality, ordering, and hashing — floats
 /// compare and hash by their IEEE total order, so values can serve as
 /// shuffle keys.
+///
+/// Every variant clones in O(1): compound values (`Pair`, `List`,
+/// `Vector`, `Str`) are `Arc`-backed, so cloning a record anywhere in the
+/// engine is a refcount bump, never a structural copy. Records are
+/// immutable once constructed — sharing is always safe.
 ///
 /// # Examples
 ///
@@ -41,11 +47,67 @@ pub enum Value {
     /// An immutable string.
     Str(Arc<str>),
     /// A key/value pair (the unit of keyed operations).
-    Pair(Box<Value>, Box<Value>),
+    Pair(Arc<PairVal>),
     /// A dense numeric vector (feature vectors, rank vectors).
     Vector(Arc<Vec<f64>>),
     /// A heterogeneous list (grouped values, adjacency lists, rows).
-    List(Arc<Vec<Value>>),
+    List(Arc<ListVal>),
+}
+
+/// The shared payload of a [`Value::Pair`]: both halves plus the pair's
+/// virtual size, computed once at construction so sizing never re-walks
+/// the tree.
+#[derive(Debug)]
+pub struct PairVal {
+    key: Value,
+    val: Value,
+    size: u64,
+}
+
+impl PairVal {
+    fn new(key: Value, val: Value) -> Self {
+        let size = 16 + key.size_bytes() + val.size_bytes();
+        PairVal { key, val, size }
+    }
+
+    /// The key half.
+    pub fn key(&self) -> &Value {
+        &self.key
+    }
+
+    /// The value half.
+    pub fn val(&self) -> &Value {
+        &self.val
+    }
+}
+
+/// The shared payload of a [`Value::List`]: the items plus the list's
+/// virtual size, computed once at construction. Dereferences to the
+/// item slice.
+#[derive(Debug)]
+pub struct ListVal {
+    items: Vec<Value>,
+    size: u64,
+}
+
+impl ListVal {
+    fn new(items: Vec<Value>) -> Self {
+        let size = 24 + items.iter().map(Value::size_bytes).sum::<u64>();
+        ListVal { items, size }
+    }
+
+    /// The list items.
+    pub fn items(&self) -> &[Value] {
+        &self.items
+    }
+}
+
+impl Deref for ListVal {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        &self.items
+    }
 }
 
 impl Value {
@@ -72,7 +134,7 @@ impl Value {
 
     /// Creates a `Pair`.
     pub fn pair(k: Value, v: Value) -> Value {
-        Value::Pair(Box::new(k), Box::new(v))
+        Value::Pair(Arc::new(PairVal::new(k, v)))
     }
 
     /// Creates a `Vector`.
@@ -82,7 +144,7 @@ impl Value {
 
     /// Creates a `List`.
     pub fn list(v: Vec<Value>) -> Value {
-        Value::List(Arc::new(v))
+        Value::List(Arc::new(ListVal::new(v)))
     }
 
     /// Returns the integer payload, if this is an `Int`.
@@ -129,7 +191,7 @@ impl Value {
     /// Returns the list payload, if this is a `List`.
     pub fn as_list(&self) -> Option<&[Value]> {
         match self {
-            Value::List(v) => Some(v),
+            Value::List(v) => Some(v.items()),
             _ => None,
         }
     }
@@ -137,7 +199,7 @@ impl Value {
     /// Returns the key of a `Pair`.
     pub fn key(&self) -> Option<&Value> {
         match self {
-            Value::Pair(k, _) => Some(k),
+            Value::Pair(p) => Some(p.key()),
             _ => None,
         }
     }
@@ -145,15 +207,19 @@ impl Value {
     /// Returns the value of a `Pair`.
     pub fn val(&self) -> Option<&Value> {
         match self {
-            Value::Pair(_, v) => Some(v),
+            Value::Pair(p) => Some(p.val()),
             _ => None,
         }
     }
 
-    /// Consumes a `Pair`, returning its parts.
+    /// Consumes a `Pair`, returning its parts. O(1) whether or not the
+    /// pair is shared — a shared pair hands out refcount-bumped halves.
     pub fn into_pair(self) -> Option<(Value, Value)> {
         match self {
-            Value::Pair(k, v) => Some((*k, *v)),
+            Value::Pair(p) => match Arc::try_unwrap(p) {
+                Ok(pv) => Some((pv.key, pv.val)),
+                Err(p) => Some((p.key.clone(), p.val.clone())),
+            },
             _ => None,
         }
     }
@@ -162,7 +228,11 @@ impl Value {
     ///
     /// This drives the engine's virtual sizing (cache pressure, checkpoint
     /// durations). It is an estimate in the same spirit as Spark's
-    /// `SizeEstimator`.
+    /// `SizeEstimator`, and it is *virtual*: the formula describes the
+    /// logical record (`16 + key + value` for pairs, `24 + Σ items` for
+    /// lists), independent of how the in-process representation shares
+    /// structure. Compound sizes are memoized at construction, so this is
+    /// O(1) for every variant.
     pub fn size_bytes(&self) -> u64 {
         match self {
             Value::Null => 8,
@@ -170,9 +240,9 @@ impl Value {
             Value::Int(_) => 16,
             Value::Float(_) => 16,
             Value::Str(s) => 24 + s.len() as u64,
-            Value::Pair(k, v) => 16 + k.size_bytes() + v.size_bytes(),
+            Value::Pair(p) => p.size,
             Value::Vector(v) => 24 + 8 * v.len() as u64,
-            Value::List(v) => 24 + v.iter().map(Value::size_bytes).sum::<u64>(),
+            Value::List(v) => v.size,
         }
     }
 
@@ -216,8 +286,18 @@ impl Ord for Value {
             (Int(a), Float(b)) => (*a as f64).total_cmp(b),
             (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
             (Str(a), Str(b)) => a.cmp(b),
-            (Pair(ak, av), Pair(bk, bv)) => ak.cmp(bk).then_with(|| av.cmp(bv)),
+            (Pair(a), Pair(b)) => {
+                // Shared handles are the same logical value (sound for a
+                // total order: cmp(x, x) == Equal).
+                if Arc::ptr_eq(a, b) {
+                    return Ordering::Equal;
+                }
+                a.key().cmp(b.key()).then_with(|| a.val().cmp(b.val()))
+            }
             (Vector(a), Vector(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    return Ordering::Equal;
+                }
                 for (x, y) in a.iter().zip(b.iter()) {
                     let o = x.total_cmp(y);
                     if o != Ordering::Equal {
@@ -227,6 +307,9 @@ impl Ord for Value {
                 a.len().cmp(&b.len())
             }
             (List(a), List(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    return Ordering::Equal;
+                }
                 for (x, y) in a.iter().zip(b.iter()) {
                     let o = x.cmp(y);
                     if o != Ordering::Equal {
@@ -262,10 +345,10 @@ impl Hash for Value {
                 4u8.hash(state);
                 s.hash(state);
             }
-            Value::Pair(k, v) => {
+            Value::Pair(p) => {
                 5u8.hash(state);
-                k.hash(state);
-                v.hash(state);
+                p.key().hash(state);
+                p.val().hash(state);
             }
             Value::Vector(v) => {
                 6u8.hash(state);
@@ -291,7 +374,7 @@ impl fmt::Display for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "{s:?}"),
-            Value::Pair(k, v) => write!(f, "({k}, {v})"),
+            Value::Pair(p) => write!(f, "({}, {})", p.key(), p.val()),
             Value::Vector(v) => {
                 write!(f, "[")?;
                 for (i, x) in v.iter().enumerate() {
@@ -405,6 +488,43 @@ mod tests {
         assert!(big > small);
         let v = Value::vector(vec![0.0; 100]);
         assert!(v.size_bytes() > 800);
+    }
+
+    #[test]
+    fn memoized_sizes_match_the_recursive_formula() {
+        // Leaf sizes.
+        assert_eq!(Value::Null.size_bytes(), 8);
+        assert_eq!(Value::Bool(true).size_bytes(), 8);
+        assert_eq!(Value::Int(0).size_bytes(), 16);
+        assert_eq!(Value::Float(0.0).size_bytes(), 16);
+        assert_eq!(Value::from_str_("abc").size_bytes(), 24 + 3);
+        assert_eq!(Value::vector(vec![0.0; 4]).size_bytes(), 24 + 32);
+        // Pair: 16 + k + v, computed once at construction.
+        let p = Value::pair(Value::Int(1), Value::from_str_("ab"));
+        assert_eq!(p.size_bytes(), 16 + 16 + 26);
+        // List: 24 + Σ, nested compounds fold in their memoized sizes.
+        let l = Value::list(vec![p.clone(), Value::Null]);
+        assert_eq!(l.size_bytes(), 24 + 58 + 8);
+        // Sharing does not change the virtual size.
+        assert_eq!(p.clone().size_bytes(), p.size_bytes());
+    }
+
+    #[test]
+    fn clones_share_structure() {
+        let p = Value::pair(Value::from_str_("k"), Value::list(vec![Value::Int(1)]));
+        let q = p.clone();
+        match (&p, &q) {
+            (Value::Pair(a), Value::Pair(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => panic!("expected pairs"),
+        }
+        // A shared pair still hands out its halves.
+        let (k, v) = q.into_pair().unwrap();
+        assert_eq!(k.as_str(), Some("k"));
+        assert_eq!(v.as_list().map(<[Value]>::len), Some(1));
+        // And an unshared one moves them out.
+        drop(p);
+        let sole = Value::pair(Value::Int(1), Value::Int(2));
+        assert_eq!(sole.into_pair(), Some((Value::Int(1), Value::Int(2))));
     }
 
     #[test]

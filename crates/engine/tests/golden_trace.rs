@@ -196,6 +196,113 @@ fn shuffle_heavy_golden_trace_is_identical_across_host_thread_counts() {
     assert_eq!(agg.revocations, stats.revocations);
 }
 
+/// PageRank-style iterative job: a persisted `links` RDD is re-read from
+/// cache across five rank iterations (each a cogroup-join plus a
+/// reduce), with a scripted mid-job revocation whose recompute path
+/// restores the policy-checkpointed RDD from the durable store. This is
+/// the workload shape the zero-copy record path must not perturb: the
+/// same cached blocks are fetched wave after wave, so any change to
+/// record sizing or fetch ordering would move the stream.
+fn run_iterative_cached(host_threads: usize) -> (String, RunStats) {
+    let cfg = DriverConfig::builder()
+        .host_threads(host_threads)
+        .size_scale(5e5)
+        .build();
+    let injector = ScriptedInjector::new(vec![
+        (
+            SimTime::from_millis(120_000),
+            WorkerEvent::Remove { ext_id: 1 },
+        ),
+        (
+            SimTime::from_millis(260_000),
+            WorkerEvent::Add {
+                ext_id: 50,
+                spec: WorkerSpec::r3_large(),
+            },
+        ),
+    ]);
+    let mut d = Driver::new(
+        cfg,
+        Box::new(CheckpointFirstLarge { done: false }),
+        Box::new(injector),
+    );
+    let trace = TraceHandle::disabled();
+    let reader = trace.attach_memory(0);
+    d.set_trace(trace);
+    for ext in 1..=4u64 {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+
+    let src = d.ctx().parallelize((0..480).map(Value::from_i64), 8);
+    let links = d.ctx().map(src, |v| {
+        let i = v.as_i64().unwrap();
+        Value::pair(Value::Int(i % 60), Value::Int((i * 7 + 3) % 60))
+    });
+    let links = d.ctx().persist(links);
+    let mut ranks = d.ctx().map(links, |e| {
+        Value::pair(e.key().cloned().unwrap_or(Value::Null), Value::Float(1.0))
+    });
+    for _ in 0..5 {
+        let joined = d.ctx().join(links, ranks, 6);
+        let contribs = d.ctx().map(joined, |p| {
+            // (k, List[dest, rank]) -> (dest, rank * 0.85)
+            match p.val().and_then(Value::as_list) {
+                Some(g) if g.len() == 2 => Value::pair(
+                    g[0].clone(),
+                    Value::Float(g[1].as_f64().unwrap_or(0.0) * 0.85),
+                ),
+                _ => Value::pair(Value::Null, Value::Float(0.0)),
+            }
+        });
+        ranks = d.ctx().reduce_by_key(contribs, 6, |a, b| {
+            Value::Float(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0))
+        });
+    }
+    d.collect(ranks).unwrap();
+    (reader.to_jsonl(), d.stats().clone())
+}
+
+/// FNV-1a over the raw JSONL bytes, for pinning the stream against a
+/// previously captured run.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Hash of `run_iterative_cached(1)`'s JSONL captured on the deep-copy
+/// `Value` representation (`Pair(Box, Box)`, uncached sizes), *before*
+/// the zero-copy record path landed. The refactored engine must
+/// reproduce the stream byte-for-byte: virtual sizing, wave grouping,
+/// and fetch ordering are all representation-independent contracts.
+const GOLDEN_ITERATIVE_TRACE_FNV: u64 = 0x4d8d_70ef_48bb_ead9;
+
+#[test]
+fn iterative_cache_reuse_golden_trace_is_stable() {
+    let (golden, stats) = run_iterative_cached(1);
+    assert!(!golden.is_empty(), "an enabled trace must capture events");
+    assert!(stats.revocations > 0, "revocation must land mid-job");
+    assert!(stats.checkpoints_written > 0, "policy must checkpoint");
+    assert!(stats.restores > 0, "recompute must restore from checkpoint");
+    for threads in [2usize, 8] {
+        let (jsonl, other_stats) = run_iterative_cached(threads);
+        assert_eq!(other_stats, stats, "host_threads={threads} stats diverged");
+        assert_eq!(
+            jsonl, golden,
+            "host_threads={threads} produced a different event stream"
+        );
+    }
+    assert_eq!(
+        fnv1a(golden.as_bytes()),
+        GOLDEN_ITERATIVE_TRACE_FNV,
+        "stream diverged from the pre-change capture (fnv1a = {:#018x})",
+        fnv1a(golden.as_bytes())
+    );
+}
+
 #[test]
 fn aggregator_reproduces_run_stats_exactly() {
     let (jsonl, stats) = run_traced(2);

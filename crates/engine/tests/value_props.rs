@@ -1,11 +1,175 @@
 //! Property tests of the `Value` datum: total order, Eq↔Hash agreement,
 //! and size-estimate sanity — the invariants shuffle partitioning and
-//! deterministic aggregation rest on.
+//! deterministic aggregation rest on — plus an executable reference
+//! model ([`reference::RefValue`]) that pins the engine `Value` to the
+//! deep-copy semantics it had before the Arc-backed representation.
 
 use flint_engine::Value;
 use proptest::prelude::*;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+
+/// A transcription of the deep-copy `Value` the engine used before the
+/// Arc-backed zero-copy representation: `Pair` owns boxed children and
+/// `List` owns its elements outright, so `clone` really copies and
+/// `size_bytes` really walks. `Ord`, `Hash`, and `size_bytes` are copied
+/// verbatim from that implementation; the properties below assert the
+/// production type still agrees with it observation-for-observation.
+mod reference {
+    use std::cmp::Ordering;
+    use std::hash::{Hash, Hasher};
+
+    #[derive(Debug, Clone)]
+    pub enum RefValue {
+        Null,
+        Bool(bool),
+        Int(i64),
+        Float(f64),
+        Str(String),
+        Pair(Box<RefValue>, Box<RefValue>),
+        Vector(Vec<f64>),
+        List(Vec<RefValue>),
+    }
+
+    impl RefValue {
+        /// The exact pre-change virtual sizing formula: Null/Bool 8,
+        /// Int/Float 16, Str 24+len, Pair 16+k+v, Vector 24+8·len,
+        /// List 24+Σ — computed recursively on every call.
+        pub fn size_bytes(&self) -> u64 {
+            match self {
+                RefValue::Null => 8,
+                RefValue::Bool(_) => 8,
+                RefValue::Int(_) => 16,
+                RefValue::Float(_) => 16,
+                RefValue::Str(s) => 24 + s.len() as u64,
+                RefValue::Pair(k, v) => 16 + k.size_bytes() + v.size_bytes(),
+                RefValue::Vector(v) => 24 + 8 * v.len() as u64,
+                RefValue::List(v) => 24 + v.iter().map(RefValue::size_bytes).sum::<u64>(),
+            }
+        }
+
+        fn discriminant_rank(&self) -> u8 {
+            match self {
+                RefValue::Null => 0,
+                RefValue::Bool(_) => 1,
+                RefValue::Int(_) => 2,
+                RefValue::Float(_) => 3,
+                RefValue::Str(_) => 4,
+                RefValue::Pair(..) => 5,
+                RefValue::Vector(_) => 6,
+                RefValue::List(_) => 7,
+            }
+        }
+    }
+
+    impl PartialEq for RefValue {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+
+    impl Eq for RefValue {}
+
+    impl PartialOrd for RefValue {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for RefValue {
+        fn cmp(&self, other: &Self) -> Ordering {
+            use RefValue::*;
+            match (self, other) {
+                (Null, Null) => Ordering::Equal,
+                (Bool(a), Bool(b)) => a.cmp(b),
+                (Int(a), Int(b)) => a.cmp(b),
+                (Float(a), Float(b)) => a.total_cmp(b),
+                (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+                (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+                (Str(a), Str(b)) => a.cmp(b),
+                (Pair(ak, av), Pair(bk, bv)) => ak.cmp(bk).then_with(|| av.cmp(bv)),
+                (Vector(a), Vector(b)) => {
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        let o = x.total_cmp(y);
+                        if o != Ordering::Equal {
+                            return o;
+                        }
+                    }
+                    a.len().cmp(&b.len())
+                }
+                (List(a), List(b)) => {
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        let o = x.cmp(y);
+                        if o != Ordering::Equal {
+                            return o;
+                        }
+                    }
+                    a.len().cmp(&b.len())
+                }
+                _ => self.discriminant_rank().cmp(&other.discriminant_rank()),
+            }
+        }
+    }
+
+    impl Hash for RefValue {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            match self {
+                RefValue::Null => 0u8.hash(state),
+                RefValue::Bool(b) => {
+                    1u8.hash(state);
+                    b.hash(state);
+                }
+                RefValue::Int(i) => {
+                    2u8.hash(state);
+                    (*i as f64).to_bits().hash(state);
+                }
+                RefValue::Float(f) => {
+                    2u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+                RefValue::Str(s) => {
+                    4u8.hash(state);
+                    s.hash(state);
+                }
+                RefValue::Pair(k, v) => {
+                    5u8.hash(state);
+                    k.hash(state);
+                    v.hash(state);
+                }
+                RefValue::Vector(v) => {
+                    6u8.hash(state);
+                    for f in v.iter() {
+                        f.to_bits().hash(state);
+                    }
+                }
+                RefValue::List(v) => {
+                    7u8.hash(state);
+                    for x in v.iter() {
+                        x.hash(state);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deep-copies a production `Value` into the reference model.
+    pub fn from_engine(v: &crate::Value) -> RefValue {
+        use crate::Value as V;
+        match v {
+            V::Null => RefValue::Null,
+            V::Bool(b) => RefValue::Bool(*b),
+            V::Int(i) => RefValue::Int(*i),
+            V::Float(f) => RefValue::Float(*f),
+            V::Str(s) => RefValue::Str(s.to_string()),
+            V::Pair(p) => RefValue::Pair(
+                Box::new(from_engine(p.key())),
+                Box::new(from_engine(p.val())),
+            ),
+            V::Vector(x) => RefValue::Vector(x.to_vec()),
+            V::List(l) => RefValue::List(l.items().iter().map(from_engine).collect()),
+        }
+    }
+}
 
 fn arb_value() -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
@@ -74,5 +238,60 @@ proptest! {
         prop_assert!(s > 0);
         let wrapped = Value::list(vec![a]);
         prop_assert!(wrapped.size_bytes() >= s);
+    }
+
+    /// The Arc-backed representation is observationally identical to the
+    /// deep-copy reference: comparison agrees pairwise, hashing feeds the
+    /// hasher the same byte stream, and the memoized size matches the
+    /// recursive pre-change formula exactly.
+    #[test]
+    fn agrees_with_deep_copy_reference(a in arb_value(), b in arb_value()) {
+        let ra = reference::from_engine(&a);
+        let rb = reference::from_engine(&b);
+        prop_assert_eq!(a.cmp(&b), ra.cmp(&rb));
+        prop_assert_eq!(a == b, ra == rb);
+        let mut h = DefaultHasher::new();
+        ra.hash(&mut h);
+        prop_assert_eq!(hash_of(&a), h.finish());
+        prop_assert_eq!(a.size_bytes(), ra.size_bytes());
+    }
+
+    /// Clones compare equal, hash identically, and report the same size
+    /// as the original — O(1) handle sharing must be unobservable.
+    #[test]
+    fn clone_is_unobservable(a in arb_value()) {
+        let c = a.clone();
+        prop_assert_eq!(&c, &a);
+        prop_assert_eq!(hash_of(&c), hash_of(&a));
+        prop_assert_eq!(c.size_bytes(), a.size_bytes());
+    }
+}
+
+/// Golden size constants, written out by hand from the virtual sizing
+/// formula so a change to either the formula or the memoization shows up
+/// as a literal-number diff here.
+#[test]
+fn golden_size_constants() {
+    assert_eq!(Value::Null.size_bytes(), 8);
+    assert_eq!(Value::from_bool(true).size_bytes(), 8);
+    assert_eq!(Value::from_i64(7).size_bytes(), 16);
+    assert_eq!(Value::from_f64(0.5).size_bytes(), 16);
+    assert_eq!(Value::from_str_("abc").size_bytes(), 27); // 24 + 3
+    assert_eq!(Value::vector(vec![1.0; 4]).size_bytes(), 56); // 24 + 8*4
+    let pair = Value::pair(Value::from_i64(1), Value::from_str_("ab"));
+    assert_eq!(pair.size_bytes(), 58); // 16 + 16 + 26
+    let list = Value::list(vec![pair, Value::Null]);
+    assert_eq!(list.size_bytes(), 90); // 24 + 58 + 8
+
+    // Every constant above matches the deep-copy reference walk too.
+    for v in [
+        Value::Null,
+        Value::from_str_("abc"),
+        Value::list(vec![
+            Value::pair(Value::from_i64(1), Value::from_str_("ab")),
+            Value::Null,
+        ]),
+    ] {
+        assert_eq!(v.size_bytes(), reference::from_engine(&v).size_bytes());
     }
 }

@@ -433,7 +433,7 @@ fn row_digest(v: &Value) -> u64 {
         Value::Int(i) => *i as u64,
         Value::Float(f) => f64_bits(*f),
         Value::Str(s) => s.bytes().fold(7u64, |a, b| fold_checksum(a, u64::from(b))),
-        Value::Pair(a, b) => fold_checksum(row_digest(a), row_digest(b)),
+        Value::Pair(p) => fold_checksum(row_digest(p.key()), row_digest(p.val())),
         Value::Vector(xs) => xs.iter().fold(11u64, |a, x| fold_checksum(a, f64_bits(*x))),
         Value::List(xs) => xs
             .iter()
