@@ -185,6 +185,7 @@ mod tests {
             job: &job,
             storage: StorageConfig::default(),
             n: 10,
+            cooled: &[],
         };
         f(&view)
     }

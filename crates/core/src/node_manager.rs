@@ -39,9 +39,13 @@ struct NmInner {
     replaced: HashMap<InstanceId, bool>,
     /// Count of replacement rounds, for reporting.
     replacements: u64,
+    /// Markets excluded from selection until the stored time
+    /// (`cfg.market_cooldown` after their last failure).
+    cooldown_until: HashMap<MarketId, SimTime>,
 }
 
 impl NmInner {
+    #[allow(clippy::too_many_arguments)]
     fn view<'a>(
         cloud: &'a CloudSim,
         cfg: &'a SelectionConfig,
@@ -50,6 +54,7 @@ impl NmInner {
         bid: BidPolicy,
         n: u32,
         now: SimTime,
+        cooled: &'a [MarketId],
     ) -> MarketView<'a> {
         MarketView {
             catalog: cloud.catalog(),
@@ -59,7 +64,40 @@ impl NmInner {
             job,
             storage,
             n,
+            cooled,
         }
+    }
+
+    /// Markets still inside their cooldown window at `now`.
+    fn cooled_markets(&self, now: SimTime) -> Vec<MarketId> {
+        let mut ms: Vec<MarketId> = self
+            .cooldown_until
+            .iter()
+            .filter(|(_, until)| **until > now)
+            .map(|(m, _)| *m)
+            .collect();
+        ms.sort();
+        ms
+    }
+
+    /// Starts (or extends) the cooldown window for a market that just
+    /// failed. A no-op when `cfg.market_cooldown` is zero, so default
+    /// configurations behave exactly as before cooldowns existed.
+    fn cool_down(&mut self, market: MarketId, t: SimTime) {
+        if self.cfg.market_cooldown == SimDuration::ZERO {
+            return;
+        }
+        let until = t + self.cfg.market_cooldown;
+        let entry = self.cooldown_until.entry(market).or_insert(until);
+        if *entry < until {
+            *entry = until;
+        }
+        self.cloud
+            .trace()
+            .emit_with(t, || flint_engine::EventKind::MarketCooledDown {
+                market: u64::from(market.0),
+                until_ms: until.as_millis(),
+            });
     }
 
     fn request_allocation(&mut self, alloc: &[(MarketId, u32)], now: SimTime) {
@@ -111,6 +149,7 @@ impl NmInner {
 
     fn provision_initial(&mut self, now: SimTime) {
         let alloc = {
+            let cooled = self.cooled_markets(now);
             let view = Self::view(
                 &self.cloud,
                 &self.cfg,
@@ -119,6 +158,7 @@ impl NmInner {
                 self.bid,
                 self.n,
                 now,
+                &cooled,
             );
             self.policy.initial(&view)
         };
@@ -163,7 +203,9 @@ impl NmInner {
                 }
             }
             for (t, failed, count) in to_replace {
+                self.cool_down(failed, t);
                 let alloc = {
+                    let cooled = self.cooled_markets(t);
                     let view = Self::view(
                         &self.cloud,
                         &self.cfg,
@@ -172,6 +214,7 @@ impl NmInner {
                         self.bid,
                         self.n,
                         t,
+                        &cooled,
                     );
                     self.policy.replacement(&view, failed, count)
                 };
@@ -243,6 +286,7 @@ impl NodeManager {
             market_of: HashMap::new(),
             replaced: HashMap::new(),
             replacements: 0,
+            cooldown_until: HashMap::new(),
         };
         inner.provision_initial(start);
         let arc = Arc::new(Mutex::new(inner));
@@ -414,6 +458,44 @@ mod tests {
             .filter(|(_, e)| matches!(e, WorkerEvent::Warn { .. }))
             .count();
         assert_eq!(warns, removes);
+    }
+
+    #[test]
+    fn cooldown_still_maintains_cluster_size() {
+        // With a long cooldown window, replacement rounds must redirect to
+        // other markets — never suppress the replacement itself.
+        let catalog = MarketCatalog::synthetic_ec2(13, SimDuration::from_days(60));
+        let cloud = CloudSim::with_seed(catalog, 13);
+        let start = SimTime::ZERO + SimDuration::from_days(14);
+        let ft = new_shared(SimDuration::MAX);
+        let cfg = SelectionConfig {
+            market_cooldown: SimDuration::from_hours(12),
+            ..SelectionConfig::default()
+        };
+        let (mut nm, handle) = NodeManager::launch(
+            cloud,
+            Box::new(BatchSelection),
+            BidPolicy::OnDemandPrice,
+            cfg,
+            JobProfile::default(),
+            StorageConfig::default(),
+            8,
+            ft,
+            start,
+        );
+        let evs = nm.events(start, start + SimDuration::from_days(20));
+        let adds = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkerEvent::Add { .. }))
+            .count();
+        let removes = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkerEvent::Remove { .. }))
+            .count();
+        assert_eq!(adds, removes + 8, "adds {adds}, removes {removes}");
+        if removes > 0 {
+            assert!(handle.replacements() > 0);
+        }
     }
 
     #[test]

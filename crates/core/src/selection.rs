@@ -140,6 +140,12 @@ pub struct SelectionConfig {
     /// the on-demand reference pool, so expected costs are comparable
     /// per worker (diversification then spans zones/pools, not sizes).
     pub match_reference_spec: bool,
+    /// Exclusion window after a market fails (spikes/revokes): the node
+    /// manager keeps it out of the candidate set for this long across
+    /// replacement rounds, so restoration does not immediately buy back
+    /// into a still-spiking market. `ZERO` (the default) disables the
+    /// window, preserving pre-cooldown behavior byte-for-byte.
+    pub market_cooldown: SimDuration,
 }
 
 impl Default for SelectionConfig {
@@ -153,6 +159,7 @@ impl Default for SelectionConfig {
             spike_threshold: 2.0,
             rd: SimDuration::from_secs(120),
             match_reference_spec: true,
+            market_cooldown: SimDuration::ZERO,
         }
     }
 }
@@ -195,6 +202,9 @@ pub struct MarketView<'a> {
     pub storage: StorageConfig,
     /// Cluster size being provisioned.
     pub n: u32,
+    /// Markets inside their failure cooldown window at `now`: excluded
+    /// from [`MarketView::candidates`] so no policy re-enters them.
+    pub cooled: &'a [MarketId],
 }
 
 impl MarketView<'_> {
@@ -240,6 +250,7 @@ impl MarketView<'_> {
             .iter()
             .filter(|m| !self.cfg.match_reference_spec || m.spec == reference)
             .map(|m| m.id)
+            .filter(|id| !self.cooled.contains(id))
             .filter(|id| {
                 self.stats(*id)
                     .price_is_stable(self.cfg.stability_threshold)
@@ -502,6 +513,7 @@ mod tests {
             job,
             storage: StorageConfig::default(),
             n,
+            cooled: &[],
         }
     }
 
@@ -610,6 +622,29 @@ mod tests {
     }
 
     #[test]
+    fn cooled_markets_drop_out_of_candidates() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let open = make_view(&cat, &cfg, &job, 14.0 * 24.0, 10);
+        let before = open.candidates();
+        assert!(!before.is_empty());
+        // Cool the cheapest candidate: it must vanish from the set and
+        // from batch selection, while everything else survives.
+        let mut p = BatchSelection;
+        let cheapest = p.initial(&open)[0].0;
+        let cooled = [cheapest];
+        let view = MarketView {
+            cooled: &cooled,
+            ..open
+        };
+        let after = view.candidates();
+        assert!(!after.contains(&cheapest));
+        assert_eq!(after.len(), before.len() - 1);
+        assert_ne!(p.initial(&view)[0].0, cheapest);
+    }
+
+    #[test]
     fn interactive_selection_diversifies() {
         let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
         let cfg = SelectionConfig::default();
@@ -706,6 +741,7 @@ mod tests {
             job: &job,
             storage: StorageConfig::default(),
             n: 4,
+            cooled: &[],
         };
         let mut batch = BatchSelection;
         assert_eq!(batch.initial(&view), vec![(cat.on_demand_id(), 4)]);

@@ -1,0 +1,432 @@
+//! Seeded chaos schedules: hostile worker churn and checkpoint-store
+//! degradation, generated deterministically from a single `u64` seed.
+//!
+//! The chaos subsystem composes with the two fault surfaces the engine
+//! already exposes, rather than adding new hooks inside the hot path:
+//!
+//! * worker faults ride the [`FailureInjector`] trait — a
+//!   [`ChaosInjector`] is a pre-generated [`ScriptedInjector`] plus
+//!   fault notes the driver turns into `FaultInjected` trace events;
+//! * store faults ride the [`StoreFaultPolicy`] trait on
+//!   [`crate::CheckpointStore`] — [`ChaosStoreFaults`] tears or drops
+//!   writes and opens transient read-outage windows.
+//!
+//! Every decision is drawn from `flint_simtime::rng` sub-streams of the
+//! campaign seed — never the wall clock — so the same seed replays the
+//! same faults at the same virtual instants on every host.
+
+use flint_simtime::rng::stream;
+use flint_simtime::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::checkpoint::{StoreFaultPolicy, WriteFault};
+use crate::cluster::WorkerSpec;
+use crate::injector::{FailureInjector, ScriptedInjector, WorkerEvent};
+
+/// Parameters of one seeded chaos campaign. Probabilities are per
+/// scheduled revocation event (or per write, for the store knobs);
+/// setting every rate to zero yields an empty schedule, which the
+/// golden-trace suite uses to prove chaos-off is a no-op.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Campaign seed; every sub-stream derives from it.
+    pub seed: u64,
+    /// Schedule horizon — faults land in `(0, horizon]`.
+    pub horizon: SimDuration,
+    /// Base worker pool the driver starts with (ext ids `1..=n`).
+    pub n_workers: u32,
+    /// Hardware shape of injected replacement workers.
+    pub spec: WorkerSpec,
+    /// Revocation events scheduled across the horizon.
+    pub revocations: u32,
+    /// Fraction of revocations that skip the `Warn` (warning-less).
+    pub unwarned_frac: f64,
+    /// Lead time of the warning when one is issued (EC2: 120 s).
+    pub warning_lead: SimDuration,
+    /// Probability a revocation widens to its whole correlated group.
+    pub mass_revoke_prob: f64,
+    /// Correlated ext-id groups (from the market correlation model);
+    /// a mass revocation takes out the victim's entire group.
+    pub groups: Vec<Vec<u64>>,
+    /// Probability a revoked worker flaps (rapid re-add/re-remove).
+    pub flap_prob: f64,
+    /// Add/Remove cycles per flapping worker.
+    pub flap_cycles: u32,
+    /// Gap between flap transitions.
+    pub flap_gap: SimDuration,
+    /// Whether revocations are followed by replacement `Add`s.
+    pub replacements: bool,
+    /// Normal replacement acquisition delay.
+    pub replacement_delay: SimDuration,
+    /// Fraction of replacements that arrive late.
+    pub delayed_frac: f64,
+    /// Lateness multiplier for delayed replacements.
+    pub delay_factor: f64,
+    /// Probability a checkpoint write lands torn (corrupt-on-read).
+    pub torn_write_prob: f64,
+    /// Probability a checkpoint write is lost outright.
+    pub failed_write_prob: f64,
+    /// Transient store read-outage windows across the horizon.
+    pub outages: u32,
+    /// Length of each outage window.
+    pub outage_len: SimDuration,
+}
+
+impl ChaosConfig {
+    /// A moderately hostile default campaign for `seed`: mixed warned
+    /// and warning-less revocations with replacements, occasional
+    /// flaps and mass revocations, and a degraded checkpoint store.
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            horizon: SimDuration::from_hours(2),
+            n_workers: 4,
+            spec: WorkerSpec::r3_large(),
+            revocations: 6,
+            unwarned_frac: 0.5,
+            warning_lead: SimDuration::from_secs(120),
+            mass_revoke_prob: 0.2,
+            groups: Vec::new(),
+            flap_prob: 0.25,
+            flap_cycles: 3,
+            flap_gap: SimDuration::from_secs(15),
+            replacements: true,
+            replacement_delay: SimDuration::from_secs(120),
+            delayed_frac: 0.3,
+            delay_factor: 8.0,
+            torn_write_prob: 0.15,
+            failed_write_prob: 0.1,
+            outages: 2,
+            outage_len: SimDuration::from_mins(5),
+        }
+    }
+}
+
+/// A fully materialized chaos schedule: the worker-event script, the
+/// fault notes it corresponds to, and the store outage windows. One
+/// generation pass feeds both the [`ChaosInjector`] and the
+/// [`ChaosStoreFaults`] policy, so the two surfaces stay consistent.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    /// Timed cluster-membership changes.
+    pub worker_events: Vec<(SimTime, WorkerEvent)>,
+    /// `(t, kind, target)` fault descriptors for `FaultInjected`
+    /// trace events, time-sorted.
+    pub notes: Vec<(SimTime, String, String)>,
+    /// Half-open `[start, end)` store read-outage windows.
+    pub outages: Vec<(SimTime, SimTime)>,
+}
+
+impl ChaosSchedule {
+    /// Generates the schedule for `cfg`, entirely up front, from
+    /// seeded sub-streams (no wall clock anywhere).
+    pub fn generate(cfg: &ChaosConfig) -> ChaosSchedule {
+        let mut rng = stream(cfg.seed, "chaos-schedule");
+        let horizon_ms = cfg.horizon.as_millis().max(2);
+        let mut events: Vec<(SimTime, WorkerEvent)> = Vec::new();
+        let mut notes: Vec<(SimTime, String, String)> = Vec::new();
+        // Victims come from the live pool: the base workers plus any
+        // replacements injected so far. Revoking an ext id the driver
+        // no longer hosts is deliberate chaos (the driver must shrug).
+        let mut pool: Vec<u64> = (1..=u64::from(cfg.n_workers.max(1))).collect();
+        let mut next_replacement_ext: u64 = 9_000_000;
+
+        for _ in 0..cfg.revocations {
+            let t = SimTime::from_millis(rng.gen_range(1..horizon_ms));
+            let victim = pool[rng.gen_range(0..pool.len())];
+            let mass = cfg.mass_revoke_prob > 0.0 && rng.gen_bool(cfg.mass_revoke_prob);
+            let victims: Vec<u64> = if mass {
+                cfg.groups
+                    .iter()
+                    .find(|g| g.contains(&victim))
+                    .cloned()
+                    .unwrap_or_else(|| vec![victim])
+            } else {
+                vec![victim]
+            };
+            for &v in &victims {
+                let warned = cfg.unwarned_frac < 1.0 && !rng.gen_bool(cfg.unwarned_frac);
+                if warned {
+                    let warn_t = t
+                        .saturating_sub(cfg.warning_lead)
+                        .max(SimTime::from_millis(1));
+                    events.push((warn_t, WorkerEvent::Warn { ext_id: v }));
+                }
+                events.push((t, WorkerEvent::Remove { ext_id: v }));
+                let kind = if mass {
+                    "mass_revoke"
+                } else if warned {
+                    "revoke_warned"
+                } else {
+                    "revoke_unwarned"
+                };
+                notes.push((t, kind.to_string(), format!("ext-{v}")));
+                if cfg.replacements {
+                    let late = cfg.delayed_frac > 0.0 && rng.gen_bool(cfg.delayed_frac);
+                    let delay = if late {
+                        SimDuration::from_secs_f64(
+                            cfg.replacement_delay.as_secs_f64() * cfg.delay_factor.max(1.0),
+                        )
+                    } else {
+                        cfg.replacement_delay
+                    };
+                    let ext = next_replacement_ext;
+                    next_replacement_ext += 1;
+                    let rt = t + delay;
+                    events.push((
+                        rt,
+                        WorkerEvent::Add {
+                            ext_id: ext,
+                            spec: cfg.spec,
+                        },
+                    ));
+                    if late {
+                        notes.push((rt, "delayed_add".to_string(), format!("ext-{ext}")));
+                    }
+                    pool.push(ext);
+                }
+            }
+            if cfg.flap_prob > 0.0 && rng.gen_bool(cfg.flap_prob) {
+                let mut ft = t;
+                for _ in 0..cfg.flap_cycles {
+                    ft += cfg.flap_gap;
+                    events.push((
+                        ft,
+                        WorkerEvent::Add {
+                            ext_id: victim,
+                            spec: cfg.spec,
+                        },
+                    ));
+                    ft += cfg.flap_gap;
+                    events.push((ft, WorkerEvent::Remove { ext_id: victim }));
+                }
+                notes.push((t, "flap".to_string(), format!("ext-{victim}")));
+            }
+        }
+
+        let mut outages: Vec<(SimTime, SimTime)> = Vec::new();
+        for _ in 0..cfg.outages {
+            let s = SimTime::from_millis(rng.gen_range(1..horizon_ms));
+            outages.push((s, s + cfg.outage_len));
+            notes.push((
+                s,
+                "store_outage".to_string(),
+                "checkpoint-store".to_string(),
+            ));
+        }
+        outages.sort();
+        notes.sort_by_key(|a| a.0);
+        // ScriptedInjector re-sorts worker events by (t, kind rank).
+        ChaosSchedule {
+            worker_events: events,
+            notes,
+            outages,
+        }
+    }
+
+    /// Builds the store-fault policy half of this schedule.
+    pub fn store_faults(&self, cfg: &ChaosConfig) -> ChaosStoreFaults {
+        ChaosStoreFaults {
+            torn_prob: cfg.torn_write_prob,
+            fail_prob: cfg.failed_write_prob,
+            outages: self.outages.clone(),
+            rng: stream(cfg.seed, "chaos-store-writes"),
+        }
+    }
+}
+
+/// A [`FailureInjector`] replaying a pre-generated chaos schedule and
+/// reporting its fault notes so the driver can trace `FaultInjected`
+/// events alongside the membership changes.
+#[derive(Debug, Clone)]
+pub struct ChaosInjector {
+    inner: ScriptedInjector,
+    notes: Vec<(SimTime, String, String)>,
+    note_cursor: usize,
+}
+
+impl ChaosInjector {
+    /// Generates the schedule for `cfg` and wraps it.
+    pub fn new(cfg: &ChaosConfig) -> Self {
+        Self::from_schedule(ChaosSchedule::generate(cfg))
+    }
+
+    /// Wraps an existing schedule (shared with a store-fault policy).
+    pub fn from_schedule(schedule: ChaosSchedule) -> Self {
+        ChaosInjector {
+            inner: ScriptedInjector::new(schedule.worker_events),
+            notes: schedule.notes,
+            note_cursor: 0,
+        }
+    }
+
+    /// Worker events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.inner.remaining()
+    }
+}
+
+impl FailureInjector for ChaosInjector {
+    fn events(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, WorkerEvent)> {
+        self.inner.events(from, to)
+    }
+
+    fn next_event_after(&mut self, t: SimTime) -> Option<SimTime> {
+        self.inner.next_event_after(t)
+    }
+
+    fn fault_notes(&mut self, _from: SimTime, to: SimTime) -> Vec<(SimTime, String, String)> {
+        // Mirror ScriptedInjector window semantics: anything at or
+        // before `to` not yet delivered goes out now (late notes are
+        // delivered rather than dropped).
+        let mut out = Vec::new();
+        while self.note_cursor < self.notes.len() && self.notes[self.note_cursor].0 <= to {
+            out.push(self.notes[self.note_cursor].clone());
+            self.note_cursor += 1;
+        }
+        out
+    }
+}
+
+/// Checkpoint-store degradation drawn from the campaign seed: each
+/// write independently lands torn or is lost; reads fail inside the
+/// schedule's outage windows. Write decisions consume a dedicated RNG
+/// sub-stream on the driver thread; the outage predicate is a pure
+/// function of `now`, as [`StoreFaultPolicy`] requires.
+#[derive(Debug)]
+pub struct ChaosStoreFaults {
+    torn_prob: f64,
+    fail_prob: f64,
+    outages: Vec<(SimTime, SimTime)>,
+    rng: StdRng,
+}
+
+impl StoreFaultPolicy for ChaosStoreFaults {
+    fn on_write(&mut self, _key: &str, _now: SimTime) -> WriteFault {
+        // Draw both coins unconditionally so the stream position never
+        // depends on the outcome of the first draw.
+        let torn = self.torn_prob > 0.0 && self.rng.gen_bool(self.torn_prob);
+        let fail = self.fail_prob > 0.0 && self.rng.gen_bool(self.fail_prob);
+        if fail {
+            WriteFault::Fail
+        } else if torn {
+            WriteFault::Torn
+        } else {
+            WriteFault::None
+        }
+    }
+
+    fn read_unavailable(&self, _key: &str, now: SimTime) -> bool {
+        self.outages.iter().any(|(s, e)| now >= *s && now < *e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = ChaosConfig::new(42);
+        let a = ChaosSchedule::generate(&cfg);
+        let b = ChaosSchedule::generate(&cfg);
+        assert_eq!(a.worker_events, b.worker_events);
+        assert_eq!(a.notes, b.notes);
+        assert_eq!(a.outages, b.outages);
+        let c = ChaosSchedule::generate(&ChaosConfig::new(43));
+        assert!(
+            a.worker_events != c.worker_events || a.outages != c.outages,
+            "different seeds should diverge"
+        );
+    }
+
+    #[test]
+    fn schedule_fits_knobs() {
+        let mut cfg = ChaosConfig::new(7);
+        cfg.revocations = 10;
+        cfg.flap_prob = 0.0;
+        cfg.mass_revoke_prob = 0.0;
+        cfg.replacements = false;
+        cfg.unwarned_frac = 1.0;
+        cfg.outages = 0;
+        let s = ChaosSchedule::generate(&cfg);
+        // Pure warning-less revocations: exactly one Remove per event.
+        assert_eq!(s.worker_events.len(), 10);
+        assert!(s
+            .worker_events
+            .iter()
+            .all(|(_, ev)| matches!(ev, WorkerEvent::Remove { .. })));
+        assert!(s.outages.is_empty());
+        assert_eq!(s.notes.len(), 10);
+        assert!(s.notes.iter().all(|(_, k, _)| k == "revoke_unwarned"));
+    }
+
+    #[test]
+    fn mass_revocation_takes_whole_group() {
+        let mut cfg = ChaosConfig::new(1);
+        cfg.revocations = 1;
+        cfg.mass_revoke_prob = 1.0;
+        cfg.flap_prob = 0.0;
+        cfg.replacements = false;
+        cfg.unwarned_frac = 1.0;
+        cfg.outages = 0;
+        cfg.n_workers = 4;
+        cfg.groups = vec![vec![1, 2], vec![3, 4]];
+        let s = ChaosSchedule::generate(&cfg);
+        let removed: Vec<u64> = s
+            .worker_events
+            .iter()
+            .filter_map(|(_, ev)| match ev {
+                WorkerEvent::Remove { ext_id } => Some(*ext_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            removed.len(),
+            2,
+            "whole correlated group revoked: {removed:?}"
+        );
+        assert!(removed == vec![1, 2] || removed == vec![3, 4]);
+        assert!(s.notes.iter().all(|(_, k, _)| k == "mass_revoke"));
+    }
+
+    #[test]
+    fn injector_delivers_notes_alongside_events() {
+        let mut cfg = ChaosConfig::new(5);
+        cfg.revocations = 3;
+        let schedule = ChaosSchedule::generate(&cfg);
+        let n_notes = schedule.notes.len();
+        let mut inj = ChaosInjector::from_schedule(schedule);
+        let horizon = SimTime::ZERO + cfg.horizon + SimDuration::from_hours(1);
+        let evs = inj.events(SimTime::ZERO, horizon);
+        let notes = inj.fault_notes(SimTime::ZERO, horizon);
+        assert!(!evs.is_empty());
+        assert_eq!(notes.len(), n_notes);
+        // Consumed exactly once.
+        assert!(inj.fault_notes(SimTime::ZERO, horizon).is_empty());
+    }
+
+    #[test]
+    fn store_faults_are_deterministic_and_windowed() {
+        let cfg = ChaosConfig::new(9);
+        let s = ChaosSchedule::generate(&cfg);
+        let mut a = s.store_faults(&cfg);
+        let mut b = s.store_faults(&cfg);
+        let seq_a: Vec<WriteFault> = (0..32)
+            .map(|i| a.on_write(&format!("k{i}"), SimTime::ZERO))
+            .collect();
+        let seq_b: Vec<WriteFault> = (0..32)
+            .map(|i| b.on_write(&format!("k{i}"), SimTime::ZERO))
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(
+            seq_a.iter().any(|f| *f != WriteFault::None),
+            "defaults should fault sometimes"
+        );
+        if let Some((start, end)) = s.outages.first().copied() {
+            assert!(a.read_unavailable("k", start));
+            assert!(!a.read_unavailable("k", end));
+        }
+    }
+}

@@ -12,6 +12,62 @@ use crate::rdd::{PartitionData, RddId};
 use crate::shuffle::ShuffleId;
 use crate::Lineage;
 
+/// What a degraded store did to one write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The write landed intact.
+    None,
+    /// The write landed but the stored bytes are corrupt (torn write);
+    /// the corruption is only *detected* at restore time.
+    Torn,
+    /// The write was lost outright: nothing landed and the partition
+    /// bitmap stays clear.
+    Fail,
+}
+
+/// Why a present checkpoint can not be restored right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The stored bytes failed their integrity check (torn write);
+    /// permanent — the only way out is lineage recomputation.
+    Corrupt,
+    /// The store is inside a transient outage window; the checkpoint
+    /// will become readable again once the window closes.
+    Unavailable,
+}
+
+/// A deterministic checkpoint-store degradation model.
+///
+/// Write faults are decided once per [`CheckpointStore::put`] on the
+/// driver thread, so `on_write` may mutate internal RNG state. Read
+/// outages are consulted from inside the parallel wave (through a
+/// shared `&CheckpointStore`), so `read_unavailable` must be a *pure*
+/// function of `(key, now)` — the wave snapshot time — or runs stop
+/// being byte-identical across `host_threads`.
+pub trait StoreFaultPolicy: Send + Sync + std::fmt::Debug {
+    /// Decides the fate of the write of `key` landing at `now`.
+    fn on_write(&mut self, key: &str, now: SimTime) -> WriteFault;
+
+    /// Returns `true` while a read of `key` at `now` transiently fails.
+    fn read_unavailable(&self, key: &str, now: SimTime) -> bool;
+}
+
+/// The default, never-failing store policy (chaos off). Every path
+/// through it is branch-free so a chaos-compiled-in-but-disabled run
+/// is an exact no-op against the pre-chaos engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HealthyStore;
+
+impl StoreFaultPolicy for HealthyStore {
+    fn on_write(&mut self, _key: &str, _now: SimTime) -> WriteFault {
+        WriteFault::None
+    }
+
+    fn read_unavailable(&self, _key: &str, _now: SimTime) -> bool {
+        false
+    }
+}
+
 /// Returns the store key for `(rdd, part)`.
 ///
 /// All partitions of an RDD share a key prefix (`rdd-7/`), mirroring the
@@ -36,6 +92,13 @@ pub struct CheckpointStore {
     /// systems-level checkpointing baseline, which snapshots shuffle
     /// buffers along with everything else).
     shuffle_parts: HashSet<(ShuffleId, u32)>,
+    /// Degradation model for writes and reads ([`HealthyStore`] unless
+    /// a chaos campaign installs one).
+    faults: Box<dyn StoreFaultPolicy>,
+    /// Keys whose stored payload is torn. Recorded at write time on
+    /// the driver thread; detected (as [`ReadFault::Corrupt`]) when a
+    /// restore attempts the integrity check.
+    corrupt: HashSet<String>,
 }
 
 /// Returns the store key for a shuffle map output.
@@ -62,11 +125,19 @@ impl CheckpointStore {
             store: DurableStore::new(cfg),
             parts: HashMap::new(),
             shuffle_parts: HashSet::new(),
+            faults: Box::new(HealthyStore),
+            corrupt: HashSet::new(),
         }
     }
 
+    /// Installs a store degradation model (replacing [`HealthyStore`]).
+    pub fn set_fault_policy(&mut self, policy: Box<dyn StoreFaultPolicy>) {
+        self.faults = policy;
+    }
+
     /// Durably stores one shuffle map output (flat or bucketed — a
-    /// restore serves back whichever form was captured).
+    /// restore serves back whichever form was captured). Returns what
+    /// the (possibly degraded) store did with the write.
     pub fn put_shuffle(
         &mut self,
         s: ShuffleId,
@@ -74,10 +145,20 @@ impl CheckpointStore {
         data: impl Into<BlockData>,
         vbytes: u64,
         now: SimTime,
-    ) {
-        self.store
-            .put(&shuffle_key(s, map_part), data.into(), vbytes, now);
+    ) -> WriteFault {
+        let key = shuffle_key(s, map_part);
+        let fault = self.faults.on_write(&key, now);
+        if fault == WriteFault::Fail {
+            return fault;
+        }
+        self.store.put(&key, data.into(), vbytes, now);
         self.shuffle_parts.insert((s, map_part));
+        if fault == WriteFault::Torn {
+            self.corrupt.insert(key);
+        } else {
+            self.corrupt.remove(&key);
+        }
+        fault
     }
 
     /// Returns the checkpointed shuffle map output, if present.
@@ -129,6 +210,10 @@ impl CheckpointStore {
     }
 
     /// Durably stores one partition (virtual `vbytes` for accounting).
+    /// Returns what the (possibly degraded) store did with the write:
+    /// a [`WriteFault::Fail`] leaves the partition bitmap clear, a
+    /// [`WriteFault::Torn`] sets the bitmap but poisons the key so the
+    /// restore-time integrity check rejects it.
     pub fn put(
         &mut self,
         rdd: RddId,
@@ -137,9 +222,18 @@ impl CheckpointStore {
         data: impl Into<BlockData>,
         vbytes: u64,
         now: SimTime,
-    ) {
-        self.store
-            .put(&checkpoint_key(rdd, part), data.into(), vbytes, now);
+    ) -> WriteFault {
+        let key = checkpoint_key(rdd, part);
+        let fault = self.faults.on_write(&key, now);
+        if fault == WriteFault::Fail {
+            return fault;
+        }
+        self.store.put(&key, data.into(), vbytes, now);
+        if fault == WriteFault::Torn {
+            self.corrupt.insert(key);
+        } else {
+            self.corrupt.remove(&key);
+        }
         let bits = self
             .parts
             .entry(rdd)
@@ -147,6 +241,7 @@ impl CheckpointStore {
         if let Some(b) = bits.get_mut(part as usize) {
             *b = true;
         }
+        fault
     }
 
     /// Returns the checkpointed data for `(rdd, part)`, if present.
@@ -169,6 +264,52 @@ impl CheckpointStore {
             .get(&rdd)
             .and_then(|b| b.get(part as usize).copied())
             .unwrap_or(false)
+    }
+
+    /// Why a *present* checkpoint of `(rdd, part)` can not be restored
+    /// at `now`, or `None` if a restore would succeed. Meaningless
+    /// when [`CheckpointStore::has`] is false. Pure — safe to call
+    /// from wave threads with the wave-snapshot `now`.
+    pub fn read_fault(&self, rdd: RddId, part: u32, now: SimTime) -> Option<ReadFault> {
+        let key = checkpoint_key(rdd, part);
+        if self.corrupt.contains(&key) {
+            Some(ReadFault::Corrupt)
+        } else if self.faults.read_unavailable(&key, now) {
+            Some(ReadFault::Unavailable)
+        } else {
+            None
+        }
+    }
+
+    /// Why a *present* shuffle checkpoint can not be restored at `now`,
+    /// or `None` if a restore would succeed.
+    pub fn shuffle_read_fault(
+        &self,
+        s: ShuffleId,
+        map_part: u32,
+        now: SimTime,
+    ) -> Option<ReadFault> {
+        let key = shuffle_key(s, map_part);
+        if self.corrupt.contains(&key) {
+            Some(ReadFault::Corrupt)
+        } else if self.faults.read_unavailable(&key, now) {
+            Some(ReadFault::Unavailable)
+        } else {
+            None
+        }
+    }
+
+    /// The planner/executor-shared readability predicate: the
+    /// partition is durably stored *and* restorable at `now`. Both
+    /// sides must agree on this (with the same wave-snapshot `now`) or
+    /// the planner schedules restores the executor then refuses.
+    pub fn readable(&self, rdd: RddId, part: u32, now: SimTime) -> bool {
+        self.has(rdd, part) && self.read_fault(rdd, part, now).is_none()
+    }
+
+    /// Shuffle-side readability predicate (see [`CheckpointStore::readable`]).
+    pub fn shuffle_readable(&self, s: ShuffleId, map_part: u32, now: SimTime) -> bool {
+        self.has_shuffle(s, map_part) && self.shuffle_read_fault(s, map_part, now).is_none()
     }
 
     /// Returns `true` if every partition of `rdd` is durably stored.
@@ -194,7 +335,9 @@ impl CheckpointStore {
     /// Drops every checkpoint of `rdd`.
     pub fn drop_rdd(&mut self, rdd: RddId, now: SimTime) -> usize {
         self.parts.remove(&rdd);
-        self.store.delete_prefix(&format!("rdd-{:06}/", rdd.0), now)
+        let prefix = format!("rdd-{:06}/", rdd.0);
+        self.corrupt.retain(|k| !k.starts_with(&prefix));
+        self.store.delete_prefix(&prefix, now)
     }
 
     /// Garbage-collects redundant checkpoints (§4): checkpointing an RDD
@@ -336,6 +479,86 @@ mod tests {
         assert!(cs.get_shuffle(ShuffleId(2), 0).is_some());
         assert_eq!(cs.size_of_shuffle(ShuffleId(2), 0), Some(64));
         assert!(!cs.has_shuffle(ShuffleId(2), 1));
+    }
+
+    #[test]
+    fn degraded_store_write_and_read_faults() {
+        // A policy that tears the first write, loses the second, then
+        // heals; reads fail inside a fixed outage window.
+        #[derive(Debug)]
+        struct Script {
+            writes: u32,
+        }
+        impl StoreFaultPolicy for Script {
+            fn on_write(&mut self, _key: &str, _now: SimTime) -> WriteFault {
+                self.writes += 1;
+                match self.writes {
+                    1 => WriteFault::Torn,
+                    2 => WriteFault::Fail,
+                    _ => WriteFault::None,
+                }
+            }
+            fn read_unavailable(&self, _key: &str, now: SimTime) -> bool {
+                now >= SimTime::from_millis(1_000) && now < SimTime::from_millis(2_000)
+            }
+        }
+        let mut cs = CheckpointStore::new(StorageConfig::default());
+        cs.set_fault_policy(Box::new(Script { writes: 0 }));
+
+        // Torn: bitmap set, integrity check rejects the restore.
+        assert_eq!(
+            cs.put(RddId(0), 0, 2, data(), 10, SimTime::ZERO),
+            WriteFault::Torn
+        );
+        assert!(cs.has(RddId(0), 0));
+        assert_eq!(
+            cs.read_fault(RddId(0), 0, SimTime::ZERO),
+            Some(ReadFault::Corrupt)
+        );
+        assert!(!cs.readable(RddId(0), 0, SimTime::ZERO));
+
+        // Fail: nothing landed.
+        assert_eq!(
+            cs.put(RddId(0), 1, 2, data(), 10, SimTime::ZERO),
+            WriteFault::Fail
+        );
+        assert!(!cs.has(RddId(0), 1));
+
+        // Clean rewrite clears the torn flag.
+        assert_eq!(
+            cs.put(RddId(0), 0, 2, data(), 10, SimTime::ZERO),
+            WriteFault::None
+        );
+        assert!(cs.readable(RddId(0), 0, SimTime::ZERO));
+
+        // Transient outage window: unavailable inside, healthy after.
+        let mid = SimTime::from_millis(1_500);
+        assert_eq!(
+            cs.read_fault(RddId(0), 0, mid),
+            Some(ReadFault::Unavailable)
+        );
+        assert!(!cs.readable(RddId(0), 0, mid));
+        assert!(cs.readable(RddId(0), 0, SimTime::from_millis(2_000)));
+
+        // Shuffle writes go through the same policy (write 4: clean).
+        assert_eq!(
+            cs.put_shuffle(ShuffleId(1), 0, data(), 8, SimTime::ZERO),
+            WriteFault::None
+        );
+        assert!(cs.shuffle_readable(ShuffleId(1), 0, SimTime::ZERO));
+        assert_eq!(
+            cs.shuffle_read_fault(ShuffleId(1), 0, mid),
+            Some(ReadFault::Unavailable)
+        );
+
+        // drop_rdd forgets corruption along with the data.
+        cs.set_fault_policy(Box::new(Script { writes: 0 }));
+        assert_eq!(
+            cs.put(RddId(3), 0, 1, data(), 10, SimTime::ZERO),
+            WriteFault::Torn
+        );
+        cs.drop_rdd(RddId(3), SimTime::ZERO);
+        assert!(!cs.has(RddId(3), 0));
     }
 
     #[test]

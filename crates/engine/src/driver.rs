@@ -1,7 +1,7 @@
 //! The driver: stage planning, virtual-time task execution, failure
 //! handling, and checkpoint orchestration.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use flint_simtime::{Clock, SimDuration, SimTime};
@@ -9,7 +9,7 @@ use flint_store::StorageConfig;
 use flint_trace::{EventKind, TraceHandle};
 
 use crate::block::{BlockData, BlockKey, InsertOutcome};
-use crate::checkpoint::CheckpointStore;
+use crate::checkpoint::{CheckpointStore, ReadFault, WriteFault};
 use crate::cluster::{Cluster, WorkerId, WorkerSpec};
 use crate::context::EngineContext;
 use crate::cost::CostModel;
@@ -44,6 +44,26 @@ pub struct DriverConfig {
     /// results, statistics, and virtual-time trajectories. See the
     /// `executor` module docs for the compute/commit split.
     pub host_threads: usize,
+    /// Transient-store read retries `gather` spends waiting out an
+    /// outage window before failing the action with
+    /// [`EngineError::StoreUnavailable`].
+    pub store_retry_limit: u64,
+    /// First store-retry backoff; each further attempt doubles it.
+    pub store_backoff_base: SimDuration,
+    /// Ceiling on the store-retry backoff.
+    pub store_backoff_cap: SimDuration,
+    /// Budget of integrity-check restore fallbacks (each one forces a
+    /// lineage recompute) allowed per action before it fails with
+    /// [`EngineError::RetryBudgetExhausted`]. `u64::MAX` disables the
+    /// budget (the default).
+    pub recompute_depth_budget: u64,
+    /// Sliding window over which repeated revocations of the same
+    /// external id count as flapping.
+    pub flap_window: SimDuration,
+    /// Revocations of one external id within [`DriverConfig::flap_window`]
+    /// that quarantine it (further joins are ignored). `0` disables
+    /// quarantining.
+    pub flap_threshold: u32,
 }
 
 impl Default for DriverConfig {
@@ -53,6 +73,12 @@ impl Default for DriverConfig {
             storage: StorageConfig::default(),
             max_iterations: 5_000_000,
             host_threads: 1,
+            store_retry_limit: 6,
+            store_backoff_base: SimDuration::from_secs(1),
+            store_backoff_cap: SimDuration::from_secs(60),
+            recompute_depth_budget: u64::MAX,
+            flap_window: SimDuration::from_secs(600),
+            flap_threshold: 3,
         }
     }
 }
@@ -115,6 +141,44 @@ impl DriverConfigBuilder {
     /// datasets from small in-memory collections.
     pub fn size_scale(mut self, scale: f64) -> Self {
         self.cfg.cost.size_scale = scale;
+        self
+    }
+
+    /// Transient-store read retries before an action fails with
+    /// [`EngineError::StoreUnavailable`].
+    pub fn store_retry_limit(mut self, retries: u64) -> Self {
+        self.cfg.store_retry_limit = retries;
+        self
+    }
+
+    /// First store-retry backoff (doubles per attempt).
+    pub fn store_backoff_base(mut self, base: SimDuration) -> Self {
+        self.cfg.store_backoff_base = base;
+        self
+    }
+
+    /// Ceiling on the store-retry backoff.
+    pub fn store_backoff_cap(mut self, cap: SimDuration) -> Self {
+        self.cfg.store_backoff_cap = cap;
+        self
+    }
+
+    /// Per-action budget of integrity-check restore fallbacks.
+    pub fn recompute_depth_budget(mut self, budget: u64) -> Self {
+        self.cfg.recompute_depth_budget = budget;
+        self
+    }
+
+    /// Sliding window for flapping-worker detection.
+    pub fn flap_window(mut self, window: SimDuration) -> Self {
+        self.cfg.flap_window = window;
+        self
+    }
+
+    /// Revocations within the flap window that quarantine an external
+    /// id (`0` disables).
+    pub fn flap_threshold(mut self, threshold: u32) -> Self {
+        self.cfg.flap_threshold = threshold;
         self
     }
 
@@ -201,6 +265,17 @@ pub struct Driver {
     last_pumped: SimTime,
     next_local_ext: u64,
     task_seq: u64,
+    /// Blocks whose corrupt/unavailable checkpoint the driver has
+    /// already paired with a `RestoreFallback` event (dedup across
+    /// planning iterations).
+    corrupt_reported: HashSet<String>,
+    /// Recent revocation instants per external id (flap detection).
+    remove_times: HashMap<u64, VecDeque<SimTime>>,
+    /// External ids quarantined for flapping: their joins are ignored.
+    quarantined: HashSet<u64>,
+    /// Integrity-check restore fallbacks admitted during the current
+    /// action (checked against `config.recompute_depth_budget`).
+    fallback_recomputes: u64,
 }
 
 impl Driver {
@@ -232,6 +307,10 @@ impl Driver {
             last_pumped: SimTime::ZERO,
             next_local_ext: 1 << 40,
             task_seq: 0,
+            corrupt_reported: HashSet::new(),
+            remove_times: HashMap::new(),
+            quarantined: HashSet::new(),
+            fallback_recomputes: 0,
         }
     }
 
@@ -495,6 +574,7 @@ impl Driver {
         let name = format!("{label}(rdd-{})", target.0);
         self.trace
             .emit_with(started, || EventKind::ActionStarted { name: name.clone() });
+        self.fallback_recomputes = 0;
         self.pump_injector();
         self.run_job(target)?;
         let parts = self.gather(target)?;
@@ -519,6 +599,9 @@ impl Driver {
             if iterations > self.config.max_iterations {
                 return Err(EngineError::RetryBudgetExhausted { rdd: target });
             }
+            if self.fallback_recomputes > self.config.recompute_depth_budget {
+                return Err(EngineError::RetryBudgetExhausted { rdd: target });
+            }
 
             self.poll_hooks();
 
@@ -526,6 +609,7 @@ impl Driver {
             if done {
                 return Ok(());
             }
+            self.report_unreadable_shuffles(&ready);
 
             // Materialize every ready task in parallel against the
             // wave-start snapshot, then admit the results sequentially in
@@ -606,17 +690,34 @@ impl Driver {
         }
     }
 
-    /// Delivers all failure-injector events up to the current instant.
+    /// Delivers all failure-injector events up to the current instant,
+    /// interleaving any planted-fault notes (chaos campaigns) into the
+    /// trace by time so the stream stays chronologically ordered.
     fn pump_injector(&mut self) {
         let now = self.clock.now();
         if now < self.last_pumped {
             return;
         }
-        let events = self.injector.events(self.last_pumped, now);
+        let from = self.last_pumped;
+        let events = self.injector.events(from, now);
+        let notes = self.injector.fault_notes(from, now);
         self.last_pumped = now;
+        let mut notes = notes.into_iter().peekable();
         for (t, ev) in events {
+            while notes.peek().map(|(nt, _, _)| *nt <= t).unwrap_or(false) {
+                let (nt, kind, target) = notes.next().expect("peeked");
+                self.trace.emit_with(nt, || EventKind::FaultInjected {
+                    kind: kind.clone(),
+                    target: target.clone(),
+                });
+            }
             match ev {
                 WorkerEvent::Add { ext_id, spec } => {
+                    if self.quarantined.contains(&ext_id) {
+                        // A flapping instance rejoining: refuse it so
+                        // its next revocation cannot strand tasks again.
+                        continue;
+                    }
                     self.cluster.add_worker(ext_id, spec, t);
                     self.trace
                         .emit_with(t, || EventKind::WorkerAdded { ext: ext_id });
@@ -634,9 +735,41 @@ impl Driver {
                             .emit_with(t, || EventKind::WorkerRevoked { ext: ext_id });
                         self.hooks.on_revocation(ext_id, t);
                         self.invalidate_worker(wid);
+                        self.note_remove(ext_id, t);
                     }
                 }
             }
+        }
+        for (nt, kind, target) in notes {
+            self.trace.emit_with(nt, || EventKind::FaultInjected {
+                kind: kind.clone(),
+                target: target.clone(),
+            });
+        }
+    }
+
+    /// Flap detection: a worker revoked [`DriverConfig::flap_threshold`]
+    /// times within [`DriverConfig::flap_window`] is quarantined — its
+    /// future joins are ignored, so replacement capacity comes from
+    /// stable instances instead.
+    fn note_remove(&mut self, ext_id: u64, t: SimTime) {
+        if self.config.flap_threshold == 0 || self.quarantined.contains(&ext_id) {
+            return;
+        }
+        let window = self.config.flap_window;
+        let times = self.remove_times.entry(ext_id).or_default();
+        times.push_back(t);
+        while times.front().map(|&f| f + window < t).unwrap_or(false) {
+            times.pop_front();
+        }
+        if times.len() as u32 >= self.config.flap_threshold {
+            let removes = times.len() as u64;
+            self.quarantined.insert(ext_id);
+            self.remove_times.remove(&ext_id);
+            self.trace.emit_with(t, || EventKind::WorkerQuarantined {
+                ext: ext_id,
+                removes,
+            });
         }
     }
 
@@ -664,7 +797,7 @@ impl Driver {
     // ------------------------------------------------------------------
 
     fn rdd_part_available(&self, rdd: RddId, part: u32) -> bool {
-        self.ckpt.has(rdd, part)
+        self.ckpt.readable(rdd, part, self.clock.now())
             || self
                 .cluster
                 .locate(&BlockKey::RddPart { rdd, part })
@@ -678,7 +811,48 @@ impl Driver {
                 map_part: mp,
             })
             .is_some()
-            || self.ckpt.has_shuffle(s, mp)
+            || self.ckpt.shuffle_readable(s, mp, self.clock.now())
+    }
+
+    /// Emits the detection/fallback event pair for shuffle checkpoints
+    /// the planner just declared unreadable (corrupt or mid-outage):
+    /// the scheduled `ShuffleMap` recompute in `ready` is their
+    /// fallback. RDD-part fallbacks are reported by the executor at the
+    /// restore site; this covers the shuffle side, where "fallback"
+    /// means the planner re-runs the map task instead. Deduplicated per
+    /// block so replanning iterations do not repeat the pair.
+    fn report_unreadable_shuffles(&mut self, ready: &[TaskKey]) {
+        let now = self.clock.now();
+        for key in ready {
+            let TaskKey::ShuffleMap { shuffle, map_part } = *key else {
+                continue;
+            };
+            if !self.ckpt.has_shuffle(shuffle, map_part) {
+                continue;
+            }
+            let Some(fault) = self.ckpt.shuffle_read_fault(shuffle, map_part, now) else {
+                continue;
+            };
+            let block = BlockKey::ShuffleMap { shuffle, map_part }.to_string();
+            if !self.corrupt_reported.insert(block.clone()) {
+                continue;
+            }
+            self.fallback_recomputes += 1;
+            if fault == ReadFault::Corrupt {
+                self.trace
+                    .emit_with(now, || EventKind::CheckpointCorruptDetected {
+                        block: block.clone(),
+                    });
+            }
+            self.trace.emit_with(now, || EventKind::RestoreFallback {
+                block: block.clone(),
+                reason: match fault {
+                    ReadFault::Corrupt => "corrupt",
+                    ReadFault::Unavailable => "outage",
+                }
+                .to_string(),
+            });
+        }
     }
 
     /// Collects missing shuffle inputs for computing `(rdd, part)`
@@ -888,6 +1062,7 @@ impl Driver {
             cost: &self.config.cost,
             computed_once: &self.computed_once,
             range_cache: &self.range_cache,
+            now: self.clock.now(),
             trace_enabled: self.trace.is_enabled(),
         }
     }
@@ -920,6 +1095,7 @@ impl Driver {
         self.stats.restores += out.restores;
         self.stats.restore_time += out.restore_time;
         self.stats.recompute_time += out.recompute_time;
+        self.fallback_recomputes += out.fallbacks;
         let now = self.clock.now();
         if self.trace.is_enabled() {
             // Compute-phase events were buffered in the effect ledger;
@@ -1205,44 +1381,65 @@ impl Driver {
             }
             Commit::Checkpoint { job, wire } => {
                 self.apply_touched(std::mem::take(&mut r.touched), now);
+                let block = match job {
+                    CkptJob::RddPart(rdd, part) => BlockKey::RddPart { rdd, part }.to_string(),
+                    CkptJob::Shuffle(shuffle, map_part) => {
+                        BlockKey::ShuffleMap { shuffle, map_part }.to_string()
+                    }
+                };
+                let fault = match job {
+                    CkptJob::RddPart(rdd, part) => {
+                        let n = self.ctx.lineage().meta(rdd).num_partitions;
+                        self.ckpt.put(rdd, part, n, r.data, r.vbytes, now)
+                    }
+                    CkptJob::Shuffle(s, mp) => self.ckpt.put_shuffle(s, mp, r.data, r.vbytes, now),
+                };
+                match fault {
+                    WriteFault::Fail => {
+                        // The store dropped the object: nothing durable
+                        // exists, so neither the written event nor the
+                        // checkpoint stats fire (keeping the trace
+                        // aggregate consistent with `RunStats`).
+                        self.trace.emit_with(now, || EventKind::FaultInjected {
+                            kind: "ckpt_write_fail".to_string(),
+                            target: block.clone(),
+                        });
+                        return;
+                    }
+                    WriteFault::Torn => {
+                        // The write "succeeded" from the client's view;
+                        // the note records the planted corruption the
+                        // restore-time integrity check will catch.
+                        self.trace.emit_with(now, || EventKind::FaultInjected {
+                            kind: "ckpt_torn".to_string(),
+                            target: block.clone(),
+                        });
+                    }
+                    WriteFault::None => {}
+                }
                 self.stats.checkpoint_time += r.duration;
                 self.stats.checkpoints_written += 1;
                 self.stats.checkpoint_bytes += r.vbytes;
                 self.stats.checkpoint_wire_bytes += wire;
-                self.trace.emit_with(now, || {
-                    let block = match job {
-                        CkptJob::RddPart(rdd, part) => BlockKey::RddPart { rdd, part }.to_string(),
-                        CkptJob::Shuffle(shuffle, map_part) => {
-                            BlockKey::ShuffleMap { shuffle, map_part }.to_string()
-                        }
-                    };
-                    EventKind::CheckpointWritten {
-                        block,
-                        vbytes: r.vbytes,
-                        wire_bytes: wire,
-                        millis: r.duration.as_millis(),
-                    }
+                self.trace.emit_with(now, || EventKind::CheckpointWritten {
+                    block: block.clone(),
+                    vbytes: r.vbytes,
+                    wire_bytes: wire,
+                    millis: r.duration.as_millis(),
                 });
-                match job {
-                    CkptJob::RddPart(rdd, part) => {
-                        let n = self.ctx.lineage().meta(rdd).num_partitions;
-                        self.ckpt.put(rdd, part, n, r.data, r.vbytes, now);
-                        self.hooks
-                            .on_checkpoint_written(rdd, part, r.vbytes, r.duration, now);
-                        if self.ckpt.is_fully_checkpointed(rdd) {
-                            // Paper §4: checkpointing an RDD terminates its
-                            // lineage; ancestors' checkpoints become garbage.
-                            let deleted = self.ckpt.gc(self.ctx.lineage(), now);
-                            if deleted > 0 {
-                                self.trace.emit_with(now, || EventKind::CheckpointGc {
-                                    rdd: u64::from(rdd.0),
-                                    blocks: deleted as u64,
-                                });
-                            }
+                if let CkptJob::RddPart(rdd, part) = job {
+                    self.hooks
+                        .on_checkpoint_written(rdd, part, r.vbytes, r.duration, now);
+                    if self.ckpt.is_fully_checkpointed(rdd) {
+                        // Paper §4: checkpointing an RDD terminates its
+                        // lineage; ancestors' checkpoints become garbage.
+                        let deleted = self.ckpt.gc(self.ctx.lineage(), now);
+                        if deleted > 0 {
+                            self.trace.emit_with(now, || EventKind::CheckpointGc {
+                                rdd: u64::from(rdd.0),
+                                blocks: deleted as u64,
+                            });
                         }
-                    }
-                    CkptJob::Shuffle(s, mp) => {
-                        self.ckpt.put_shuffle(s, mp, r.data, r.vbytes, now);
                     }
                 }
             }
@@ -1362,6 +1559,53 @@ impl Driver {
     // Gather
     // ------------------------------------------------------------------
 
+    /// Waits (in virtual time) until a *present* checkpoint of
+    /// `(rdd, part)` is restorable. Transient outages are retried with
+    /// capped exponential backoff; a corrupt object returns `Ok(false)`
+    /// (with the detection/fallback event pair) so the caller falls
+    /// back to cluster state or recomputation — corrupt bytes are never
+    /// served. Exhausting the retry budget returns
+    /// [`EngineError::StoreUnavailable`].
+    fn await_store_readable(&mut self, rdd: RddId, part: u32) -> Result<bool> {
+        let mut attempt = 0u64;
+        loop {
+            match self.ckpt.read_fault(rdd, part, self.clock.now()) {
+                None => return Ok(true),
+                Some(ReadFault::Corrupt) => {
+                    let now = self.clock.now();
+                    let block = BlockKey::RddPart { rdd, part }.to_string();
+                    if self.corrupt_reported.insert(block.clone()) {
+                        self.trace
+                            .emit_with(now, || EventKind::CheckpointCorruptDetected {
+                                block: block.clone(),
+                            });
+                        self.trace.emit_with(now, || EventKind::RestoreFallback {
+                            block: block.clone(),
+                            reason: "corrupt".to_string(),
+                        });
+                    }
+                    return Ok(false);
+                }
+                Some(ReadFault::Unavailable) => {
+                    if attempt >= self.config.store_retry_limit {
+                        return Err(EngineError::StoreUnavailable { retries: attempt });
+                    }
+                    let base = self.config.store_backoff_base.as_millis().max(1);
+                    let cap = self.config.store_backoff_cap.as_millis().max(base);
+                    let wait_ms = base.saturating_mul(1u64 << attempt.min(32)).min(cap);
+                    attempt += 1;
+                    self.trace
+                        .emit_with(self.clock.now(), || EventKind::BackoffScheduled {
+                            attempt,
+                            millis: wait_ms,
+                        });
+                    self.clock.advance(SimDuration::from_millis(wait_ms));
+                    self.pump_injector();
+                }
+            }
+        }
+    }
+
     /// Fetches every partition of `target` to the driver, charging
     /// parallel transfer time.
     fn gather(&mut self, target: RddId) -> Result<Vec<PartitionData>> {
@@ -1371,7 +1615,7 @@ impl Driver {
             let mut total_vb = 0u64;
             let mut ok = true;
             for p in 0..n {
-                if self.ckpt.has(target, p) {
+                if self.ckpt.has(target, p) && self.await_store_readable(target, p)? {
                     let d = self.ckpt.get(target, p).expect("bitmap agrees").clone();
                     total_vb += self.ckpt.size_of(target, p).unwrap_or(0);
                     self.stats.restores += 1;

@@ -5,7 +5,11 @@ use std::fmt;
 use crate::RddId;
 
 /// Errors surfaced by the engine.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard
+/// arm so future fault domains can add variants without breaking them.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The referenced RDD does not exist in the lineage graph.
     UnknownRdd(RddId),
@@ -21,6 +25,18 @@ pub enum EngineError {
     /// An action was invoked on an empty dataset where it has no identity
     /// (e.g. `reduce`).
     EmptyDataset,
+    /// A checkpoint failed its integrity check (torn write) and no
+    /// lineage remained to recompute the partition from source data.
+    CheckpointCorrupt {
+        /// Durable-store key of the corrupt partition checkpoint.
+        block: String,
+    },
+    /// The checkpoint store stayed unreachable through the driver's
+    /// capped-backoff retry loop.
+    StoreUnavailable {
+        /// Retries attempted before giving up.
+        retries: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -32,6 +48,18 @@ impl fmt::Display for EngineError {
                 write!(f, "retry budget exhausted while materializing {rdd:?}")
             }
             EngineError::EmptyDataset => write!(f, "action undefined on an empty dataset"),
+            EngineError::CheckpointCorrupt { block } => {
+                write!(
+                    f,
+                    "checkpoint {block:?} failed its integrity check and no lineage remains"
+                )
+            }
+            EngineError::StoreUnavailable { retries } => {
+                write!(
+                    f,
+                    "checkpoint store unavailable after {retries} backoff retries"
+                )
+            }
         }
     }
 }
@@ -40,3 +68,21 @@ impl std::error::Error for EngineError {}
 
 /// Convenience alias for engine results.
 pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_variants_display_their_context() {
+        let c = EngineError::CheckpointCorrupt {
+            block: "rdd-000005/part-00001".into(),
+        };
+        assert!(c.to_string().contains("rdd-000005/part-00001"));
+        let s = EngineError::StoreUnavailable { retries: 7 };
+        assert!(s.to_string().contains('7'));
+        // Both are std errors with no deeper source.
+        use std::error::Error as _;
+        assert!(c.source().is_none() && s.source().is_none());
+    }
+}

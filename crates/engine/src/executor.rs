@@ -34,11 +34,11 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use flint_simtime::SimDuration;
+use flint_simtime::{SimDuration, SimTime};
 use flint_trace::EventKind;
 
 use crate::block::{BlockData, BlockKey, BlockLocation};
-use crate::checkpoint::{wire_size, CheckpointStore};
+use crate::checkpoint::{wire_size, CheckpointStore, ReadFault};
 use crate::cluster::{Cluster, WorkerId};
 use crate::cost::CostModel;
 use crate::driver::{CkptJob, MissingShuffle, TaskKey};
@@ -60,6 +60,10 @@ pub(crate) struct WaveCtx<'a> {
     pub cost: &'a CostModel,
     pub computed_once: &'a HashSet<(RddId, u32)>,
     pub range_cache: &'a BTreeMap<ShuffleId, RangePartitioner>,
+    /// Wave-start instant: the snapshot time every store-readability
+    /// check in this wave is evaluated at. Planner and executor share
+    /// it, so both sides agree on which checkpoints are restorable.
+    pub now: SimTime,
     /// Whether a trace sink is attached. When false, tasks skip
     /// recording [`TaskOutput::events`] entirely, preserving the
     /// zero-overhead-when-disabled contract on the hot path.
@@ -131,6 +135,10 @@ pub(crate) struct TaskOutput {
     /// Portion of `base_dur` that recomputed previously-materialized
     /// partitions.
     pub recompute_time: SimDuration,
+    /// Restores abandoned by the integrity/availability check (each one
+    /// forced a lineage recompute). Counted unconditionally — the
+    /// driver's recompute-depth budget must not depend on tracing.
+    pub fallbacks: u64,
     /// Trace events recorded during the parallel compute phase
     /// (restores, recomputation cascades). Buffered here — part of the
     /// effect ledger — and emitted by the driver at admission, in
@@ -328,6 +336,7 @@ struct TaskBuilder<'c, 'a> {
     restores: u64,
     restore_time: SimDuration,
     recompute_time: SimDuration,
+    fallbacks: u64,
     /// Buffered trace events (only filled when `ctx.trace_enabled`).
     events: Vec<EventKind>,
     /// Current `materialize` recursion depth: 0 for the task's own
@@ -352,6 +361,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             restores: 0,
             restore_time: SimDuration::ZERO,
             recompute_time: SimDuration::ZERO,
+            fallbacks: 0,
             events: Vec::new(),
             depth: 0,
             local: HashMap::new(),
@@ -380,6 +390,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             restores: self.restores,
             restore_time: self.restore_time,
             recompute_time: self.recompute_time,
+            fallbacks: self.fallbacks,
             events: self.events,
         }
     }
@@ -442,35 +453,61 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             return Ok((data, vb, dur));
         }
 
-        // 2. Durable checkpoint.
+        // 2. Durable checkpoint. The restore runs the integrity check
+        //    first: a torn write or an outage window abandons the
+        //    restore and falls through to lineage recomputation, so a
+        //    degraded store can slow a wave down but never corrupt it.
         if self.ctx.ckpt.has(rdd, part) {
-            let data = self
-                .ctx
-                .ckpt
-                .get(rdd, part)
-                .expect("checkpoint bitmap and store agree")
-                .clone();
-            let vb = self
-                .ctx
-                .ckpt
-                .size_of(rdd, part)
-                .unwrap_or_else(|| self.ctx.cost.vbytes(real_bytes(&data)));
-            let dur = self.ctx.ckpt.config().read_time(vb, 1);
-            self.restore_time += dur;
-            self.restores += 1;
-            if self.ctx.trace_enabled {
-                self.events.push(EventKind::Restored {
-                    block: bk.to_string(),
-                    millis: dur.as_millis(),
-                });
+            match self.ctx.ckpt.read_fault(rdd, part, self.ctx.now) {
+                None => {
+                    let data = self
+                        .ctx
+                        .ckpt
+                        .get(rdd, part)
+                        .expect("checkpoint bitmap and store agree")
+                        .clone();
+                    let vb = self
+                        .ctx
+                        .ckpt
+                        .size_of(rdd, part)
+                        .unwrap_or_else(|| self.ctx.cost.vbytes(real_bytes(&data)));
+                    let dur = self.ctx.ckpt.config().read_time(vb, 1);
+                    self.restore_time += dur;
+                    self.restores += 1;
+                    if self.ctx.trace_enabled {
+                        self.events.push(EventKind::Restored {
+                            block: bk.to_string(),
+                            millis: dur.as_millis(),
+                        });
+                    }
+                    // Re-cache the restored partition if the RDD is persisted so
+                    // subsequent reads stay in memory.
+                    if self.ctx.lineage.is_persisted(rdd) {
+                        self.effects.push(CacheEffect::Insert(bk, data.clone(), vb));
+                        self.local.insert(bk, (data.clone(), vb));
+                    }
+                    return Ok((data, vb, dur));
+                }
+                Some(fault) => {
+                    self.fallbacks += 1;
+                    if self.ctx.trace_enabled {
+                        if fault == ReadFault::Corrupt {
+                            self.events.push(EventKind::CheckpointCorruptDetected {
+                                block: bk.to_string(),
+                            });
+                        }
+                        self.events.push(EventKind::RestoreFallback {
+                            block: bk.to_string(),
+                            reason: match fault {
+                                ReadFault::Corrupt => "corrupt",
+                                ReadFault::Unavailable => "outage",
+                            }
+                            .to_string(),
+                        });
+                    }
+                    // Fall through to lineage recomputation.
+                }
             }
-            // Re-cache the restored partition if the RDD is persisted so
-            // subsequent reads stay in memory.
-            if self.ctx.lineage.is_persisted(rdd) {
-                self.effects.push(CacheEffect::Insert(bk, data.clone(), vb));
-                self.local.insert(bk, (data.clone(), vb));
-            }
-            return Ok((data, vb, dur));
         }
 
         // 3. Recompute from lineage.
@@ -765,8 +802,13 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             self.effects.push(CacheEffect::Touch(wid, bk));
             return Ok((data, Some(wid), loc == BlockLocation::Disk, false));
         }
-        if let Some(data) = self.ctx.ckpt.get_shuffle(shuffle, mp) {
-            return Ok((data.clone(), None, false, true));
+        // A corrupt or outage-blocked shuffle checkpoint counts as
+        // missing: the driver replans and recomputes the map task
+        // rather than serving bad bytes.
+        if self.ctx.ckpt.shuffle_readable(shuffle, mp, self.ctx.now) {
+            if let Some(data) = self.ctx.ckpt.get_shuffle(shuffle, mp) {
+                return Ok((data.clone(), None, false, true));
+            }
         }
         Err(MissingShuffle)
     }

@@ -42,6 +42,17 @@ pub trait FailureInjector {
     /// Returns the next event time strictly after `t`, if known. Used by
     /// the driver to sleep when the cluster is empty.
     fn next_event_after(&mut self, t: SimTime) -> Option<SimTime>;
+
+    /// Describes the faults this injector deliberately planted in the
+    /// same `from < t <= to` window, as `(t, kind, target)` triples the
+    /// driver turns into `FaultInjected` trace events. Ordinary
+    /// injectors (scripted schedules, the node manager) plant none —
+    /// the default keeps them silent, so traces without a chaos
+    /// campaign are byte-identical to pre-chaos runs.
+    fn fault_notes(&mut self, from: SimTime, to: SimTime) -> Vec<(SimTime, String, String)> {
+        let _ = (from, to);
+        Vec::new()
+    }
 }
 
 /// An injector that never produces events.
@@ -82,10 +93,28 @@ pub struct ScriptedInjector {
     cursor: usize,
 }
 
+/// Delivery precedence for events sharing a timestamp: joins land
+/// before warnings, warnings before revocations.
+fn kind_rank(ev: &WorkerEvent) -> u8 {
+    match ev {
+        WorkerEvent::Add { .. } => 0,
+        WorkerEvent::Warn { .. } => 1,
+        WorkerEvent::Remove { .. } => 2,
+    }
+}
+
 impl ScriptedInjector {
     /// Creates an injector from an event list (sorted internally).
+    ///
+    /// Events sharing a timestamp are delivered `Add` → `Warn` →
+    /// `Remove` (ties beyond that keep script order — the sort is
+    /// stable). In particular, a `Warn` and a `Remove` for the same
+    /// `ext_id` landing in the same tick deliver the warning first, so
+    /// the driver observes the provider's warn-then-revoke contract
+    /// even with a zero-width warning window; script order can not
+    /// accidentally revoke a worker and then warn its ghost.
     pub fn new(mut events: Vec<(SimTime, WorkerEvent)>) -> Self {
-        events.sort_by_key(|(t, _)| *t);
+        events.sort_by_key(|(t, ev)| (*t, kind_rank(ev)));
         ScriptedInjector { events, cursor: 0 }
     }
 
@@ -151,5 +180,44 @@ mod tests {
         let mut inj = NoFailures;
         assert!(inj.events(SimTime::ZERO, t(1_000_000)).is_empty());
         assert_eq!(inj.next_event_after(SimTime::ZERO), None);
+        assert!(inj.fault_notes(SimTime::ZERO, t(1_000_000)).is_empty());
+    }
+
+    #[test]
+    fn same_tick_events_deliver_add_warn_remove() {
+        // Scripted in the worst order: the same tick revokes ext 1,
+        // warns ext 1, and adds its replacement. Delivery must be
+        // Add → Warn → Remove regardless of script order.
+        let spec = WorkerSpec::r3_large();
+        let mut inj = ScriptedInjector::new(vec![
+            (t(50), WorkerEvent::Remove { ext_id: 1 }),
+            (t(50), WorkerEvent::Warn { ext_id: 1 }),
+            (t(50), WorkerEvent::Add { ext_id: 2, spec }),
+        ]);
+        let evs = inj.events(SimTime::ZERO, t(100));
+        assert_eq!(
+            evs,
+            vec![
+                (t(50), WorkerEvent::Add { ext_id: 2, spec }),
+                (t(50), WorkerEvent::Warn { ext_id: 1 }),
+                (t(50), WorkerEvent::Remove { ext_id: 1 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_tick_same_kind_keeps_script_order() {
+        let mut inj = ScriptedInjector::new(vec![
+            (t(50), WorkerEvent::Remove { ext_id: 7 }),
+            (t(50), WorkerEvent::Remove { ext_id: 3 }),
+        ]);
+        let evs = inj.events(SimTime::ZERO, t(100));
+        assert_eq!(
+            evs,
+            vec![
+                (t(50), WorkerEvent::Remove { ext_id: 7 }),
+                (t(50), WorkerEvent::Remove { ext_id: 3 }),
+            ]
+        );
     }
 }

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod block;
+mod chaos;
 mod checkpoint;
 mod cluster;
 mod context;
@@ -59,7 +60,11 @@ mod stats;
 mod value;
 
 pub use block::{BlockData, BlockKey, BlockLocation, BlockManager, BlockStoreSnapshot};
-pub use checkpoint::{checkpoint_key, wire_size, CheckpointStore};
+pub use chaos::{ChaosConfig, ChaosInjector, ChaosSchedule, ChaosStoreFaults};
+pub use checkpoint::{
+    checkpoint_key, wire_size, CheckpointStore, HealthyStore, ReadFault, StoreFaultPolicy,
+    WriteFault,
+};
 pub use cluster::{Cluster, Worker, WorkerId, WorkerSpec};
 pub use context::EngineContext;
 pub use cost::CostModel;

@@ -11,8 +11,9 @@
 //!   record of a run, not a lossy sample.
 
 use flint_engine::{
-    CheckpointDirective, CheckpointHooks, Driver, DriverConfig, EventSink, LineageView, RddId,
-    RunStats, ScriptedInjector, TraceHandle, Value, WorkerEvent, WorkerSpec,
+    ChaosConfig, ChaosInjector, ChaosSchedule, CheckpointDirective, CheckpointHooks, Driver,
+    DriverConfig, EventSink, FailureInjector, LineageView, NoFailures, RddId, RunStats,
+    ScriptedInjector, StoreFaultPolicy, TraceHandle, Value, WorkerEvent, WorkerSpec,
 };
 use flint_simtime::SimTime;
 use flint_trace::{Event, MetricsAggregator};
@@ -204,10 +205,6 @@ fn shuffle_heavy_golden_trace_is_identical_across_host_thread_counts() {
 /// same cached blocks are fetched wave after wave, so any change to
 /// record sizing or fetch ordering would move the stream.
 fn run_iterative_cached(host_threads: usize) -> (String, RunStats) {
-    let cfg = DriverConfig::builder()
-        .host_threads(host_threads)
-        .size_scale(5e5)
-        .build();
     let injector = ScriptedInjector::new(vec![
         (
             SimTime::from_millis(120_000),
@@ -221,11 +218,29 @@ fn run_iterative_cached(host_threads: usize) -> (String, RunStats) {
             },
         ),
     ]);
+    run_iterative_with(host_threads, Box::new(injector), None)
+}
+
+/// The iterative workload with an arbitrary injector and (optionally) a
+/// store-fault policy installed — so the chaos-off test can prove that
+/// merely *wiring* the chaos machinery changes nothing.
+fn run_iterative_with(
+    host_threads: usize,
+    injector: Box<dyn FailureInjector>,
+    store_faults: Option<Box<dyn StoreFaultPolicy>>,
+) -> (String, RunStats) {
+    let cfg = DriverConfig::builder()
+        .host_threads(host_threads)
+        .size_scale(5e5)
+        .build();
     let mut d = Driver::new(
         cfg,
         Box::new(CheckpointFirstLarge { done: false }),
-        Box::new(injector),
+        injector,
     );
+    if let Some(policy) = store_faults {
+        d.checkpoints_mut().set_fault_policy(policy);
+    }
     let trace = TraceHandle::disabled();
     let reader = trace.attach_memory(0);
     d.set_trace(trace);
@@ -301,6 +316,51 @@ fn iterative_cache_reuse_golden_trace_is_stable() {
         "stream diverged from the pre-change capture (fnv1a = {:#018x})",
         fnv1a(golden.as_bytes())
     );
+}
+
+/// Chaos compiled in but switched off must be a perfect no-op: with a
+/// zero-rate [`ChaosInjector`] and a zero-rate store-fault policy
+/// *installed*, the iterative workload's trace is byte-identical to the
+/// plain `NoFailures` run at every `host_threads` setting. This is the
+/// guarantee that lets the chaos subsystem ship default-on in the
+/// binary without moving any golden stream.
+#[test]
+fn chaos_disabled_leaves_golden_trace_untouched() {
+    let zero_cfg = || {
+        let mut ccfg = ChaosConfig::new(99);
+        ccfg.revocations = 0;
+        ccfg.flap_prob = 0.0;
+        ccfg.mass_revoke_prob = 0.0;
+        ccfg.torn_write_prob = 0.0;
+        ccfg.failed_write_prob = 0.0;
+        ccfg.outages = 0;
+        ccfg
+    };
+    let schedule = ChaosSchedule::generate(&zero_cfg());
+    assert!(schedule.worker_events.is_empty(), "zero rates → no events");
+    assert!(schedule.notes.is_empty());
+    assert!(schedule.outages.is_empty());
+
+    let (golden, stats) = run_iterative_with(1, Box::new(NoFailures), None);
+    assert_eq!(stats.revocations, 0);
+    for threads in [1usize, 2, 8] {
+        let ccfg = zero_cfg();
+        let schedule = ChaosSchedule::generate(&ccfg);
+        let store_faults = schedule.store_faults(&ccfg);
+        let (jsonl, chaos_stats) = run_iterative_with(
+            threads,
+            Box::new(ChaosInjector::from_schedule(schedule)),
+            Some(Box::new(store_faults)),
+        );
+        assert_eq!(
+            chaos_stats, stats,
+            "host_threads={threads}: zero-rate chaos perturbed the stats"
+        );
+        assert_eq!(
+            jsonl, golden,
+            "host_threads={threads}: zero-rate chaos moved the event stream"
+        );
+    }
 }
 
 #[test]

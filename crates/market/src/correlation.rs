@@ -150,6 +150,66 @@ pub fn greedy_uncorrelated_subset(corr: &[Vec<f64>], max_corr: f64, max_size: us
     chosen
 }
 
+/// Partitions market indices into correlated groups: connected
+/// components of the graph whose edges join pairs with
+/// `|corr[i][j]| > threshold`.
+///
+/// Markets in one group tend to spike together, so a mass-revocation
+/// event striking one of them plausibly strikes them all — chaos
+/// campaigns use these groups to build correlated revocation schedules,
+/// and cooldown policies can exclude a whole group after one member
+/// fails. Groups are returned in ascending order of their smallest
+/// member; singleton groups are included.
+///
+/// # Examples
+///
+/// ```
+/// use flint_market::correlated_groups;
+///
+/// // 0 and 1 spike together; 2 is independent.
+/// let corr = vec![
+///     vec![1.0, 0.9, 0.05],
+///     vec![0.9, 1.0, 0.10],
+///     vec![0.05, 0.10, 1.0],
+/// ];
+/// assert_eq!(correlated_groups(&corr, 0.25), vec![vec![0, 1], vec![2]]);
+/// ```
+pub fn correlated_groups(corr: &[Vec<f64>], threshold: f64) -> Vec<Vec<usize>> {
+    let n = corr.len();
+    let mut group_of: Vec<usize> = (0..n).collect();
+    // Union-find with path halving; small n, so simplicity over rank.
+    fn find(g: &mut [usize], mut i: usize) -> usize {
+        while g[i] != i {
+            g[i] = g[g[i]];
+            i = g[i];
+        }
+        i
+    }
+    for (i, row) in corr.iter().enumerate() {
+        for (j, c) in row.iter().enumerate().skip(i + 1) {
+            if c.abs() > threshold {
+                let (ri, rj) = (find(&mut group_of, i), find(&mut group_of, j));
+                if ri != rj {
+                    group_of[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut index_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for i in 0..n {
+        let root = find(&mut group_of, i);
+        match index_of.get(&root) {
+            Some(&gi) => groups[gi].push(i),
+            None => {
+                index_of.insert(root, groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +290,24 @@ mod tests {
         assert_eq!(pearson(&[], &[]), 0.0);
         assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
         assert_eq!(pearson(&[1.0, 1.0, 1.0], &[0.0, 1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn correlated_groups_are_transitive_components() {
+        // 0–1 and 1–3 are edges, so {0, 1, 3} is one group even though
+        // 0–3 alone fall below the threshold; 2 stands alone.
+        let corr = vec![
+            vec![1.0, 0.8, 0.0, 0.1],
+            vec![0.8, 1.0, 0.0, 0.9],
+            vec![0.0, 0.0, 1.0, 0.0],
+            vec![0.1, 0.9, 0.0, 1.0],
+        ];
+        assert_eq!(correlated_groups(&corr, 0.5), vec![vec![0, 1, 3], vec![2]]);
+        // A permissive threshold leaves everything independent.
+        assert_eq!(
+            correlated_groups(&corr, 1.0),
+            vec![vec![0], vec![1], vec![2], vec![3]]
+        );
+        assert!(correlated_groups(&[], 0.5).is_empty());
     }
 }

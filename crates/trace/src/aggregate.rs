@@ -175,6 +175,20 @@ pub struct MetricsAggregator {
     /// Replacement rounds run by the node manager.
     pub replacement_rounds: u64,
 
+    // ── chaos: injected faults and recovery decisions ──────────────
+    /// Faults injected by the chaos subsystem.
+    pub faults_injected: u64,
+    /// Torn checkpoint writes detected at restore time.
+    pub corrupt_detected: u64,
+    /// Restores abandoned in favour of lineage recomputation.
+    pub restore_fallbacks: u64,
+    /// Store-retry backoffs scheduled by the driver.
+    pub backoffs_scheduled: u64,
+    /// Flapping workers quarantined.
+    pub workers_quarantined: u64,
+    /// Markets placed in a cooldown exclusion window.
+    pub market_cooldowns: u64,
+
     // ── per-phase histograms ───────────────────────────────────────
     /// Action (job) latencies, virtual millis.
     pub action_latency: Histogram,
@@ -266,6 +280,12 @@ impl MetricsAggregator {
             EventKind::ReplacementRound { .. } => self.replacement_rounds += 1,
             EventKind::MttfUpdated { .. } => {}
             EventKind::MarketSelected { .. } => {}
+            EventKind::FaultInjected { .. } => self.faults_injected += 1,
+            EventKind::CheckpointCorruptDetected { .. } => self.corrupt_detected += 1,
+            EventKind::RestoreFallback { .. } => self.restore_fallbacks += 1,
+            EventKind::BackoffScheduled { .. } => self.backoffs_scheduled += 1,
+            EventKind::WorkerQuarantined { .. } => self.workers_quarantined += 1,
+            EventKind::MarketCooledDown { .. } => self.market_cooldowns += 1,
         }
     }
 
@@ -364,6 +384,15 @@ impl fmt::Display for MetricsAggregator {
         )?;
         row(f, "replacement rounds", self.replacement_rounds)?;
         row(f, "compute cost", format!("${:.4}", self.compute_cost))?;
+        if self.faults_injected > 0 || self.corrupt_detected > 0 || self.workers_quarantined > 0 {
+            writeln!(f, "chaos / recovery:")?;
+            row(f, "faults injected", self.faults_injected)?;
+            row(f, "corrupt detected", self.corrupt_detected)?;
+            row(f, "restore fallbacks", self.restore_fallbacks)?;
+            row(f, "backoffs scheduled", self.backoffs_scheduled)?;
+            row(f, "workers quarantined", self.workers_quarantined)?;
+            row(f, "market cooldowns", self.market_cooldowns)?;
+        }
         writeln!(f, "histograms:")?;
         hist_row(f, "action latency", &self.action_latency, "ms")?;
         hist_row(f, "task duration", &self.task_millis, "ms")?;

@@ -206,6 +206,30 @@ event_kinds! {
     MttfUpdated { mttf_ms: u64 },
     /// The selection policy allocated workers to a market.
     MarketSelected { market: u64, workers: u64 },
+
+    // ── chaos: injected faults and recovery decisions ──────────────
+    /// The chaos subsystem injected one fault. `kind` names the fault
+    /// domain (`"revoke_unwarned"`, `"mass_revoke"`, `"flap"`,
+    /// `"delayed_add"`, `"ckpt_torn"`, `"ckpt_write_fail"`,
+    /// `"store_outage"`); `target` is the ext worker id, block key, or
+    /// market it hit.
+    FaultInjected { kind: String, target: String },
+    /// A checkpoint read failed its integrity check (torn write): the
+    /// stored bytes can not be trusted and the restore is abandoned.
+    CheckpointCorruptDetected { block: String },
+    /// A restore was abandoned and the partition fell back to lineage
+    /// recomputation. `reason` is `"corrupt"` or `"outage"`.
+    RestoreFallback { block: String, reason: String },
+    /// The driver backed off before retrying a transiently-unavailable
+    /// checkpoint store; `attempt` counts retries so far and `millis`
+    /// is the capped exponential wait.
+    BackoffScheduled { attempt: u64, millis: u64 },
+    /// A flapping worker exceeded the remove-rate threshold and was
+    /// quarantined: future Adds for this ext id are ignored.
+    WorkerQuarantined { ext: u64, removes: u64 },
+    /// A failed/spiking market entered its cooldown exclusion window
+    /// and will not receive replacement requests until `until_ms`.
+    MarketCooledDown { market: u64, until_ms: u64 },
 }
 
 /// Formats an `f64` exactly as Rust's shortest-roundtrip `Display`,
@@ -533,6 +557,29 @@ mod tests {
             EventKind::MarketSelected {
                 market: 1,
                 workers: 10,
+            },
+            EventKind::FaultInjected {
+                kind: "revoke_unwarned".into(),
+                target: "ext-17".into(),
+            },
+            EventKind::CheckpointCorruptDetected {
+                block: "rdd-000005/part-00001".into(),
+            },
+            EventKind::RestoreFallback {
+                block: "rdd-000005/part-00001".into(),
+                reason: "corrupt".into(),
+            },
+            EventKind::BackoffScheduled {
+                attempt: 2,
+                millis: 4_000,
+            },
+            EventKind::WorkerQuarantined {
+                ext: 17,
+                removes: 3,
+            },
+            EventKind::MarketCooledDown {
+                market: 4,
+                until_ms: 7_200_000,
             },
         ];
         kinds.into_iter().map(|kind| Event { t, kind }).collect()

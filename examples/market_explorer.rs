@@ -26,6 +26,7 @@ fn main() {
         job: &job,
         storage: StorageConfig::default(),
         n: 10,
+        cooled: &[],
     };
 
     println!(

@@ -14,13 +14,14 @@ use std::process::ExitCode;
 
 use flint::core::{FlintCheckpointPolicy, FlintConfig, Mode};
 use flint::engine::{
-    Driver, DriverConfig, NoCheckpoint, ScriptedInjector, WorkerEvent, WorkerSpec,
+    ChaosConfig, ChaosInjector, ChaosSchedule, Driver, DriverConfig, NoCheckpoint,
+    ScriptedInjector, WorkerEvent, WorkerSpec,
 };
-use flint::market::MarketCatalog;
+use flint::market::{correlated_groups, correlation_matrix, MarketCatalog};
 use flint::model::{run_mc, CkptMode, McConfig, PolicyKind};
 use flint::runner::run_on_flint;
 use flint::simtime::{SimDuration, SimTime};
-use flint::trace::{Event, JsonlSink, MetricsAggregator, TraceHandle};
+use flint::trace::{Event, EventKind, JsonlSink, MetricsAggregator, TraceHandle};
 use flint::workloads::{Als, KMeans, PageRank, Tpch, Workload, WorkloadConfig};
 
 fn main() -> ExitCode {
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "run" => cmd_run(&args, &flags),
         "workload" => cmd_workload(&args, &flags),
+        "chaos" => cmd_chaos(&flags),
         "markets" => cmd_markets(&flags),
         "mc" => cmd_mc(&flags),
         "experiment" => cmd_experiment(&args),
@@ -61,13 +63,21 @@ USAGE:
   flint workload <pagerank|kmeans|als|tpch> [--gb N] [--iterations N]
         [--workers N] [--failures K] [--mttf H] [--checkpoint] [--seed N]
         [--dot FILE]   (write the executed lineage graph as Graphviz DOT)
+  flint chaos [--seed N] [--runs R] [--faults revoke,mass,flap,delay,store]
+        [--workload W] [--gb N] [--workers N] [--mttf H] [--trace FILE]
+                          (seeded fault-injection campaign: each run is
+                           diffed against its fault-free twin and must
+                           finish byte-identical or with a typed error)
   flint markets [--seed N] [--days N]
   flint mc [--policy batch|interactive|fleet|od] [--hours N] [--seed N]
   flint experiment <name>   (fig02a fig02b fig03 fig04 fig06a fig06b fig06c
                              fig07 fig08 fig09 fig10a fig10b fig11a fig11b
                              multiaz storage ablation_* ext_*)
   flint trace summary <FILE>    (fold a JSONL event trace into run metrics)
-  flint trace validate <FILE>   (parse-check a JSONL event trace)
+  flint trace validate <FILE>   (parse-check a JSONL event trace and verify
+                                 fault/recovery pairing: every corrupt
+                                 checkpoint detection must be answered by a
+                                 lineage fallback or a typed failure)
   flint trace prices [--seed N] [--days N] [--market I]
                                 (CSV price trace to stdout; also the
                                  default when no subcommand is given)"
@@ -363,7 +373,21 @@ fn cmd_trace(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
                 }
             };
             if sub == "validate" {
-                println!("{path}: OK ({} events)", events.len());
+                let pairs = match check_fault_pairing(&events) {
+                    Ok(pairs) => pairs,
+                    Err(msg) => {
+                        eprintln!("{path}: {msg}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if pairs > 0 {
+                    println!(
+                        "{path}: OK ({} events, {pairs} fault/recovery pairs)",
+                        events.len()
+                    );
+                } else {
+                    println!("{path}: OK ({} events)", events.len());
+                }
             } else {
                 print!("{}", MetricsAggregator::from_events(&events));
             }
@@ -403,6 +427,268 @@ fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
         return Err("no events".to_string());
     }
     Ok(events)
+}
+
+/// Verifies the fault/recovery pairing invariant: every
+/// `CheckpointCorruptDetected` for a block must be answered later in the
+/// stream by a `RestoreFallback` for the same block — unless the run
+/// ended in a typed failure, visible as an action that started but never
+/// finished. Returns the number of matched pairs.
+fn check_fault_pairing(events: &[Event]) -> Result<usize, String> {
+    let mut pending: Vec<&str> = Vec::new();
+    let mut pairs = 0usize;
+    let mut open_actions = 0i64;
+    for ev in events {
+        match &ev.kind {
+            EventKind::CheckpointCorruptDetected { block } => pending.push(block),
+            EventKind::RestoreFallback { block, .. } => {
+                if let Some(pos) = pending.iter().position(|b| b == block) {
+                    pending.remove(pos);
+                    pairs += 1;
+                }
+            }
+            EventKind::ActionStarted { .. } => open_actions += 1,
+            EventKind::ActionFinished { .. } => open_actions -= 1,
+            _ => {}
+        }
+    }
+    if pending.is_empty() || open_actions > 0 {
+        Ok(pairs)
+    } else {
+        Err(format!(
+            "{} corrupt-checkpoint detection(s) never answered by a \
+             restore fallback or typed failure: {pending:?}",
+            pending.len()
+        ))
+    }
+}
+
+/// Builds correlated ext-id groups for mass revocations by grouping the
+/// catalog's spot markets on their spike correlation and assigning base
+/// workers to markets round-robin — the chaos analogue of the paper's
+/// observation that servers in correlated markets fail together.
+fn correlated_ext_groups(seed: u64, workers: u32) -> Vec<Vec<u64>> {
+    let catalog = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(30));
+    let spot = catalog.spot_markets();
+    if spot.is_empty() {
+        return Vec::new();
+    }
+    let traces: Vec<_> = spot.iter().map(|m| &m.trace).collect();
+    let corr = correlation_matrix(
+        &traces,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_days(30),
+        SimDuration::from_mins(10),
+        2.0,
+    );
+    correlated_groups(&corr, 0.25)
+        .into_iter()
+        .map(|group| {
+            (1..=u64::from(workers))
+                .filter(|ext| group.contains(&(((ext - 1) as usize) % spot.len())))
+                .collect::<Vec<u64>>()
+        })
+        .filter(|g| !g.is_empty())
+        .collect()
+}
+
+/// Chaos-mode checkpoint policy: checkpoint every RDD the moment it
+/// materializes. Real deployments use the adaptive τ policy; chaos
+/// campaigns want maximum traffic through the degraded store so torn
+/// writes, lost writes, and outage-window reads all get exercised.
+struct CkptEveryRdd;
+
+impl flint::engine::CheckpointHooks for CkptEveryRdd {
+    fn on_rdd_materialized(
+        &mut self,
+        _view: &flint::engine::LineageView<'_>,
+        _events: &mut dyn flint::engine::EventSink,
+        rdd: flint::engine::RddId,
+        _now: SimTime,
+    ) -> Vec<flint::engine::CheckpointDirective> {
+        vec![flint::engine::CheckpointDirective::Checkpoint(rdd)]
+    }
+}
+
+fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
+    let seed = flag_u(flags, "seed", 42);
+    let runs = flag_u(flags, "runs", 3).max(1);
+    let workers = flag_u(flags, "workers", 4).max(1) as u32;
+    let faults = flags.get("faults").map(String::as_str).unwrap_or("all");
+    let enabled: Vec<&str> = faults.split(',').map(str::trim).collect();
+    let has = |k: &str| faults == "all" || enabled.contains(&k);
+    let mttf = SimDuration::from_hours_f64(flag_f64(flags, "mttf", 1.0));
+
+    let name = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("pagerank");
+    let wl_cfg = WorkloadConfig {
+        dataset_gb: flag_f64(flags, "gb", 0.3),
+        partitions: flag_u(flags, "partitions", 6) as u32,
+        iterations: flag_u(flags, "iterations", 3) as u32,
+        seed: flag_u(flags, "wl-seed", 1),
+    };
+    let wl: Box<dyn Workload> = match name {
+        "pagerank" => Box::new(PageRank::new(wl_cfg)),
+        "kmeans" => Box::new(KMeans::new(wl_cfg)),
+        "als" => Box::new(Als::new(wl_cfg)),
+        "tpch" => Box::new(Tpch::new(wl_cfg)),
+        other => {
+            eprintln!("unknown workload: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The fault-free twin: its digest is the ground truth every chaos
+    // run must reproduce, and its runtime sizes the fault horizon so
+    // faults strike mid-job rather than after completion.
+    let mut driver_cfg = DriverConfig::default();
+    driver_cfg.cost.size_scale = wl.recommended_size_scale();
+    let (expect, baseline) = {
+        let mut d = Driver::new(
+            driver_cfg.clone(),
+            Box::new(NoCheckpoint),
+            Box::new(flint::engine::NoFailures),
+        );
+        for ext in 1..=u64::from(workers) {
+            d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+        }
+        let s = wl.run(&mut d).expect("fault-free twin run");
+        (s, d.now().since_epoch())
+    };
+
+    let groups = if has("mass") {
+        correlated_ext_groups(seed, workers)
+    } else {
+        Vec::new()
+    };
+
+    println!(
+        "chaos campaign: seed {seed}, {runs} run(s), faults [{faults}], \
+         workload {name}"
+    );
+    println!(
+        "fault-free    : checksum {:#018x}, {} records, runtime {baseline}",
+        expect.checksum, expect.records
+    );
+
+    let mut survived = 0u64;
+    let mut typed = 0u64;
+    let mut violations = 0u64;
+    for r in 0..runs {
+        let run_seed = seed.wrapping_add(r);
+        let mut ccfg = ChaosConfig::new(run_seed);
+        ccfg.n_workers = workers;
+        ccfg.horizon = baseline.max(SimDuration::from_mins(1));
+        ccfg.groups.clone_from(&groups);
+        if !has("revoke") && !has("mass") && !has("flap") {
+            ccfg.revocations = 0;
+        }
+        if !has("mass") {
+            ccfg.mass_revoke_prob = 0.0;
+        }
+        if !has("flap") {
+            ccfg.flap_prob = 0.0;
+        }
+        if !has("delay") {
+            ccfg.delayed_frac = 0.0;
+        }
+        if !has("store") {
+            ccfg.torn_write_prob = 0.0;
+            ccfg.failed_write_prob = 0.0;
+            ccfg.outages = 0;
+        }
+        ccfg.revocations = flag_u(flags, "revocations", u64::from(ccfg.revocations)) as u32;
+
+        let schedule = ChaosSchedule::generate(&ccfg);
+        let store_faults = schedule.store_faults(&ccfg);
+        let injector = ChaosInjector::from_schedule(schedule);
+
+        let trace = TraceHandle::disabled();
+        let trace_path = flags.get("trace").map(|p| {
+            if runs > 1 {
+                format!("{p}.run{r}")
+            } else {
+                p.clone()
+            }
+        });
+        if let Some(path) = &trace_path {
+            match std::fs::File::create(path) {
+                Ok(f) => trace.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+                Err(e) => {
+                    eprintln!("could not create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+
+        let hooks: Box<dyn flint::engine::CheckpointHooks> =
+            match flags.get("ckpt").map(String::as_str).unwrap_or("eager") {
+                "eager" => Box::new(CkptEveryRdd),
+                "adaptive" => Box::new(FlintCheckpointPolicy::with_mttf(mttf)),
+                "none" => Box::new(NoCheckpoint),
+                other => {
+                    eprintln!("unknown ckpt policy: {other} (expected eager|adaptive|none)");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let cfg = driver_cfg.clone();
+        let run_trace = trace.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut d = Driver::new(cfg, hooks, Box::new(injector));
+            d.set_trace(run_trace);
+            d.checkpoints_mut().set_fault_policy(Box::new(store_faults));
+            for ext in 1..=u64::from(workers) {
+                d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+            }
+            let res = wl.run(&mut d);
+            (res, d.stats().clone(), d.now().since_epoch())
+        }));
+        trace.flush();
+
+        let verdict = match outcome {
+            Err(_) => {
+                violations += 1;
+                format!("PANIC (seed {run_seed}) — invariant violated")
+            }
+            Ok((Ok(s), stats, runtime)) => {
+                if s.checksum == expect.checksum && s.records == expect.records {
+                    survived += 1;
+                    format!(
+                        "survived byte-identical ({:+.1}% runtime, {} restores, \
+                         {} revocations)",
+                        (runtime.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0,
+                        stats.restores,
+                        stats.revocations
+                    )
+                } else {
+                    violations += 1;
+                    format!(
+                        "WRONG DATA (checksum {:#018x} != {:#018x}) — invariant violated",
+                        s.checksum, expect.checksum
+                    )
+                }
+            }
+            Ok((Err(e), _, _)) => {
+                typed += 1;
+                format!("typed error: {e}")
+            }
+        };
+        println!("run {r:>3} seed {run_seed:<8}: {verdict}");
+        if let Some(path) = &trace_path {
+            println!("              trace written to {path}");
+        }
+    }
+    println!(
+        "survival      : {survived}/{runs} byte-identical, {typed} typed \
+         error(s), {violations} violation(s)"
+    );
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_trace_prices(flags: &HashMap<String, String>) -> ExitCode {

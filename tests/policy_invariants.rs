@@ -93,6 +93,7 @@ proptest! {
             job: &job,
             storage: StorageConfig::default(),
             n: 10,
+            cooled: &[],
         };
         let mut p = BatchSelection;
         let pick = p.initial(&view)[0].0;

@@ -1,16 +1,24 @@
 //! Property-based tests of the engine's core correctness invariant:
-//! under ANY revocation schedule, recovery (recomputation + checkpoint
-//! restore) produces results bit-identical to a failure-free run.
+//! under ANY revocation schedule — scripted or seeded chaos, including
+//! checkpoint-store corruption and outages — recovery (recomputation +
+//! checkpoint restore) either produces results bit-identical to a
+//! failure-free run or fails with a typed error. Never a panic, never
+//! wrong data.
 
-use flint::core::FlintCheckpointPolicy;
+use flint::core::{FlintCheckpointPolicy, FlintCluster, FlintConfig, Mode, SelectionConfig};
 use flint::engine::{
-    Driver, DriverConfig, NoCheckpoint, ScriptedInjector, Value, WorkerEvent, WorkerSpec,
+    ChaosConfig, ChaosInjector, ChaosSchedule, CheckpointDirective, CheckpointHooks, Driver,
+    DriverConfig, EngineError, EventSink, LineageView, NoCheckpoint, RddId, ScriptedInjector,
+    Value, WorkerEvent, WorkerSpec,
 };
+use flint::market::MarketCatalog;
 use flint::simtime::{SimDuration, SimTime};
+use flint::trace::{EventKind, TraceHandle};
 use proptest::prelude::*;
 
-/// Builds a deterministic multi-stage job and returns its sorted output.
-fn run_job(driver: &mut Driver, seed: i64) -> Vec<Value> {
+/// Builds a deterministic multi-stage job and returns its sorted output,
+/// or the typed error the engine surfaced.
+fn run_job(driver: &mut Driver, seed: i64) -> Result<Vec<Value>, EngineError> {
     let src = driver
         .ctx()
         .parallelize((0..400).map(|i| Value::from_i64(i * seed % 101)), 8);
@@ -25,9 +33,9 @@ fn run_job(driver: &mut Driver, seed: i64) -> Vec<Value> {
         Value::pair(v, k)
     });
     let sorted = driver.ctx().sort_by_key(swapped, 3, true);
-    let mut out = driver.collect(sorted).unwrap();
+    let mut out = driver.collect(sorted)?;
     out.sort();
-    out
+    Ok(out)
 }
 
 /// A revocation schedule: (milliseconds, workers to kill, replace?).
@@ -85,7 +93,7 @@ fn parallel_recovery_matches_sequential() {
             d.add_worker_with_ext(ext, WorkerSpec::r3_large());
         }
         d.add_worker_with_ext(999, WorkerSpec::r3_large());
-        let out = run_job(&mut d, 17);
+        let out = run_job(&mut d, 17).unwrap();
         (out, d.stats().clone(), d.now())
     };
     let sequential = run(1);
@@ -100,6 +108,104 @@ fn parallel_recovery_matches_sequential() {
     assert_eq!(parallel.1, sequential.1, "run statistics diverged");
 }
 
+/// Chaos-mode checkpoint policy for tests: checkpoint every RDD as it
+/// materializes, maximizing traffic through the degraded store.
+struct EagerCkpt;
+
+impl CheckpointHooks for EagerCkpt {
+    fn on_rdd_materialized(
+        &mut self,
+        _view: &LineageView<'_>,
+        _events: &mut dyn EventSink,
+        rdd: RddId,
+        _now: SimTime,
+    ) -> Vec<CheckpointDirective> {
+        vec![CheckpointDirective::Checkpoint(rdd)]
+    }
+}
+
+/// The classified result of one seeded chaos run.
+enum ChaosOutcome {
+    /// Completed with output byte-identical to the fault-free run.
+    Identical,
+    /// Failed with a typed [`EngineError`] — acceptable under chaos.
+    Typed(#[allow(dead_code)] EngineError),
+    /// Completed with output differing from the fault-free run: an
+    /// invariant violation.
+    WrongData(String),
+    /// Panicked: an invariant violation.
+    Panicked,
+}
+
+fn golden_output(job_seed: i64) -> &'static Vec<Value> {
+    static GOLDEN: std::sync::OnceLock<Vec<Value>> = std::sync::OnceLock::new();
+    assert_eq!(job_seed, 23, "golden cache is keyed to one job seed");
+    GOLDEN.get_or_init(|| run_job(&mut Driver::local(6), 23).unwrap())
+}
+
+/// Runs the standard job under the given chaos campaign — worker churn
+/// via [`ChaosInjector`], store degradation via the schedule's
+/// [`flint::engine::ChaosStoreFaults`] — and classifies the outcome
+/// against the headline invariant.
+fn chaos_outcome(ccfg: &ChaosConfig, job_seed: i64) -> ChaosOutcome {
+    let golden = golden_output(job_seed);
+    let schedule = ChaosSchedule::generate(ccfg);
+    let store_faults = schedule.store_faults(ccfg);
+    let injector = ChaosInjector::from_schedule(schedule);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut cfg = DriverConfig::default();
+        cfg.cost.size_scale = 5e5;
+        cfg.store_retry_limit = 4;
+        let mut d = Driver::new(cfg, Box::new(EagerCkpt), Box::new(injector));
+        d.checkpoints_mut().set_fault_policy(Box::new(store_faults));
+        for ext in 1..=u64::from(ccfg.n_workers) {
+            d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+        }
+        // A lifeline worker outside the chaos pool guarantees progress
+        // is at least possible; the store can still force typed errors.
+        d.add_worker_with_ext(999, WorkerSpec::r3_large());
+        run_job(&mut d, job_seed)
+    }));
+    match result {
+        Err(_) => ChaosOutcome::Panicked,
+        Ok(Err(e)) => ChaosOutcome::Typed(e),
+        Ok(Ok(out)) if &out == golden => ChaosOutcome::Identical,
+        Ok(Ok(out)) => ChaosOutcome::WrongData(format!(
+            "{} records vs {} in the fault-free run",
+            out.len(),
+            golden.len()
+        )),
+    }
+}
+
+/// The headline robustness claim, stated as a campaign: 200 consecutive
+/// chaos seeds of the default (moderately hostile) campaign — mixed
+/// warned/unwarned revocations, correlated mass revocations, flapping
+/// workers, delayed replacements, torn/lost checkpoint writes, and store
+/// outages — and every run either reproduces the fault-free bytes or
+/// fails with a typed error. Zero panics, zero wrong answers.
+#[test]
+fn chaos_campaign_200_seeds_byte_identical_or_typed() {
+    let mut identical = 0u32;
+    let mut typed = 0u32;
+    for seed in 0..200u64 {
+        let mut ccfg = ChaosConfig::new(seed);
+        ccfg.n_workers = 6;
+        ccfg.groups = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        match chaos_outcome(&ccfg, 23) {
+            ChaosOutcome::Identical => identical += 1,
+            ChaosOutcome::Typed(_) => typed += 1,
+            ChaosOutcome::WrongData(msg) => panic!("seed {seed}: wrong data — {msg}"),
+            ChaosOutcome::Panicked => panic!("seed {seed}: chaos run panicked"),
+        }
+    }
+    assert_eq!(identical + typed, 200);
+    assert!(
+        identical > 100,
+        "most campaigns should survive (got {identical} identical, {typed} typed)"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -108,7 +214,7 @@ proptest! {
     #[test]
     fn recomputation_is_exact(seed in 1i64..50, events in schedules()) {
         let mut clean = Driver::local(6);
-        let golden = run_job(&mut clean, seed);
+        let golden = run_job(&mut clean, seed).unwrap();
 
         let mut cfg = DriverConfig::default();
         cfg.cost.size_scale = 5e5; // paper-scale pressure from tiny data
@@ -124,7 +230,7 @@ proptest! {
         // replacement.
         d.add_worker_with_ext(999, WorkerSpec::r3_large());
 
-        let got = run_job(&mut d, seed);
+        let got = run_job(&mut d, seed).unwrap();
         prop_assert_eq!(got, golden);
     }
 
@@ -133,7 +239,7 @@ proptest! {
     #[test]
     fn checkpointed_recovery_is_exact(seed in 1i64..50, events in schedules()) {
         let mut clean = Driver::local(6);
-        let golden = run_job(&mut clean, seed);
+        let golden = run_job(&mut clean, seed).unwrap();
 
         let mut cfg = DriverConfig::default();
         cfg.cost.size_scale = 5e5;
@@ -147,8 +253,78 @@ proptest! {
         }
         d.add_worker_with_ext(999, WorkerSpec::r3_large());
 
-        let got = run_job(&mut d, seed);
+        let got = run_job(&mut d, seed).unwrap();
         prop_assert_eq!(got, golden);
+    }
+
+    /// Randomized chaos knobs: revocation volume, warning mix, mass
+    /// revocations, store corruption/loss rates, and outage windows are
+    /// all drawn by proptest; the headline invariant must hold for every
+    /// combination.
+    #[test]
+    fn chaos_knobs_never_corrupt(
+        seed in 0u64..100_000,
+        revocations in 0u32..12,
+        unwarned in 0.0f64..=1.0,
+        mass in 0.0f64..=1.0,
+        torn in 0.0f64..0.5,
+        lost in 0.0f64..0.4,
+        outages in 0u32..4,
+    ) {
+        let mut ccfg = ChaosConfig::new(seed);
+        ccfg.n_workers = 6;
+        ccfg.revocations = revocations;
+        ccfg.unwarned_frac = unwarned;
+        ccfg.mass_revoke_prob = mass;
+        ccfg.groups = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        ccfg.torn_write_prob = torn;
+        ccfg.failed_write_prob = lost;
+        ccfg.outages = outages;
+        match chaos_outcome(&ccfg, 23) {
+            ChaosOutcome::Identical => {}
+            ChaosOutcome::Typed(_) => {}
+            ChaosOutcome::WrongData(msg) => prop_assert!(false, "seed {}: {}", seed, msg),
+            ChaosOutcome::Panicked => prop_assert!(false, "seed {}: panicked", seed),
+        }
+    }
+
+    /// Billing stays consistent under market-driven churn: after
+    /// shutdown, the sum of `InstanceBilled` trace events equals the
+    /// `CostReport`'s compute cost, with the failure-cooldown window
+    /// active so replacement rounds route around failed markets.
+    #[test]
+    fn billed_events_match_cost_report_under_churn(seed in 0u64..500) {
+        let catalog = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(30));
+        let trace = TraceHandle::disabled();
+        let reader = trace.attach_memory(0);
+        let config = FlintConfig::builder()
+            .n_workers(4)
+            .mode(Mode::Interactive)
+            .selection(SelectionConfig {
+                market_cooldown: SimDuration::from_hours(1),
+                ..SelectionConfig::default()
+            })
+            .seed(seed)
+            .trace(trace)
+            .build();
+        let mut cluster = FlintCluster::launch(catalog, config);
+        let out = run_job(cluster.driver_mut(), 9).unwrap();
+        prop_assert!(!out.is_empty());
+        let report = cluster.shutdown();
+        let billed: f64 = reader
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::InstanceBilled { cost, .. } => Some(*cost),
+                _ => None,
+            })
+            .sum();
+        prop_assert!(
+            (billed - report.compute_cost).abs() < 1e-9,
+            "Σ InstanceBilled = {} but CostReport.compute_cost = {}",
+            billed,
+            report.compute_cost
+        );
     }
 
     /// Explicitly checkpointed datasets survive arbitrary later failures
