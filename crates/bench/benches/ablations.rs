@@ -32,4 +32,8 @@ fn main() {
         "ablation_adaptive_delta",
         flint_bench::ablations::ablation_adaptive_delta,
     );
+    run_and_save(
+        "ablation_portfolio",
+        flint_bench::ablations::ablation_portfolio,
+    );
 }

@@ -363,6 +363,67 @@ pub fn ablation_adaptive_delta() -> Table {
     table
 }
 
+/// Fig. 4 / Fig. 11-style ablation: mean-variance portfolio selection
+/// versus the greedy batch policy across calm → volatile regimes. The
+/// batch policy concentrates the whole cluster in the cheapest market, so
+/// one price spike revokes everything at once; the portfolio spreads
+/// servers across markets in proportion to the risk-aversion λ, trading
+/// pennies of cost for bounded simultaneous losses.
+pub fn ablation_portfolio() -> Table {
+    let mut table = Table::new(
+        "Ablation: portfolio selection vs greedy batch, calm -> volatile regimes",
+        &[
+            "regime",
+            "policy",
+            "mean cost ($)",
+            "mean makespan (h)",
+            "cost x makespan",
+        ],
+    )
+    .with_note(
+        "Canonical 24h program, 6 trace offsets per cell; cost x makespan is the \
+         scalar the portfolio objective trades off. Diversification should win \
+         where revocations are frequent.",
+    );
+    let job = SimDuration::from_hours(24);
+    for (regime, mttf_h) in [
+        ("calm 24h", 24.0),
+        ("moderate 8h", 8.0),
+        ("volatile 2h", 2.0),
+    ] {
+        let cat = catalog_with_mttf(50, SimDuration::from_days(150), mttf_h);
+        for policy in [PolicyKind::FlintBatch, PolicyKind::Portfolio(2000)] {
+            let mut cost_sum = 0.0;
+            let mut rt_sum = 0.0;
+            const RUNS: u64 = 6;
+            for i in 0..RUNS {
+                let r = run_mc(
+                    &cat,
+                    &McConfig {
+                        job_length: job,
+                        policy,
+                        seed: i,
+                        start: SimTime::ZERO + SimDuration::from_days(14 + i * 9),
+                        ..McConfig::default()
+                    },
+                );
+                cost_sum += r.total_cost();
+                rt_sum += r.runtime.as_hours_f64();
+            }
+            let mean_cost = cost_sum / RUNS as f64;
+            let mean_rt = rt_sum / RUNS as f64;
+            table.push_row(vec![
+                regime.to_string(),
+                policy.name().to_string(),
+                format!("{mean_cost:.2}"),
+                format!("{mean_rt:.2}"),
+                format!("{:.1}", mean_cost * mean_rt),
+            ]);
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +440,27 @@ mod tests {
                 "most spikes should kill the whole bid range ({both}/{spikes})"
             );
         }
+    }
+
+    #[test]
+    fn portfolio_beats_greedy_in_a_volatile_regime() {
+        let t = ablation_portfolio();
+        println!("{t}");
+        // Rows alternate batch/portfolio per regime; compare the
+        // cost x makespan column (index 4) and require the portfolio to
+        // win (or tie) in at least one non-calm regime.
+        let mut wins = 0;
+        for pair in (0..t.rows.len()).step_by(2).skip(1) {
+            let batch = t.cell_f64(pair, 4);
+            let portfolio = t.cell_f64(pair + 1, 4);
+            if portfolio <= batch {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= 1,
+            "portfolio should beat greedy on cost x makespan in >=1 volatile regime:\n{t}"
+        );
     }
 
     #[test]

@@ -210,6 +210,11 @@ pub fn baseline_runtime(workload: &dyn Workload, n_workers: u32) -> SimDuration 
 /// Draws a seeded Poisson schedule of full-cluster revocations at rate
 /// `1/mttf_hours` over `[0, horizon)` — the §5 experiments' failure
 /// model for a given market volatility.
+///
+/// Inter-kill gaps come from [`flint_market::ExponentialHazard`] (the
+/// same model the node manager assumes), drawing the same stream the
+/// inline inverse-CDF sampler always consumed, so historical schedules
+/// are unchanged.
 pub fn poisson_kills(
     mttf_hours: f64,
     horizon: SimTime,
@@ -217,13 +222,13 @@ pub fn poisson_kills(
     seed: u64,
     label: &str,
 ) -> Vec<(SimTime, u32)> {
-    use rand::Rng;
+    use flint_market::{ExponentialHazard, HazardModel};
+    let hazard = ExponentialHazard::from_hours(mttf_hours);
     let mut rng = flint_simtime::rng::stream(seed, label);
     let mut kills = Vec::new();
     let mut t = SimTime::ZERO;
     loop {
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        t += SimDuration::from_hours_f64(-mttf_hours * u.ln());
+        t += hazard.sample_lifetime(&mut rng);
         if t >= horizon {
             return kills;
         }

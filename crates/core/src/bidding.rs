@@ -1,6 +1,7 @@
 //! Bidding policies for spot markets.
 
-use flint_market::Market;
+use flint_market::{HazardModel, Market};
+use flint_simtime::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// How Flint bids for spot instances.
@@ -25,6 +26,29 @@ impl BidPolicy {
             BidPolicy::OnDemandPrice => market.on_demand_price,
             BidPolicy::OnDemandMultiple(m) => market.on_demand_price * m.clamp(0.0, 10.0),
         }
+    }
+
+    /// Returns the bid to place in `market` under a lifetime hazard.
+    ///
+    /// Bidding above the on-demand anchor is price-spike insurance: it
+    /// only pays off over the lifetime the instance can still reach.
+    /// Under a capped hazard the expected lifetime is a fraction of the
+    /// cap, so the headroom above the anchor is scaled by that fraction
+    /// (an instance that on average lives 80 % of the cap keeps 80 % of
+    /// its extra headroom). Unbounded hazards (exponential) leave the
+    /// bid untouched, as does the default [`BidPolicy::OnDemandPrice`]
+    /// which carries no headroom.
+    pub fn bid_for_hazard(&self, market: &Market, hazard: &dyn HazardModel) -> f64 {
+        let base = self.bid_for(market);
+        let Some(cap) = hazard.lifetime_cap() else {
+            return base;
+        };
+        if cap == SimDuration::ZERO || cap == SimDuration::MAX {
+            return base;
+        }
+        let frac = (hazard.mean_lifetime().as_secs_f64() / cap.as_secs_f64()).clamp(0.0, 1.0);
+        let anchor = market.on_demand_price;
+        anchor + (base - anchor) * frac
     }
 }
 
@@ -57,5 +81,28 @@ mod tests {
         assert!((BidPolicy::OnDemandMultiple(2.0).bid_for(&m) - 0.70).abs() < 1e-12);
         assert!((BidPolicy::OnDemandMultiple(50.0).bid_for(&m) - 3.5).abs() < 1e-12);
         assert_eq!(BidPolicy::OnDemandMultiple(-1.0).bid_for(&m), 0.0);
+    }
+
+    #[test]
+    fn hazard_bid_discounts_headroom_under_cap() {
+        use flint_market::{CappedLifetimeHazard, ExponentialHazard};
+        use flint_simtime::SimDuration;
+        let m = market(0.35);
+        // Exponential (no cap): bid unchanged for every policy.
+        let exp = ExponentialHazard::new(SimDuration::from_hours(10));
+        assert_eq!(
+            BidPolicy::OnDemandMultiple(2.0).bid_for_hazard(&m, &exp),
+            BidPolicy::OnDemandMultiple(2.0).bid_for(&m)
+        );
+        // Capped with p = 0.5 → mean 18 h / 24 h = 0.75 of the cap:
+        // 25 % of the headroom above on-demand is forfeit.
+        let capped = CappedLifetimeHazard::new(0.5, 24.0);
+        let bid = BidPolicy::OnDemandMultiple(2.0).bid_for_hazard(&m, &capped);
+        assert!((bid - (0.35 + 0.35 * 0.75)).abs() < 1e-12);
+        // The anchor policy carries no headroom: exact no-op.
+        assert_eq!(
+            BidPolicy::OnDemandPrice.bid_for_hazard(&m, &capped),
+            BidPolicy::OnDemandPrice.bid_for(&m)
+        );
     }
 }

@@ -7,8 +7,8 @@ use flint_simtime::{SimDuration, SimTime};
 use crate::ckpt_policy::new_shared;
 use crate::{
     BatchSelection, BidPolicy, CostReport, FlintCheckpointPolicy, FtSharedHandle,
-    InteractiveSelection, JobProfile, NodeManager, NodeManagerHandle, SelectionConfig,
-    SelectionPolicy,
+    InteractiveSelection, JobProfile, NodeManager, NodeManagerHandle, PortfolioPolicy,
+    SelectionConfig, SelectionPolicy,
 };
 
 /// Which of Flint's policy pairs to run (§3.1 vs §3.2).
@@ -18,6 +18,9 @@ pub enum Mode {
     Batch,
     /// Diversified cluster, minimum response-time variance.
     Interactive,
+    /// Mean-variance portfolio over markets; the risk-aversion knob
+    /// ([`FlintConfig::risk_aversion`]) interpolates between the two.
+    Portfolio,
 }
 
 /// Configuration of a [`FlintCluster`].
@@ -42,6 +45,11 @@ pub struct FlintConfig {
     pub driver: DriverConfig,
     /// Seed for the cloud simulator (preemptible lifetimes).
     pub seed: u64,
+    /// Risk-aversion λ for [`Mode::Portfolio`] (ignored by the other
+    /// modes): `0` recovers the greedy batch allocation, values at or
+    /// above `flint_core::RISK_POLICY2` recover the interactive
+    /// (Policy 2) split.
+    pub risk_aversion: f64,
     /// Session start within the price traces; defaults to two weeks in so
     /// the backward-looking window has history.
     pub start: SimTime,
@@ -60,6 +68,7 @@ impl Default for FlintConfig {
             bid: BidPolicy::OnDemandPrice,
             driver: DriverConfig::default(),
             seed: 0,
+            risk_aversion: 1.0,
             start: SimTime::ZERO + SimDuration::from_days(14),
             trace: TraceHandle::disabled(),
         }
@@ -138,6 +147,12 @@ impl FlintConfigBuilder {
         self
     }
 
+    /// Risk-aversion λ for [`Mode::Portfolio`] (default 1.0).
+    pub fn risk_aversion(mut self, risk: f64) -> Self {
+        self.cfg.risk_aversion = risk;
+        self
+    }
+
     /// Session start within the price traces.
     pub fn start(mut self, start: SimTime) -> Self {
         self.cfg.start = start;
@@ -173,11 +188,17 @@ pub struct FlintCluster {
 impl FlintCluster {
     /// Launches Flint with the mode's default policy pair.
     pub fn launch(catalog: MarketCatalog, config: FlintConfig) -> FlintCluster {
-        let policy: Box<dyn SelectionPolicy> = match config.mode {
+        let policy = Self::mode_policy(&config);
+        Self::launch_custom(catalog, config, policy, None)
+    }
+
+    /// The mode's default selection policy.
+    fn mode_policy(config: &FlintConfig) -> Box<dyn SelectionPolicy> {
+        match config.mode {
             Mode::Batch => Box::new(BatchSelection),
             Mode::Interactive => Box::new(InteractiveSelection::default()),
-        };
-        Self::launch_custom(catalog, config, policy, None)
+            Mode::Portfolio => Box::new(PortfolioPolicy::new(config.risk_aversion)),
+        }
     }
 
     /// Launches with an explicit selection policy and (optionally) an
@@ -226,10 +247,7 @@ impl FlintCluster {
         catalog: MarketCatalog,
         config: FlintConfig,
     ) -> FlintCluster {
-        let policy: Box<dyn SelectionPolicy> = match config.mode {
-            Mode::Batch => Box::new(BatchSelection),
-            Mode::Interactive => Box::new(InteractiveSelection::default()),
-        };
+        let policy = Self::mode_policy(&config);
         Self::launch_custom(catalog, config, policy, Some(Box::new(NoCheckpoint)))
     }
 
@@ -341,6 +359,32 @@ mod tests {
         assert_eq!(word_count(cluster.driver_mut()), 50);
         assert!(cluster.node_manager().active_markets().len() >= 2);
         assert_eq!(cluster.node_manager().policy_name(), "flint-interactive");
+    }
+
+    #[test]
+    fn portfolio_cluster_runs_and_reports_policy() {
+        let trace = TraceHandle::disabled();
+        let reader = trace.attach_memory(0);
+        let mut cluster = FlintCluster::launch(
+            catalog(),
+            FlintConfig::builder()
+                .n_workers(8)
+                .mode(Mode::Portfolio)
+                .risk_aversion(5.0)
+                .trace(trace)
+                .build(),
+        );
+        assert_eq!(word_count(cluster.driver_mut()), 50);
+        assert_eq!(cluster.node_manager().policy_name(), "flint-portfolio");
+        let report = cluster.shutdown();
+        assert!(report.compute_cost > 0.0);
+        // The portfolio policy announces its weights on the trace.
+        let weights = reader
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, flint_engine::EventKind::PortfolioWeight { .. }))
+            .count();
+        assert!(weights > 0, "expected PortfolioWeight events");
     }
 
     #[test]

@@ -42,7 +42,15 @@ struct NmInner {
     /// Markets excluded from selection until the stored time
     /// (`cfg.market_cooldown` after their last failure).
     cooldown_until: HashMap<MarketId, SimTime>,
+    /// When the age-dependent hazard was last re-fitted (unused under
+    /// the memoryless default).
+    last_hazard_refit: SimTime,
 }
+
+/// How often an age-dependent hazard re-fits the cluster MTTF between
+/// membership changes (ages drift continuously; τ only needs periodic
+/// nudges).
+const HAZARD_REFIT_INTERVAL: SimDuration = SimDuration::from_mins(5);
 
 impl NmInner {
     #[allow(clippy::too_many_arguments)]
@@ -101,6 +109,8 @@ impl NmInner {
     }
 
     fn request_allocation(&mut self, alloc: &[(MarketId, u32)], now: SimTime) {
+        let total: u32 = alloc.iter().map(|(_, c)| *c).sum();
+        let risk = self.policy.decision_risk();
         for (market, count) in alloc {
             self.cloud
                 .trace()
@@ -108,8 +118,18 @@ impl NmInner {
                     market: u64::from(market.0),
                     workers: u64::from(*count),
                 });
+            if let Some(risk) = risk {
+                self.cloud
+                    .trace()
+                    .emit_with(now, || flint_engine::EventKind::PortfolioWeight {
+                        market: u64::from(market.0),
+                        weight: f64::from(*count) / f64::from(total.max(1)),
+                        count: u64::from(*count),
+                        risk,
+                    });
+            }
             let m = self.cloud.catalog().market(*market);
-            let bid = self.bid.bid_for(m);
+            let bid = self.place_bid(m);
             for _ in 0..*count {
                 let id = self.cloud.request(*market, bid, now);
                 self.market_of.insert(id, *market);
@@ -118,26 +138,49 @@ impl NmInner {
         self.refresh_cluster_mttf(now);
     }
 
-    /// Recomputes the aggregate cluster MTTF (Eq. 3) over the distinct
-    /// markets of active instances and publishes it to the FT manager.
+    /// The bid to place in `market`: the configured policy's bid,
+    /// hazard-discounted when an age-dependent hazard is configured.
+    /// The memoryless default routes straight through [`BidPolicy`],
+    /// unchanged.
+    fn place_bid(&self, market: &Market) -> f64 {
+        if self.cfg.hazard.is_memoryless() {
+            self.bid.bid_for(market)
+        } else {
+            let hazard = self.cfg.hazard.build(SimDuration::MAX);
+            self.bid.bid_for_hazard(market, hazard.as_ref())
+        }
+    }
+
+    /// Recomputes the aggregate cluster MTTF and publishes it to the FT
+    /// manager. Under the memoryless default this is Eq. 3 over the
+    /// distinct markets of active instances, byte-for-byte the legacy
+    /// pipeline; under an age-dependent hazard each active instance
+    /// contributes both its market's price-implied MTTF and its
+    /// age-conditioned mean residual lifetime (two independent
+    /// revocation sources, so their rates add into the harmonic
+    /// combination), and a `HazardRefit` event records the re-fit.
     fn refresh_cluster_mttf(&mut self, now: SimTime) {
-        let mut markets: Vec<MarketId> = self
-            .cloud
-            .instances()
-            .iter()
-            .filter(|r| r.is_active())
-            .map(|r| r.market)
-            .collect();
-        markets.sort();
-        markets.dedup();
-        let mttfs: Vec<SimDuration> = markets
-            .iter()
-            .map(|mid| {
-                let m = self.cloud.catalog().market(*mid);
-                m.stats(now, self.cfg.window, self.bid.bid_for(m)).mttf
-            })
-            .collect();
-        let agg = harmonic_mttf(&mttfs);
+        let agg = if self.cfg.hazard.is_memoryless() {
+            let mut markets: Vec<MarketId> = self
+                .cloud
+                .instances()
+                .iter()
+                .filter(|r| r.is_active())
+                .map(|r| r.market)
+                .collect();
+            markets.sort();
+            markets.dedup();
+            let mttfs: Vec<SimDuration> = markets
+                .iter()
+                .map(|mid| {
+                    let m = self.cloud.catalog().market(*mid);
+                    m.stats(now, self.cfg.window, self.bid.bid_for(m)).mttf
+                })
+                .collect();
+            harmonic_mttf(&mttfs)
+        } else {
+            self.hazard_cluster_mttf(now)
+        };
         self.cloud
             .trace()
             .emit_with(now, || flint_engine::EventKind::MttfUpdated {
@@ -145,6 +188,35 @@ impl NmInner {
             });
         let mut ft = self.ft.lock();
         ft.mttf = agg;
+    }
+
+    /// Age-aware cluster MTTF under the configured hazard model.
+    fn hazard_cluster_mttf(&mut self, now: SimTime) -> SimDuration {
+        let hazard = self.cfg.hazard.build(SimDuration::MAX);
+        let mut components: Vec<SimDuration> = Vec::new();
+        let mut instances = 0u64;
+        for r in self.cloud.instances().iter().filter(|r| r.is_active()) {
+            let m = self.cloud.catalog().market(r.market);
+            let market_mttf = m.stats(now, self.cfg.window, self.bid.bid_for(m)).mttf;
+            // Pending instances (ready in the future) have age zero.
+            let age = if now > r.ready_at {
+                now.duration_since(r.ready_at)
+            } else {
+                SimDuration::ZERO
+            };
+            components.push(market_mttf);
+            components.push(hazard.mean_residual(age));
+            instances += 1;
+        }
+        let agg = harmonic_mttf(&components);
+        self.cloud
+            .trace()
+            .emit_with(now, || flint_engine::EventKind::HazardRefit {
+                model: hazard.name().to_string(),
+                mttf_ms: agg.as_millis(),
+                instances,
+            });
+        agg
     }
 
     fn provision_initial(&mut self, now: SimTime) {
@@ -232,6 +304,14 @@ impl NmInner {
             // Replacement requests may schedule Ready events ≤ `to`;
             // loop to pick them up.
         }
+        // Between membership changes, instance ages still advance; an
+        // age-dependent hazard periodically re-fits τ's MTTF input.
+        // No-op (and no events) under the memoryless default.
+        if !self.cfg.hazard.is_memoryless() && to >= self.last_hazard_refit + HAZARD_REFIT_INTERVAL
+        {
+            self.last_hazard_refit = to;
+            self.refresh_cluster_mttf(to);
+        }
         out.sort_by_key(|(t, _)| *t);
         out
     }
@@ -287,6 +367,7 @@ impl NodeManager {
             replaced: HashMap::new(),
             replacements: 0,
             cooldown_until: HashMap::new(),
+            last_hazard_refit: start,
         };
         inner.provision_initial(start);
         let arc = Arc::new(Mutex::new(inner));

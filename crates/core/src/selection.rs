@@ -2,7 +2,8 @@
 //! behind them (paper §3.1.2 and §3.2.2, Equations 1–4).
 
 use flint_market::{
-    correlation_matrix, greedy_uncorrelated_subset, MarketCatalog, MarketId, MarketStats,
+    correlation_matrix, greedy_uncorrelated_subset, HazardSpec, MarketCatalog, MarketId,
+    MarketStats,
 };
 use flint_simtime::{SimDuration, SimTime};
 use flint_store::StorageConfig;
@@ -146,6 +147,13 @@ pub struct SelectionConfig {
     /// into a still-spiking market. `ZERO` (the default) disables the
     /// window, preserving pre-cooldown behavior byte-for-byte.
     pub market_cooldown: SimDuration,
+    /// The instance-lifetime hazard model the node manager assumes.
+    /// The default ([`HazardSpec::Exponential`]) keeps the legacy
+    /// memoryless pipeline — market-stats MTTF, age-blind τ, unscaled
+    /// bids — byte-for-byte; an age-dependent spec switches cluster
+    /// MTTF estimation to per-instance mean residual lifetimes and
+    /// discounts bid headroom past the lifetime cap.
+    pub hazard: HazardSpec,
 }
 
 impl Default for SelectionConfig {
@@ -160,6 +168,7 @@ impl Default for SelectionConfig {
             rd: SimDuration::from_secs(120),
             match_reference_spec: true,
             market_cooldown: SimDuration::ZERO,
+            hazard: HazardSpec::Exponential,
         }
     }
 }
@@ -298,6 +307,15 @@ pub trait SelectionPolicy: Send {
         failed: MarketId,
         count: u32,
     ) -> Vec<(MarketId, u32)>;
+
+    /// The risk-aversion λ behind the most recent decision, when the
+    /// policy is a mean-variance optimizer. The node manager emits a
+    /// `PortfolioWeight` trace event per allocated market when this
+    /// returns `Some`; the `None` default keeps every legacy policy's
+    /// trace byte-identical.
+    fn decision_risk(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Splits `n` servers as evenly as possible over `markets` (first markets
@@ -373,37 +391,71 @@ pub struct InteractiveSelection {
     current: Vec<MarketId>,
 }
 
-impl InteractiveSelection {
-    fn build_l(&self, view: &MarketView<'_>) -> Vec<MarketId> {
-        let cands = view.candidates();
-        if cands.is_empty() {
-            return Vec::new();
-        }
-        let corr = view.correlations(&cands);
-        greedy_uncorrelated_subset(&corr, view.cfg.max_correlation, view.cfg.max_markets)
-            .into_iter()
-            .map(|i| cands[i])
-            .collect()
+/// The uncorrelated candidate list `L` (§3.2.2): stable candidates in
+/// expected-cost order, pruned so every admitted pair's spike
+/// correlation stays below the cap.
+fn uncorrelated_candidates(view: &MarketView<'_>) -> Vec<MarketId> {
+    let cands = view.candidates();
+    if cands.is_empty() {
+        return Vec::new();
     }
+    let corr = view.correlations(&cands);
+    greedy_uncorrelated_subset(&corr, view.cfg.max_correlation, view.cfg.max_markets)
+        .into_iter()
+        .map(|i| cands[i])
+        .collect()
+}
 
-    fn variance_of(&self, view: &MarketView<'_>, set: &[MarketId]) -> f64 {
-        let mttfs: Vec<SimDuration> = set.iter().map(|id| view.stats(*id).mttf).collect();
-        let agg = harmonic_mttf(&mttfs);
-        runtime_variance(
-            view.job.runtime_estimate,
-            view.delta(),
-            agg,
-            view.cfg.rd,
-            set.len() as u32,
-        )
-    }
+/// Running-time variance of an even split across `set` (§3.2.2).
+fn variance_of(view: &MarketView<'_>, set: &[MarketId]) -> f64 {
+    let mttfs: Vec<SimDuration> = set.iter().map(|id| view.stats(*id).mttf).collect();
+    let agg = harmonic_mttf(&mttfs);
+    runtime_variance(
+        view.job.runtime_estimate,
+        view.delta(),
+        agg,
+        view.cfg.rd,
+        set.len() as u32,
+    )
+}
 
-    fn mean_price_of(&self, view: &MarketView<'_>, set: &[MarketId]) -> f64 {
-        if set.is_empty() {
-            return f64::INFINITY;
-        }
-        set.iter().map(|id| view.stats(*id).mean_price).sum::<f64>() / set.len() as f64
+fn mean_price_of(view: &MarketView<'_>, set: &[MarketId]) -> f64 {
+    if set.is_empty() {
+        return f64::INFINITY;
     }
+    set.iter().map(|id| view.stats(*id).mean_price).sum::<f64>() / set.len() as f64
+}
+
+/// The Policy-2 diversified set: grow along `l` while the running-time
+/// variance keeps decreasing and the mean price stays below on-demand,
+/// never splitting below one server per market. This is the exact
+/// λ → ∞ limit of the mean-variance portfolio objective under the
+/// paper's exchangeable-market variance model, so [`PortfolioPolicy`]
+/// shares it with [`InteractiveSelection`].
+fn policy2_chosen(view: &MarketView<'_>, l: &[MarketId]) -> Vec<MarketId> {
+    if l.is_empty() {
+        return Vec::new();
+    }
+    let od_rate = view.on_demand_rate();
+    let mut chosen = vec![l[0]];
+    let mut best_var = variance_of(view, &chosen);
+    for next in l.iter().skip(1) {
+        // Never split below one server per market.
+        if chosen.len() as u32 >= view.n {
+            break;
+        }
+        let mut trial = chosen.clone();
+        trial.push(*next);
+        let var = variance_of(view, &trial);
+        let price = mean_price_of(view, &trial);
+        if var < best_var && price <= od_rate {
+            chosen = trial;
+            best_var = var;
+        } else {
+            break;
+        }
+    }
+    chosen
 }
 
 impl SelectionPolicy for InteractiveSelection {
@@ -412,31 +464,13 @@ impl SelectionPolicy for InteractiveSelection {
     }
 
     fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)> {
-        let l = self.build_l(view);
+        let l = uncorrelated_candidates(view);
         self.last_l.clone_from(&l);
         if l.is_empty() {
             self.current = vec![view.catalog.on_demand_id()];
             return vec![(view.catalog.on_demand_id(), view.n)];
         }
-        let od_rate = view.on_demand_rate();
-        let mut chosen = vec![l[0]];
-        let mut best_var = self.variance_of(view, &chosen);
-        for next in l.iter().skip(1) {
-            // Never split below one server per market.
-            if chosen.len() as u32 >= view.n {
-                break;
-            }
-            let mut trial = chosen.clone();
-            trial.push(*next);
-            let var = self.variance_of(view, &trial);
-            let price = self.mean_price_of(view, &trial);
-            if var < best_var && price <= od_rate {
-                chosen = trial;
-                best_var = var;
-            } else {
-                break;
-            }
-        }
+        let chosen = policy2_chosen(view, &l);
         self.current.clone_from(&chosen);
         split_evenly(&chosen, view.n)
     }
@@ -452,7 +486,7 @@ impl SelectionPolicy for InteractiveSelection {
         // re-derive L if stale or exhausted.
         let mut l = self.last_l.clone();
         if l.iter().all(|m| self.current.contains(m) || *m == failed) {
-            l = self.build_l(view);
+            l = uncorrelated_candidates(view);
             self.last_l.clone_from(&l);
         }
         let stable = |m: &MarketId| view.stats(*m).price_is_stable(view.cfg.stability_threshold);
@@ -467,6 +501,185 @@ impl SelectionPolicy for InteractiveSelection {
             .unwrap_or_else(|| view.catalog.on_demand_id());
         self.current.push(pick);
         vec![(pick, count)]
+    }
+}
+
+/// λ at or above which [`PortfolioPolicy`] returns the closed-form
+/// pure-risk optimum (the Policy-2 diversified even split) instead of
+/// running the numeric optimizer: at that point the cost term is
+/// below float resolution relative to the risk term.
+pub const RISK_POLICY2: f64 = 1e9;
+
+/// Mean-variance portfolio selection over transient markets.
+///
+/// Generalizes the paper's two policies into one objective over an
+/// allocation `c` (with weights `w_i = c_i / n`):
+///
+/// `J(c) = Σ_i w_i · ĉ_i  +  λ · Σ_ij w_i w_j ρ_ij σ_i σ_j`
+///
+/// where `ĉ_i` is market `i`'s expected cost rate normalized by the
+/// on-demand rate, `ρ` is the backward-window spike-correlation matrix
+/// (the same estimate `correlated_groups` uses), and `σ_i²` is the
+/// normalized single-market running-time variance (§3.2.2). `J` is
+/// minimized by deterministic greedy unit allocation: each of the `n`
+/// servers goes to the market with the smallest marginal `ΔJ`, ties to
+/// the cheapest (lowest-index) market.
+///
+/// Limit cases recover the existing policies exactly:
+///
+/// * `risk_aversion = 0` — the marginal cost `ĉ_i / n` is constant per
+///   market, so every server goes to the cheapest stable candidate (or
+///   on-demand when no candidate beats the on-demand rate): the greedy
+///   batch policy's allocation, server for server.
+/// * `risk_aversion ≥ RISK_POLICY2` — cost vanishes from the
+///   objective; under the paper's exchangeable-market variance model
+///   the pure-risk optimum is the diversified even split over the
+///   uncorrelated set `L`, and the policy returns it through the same
+///   `policy2_chosen` + `split_evenly` code path the interactive
+///   (MTTF/variance) policy runs.
+#[derive(Debug, Clone)]
+pub struct PortfolioPolicy {
+    /// Risk-aversion λ ≥ 0.
+    risk_aversion: f64,
+}
+
+impl PortfolioPolicy {
+    /// A portfolio policy with the given risk aversion (clamped below
+    /// at zero).
+    pub fn new(risk_aversion: f64) -> Self {
+        PortfolioPolicy {
+            risk_aversion: risk_aversion.max(0.0),
+        }
+    }
+
+    /// The configured risk-aversion λ.
+    pub fn risk_aversion(&self) -> f64 {
+        self.risk_aversion
+    }
+
+    /// Candidate universe: stable spot markets strictly cheaper than
+    /// on-demand (matching the batch policy's fallback ceiling),
+    /// minus `exclude`.
+    fn universe(&self, view: &MarketView<'_>, exclude: Option<MarketId>) -> Vec<MarketId> {
+        let od_rate = view.on_demand_rate();
+        view.candidates()
+            .into_iter()
+            .filter(|id| Some(*id) != exclude)
+            .filter(|id| view.cost_rate(*id) < od_rate)
+            .collect()
+    }
+
+    /// Optimizes an allocation of `n` servers, excluding `exclude`.
+    fn allocate(
+        &self,
+        view: &MarketView<'_>,
+        exclude: Option<MarketId>,
+        n: u32,
+    ) -> Vec<(MarketId, u32)> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.risk_aversion >= RISK_POLICY2 {
+            // Closed-form λ → ∞ limit: Policy 2's diversified split.
+            let l: Vec<MarketId> = uncorrelated_candidates(view)
+                .into_iter()
+                .filter(|id| Some(*id) != exclude)
+                .collect();
+            let chosen = policy2_chosen(view, &l);
+            if chosen.is_empty() {
+                return vec![(view.catalog.on_demand_id(), n)];
+            }
+            return split_evenly(&chosen, n);
+        }
+        let universe = self.universe(view, exclude);
+        if universe.is_empty() {
+            return vec![(view.catalog.on_demand_id(), n)];
+        }
+        let k = universe.len();
+        let nf = f64::from(n);
+        let od_rate = view.on_demand_rate().max(f64::MIN_POSITIVE);
+        let cost: Vec<f64> = universe
+            .iter()
+            .map(|id| view.cost_rate(*id) / od_rate)
+            .collect();
+        // Single-market running-time variances, normalized so λ is
+        // dimensionless (independent of job length and δ).
+        let var: Vec<f64> = universe
+            .iter()
+            .map(|id| {
+                runtime_variance(
+                    view.job.runtime_estimate,
+                    view.delta(),
+                    view.stats(*id).mttf,
+                    view.cfg.rd,
+                    1,
+                )
+            })
+            .collect();
+        let vmax = var.iter().copied().fold(0.0_f64, f64::max).max(1e-300);
+        let sigma: Vec<f64> = var.iter().map(|v| (v / vmax).sqrt()).collect();
+        let rho = view.correlations(&universe);
+        let mut cov = vec![vec![0.0_f64; k]; k];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..k {
+            for j in 0..k {
+                cov[i][j] = if i == j {
+                    sigma[i] * sigma[i]
+                } else {
+                    rho[i][j] * sigma[i] * sigma[j]
+                };
+            }
+        }
+        // Greedy unit allocation: J is convex in the weights, so
+        // assigning one server at a time to the smallest marginal ΔJ
+        // is optimal over integer allocations; strict `<` makes ties
+        // go to the lowest index, i.e. the cheapest market.
+        let mut count = vec![0u32; k];
+        for _ in 0..n {
+            let mut best = 0usize;
+            let mut best_delta = f64::INFINITY;
+            for i in 0..k {
+                let w_dot: f64 = (0..k).map(|j| cov[i][j] * f64::from(count[j]) / nf).sum();
+                let delta_j =
+                    cost[i] / nf + self.risk_aversion * (2.0 * w_dot + cov[i][i] / nf) / nf;
+                if delta_j < best_delta {
+                    best_delta = delta_j;
+                    best = i;
+                }
+            }
+            count[best] += 1;
+        }
+        universe
+            .into_iter()
+            .zip(count)
+            .filter(|(_, c)| *c > 0)
+            .collect()
+    }
+}
+
+impl SelectionPolicy for PortfolioPolicy {
+    fn name(&self) -> &'static str {
+        "flint-portfolio"
+    }
+
+    fn initial(&mut self, view: &MarketView<'_>) -> Vec<(MarketId, u32)> {
+        self.allocate(view, None, view.n)
+    }
+
+    fn replacement(
+        &mut self,
+        view: &MarketView<'_>,
+        failed: MarketId,
+        count: u32,
+    ) -> Vec<(MarketId, u32)> {
+        // Re-optimize the replacement tranche over the surviving
+        // universe (the failed market sits in its cooldown window and
+        // is excluded explicitly as well).
+        self.allocate(view, Some(failed), count)
+    }
+
+    fn decision_risk(&self) -> Option<f64> {
+        Some(self.risk_aversion)
     }
 }
 
@@ -747,6 +960,66 @@ mod tests {
         assert_eq!(batch.initial(&view), vec![(cat.on_demand_id(), 4)]);
         let mut inter = InteractiveSelection::default();
         assert_eq!(inter.initial(&view), vec![(cat.on_demand_id(), 4)]);
+    }
+
+    #[test]
+    fn portfolio_zero_risk_matches_batch_exactly() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 14.0 * 24.0, 10);
+        let mut batch = BatchSelection;
+        let mut portfolio = PortfolioPolicy::new(0.0);
+        assert_eq!(portfolio.initial(&view), batch.initial(&view));
+        let failed = batch.initial(&view)[0].0;
+        assert_eq!(
+            portfolio.replacement(&view, failed, 4),
+            batch.replacement(&view, failed, 4)
+        );
+    }
+
+    #[test]
+    fn portfolio_saturated_risk_matches_interactive_exactly() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 14.0 * 24.0, 12);
+        let mut inter = InteractiveSelection::default();
+        let mut portfolio = PortfolioPolicy::new(RISK_POLICY2);
+        assert_eq!(portfolio.initial(&view), inter.initial(&view));
+    }
+
+    #[test]
+    fn portfolio_allocation_is_complete_and_deterministic() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 14.0 * 24.0, 10);
+        for risk in [0.0, 0.5, 2.0, 100.0, RISK_POLICY2] {
+            let mut p = PortfolioPolicy::new(risk);
+            let a = p.initial(&view);
+            let b = p.initial(&view);
+            assert_eq!(a, b, "allocation must be deterministic at λ={risk}");
+            let total: u32 = a.iter().map(|(_, c)| *c).sum();
+            assert_eq!(total, 10, "λ={risk}");
+            assert!(a.iter().all(|(_, c)| *c > 0));
+        }
+        assert_eq!(PortfolioPolicy::new(1.0).decision_risk(), Some(1.0));
+        assert_eq!(BatchSelection.decision_risk(), None);
+    }
+
+    #[test]
+    fn portfolio_diversifies_more_as_risk_grows() {
+        let cat = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let cfg = SelectionConfig::default();
+        let job = JobProfile::default();
+        let view = make_view(&cat, &cfg, &job, 14.0 * 24.0, 12);
+        let spread = |risk: f64| PortfolioPolicy::new(risk).allocate(&view, None, 12).len();
+        assert_eq!(spread(0.0), 1, "risk-neutral is all-in on the cheapest");
+        assert!(
+            spread(100.0) > 1,
+            "risk-averse allocation must diversify across markets"
+        );
     }
 
     #[test]

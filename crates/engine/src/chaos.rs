@@ -15,6 +15,7 @@
 //! campaign seed — never the wall clock — so the same seed replays the
 //! same faults at the same virtual instants on every host.
 
+use flint_market::HazardSpec;
 use flint_simtime::rng::stream;
 use flint_simtime::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -71,6 +72,15 @@ pub struct ChaosConfig {
     pub outages: u32,
     /// Length of each outage window.
     pub outage_len: SimDuration,
+    /// When set, revocation *times* are no longer uniform over the
+    /// horizon: successive gaps are lifetimes sampled from this hazard
+    /// model (wrapped into the horizon), so chaos timing and the
+    /// selection layer share one preemption distribution. `None` (the
+    /// default) keeps the legacy uniform draws byte-identical.
+    pub lifetime_hazard: Option<HazardSpec>,
+    /// MTTF parameter for an exponential `lifetime_hazard` (capped
+    /// hazards carry their own parameters).
+    pub lifetime_mttf: SimDuration,
 }
 
 impl ChaosConfig {
@@ -99,6 +109,8 @@ impl ChaosConfig {
             failed_write_prob: 0.1,
             outages: 2,
             outage_len: SimDuration::from_mins(5),
+            lifetime_hazard: None,
+            lifetime_mttf: SimDuration::from_hours(1),
         }
     }
 }
@@ -131,9 +143,24 @@ impl ChaosSchedule {
         // no longer hosts is deliberate chaos (the driver must shrug).
         let mut pool: Vec<u64> = (1..=u64::from(cfg.n_workers.max(1))).collect();
         let mut next_replacement_ext: u64 = 9_000_000;
+        let hazard = cfg
+            .lifetime_hazard
+            .map(|spec| spec.build(cfg.lifetime_mttf));
+        let mut hazard_clock = SimDuration::ZERO;
 
         for _ in 0..cfg.revocations {
-            let t = SimTime::from_millis(rng.gen_range(1..horizon_ms));
+            let t = match &hazard {
+                // Legacy path: uniform over the horizon, byte-identical
+                // to pre-hazard schedules.
+                None => SimTime::from_millis(rng.gen_range(1..horizon_ms)),
+                // Hazard path: the next revocation lands one sampled
+                // lifetime after the previous one, wrapped into
+                // `(0, horizon)` so every event stays on-schedule.
+                Some(h) => {
+                    hazard_clock += h.sample_lifetime(&mut rng);
+                    SimTime::from_millis((hazard_clock.as_millis() % horizon_ms).max(1))
+                }
+            };
             let victim = pool[rng.gen_range(0..pool.len())];
             let mass = cfg.mass_revoke_prob > 0.0 && rng.gen_bool(cfg.mass_revoke_prob);
             let victims: Vec<u64> = if mass {

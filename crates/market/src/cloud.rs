@@ -3,10 +3,11 @@
 use flint_simtime::rng::stream;
 use flint_simtime::{EventQueue, SimDuration, SimTime};
 use flint_trace::{EventKind, TraceHandle};
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{hourly_spot_cost, MarketCatalog, MarketId, MarketKind};
+use crate::{
+    hourly_spot_cost, CappedLifetimeHazard, HazardModel, MarketCatalog, MarketId, MarketKind,
+};
 
 /// Identifier of a provisioned instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -195,12 +196,12 @@ impl CloudSim {
             MarketKind::Preemptible {
                 early_revocation_prob,
             } => {
+                // Lifetimes come from the shared hazard model (same
+                // stream label and draw order as the historical inline
+                // sampler, so existing traces are unchanged).
                 let mut rng = stream(self.seed, &format!("preempt:{}", id.0));
-                let lifetime = if rng.gen_bool(early_revocation_prob.clamp(0.0, 1.0)) {
-                    SimDuration::from_hours_f64(rng.gen_range(0.0..24.0))
-                } else {
-                    SimDuration::from_hours(24)
-                };
+                let hazard = CappedLifetimeHazard::new(early_revocation_prob, 24.0);
+                let lifetime = hazard.sample_lifetime(&mut rng);
                 (Some(ready_at + lifetime), Self::GCE_WARNING)
             }
             MarketKind::OnDemand => (None, SimDuration::ZERO),

@@ -49,6 +49,7 @@ mod catalog;
 mod cloud;
 mod correlation;
 mod generator;
+mod hazard;
 mod market;
 mod stats;
 mod trace;
@@ -60,6 +61,7 @@ pub use correlation::{
     correlated_groups, correlation_matrix, greedy_uncorrelated_subset, pairwise_correlation,
 };
 pub use generator::{SpikeProcess, TraceGenerator, TraceProfile};
+pub use hazard::{CappedLifetimeHazard, ExponentialHazard, HazardModel, HazardSpec};
 pub use market::{InstanceSpec, Market, MarketId, MarketKind, MarketStats};
 pub use stats::TtfStats;
 pub use trace::PriceTrace;

@@ -27,7 +27,7 @@
 
 use flint_core::{
     new_shared, optimal_tau, BatchSelection, BidPolicy, FixedMarketSelection, InteractiveSelection,
-    JobProfile, NodeManager, OnDemandSelection, SelectionConfig, SelectionPolicy,
+    JobProfile, NodeManager, OnDemandSelection, PortfolioPolicy, SelectionConfig, SelectionPolicy,
     SpotFleetCriterion, SpotFleetSelection,
 };
 use flint_engine::{FailureInjector, WorkerEvent};
@@ -65,6 +65,10 @@ pub enum PolicyKind {
     /// Pinned to one market (bid-sweep experiments); the value is the
     /// market's raw id.
     FixedMarket(u32),
+    /// Mean-variance portfolio policy; the value is the risk-aversion
+    /// λ in thousandths (per-mille), keeping the enum `Copy + Eq`
+    /// (`Portfolio(2000)` runs at λ = 2.0).
+    Portfolio(u32),
 }
 
 impl PolicyKind {
@@ -82,6 +86,9 @@ impl PolicyKind {
             PolicyKind::FixedMarket(id) => {
                 Box::new(FixedMarketSelection(flint_market::MarketId(id)))
             }
+            PolicyKind::Portfolio(risk_milli) => {
+                Box::new(PortfolioPolicy::new(f64::from(risk_milli) / 1000.0))
+            }
         }
     }
 
@@ -94,6 +101,7 @@ impl PolicyKind {
             PolicyKind::SpotFleetStable => "Spot-Fleet-Stable",
             PolicyKind::OnDemand => "On-demand",
             PolicyKind::FixedMarket(_) => "Fixed-Market",
+            PolicyKind::Portfolio(_) => "Flint-Portfolio",
         }
     }
 }

@@ -188,6 +188,10 @@ pub struct MetricsAggregator {
     pub workers_quarantined: u64,
     /// Markets placed in a cooldown exclusion window.
     pub market_cooldowns: u64,
+    /// Portfolio weight decisions emitted by the mean-variance policy.
+    pub portfolio_weights: u64,
+    /// Cluster-MTTF re-fits under an age-dependent hazard model.
+    pub hazard_refits: u64,
 
     // ── per-phase histograms ───────────────────────────────────────
     /// Action (job) latencies, virtual millis.
@@ -286,6 +290,8 @@ impl MetricsAggregator {
             EventKind::BackoffScheduled { .. } => self.backoffs_scheduled += 1,
             EventKind::WorkerQuarantined { .. } => self.workers_quarantined += 1,
             EventKind::MarketCooledDown { .. } => self.market_cooldowns += 1,
+            EventKind::PortfolioWeight { .. } => self.portfolio_weights += 1,
+            EventKind::HazardRefit { .. } => self.hazard_refits += 1,
         }
     }
 

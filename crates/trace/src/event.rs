@@ -230,6 +230,18 @@ event_kinds! {
     /// A failed/spiking market entered its cooldown exclusion window
     /// and will not receive replacement requests until `until_ms`.
     MarketCooledDown { market: u64, until_ms: u64 },
+
+    // ── portfolio selection and hazard re-estimation ───────────────
+    /// One market's share of a mean-variance portfolio allocation:
+    /// `count` of the cluster's servers go to `market`, `weight` is
+    /// `count / n`, and `risk` is the risk-aversion λ the optimizer
+    /// used for this decision.
+    PortfolioWeight { market: u64, weight: f64, count: u64, risk: f64 },
+    /// The node manager re-fitted the cluster MTTF under an
+    /// age-dependent hazard model. `model` names the hazard,
+    /// `mttf_ms` is the age-adjusted aggregate estimate, and
+    /// `instances` counts the active instances it was fitted over.
+    HazardRefit { model: String, mttf_ms: u64, instances: u64 },
 }
 
 /// Formats an `f64` exactly as Rust's shortest-roundtrip `Display`,
@@ -580,6 +592,17 @@ mod tests {
             EventKind::MarketCooledDown {
                 market: 4,
                 until_ms: 7_200_000,
+            },
+            EventKind::PortfolioWeight {
+                market: 2,
+                weight: 0.4,
+                count: 4,
+                risk: 1.5,
+            },
+            EventKind::HazardRefit {
+                model: "capped-lifetime".into(),
+                mttf_ms: 43_200_000,
+                instances: 10,
             },
         ];
         kinds.into_iter().map(|kind| Event { t, kind }).collect()

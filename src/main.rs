@@ -57,9 +57,12 @@ fn usage() {
 
 USAGE:
   flint run <pagerank|kmeans|als|tpch> [--gb N] [--partitions N]
-        [--iterations N] [--seed N] [--workers N] [--mode batch|interactive]
+        [--iterations N] [--seed N] [--workers N]
+        [--policy batch|interactive|portfolio] [--risk R]
         [--trace FILE]   (run on a Flint-managed cluster; --trace writes
-                          the structured event stream as JSONL)
+                          the structured event stream as JSONL. --mode is
+                          accepted as an alias for --policy; --risk sets
+                          the portfolio's risk-aversion lambda, default 1.0)
   flint workload <pagerank|kmeans|als|tpch> [--gb N] [--iterations N]
         [--workers N] [--failures K] [--mttf H] [--checkpoint] [--seed N]
         [--dot FILE]   (write the executed lineage graph as Graphviz DOT)
@@ -69,7 +72,8 @@ USAGE:
                            diffed against its fault-free twin and must
                            finish byte-identical or with a typed error)
   flint markets [--seed N] [--days N]
-  flint mc [--policy batch|interactive|fleet|od] [--hours N] [--seed N]
+  flint mc [--policy batch|interactive|portfolio|fleet|od] [--risk R]
+        [--hours N] [--seed N]
   flint experiment <name>   (fig02a fig02b fig03 fig04 fig06a fig06b fig06c
                              fig07 fig08 fig09 fig10a fig10b fig11a fig11b
                              multiaz storage ablation_* ext_*)
@@ -143,11 +147,19 @@ fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("unknown workload: {name}");
         return ExitCode::FAILURE;
     };
-    let mode = match flags.get("mode").map(String::as_str).unwrap_or("batch") {
+    // `--policy` is the canonical spelling; `--mode` stays as an alias
+    // for older scripts.
+    let policy = flags
+        .get("policy")
+        .or_else(|| flags.get("mode"))
+        .map(String::as_str)
+        .unwrap_or("batch");
+    let mode = match policy {
         "batch" => Mode::Batch,
         "interactive" => Mode::Interactive,
+        "portfolio" => Mode::Portfolio,
         other => {
-            eprintln!("unknown mode: {other} (expected batch|interactive)");
+            eprintln!("unknown policy: {other} (expected batch|interactive|portfolio)");
             return ExitCode::FAILURE;
         }
     };
@@ -166,6 +178,7 @@ fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
     let config = FlintConfig::builder()
         .n_workers(flag_u(flags, "workers", 10) as u32)
         .mode(mode)
+        .risk_aversion(flag_f64(flags, "risk", 1.0))
         .seed(flag_u(flags, "seed", 42))
         .trace(trace)
         .build();
@@ -305,6 +318,10 @@ fn cmd_mc(flags: &HashMap<String, String>) -> ExitCode {
     let policy = match flags.get("policy").map(String::as_str).unwrap_or("batch") {
         "batch" => PolicyKind::FlintBatch,
         "interactive" => PolicyKind::FlintInteractive,
+        "portfolio" => {
+            let risk = flag_f64(flags, "risk", 1.0).max(0.0);
+            PolicyKind::Portfolio((risk * 1000.0) as u32)
+        }
         "fleet" => PolicyKind::SpotFleetCheapest,
         "od" | "on-demand" => PolicyKind::OnDemand,
         other => {
@@ -737,6 +754,7 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         "ablation_bids" => ablations::ablation_bid_stratification(),
         "ext_streaming" => ablations::ext_streaming_latency(),
         "ablation_delta" => ablations::ablation_adaptive_delta(),
+        "ablation_portfolio" => ablations::ablation_portfolio(),
         other => {
             eprintln!("unknown experiment: {other}");
             return ExitCode::FAILURE;

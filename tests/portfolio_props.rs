@@ -1,0 +1,150 @@
+//! Property-based tests of the mean-variance portfolio policy: weight
+//! sanity, determinism, and the limit-case equivalences that prove it
+//! subsumes the paper's Policy 2 (interactive) and the greedy batch
+//! policy.
+
+use flint::core::{
+    BatchSelection, BidPolicy, InteractiveSelection, JobProfile, MarketView, PortfolioPolicy,
+    SelectionConfig, SelectionPolicy, RISK_POLICY2,
+};
+use flint::market::{MarketCatalog, MarketId};
+use flint::model::catalog_with_mttf;
+use flint::simtime::{SimDuration, SimTime};
+use flint::store::StorageConfig;
+use proptest::prelude::*;
+
+/// Runs `f` with a `MarketView` over `catalog` at day `day`, cluster
+/// size `n`.
+fn with_view<R>(
+    catalog: &MarketCatalog,
+    day: u64,
+    n: u32,
+    f: impl FnOnce(&MarketView<'_>) -> R,
+) -> R {
+    let cfg = SelectionConfig::default();
+    let job = JobProfile::default();
+    let view = MarketView {
+        catalog,
+        now: SimTime::ZERO + SimDuration::from_days(day),
+        bid: BidPolicy::OnDemandPrice,
+        cfg: &cfg,
+        job: &job,
+        storage: StorageConfig::default(),
+        n,
+        cooled: &[],
+    };
+    f(&view)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Portfolio allocations are complete probability distributions:
+    /// every market gets a non-negative count, counts sum to the cluster
+    /// size, and the implied weights sum to one.
+    #[test]
+    fn weights_nonnegative_and_sum_to_one(
+        seed in 0u64..6,
+        day in 8u64..80,
+        n in 1u32..24,
+        risk_milli in 0u64..5_000,
+    ) {
+        let cat = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(90));
+        let picks = with_view(&cat, day, n, |view| {
+            PortfolioPolicy::new(risk_milli as f64 / 1000.0).initial(view)
+        });
+        let total: u32 = picks.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, n, "allocation must cover the whole cluster");
+        let mut weight_sum = 0.0;
+        for (m, c) in &picks {
+            prop_assert!(*c > 0, "market {:?} allocated zero servers", m);
+            let w = f64::from(*c) / f64::from(n);
+            prop_assert!((0.0..=1.0).contains(&w));
+            weight_sum += w;
+        }
+        prop_assert!((weight_sum - 1.0).abs() < 1e-12, "weights sum to {weight_sum}");
+        // No market appears twice.
+        for i in 0..picks.len() {
+            for j in i + 1..picks.len() {
+                prop_assert!(picks[i].0 != picks[j].0);
+            }
+        }
+    }
+
+    /// For a fixed catalog seed and decision time the allocation is a
+    /// pure function — byte-identical across repeated evaluations and
+    /// fresh policy instances.
+    #[test]
+    fn allocation_deterministic_for_fixed_seed(
+        seed in 0u64..6,
+        day in 8u64..80,
+        risk_milli in 0u64..5_000,
+    ) {
+        let cat = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(90));
+        let risk = risk_milli as f64 / 1000.0;
+        let a = with_view(&cat, day, 10, |v| PortfolioPolicy::new(risk).initial(v));
+        let b = with_view(&cat, day, 10, |v| PortfolioPolicy::new(risk).initial(v));
+        prop_assert_eq!(a, b);
+    }
+
+    /// λ = 0 removes the variance term, so the optimizer degenerates to
+    /// pure cost minimization — exactly the greedy batch policy, for both
+    /// initial allocations and replacements.
+    #[test]
+    fn zero_risk_converges_to_greedy_batch(seed in 0u64..6, day in 8u64..80) {
+        let cat = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(90));
+        with_view(&cat, day, 10, |view| {
+            let portfolio = PortfolioPolicy::new(0.0).initial(view);
+            let batch = BatchSelection.initial(view);
+            prop_assert_eq!(&portfolio, &batch);
+            let failed = batch[0].0;
+            prop_assert_eq!(
+                PortfolioPolicy::new(0.0).replacement(view, failed, 3),
+                BatchSelection.replacement(view, failed, 3)
+            );
+        });
+    }
+
+    /// λ ≥ RISK_POLICY2 saturates the variance term, recovering Policy
+    /// 2's uncorrelated even split (the interactive policy) exactly.
+    #[test]
+    fn saturated_risk_converges_to_policy2(seed in 0u64..6, day in 10u64..120) {
+        let cat = catalog_with_mttf(seed, SimDuration::from_days(150), 8.0);
+        with_view(&cat, day, 9, |view| {
+            let portfolio = PortfolioPolicy::new(RISK_POLICY2).initial(view);
+            let interactive = InteractiveSelection::default().initial(view);
+            prop_assert_eq!(&portfolio, &interactive);
+            // Policy 2's *restoration* path is stateful (it tops up one
+            // remembered market), so the replacement comparison is
+            // structural: the portfolio re-optimizes, covering the full
+            // count while avoiding the revoked market.
+            let failed = interactive[0].0;
+            let repl = PortfolioPolicy::new(RISK_POLICY2).replacement(view, failed, 2);
+            prop_assert_eq!(repl.iter().map(|(_, c)| *c).sum::<u32>(), 2);
+            prop_assert!(repl.iter().all(|(m, _)| *m != failed));
+        });
+    }
+
+    /// Raising λ never concentrates the portfolio harder: the number of
+    /// markets used is monotone (weakly) from the λ = 0 single market to
+    /// the saturated Policy-2 spread.
+    #[test]
+    fn spread_widens_with_risk(seed in 0u64..6, day in 10u64..120) {
+        let cat = catalog_with_mttf(seed, SimDuration::from_days(150), 8.0);
+        with_view(&cat, day, 9, |view| {
+            let spread =
+                |risk: f64| PortfolioPolicy::new(risk).initial(view).len();
+            let lo = spread(0.0);
+            let hi = spread(RISK_POLICY2);
+            prop_assert_eq!(lo, 1, "zero risk must go all-in on one market");
+            prop_assert!(hi >= lo);
+        });
+    }
+}
+
+/// `MarketId` ordering sanity for the tests above (duplicate detection
+/// relies on `!=`).
+#[test]
+fn market_ids_compare() {
+    assert_ne!(MarketId(0), MarketId(1));
+}

@@ -206,6 +206,86 @@ fn chaos_campaign_200_seeds_byte_identical_or_typed() {
     );
 }
 
+/// Runs the standard job on a [`FlintCluster`] over `catalog` with the
+/// given selection mode, returning `(output, Σ InstanceBilled, compute
+/// cost)` — or `None` if the run panicked.
+#[allow(clippy::type_complexity)]
+fn cluster_outcome(
+    catalog: &MarketCatalog,
+    mode: Mode,
+    seed: u64,
+) -> Option<(Result<Vec<Value>, EngineError>, f64, f64)> {
+    let catalog = catalog.clone();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let trace = TraceHandle::disabled();
+        let reader = trace.attach_memory(0);
+        let config = FlintConfig::builder()
+            .n_workers(4)
+            .mode(mode)
+            .risk_aversion(2.0)
+            .seed(seed)
+            .trace(trace)
+            .build();
+        let mut cluster = FlintCluster::launch(catalog, config);
+        let out = run_job(cluster.driver_mut(), 9);
+        let report = cluster.shutdown();
+        let billed: f64 = reader
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::InstanceBilled { cost, .. } => Some(*cost),
+                _ => None,
+            })
+            .sum();
+        (out, billed, report.compute_cost)
+    }))
+    .ok()
+}
+
+/// The portfolio arm of the chaos story: 200 consecutive cloud seeds on
+/// a *volatile* catalog (2h MTTF, three correlated-by-construction spot
+/// markets) whose price spikes revoke whole market slices at once. The
+/// portfolio cluster must never panic, every completion must match the
+/// greedy cluster's output bytes, and billing must stay exact
+/// (Σ `InstanceBilled` == compute cost) on both arms, every seed.
+#[test]
+fn portfolio_campaign_200_seeds_survives_mass_revocations() {
+    let catalog = flint::model::catalog_with_mttf(7, SimDuration::from_days(30), 2.0);
+    let golden = golden_output(23);
+    assert!(!golden.is_empty());
+    let expect = run_job(&mut Driver::local(6), 9).unwrap();
+    let mut portfolio_ok = 0u32;
+    let mut greedy_ok = 0u32;
+    for seed in 0..200u64 {
+        let (mode, ok_counter) = if seed % 2 == 0 {
+            (Mode::Portfolio, &mut portfolio_ok)
+        } else {
+            (Mode::Batch, &mut greedy_ok)
+        };
+        let Some((out, billed, compute_cost)) = cluster_outcome(&catalog, mode, seed) else {
+            panic!("seed {seed} ({mode:?}): cluster run panicked");
+        };
+        assert!(
+            (billed - compute_cost).abs() < 1e-9,
+            "seed {seed} ({mode:?}): Σ InstanceBilled = {billed} but compute cost = {compute_cost}"
+        );
+        // Typed errors are acceptable under revocation storms; completed
+        // runs must match the fault-free bytes.
+        if let Ok(v) = out {
+            assert_eq!(v, expect, "seed {seed} ({mode:?}): wrong data");
+            *ok_counter += 1;
+        }
+    }
+    assert!(
+        portfolio_ok > 50,
+        "most portfolio runs should complete (got {portfolio_ok}/100)"
+    );
+    assert!(
+        greedy_ok > 50,
+        "most greedy runs should complete (got {greedy_ok}/100)"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -325,6 +405,47 @@ proptest! {
             billed,
             report.compute_cost
         );
+    }
+
+    /// The billing invariant holds for the portfolio policy too: its
+    /// multi-market allocations and replacement re-optimizations must
+    /// leave Σ `InstanceBilled` equal to the cost report.
+    #[test]
+    fn portfolio_billed_events_match_cost_report(seed in 0u64..500) {
+        let catalog = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(30));
+        let trace = TraceHandle::disabled();
+        let reader = trace.attach_memory(0);
+        let config = FlintConfig::builder()
+            .n_workers(4)
+            .mode(Mode::Portfolio)
+            .risk_aversion(1.5)
+            .selection(SelectionConfig {
+                market_cooldown: SimDuration::from_hours(1),
+                ..SelectionConfig::default()
+            })
+            .seed(seed)
+            .trace(trace)
+            .build();
+        let mut cluster = FlintCluster::launch(catalog, config);
+        let out = run_job(cluster.driver_mut(), 9).unwrap();
+        prop_assert!(!out.is_empty());
+        let report = cluster.shutdown();
+        let mut billed = 0.0;
+        let mut weights = 0u32;
+        for e in reader.events().iter() {
+            match &e.kind {
+                EventKind::InstanceBilled { cost, .. } => billed += *cost,
+                EventKind::PortfolioWeight { .. } => weights += 1,
+                _ => {}
+            }
+        }
+        prop_assert!(
+            (billed - report.compute_cost).abs() < 1e-9,
+            "Σ InstanceBilled = {} but CostReport.compute_cost = {}",
+            billed,
+            report.compute_cost
+        );
+        prop_assert!(weights > 0, "portfolio decisions must emit weight events");
     }
 
     /// Explicitly checkpointed datasets survive arbitrary later failures
