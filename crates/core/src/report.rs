@@ -24,6 +24,14 @@ pub struct CostReport {
     pub on_demand_price: f64,
     /// Provider revocations during the session.
     pub revocations: u64,
+    /// Execution backend that produced this bill (`"vm"` or
+    /// `"serverless"`).
+    pub backend: String,
+    /// Billable invocations (serverless only; 0 under the VM backend,
+    /// where compute is billed per instance-hour).
+    pub invocations: u64,
+    /// Σ GB-seconds across all invocations (serverless only).
+    pub invocation_gb_seconds: f64,
 }
 
 impl CostReport {
@@ -68,6 +76,9 @@ mod tests {
             n_workers: 10,
             on_demand_price: 0.175,
             revocations: 2,
+            backend: "vm".into(),
+            invocations: 0,
+            invocation_gb_seconds: 0.0,
         }
     }
 

@@ -31,6 +31,19 @@ impl WorkerSpec {
             disk_bytes: 32_000_000_000,
         }
     }
+
+    /// One serverless function slot: a single core with `mem_gb` of
+    /// function memory as its cache and no local disk persistence
+    /// worth modeling (invocation-local scratch only). Used by the
+    /// serverless backend, where each worker models one unit of
+    /// function concurrency rather than a machine.
+    pub fn serverless_slot(mem_gb: f64) -> Self {
+        WorkerSpec {
+            cores: 1,
+            cache_mem_bytes: (mem_gb.max(0.0) * 1e9) as u64,
+            disk_bytes: 0,
+        }
+    }
 }
 
 /// One worker: task slots plus a block store.

@@ -8,6 +8,7 @@ use flint_simtime::{Clock, SimDuration, SimTime};
 use flint_store::StorageConfig;
 use flint_trace::{EventKind, TraceHandle};
 
+use crate::backend::{Backend, ShuffleTransport, TransientVmBackend};
 use crate::block::{BlockData, BlockKey, InsertOutcome};
 use crate::checkpoint::{CheckpointStore, ReadFault, WriteFault};
 use crate::cluster::{Cluster, WorkerId, WorkerSpec};
@@ -232,6 +233,9 @@ struct Running {
     commit: Commit,
     touched: Vec<(RddId, u32, u64)>,
     seq: u64,
+    /// Backend invocation id assigned at admission (0 = the backend
+    /// registered no invocation for this task).
+    invocation: u64,
 }
 
 /// Internal materialization failure: a required shuffle input vanished
@@ -248,6 +252,7 @@ pub struct Driver {
     ctx: EngineContext,
     cluster: Cluster,
     ckpt: CheckpointStore,
+    backend: Box<dyn Backend>,
     hooks: Box<dyn CheckpointHooks>,
     injector: Box<dyn FailureInjector>,
     clock: Clock,
@@ -290,6 +295,7 @@ impl Driver {
             ctx: EngineContext::new(),
             cluster: Cluster::new(),
             ckpt: CheckpointStore::new(storage),
+            backend: Box::new(TransientVmBackend),
             hooks,
             injector,
             clock: Clock::new(),
@@ -1013,6 +1019,20 @@ impl Driver {
         &self.trace
     }
 
+    /// Installs the execution backend. The default
+    /// [`TransientVmBackend`] is a guaranteed no-op, so calling this
+    /// with it (or never calling it) leaves every trace byte-identical
+    /// to the pre-abstraction engine. Install before running actions:
+    /// swapping backends mid-job would orphan in-flight invocations.
+    pub fn set_backend(&mut self, backend: Box<dyn Backend>) {
+        self.backend = backend;
+    }
+
+    /// The installed execution backend.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
+    }
+
     /// Emits the cache-churn events for one traced block insert: any
     /// spills and evictions the insert forced, then the insert itself.
     fn emit_cache(&self, t: SimTime, ext: u64, key: BlockKey, vbytes: u64, out: &InsertOutcome) {
@@ -1195,13 +1215,38 @@ impl Driver {
             return false;
         };
         let net = self.apply_output_effects(&out, worker);
-        let dur = out.base_dur + net + self.config.cost.task_overhead;
+        let mut dur = out.base_dur + net + self.config.cost.task_overhead;
+        // Under external shuffle transport the map output is written to
+        // the durable store at commit; the producing task pays the
+        // store-write time up front (reducers pay the store read in
+        // `fetch_shuffle_bucket`, exactly like a checkpointed shuffle).
+        if self.backend.shuffle_transport() == ShuffleTransport::ExternalStore
+            && matches!(key, TaskKey::ShuffleMap { .. })
+        {
+            dur += self.ckpt.config().write_time(out.vbytes, 1);
+        }
         let now = self.clock.now();
-        let w = self.cluster.worker_mut(worker);
-        let core = w.earliest_free_core();
-        let start = w.cores_busy_until[core].max(now);
+        // Core choice and start instant from an immutable view first, so
+        // the backend hook (which needs `&mut self.backend`) can observe
+        // the start before the reservation is written back.
+        let (core, start) = {
+            let w = self.cluster.worker(worker);
+            let core = w.earliest_free_core();
+            (core, w.cores_busy_until[core].max(now))
+        };
+        let mut invocation = 0;
+        if let Some(inv) = self.backend.on_task_admitted(worker, start) {
+            invocation = inv.invocation;
+            dur += inv.overhead;
+            let ext = self.cluster.worker(worker).ext_id;
+            self.trace.emit_with(now, || EventKind::InvocationStarted {
+                invocation: inv.invocation,
+                worker: ext,
+                cold_ms: inv.cold_ms,
+            });
+        }
         let finish = start + dur;
-        w.cores_busy_until[core] = finish;
+        self.cluster.worker_mut(worker).cores_busy_until[core] = finish;
         self.task_seq += 1;
         self.running.push(Running {
             key,
@@ -1213,6 +1258,7 @@ impl Driver {
             commit,
             touched: out.touched,
             seq: self.task_seq,
+            invocation,
         });
         self.in_flight.insert(key);
         true
@@ -1301,16 +1347,33 @@ impl Driver {
         dur: SimDuration,
         job: CkptJob,
     ) {
+        let mut dur = dur;
         let now = self.clock.now();
         let contention = self.config.cost.ckpt_contention.clamp(0.0, 1.0);
-        let w = self.cluster.worker_mut(worker);
-        let core = w.earliest_free_core();
-        let start = w.cores_busy_until[core].max(now);
-        let finish = start + dur;
-        w.cores_busy_until[core] = finish;
         // The write saturates the node's shared EBS/NIC bandwidth,
-        // stalling concurrent compute on its sibling cores.
+        // stalling concurrent compute on its sibling cores. The stall
+        // models the write itself, so invocation startup overhead
+        // (added below) is excluded.
         let stall = dur.mul_f64(contention);
+        let (core, start) = {
+            let w = self.cluster.worker(worker);
+            let core = w.earliest_free_core();
+            (core, w.cores_busy_until[core].max(now))
+        };
+        let mut invocation = 0;
+        if let Some(inv) = self.backend.on_task_admitted(worker, start) {
+            invocation = inv.invocation;
+            dur += inv.overhead;
+            let ext = self.cluster.worker(worker).ext_id;
+            self.trace.emit_with(now, || EventKind::InvocationStarted {
+                invocation: inv.invocation,
+                worker: ext,
+                cold_ms: inv.cold_ms,
+            });
+        }
+        let finish = start + dur;
+        let w = self.cluster.worker_mut(worker);
+        w.cores_busy_until[core] = finish;
         for (i, busy) in w.cores_busy_until.iter_mut().enumerate() {
             if i != core {
                 *busy = (*busy).max(now) + stall;
@@ -1330,12 +1393,28 @@ impl Driver {
             },
             touched: out.touched,
             seq: self.task_seq,
+            invocation,
         });
         self.in_flight.insert(key);
     }
 
     fn commit_task(&mut self, mut r: Running) {
         let now = self.clock.now();
+        // Per-invocation billing fires for every commit, in commit
+        // order — also for checkpoint tasks and for writes the store
+        // subsequently faults (the invocation ran either way). The VM
+        // backend returns `None` here, so this is a no-op for it.
+        if let Some(bill) = self
+            .backend
+            .on_task_committed(r.invocation, r.worker, r.duration, now)
+        {
+            let invocation = r.invocation;
+            self.trace.emit_with(now, || EventKind::InvocationBilled {
+                invocation,
+                gb_seconds: bill.gb_seconds,
+                cost: bill.cost,
+            });
+        }
         match r.commit {
             Commit::Block(key) => {
                 self.stats.tasks_run += 1;
@@ -1359,10 +1438,55 @@ impl Driver {
                         millis: r.duration.as_millis(),
                     }
                 });
-                let w = self.cluster.worker_mut(r.worker);
-                if w.alive {
-                    let outcome = w.blocks.insert_traced(key, r.data, r.vbytes);
-                    self.emit_cache(now, ext, key, r.vbytes, &outcome);
+                let external_shuffle = self.backend.shuffle_transport()
+                    == ShuffleTransport::ExternalStore
+                    && matches!(key, BlockKey::ShuffleMap { .. });
+                if let (
+                    true,
+                    BlockKey::ShuffleMap {
+                        shuffle: s,
+                        map_part: mp,
+                    },
+                ) = (external_shuffle, key)
+                {
+                    // Serverless invocations cannot serve remote reads
+                    // after returning: the map output goes to the
+                    // durable store instead of worker memory. Reducers
+                    // find it via `shuffle_block_available` /
+                    // `fetch_shuffle_bucket`'s existing store path. A
+                    // failed write leaves nothing durable and the
+                    // planner re-runs the map task.
+                    let fault = self.ckpt.put_shuffle(s, mp, r.data, r.vbytes, now);
+                    match fault {
+                        WriteFault::Fail => {
+                            self.trace.emit_with(now, || EventKind::FaultInjected {
+                                kind: "shuffle_ext_fail".to_string(),
+                                target: key.to_string(),
+                            });
+                        }
+                        WriteFault::Torn => {
+                            self.trace.emit_with(now, || EventKind::FaultInjected {
+                                kind: "shuffle_ext_torn".to_string(),
+                                target: key.to_string(),
+                            });
+                        }
+                        WriteFault::None => {}
+                    }
+                    if fault != WriteFault::Fail {
+                        let vbytes = r.vbytes;
+                        self.trace
+                            .emit_with(now, || EventKind::ShuffleExternalized {
+                                shuffle: u64::from(s.0),
+                                map_part: u64::from(mp),
+                                vbytes,
+                            });
+                    }
+                } else {
+                    let w = self.cluster.worker_mut(r.worker);
+                    if w.alive {
+                        let outcome = w.blocks.insert_traced(key, r.data, r.vbytes);
+                        self.emit_cache(now, ext, key, r.vbytes, &outcome);
+                    }
                 }
                 if let BlockKey::RddPart { rdd, part } = key {
                     self.computed_once.insert((rdd, part));

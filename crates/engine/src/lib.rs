@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod block;
 mod chaos;
 mod checkpoint;
@@ -59,6 +60,10 @@ mod shuffle;
 mod stats;
 mod value;
 
+pub use backend::{
+    Backend, BackendKind, InvocationBill, InvocationStart, ServerlessBackend, ServerlessConfig,
+    ShuffleTransport, TransientVmBackend,
+};
 pub use block::{BlockData, BlockKey, BlockLocation, BlockManager, BlockStoreSnapshot};
 pub use chaos::{ChaosConfig, ChaosInjector, ChaosSchedule, ChaosStoreFaults};
 pub use checkpoint::{

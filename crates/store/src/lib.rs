@@ -247,6 +247,17 @@ impl<T> DurableStore<T> {
             .collect()
     }
 
+    /// Returns the footprint in virtual bytes of the objects with a
+    /// given key prefix — e.g. `"shuffle/"` to measure how much
+    /// shuffle data a serverless session is holding in the store.
+    pub fn bytes_with_prefix(&self, prefix: &str) -> u64 {
+        self.objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, o)| o.bytes)
+            .sum()
+    }
+
     /// Returns the number of stored objects.
     pub fn len(&self) -> usize {
         self.objects.len()
@@ -328,6 +339,22 @@ mod tests {
         assert_eq!(s.delete_prefix("rdd-1/", t(1)), 2);
         assert_eq!(s.len(), 1);
         assert_eq!(s.total_bytes(), 10);
+    }
+
+    #[test]
+    fn bytes_with_prefix_sums_only_matching_objects() {
+        let mut s: DurableStore<u32> = DurableStore::new(StorageConfig::default());
+        s.put("shuffle/0/0", 0, 100, t(0));
+        s.put("shuffle/0/1", 1, 250, t(0));
+        s.put("rdd-1/part-0", 2, 999, t(0));
+        assert_eq!(s.bytes_with_prefix("shuffle/"), 350);
+        assert_eq!(s.bytes_with_prefix("rdd-"), 999);
+        assert_eq!(s.bytes_with_prefix("nope/"), 0);
+        assert_eq!(
+            s.bytes_with_prefix(""),
+            s.total_bytes(),
+            "the empty prefix covers everything"
+        );
     }
 
     #[test]

@@ -193,6 +193,29 @@ pub struct MetricsAggregator {
     /// Cluster-MTTF re-fits under an age-dependent hazard model.
     pub hazard_refits: u64,
 
+    // ── backend lifecycle / serverless billing ─────────────────────
+    /// Backend kind announced at launch (`BackendSelected`), if any.
+    pub backend: Option<String>,
+    /// Function slots / workers announced at launch.
+    pub backend_workers: u64,
+    /// Serverless invocations admitted (`InvocationStarted`).
+    pub invocations: u64,
+    /// Invocations whose container was cold (`cold_ms > 0`).
+    pub cold_starts: u64,
+    /// Σ `InvocationStarted.cold_ms` — total cold-start latency.
+    pub cold_start_ms: u64,
+    /// Invocations billed (`InvocationBilled`).
+    pub invocations_billed: u64,
+    /// Σ `InvocationBilled.cost` — mirrors the serverless
+    /// `CostReport::compute_cost` exactly.
+    pub invocation_cost: f64,
+    /// Σ `InvocationBilled.gb_seconds`.
+    pub invocation_gb_seconds: f64,
+    /// Shuffle map blocks materialized through the external store.
+    pub shuffles_externalized: u64,
+    /// Σ `ShuffleExternalized.vbytes`.
+    pub shuffle_external_vbytes: u64,
+
     // ── per-phase histograms ───────────────────────────────────────
     /// Action (job) latencies, virtual millis.
     pub action_latency: Histogram,
@@ -202,6 +225,10 @@ pub struct MetricsAggregator {
     pub ckpt_wire: Histogram,
     /// Restore durations, virtual millis.
     pub restore_millis: Histogram,
+    /// Cold-start latencies, virtual millis (cold invocations only).
+    pub cold_millis: Histogram,
+    /// Per-invocation bills, micro-dollars.
+    pub invocation_microdollars: Histogram,
 }
 
 impl MetricsAggregator {
@@ -292,6 +319,31 @@ impl MetricsAggregator {
             EventKind::MarketCooledDown { .. } => self.market_cooldowns += 1,
             EventKind::PortfolioWeight { .. } => self.portfolio_weights += 1,
             EventKind::HazardRefit { .. } => self.hazard_refits += 1,
+            EventKind::BackendSelected { backend, workers } => {
+                self.backend = Some(backend.clone());
+                self.backend_workers = *workers;
+            }
+            EventKind::InvocationStarted { cold_ms, .. } => {
+                self.invocations += 1;
+                if *cold_ms > 0 {
+                    self.cold_starts += 1;
+                    self.cold_start_ms += cold_ms;
+                    self.cold_millis.record(*cold_ms);
+                }
+            }
+            EventKind::InvocationBilled {
+                gb_seconds, cost, ..
+            } => {
+                self.invocations_billed += 1;
+                self.invocation_cost += cost;
+                self.invocation_gb_seconds += gb_seconds;
+                self.invocation_microdollars
+                    .record((cost * 1e6).round().max(0.0) as u64);
+            }
+            EventKind::ShuffleExternalized { vbytes, .. } => {
+                self.shuffles_externalized += 1;
+                self.shuffle_external_vbytes += vbytes;
+            }
         }
     }
 
@@ -390,6 +442,47 @@ impl fmt::Display for MetricsAggregator {
         )?;
         row(f, "replacement rounds", self.replacement_rounds)?;
         row(f, "compute cost", format!("${:.4}", self.compute_cost))?;
+        if let Some(backend) = &self.backend {
+            row(
+                f,
+                "backend",
+                format!("{backend} ({} workers)", self.backend_workers),
+            )?;
+        }
+        if self.invocations > 0 || self.invocations_billed > 0 {
+            writeln!(f, "serverless billing:")?;
+            row(f, "invocations", self.invocations)?;
+            row(
+                f,
+                "cold starts",
+                format!(
+                    "{} ({:.1}s latency total)",
+                    self.cold_starts,
+                    self.cold_start_ms as f64 / 1000.0
+                ),
+            )?;
+            row(
+                f,
+                "GB-seconds",
+                format!("{:.2}", self.invocation_gb_seconds),
+            )?;
+            row(
+                f,
+                "invocation cost",
+                format!(
+                    "${:.6} over {} bills",
+                    self.invocation_cost, self.invocations_billed
+                ),
+            )?;
+            row(
+                f,
+                "shuffle via store",
+                format!(
+                    "{} blocks / {} vbytes",
+                    self.shuffles_externalized, self.shuffle_external_vbytes
+                ),
+            )?;
+        }
         if self.faults_injected > 0 || self.corrupt_detected > 0 || self.workers_quarantined > 0 {
             writeln!(f, "chaos / recovery:")?;
             row(f, "faults injected", self.faults_injected)?;
@@ -404,6 +497,8 @@ impl fmt::Display for MetricsAggregator {
         hist_row(f, "task duration", &self.task_millis, "ms")?;
         hist_row(f, "ckpt wire size", &self.ckpt_wire, "B")?;
         hist_row(f, "restore time", &self.restore_millis, "ms")?;
+        hist_row(f, "cold start", &self.cold_millis, "ms")?;
+        hist_row(f, "invocation bill", &self.invocation_microdollars, "µ$")?;
         Ok(())
     }
 }
@@ -537,5 +632,73 @@ mod tests {
         let text = agg.to_string();
         assert!(text.contains("tasks run"));
         assert!(text.contains("compute cost"));
+    }
+
+    #[test]
+    fn fold_reproduces_serverless_billing() {
+        let events = vec![
+            at(
+                0,
+                EventKind::BackendSelected {
+                    backend: "serverless".into(),
+                    workers: 4,
+                },
+            ),
+            at(
+                5,
+                EventKind::InvocationStarted {
+                    invocation: 1,
+                    worker: 1,
+                    cold_ms: 400,
+                },
+            ),
+            at(
+                6,
+                EventKind::InvocationStarted {
+                    invocation: 2,
+                    worker: 2,
+                    cold_ms: 0,
+                },
+            ),
+            at(
+                8,
+                EventKind::ShuffleExternalized {
+                    shuffle: 0,
+                    map_part: 3,
+                    vbytes: 1024,
+                },
+            ),
+            at(
+                10,
+                EventKind::InvocationBilled {
+                    invocation: 1,
+                    gb_seconds: 2.0,
+                    cost: 0.25,
+                },
+            ),
+            at(
+                12,
+                EventKind::InvocationBilled {
+                    invocation: 2,
+                    gb_seconds: 1.0,
+                    cost: 0.50,
+                },
+            ),
+        ];
+        let agg = MetricsAggregator::from_events(&events);
+        assert_eq!(agg.backend.as_deref(), Some("serverless"));
+        assert_eq!(agg.backend_workers, 4);
+        assert_eq!(agg.invocations, 2);
+        assert_eq!(agg.cold_starts, 1);
+        assert_eq!(agg.cold_start_ms, 400);
+        assert_eq!(agg.invocations_billed, 2);
+        assert!((agg.invocation_cost - 0.75).abs() < 1e-12);
+        assert!((agg.invocation_gb_seconds - 3.0).abs() < 1e-12);
+        assert_eq!(agg.shuffles_externalized, 1);
+        assert_eq!(agg.shuffle_external_vbytes, 1024);
+        let text = agg.to_string();
+        assert!(text.contains("serverless billing"));
+        assert!(text.contains("invocation cost"));
+        assert!(text.contains("cold starts"));
     }
 }

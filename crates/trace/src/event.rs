@@ -231,6 +231,25 @@ event_kinds! {
     /// and will not receive replacement requests until `until_ms`.
     MarketCooledDown { market: u64, until_ms: u64 },
 
+    // ── backend lifecycle and per-invocation billing ───────────────
+    /// The run selected an execution backend at launch. `backend` is
+    /// the backend kind (`"vm"`, `"serverless"`); `workers` is the
+    /// provisioned worker / function-slot count.
+    BackendSelected { backend: String, workers: u64 },
+    /// A serverless invocation was admitted onto a function slot.
+    /// `cold_ms` is the seeded cold-start latency charged to the task
+    /// (0 when the container was still warm).
+    InvocationStarted { invocation: u64, worker: u64, cold_ms: u64 },
+    /// Final bill for one serverless invocation: GB-seconds consumed
+    /// (duration × function memory) and dollars charged (GB-seconds ×
+    /// rate + per-request fee). Σ over a run equals the serverless
+    /// `CostReport.compute_cost` exactly.
+    InvocationBilled { invocation: u64, gb_seconds: f64, cost: f64 },
+    /// A shuffle map output was materialized through the external
+    /// durable store instead of worker memory (the serverless shuffle
+    /// transport).
+    ShuffleExternalized { shuffle: u64, map_part: u64, vbytes: u64 },
+
     // ── portfolio selection and hazard re-estimation ───────────────
     /// One market's share of a mean-variance portfolio allocation:
     /// `count` of the cluster's servers go to `market`, `weight` is
@@ -592,6 +611,25 @@ mod tests {
             EventKind::MarketCooledDown {
                 market: 4,
                 until_ms: 7_200_000,
+            },
+            EventKind::BackendSelected {
+                backend: "serverless".into(),
+                workers: 8,
+            },
+            EventKind::InvocationStarted {
+                invocation: 4,
+                worker: 2,
+                cold_ms: 412,
+            },
+            EventKind::InvocationBilled {
+                invocation: 4,
+                gb_seconds: 7.25,
+                cost: 0.000121,
+            },
+            EventKind::ShuffleExternalized {
+                shuffle: 3,
+                map_part: 1,
+                vbytes: 65_536,
             },
             EventKind::PortfolioWeight {
                 market: 2,

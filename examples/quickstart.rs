@@ -6,35 +6,17 @@
 //!
 //! Demonstrates the full stack end to end: a synthetic spot-market
 //! region, Flint's batch server selection and adaptive checkpointing, the
-//! data-parallel engine, and cost reporting.
+//! data-parallel engine, and cost reporting — then the same job again on
+//! the serverless backend for a cost comparison.
 
-use flint::core::{FlintCluster, FlintConfig, Mode};
-use flint::engine::Value;
+use flint::core::{BackendSpec, FlintCluster, FlintConfig, Mode};
+use flint::engine::{Driver, Value};
 use flint::market::MarketCatalog;
 use flint::simtime::SimDuration;
 
-fn main() {
-    // A synthetic EC2-like region: nine spot markets of varying
-    // volatility plus an on-demand pool, over 30 days of price history.
-    let catalog = MarketCatalog::synthetic_ec2(42, SimDuration::from_days(30));
-    println!("markets:");
-    for m in catalog.spot_markets() {
-        println!("  {:>3}  {}", format!("m{}", m.id.0), m.name);
-    }
-
-    // Launch Flint in batch mode with six workers. The node manager
-    // selects the market minimizing expected cost E[C_k] = E[T_k]·p_k,
-    // bids the on-demand price, and replaces any revoked server.
-    let mut cluster = FlintCluster::launch(
-        catalog,
-        FlintConfig::builder()
-            .n_workers(6)
-            .mode(Mode::Batch)
-            .build(),
-    );
-
-    // Classic word count through the engine's RDD API.
-    let driver = cluster.driver_mut();
+/// Classic word count through the engine's RDD API; returns the sorted
+/// `(word, count)` rows. Identical lineage on every backend.
+fn word_count(driver: &mut Driver) -> Vec<Value> {
     let text = "the quick brown fox jumps over the lazy dog the fox";
     let words = driver.ctx().parallelize(
         text.split_whitespace()
@@ -50,9 +32,32 @@ fn main() {
         Value::Int(a.as_i64().unwrap() + b.as_i64().unwrap())
     });
     let sorted = driver.ctx().sort_by_key(counts, 4, true);
+    driver.collect(sorted).expect("job")
+}
+
+fn main() {
+    // A synthetic EC2-like region: nine spot markets of varying
+    // volatility plus an on-demand pool, over 30 days of price history.
+    let catalog = MarketCatalog::synthetic_ec2(42, SimDuration::from_days(30));
+    println!("markets:");
+    for m in catalog.spot_markets() {
+        println!("  {:>3}  {}", format!("m{}", m.id.0), m.name);
+    }
+
+    // Launch Flint in batch mode with six workers. The default backend
+    // (`BackendSpec::TransientVm`) runs on spot VMs: the node manager
+    // selects the market minimizing expected cost E[C_k] = E[T_k]·p_k,
+    // bids the on-demand price, and replaces any revoked server.
+    let mut cluster = FlintCluster::launch(
+        catalog.clone(),
+        FlintConfig::builder()
+            .n_workers(6)
+            .mode(Mode::Batch)
+            .build(),
+    );
 
     println!("\nword counts:");
-    for row in driver.collect(sorted).expect("job") {
+    for row in word_count(cluster.driver_mut()) {
         let (k, v) = row.into_pair().unwrap();
         println!("  {:>6}  {}", v.as_i64().unwrap(), k.as_str().unwrap());
     }
@@ -71,4 +76,23 @@ fn main() {
         report.unit_cost()
     );
     println!("  revocations    {}", report.revocations);
+
+    // The same job on the serverless backend: per-invocation 1-core
+    // slots billed by the GB-second, shuffles materialized through the
+    // durable store, no markets and no revocations. Short bursts like
+    // this one are far cheaper than holding VMs for billable hours.
+    let mut functions = FlintCluster::launch(
+        catalog,
+        FlintConfig::builder()
+            .n_workers(12)
+            .backend(BackendSpec::Serverless(Default::default()))
+            .build(),
+    );
+    let serverless_rows = word_count(functions.driver_mut());
+    let bill = functions.shutdown();
+    println!("\nserverless rerun ({}):", bill.backend);
+    println!("  same answer    {}", serverless_rows.len());
+    println!("  invocations    {}", bill.invocations);
+    println!("  gb-seconds     {:.2}", bill.invocation_gb_seconds);
+    println!("  compute        ${:.6}", bill.compute_cost);
 }

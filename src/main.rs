@@ -12,10 +12,10 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use flint::core::{FlintCheckpointPolicy, FlintConfig, Mode};
+use flint::core::{BackendSpec, FlintCheckpointPolicy, FlintConfig, Mode};
 use flint::engine::{
     ChaosConfig, ChaosInjector, ChaosSchedule, Driver, DriverConfig, NoCheckpoint,
-    ScriptedInjector, WorkerEvent, WorkerSpec,
+    ScriptedInjector, ServerlessConfig, WorkerEvent, WorkerSpec,
 };
 use flint::market::{correlated_groups, correlation_matrix, MarketCatalog};
 use flint::model::{run_mc, CkptMode, McConfig, PolicyKind};
@@ -58,11 +58,15 @@ fn usage() {
 USAGE:
   flint run <pagerank|kmeans|als|tpch> [--gb N] [--partitions N]
         [--iterations N] [--seed N] [--workers N]
+        [--backend vm|serverless]
         [--policy batch|interactive|portfolio] [--risk R]
         [--trace FILE]   (run on a Flint-managed cluster; --trace writes
                           the structured event stream as JSONL. --mode is
                           accepted as an alias for --policy; --risk sets
-                          the portfolio's risk-aversion lambda, default 1.0)
+                          the portfolio's risk-aversion lambda, default 1.0.
+                          --backend serverless runs every task as a billed
+                          function invocation — market flags like --policy
+                          and --bid are rejected there)
   flint workload <pagerank|kmeans|als|tpch> [--gb N] [--iterations N]
         [--workers N] [--failures K] [--mttf H] [--checkpoint] [--seed N]
         [--dot FILE]   (write the executed lineage graph as Graphviz DOT)
@@ -122,6 +126,54 @@ fn flag_u(flags: &HashMap<String, String>, name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Why the `--backend` selection could not be honored.
+#[derive(Debug, PartialEq, Eq)]
+enum BackendFlagError {
+    /// `--backend` named something other than `vm` or `serverless`.
+    UnknownBackend(String),
+    /// A VM-market flag was passed under a backend that has no market
+    /// (rejected instead of silently ignored).
+    MeaninglessFlag {
+        backend: &'static str,
+        flag: &'static str,
+    },
+}
+
+impl std::fmt::Display for BackendFlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendFlagError::UnknownBackend(name) => {
+                write!(f, "unknown backend: {name} (expected vm|serverless)")
+            }
+            BackendFlagError::MeaninglessFlag { backend, flag } => write!(
+                f,
+                "--{flag} is meaningless under the {backend} backend: functions are \
+                 not bid for on spot markets (drop --{flag} or use --backend vm)"
+            ),
+        }
+    }
+}
+
+/// Resolves `--backend` (default `vm`). Under `serverless`, the flags
+/// that parameterize the VM market path are typed errors.
+fn resolve_backend(flags: &HashMap<String, String>) -> Result<BackendSpec, BackendFlagError> {
+    match flags.get("backend").map(String::as_str).unwrap_or("vm") {
+        "vm" => Ok(BackendSpec::TransientVm),
+        "serverless" => {
+            for flag in ["policy", "mode", "bid", "risk"] {
+                if flags.contains_key(flag) {
+                    return Err(BackendFlagError::MeaninglessFlag {
+                        backend: "serverless",
+                        flag,
+                    });
+                }
+            }
+            Ok(BackendSpec::Serverless(ServerlessConfig::default()))
+        }
+        other => Err(BackendFlagError::UnknownBackend(other.to_string())),
+    }
+}
+
 fn parse_workload(name: &str, flags: &HashMap<String, String>) -> Option<Box<dyn Workload>> {
     let cfg = WorkloadConfig {
         dataset_gb: flag_f64(flags, "gb", 2.0),
@@ -147,8 +199,16 @@ fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("unknown workload: {name}");
         return ExitCode::FAILURE;
     };
+    let backend = match resolve_backend(flags) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     // `--policy` is the canonical spelling; `--mode` stays as an alias
-    // for older scripts.
+    // for older scripts. (Under serverless both were already rejected
+    // above, so the default here is never a silent override.)
     let policy = flags
         .get("policy")
         .or_else(|| flags.get("mode"))
@@ -181,6 +241,7 @@ fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
         .risk_aversion(flag_f64(flags, "risk", 1.0))
         .seed(flag_u(flags, "seed", 42))
         .trace(trace)
+        .backend(backend)
         .build();
     let run = match run_on_flint(catalog, config, wl.as_ref()) {
         Ok(run) => run,
@@ -201,8 +262,17 @@ fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
     );
     println!("restores     : {}", run.stats.restores);
     println!("revocations  : {}", run.stats.revocations);
+    println!("backend      : {}", run.backend());
     println!("policy       : {}", run.cost.policy);
-    println!("compute cost : ${:.2}", run.cost.compute_cost);
+    if run.cost.invocations > 0 {
+        println!("invocations  : {}", run.cost.invocations);
+        println!("gb-seconds   : {:.2}", run.cost.invocation_gb_seconds);
+        // Per-invocation pricing bills in micro-dollars; two decimals
+        // would round a typical run to $0.00.
+        println!("compute cost : ${:.6}", run.cost.compute_cost);
+    } else {
+        println!("compute cost : ${:.2}", run.cost.compute_cost);
+    }
     println!("storage cost : ${:.2}", run.cost.storage_cost);
     if let Some(path) = flags.get("trace") {
         println!("trace        : written to {path}");
@@ -755,6 +825,7 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         "ext_streaming" => ablations::ext_streaming_latency(),
         "ablation_delta" => ablations::ablation_adaptive_delta(),
         "ablation_portfolio" => ablations::ablation_portfolio(),
+        "ablation_backend" => ablations::ablation_backend(),
         other => {
             eprintln!("unknown experiment: {other}");
             return ExitCode::FAILURE;
@@ -762,4 +833,64 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
     };
     println!("{table}");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn backend_defaults_to_vm() {
+        assert!(matches!(
+            resolve_backend(&flags(&[])),
+            Ok(BackendSpec::TransientVm)
+        ));
+        assert!(matches!(
+            resolve_backend(&flags(&[("backend", "vm"), ("policy", "portfolio")])),
+            Ok(BackendSpec::TransientVm)
+        ));
+    }
+
+    #[test]
+    fn serverless_backend_parses() {
+        assert!(matches!(
+            resolve_backend(&flags(&[("backend", "serverless")])),
+            Ok(BackendSpec::Serverless(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_backend_is_a_typed_error() {
+        let err = resolve_backend(&flags(&[("backend", "mainframe")])).unwrap_err();
+        assert_eq!(err, BackendFlagError::UnknownBackend("mainframe".into()));
+        assert!(err.to_string().contains("vm|serverless"));
+    }
+
+    #[test]
+    fn market_flags_are_rejected_under_serverless() {
+        for flag in ["policy", "mode", "bid", "risk"] {
+            let err =
+                resolve_backend(&flags(&[("backend", "serverless"), (flag, "x")])).unwrap_err();
+            assert_eq!(
+                err,
+                BackendFlagError::MeaninglessFlag {
+                    backend: "serverless",
+                    flag: match flag {
+                        "policy" => "policy",
+                        "mode" => "mode",
+                        "bid" => "bid",
+                        _ => "risk",
+                    },
+                },
+            );
+            assert!(err.to_string().contains(flag));
+        }
+    }
 }

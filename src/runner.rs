@@ -24,6 +24,15 @@ pub struct RunReport {
     pub trace: Option<TraceHandle>,
 }
 
+impl RunReport {
+    /// The execution backend that produced this run (`"vm"` or
+    /// `"serverless"`); under serverless, `cost.invocations` and
+    /// `cost.invocation_gb_seconds` carry the billing breakdown.
+    pub fn backend(&self) -> &str {
+        &self.cost.backend
+    }
+}
+
 /// Launches a Flint cluster for `config`, sizes the engine's cost model
 /// to the workload's recommended scale, runs the workload to completion,
 /// shuts the cluster down, and returns results plus the bill.
