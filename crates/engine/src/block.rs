@@ -3,6 +3,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+use crate::column::ColumnBatch;
 use crate::rdd::{PartitionData, RddId};
 use crate::shuffle::{BucketedBlock, ShuffleId};
 use crate::WorkerId;
@@ -40,13 +41,13 @@ impl std::fmt::Display for BlockKey {
 
 /// The payload of a cached or checkpointed block.
 ///
-/// RDD partitions are always `Flat`. Shuffle map outputs start `Flat`
-/// and become `Bucketed` once their partitioner is known — eagerly for
-/// hash shuffles, lazily (at the barrier, when the [`RangePartitioner`]
-/// resolves) for range shuffles. Both forms hold the same record
-/// multiset, so payload-byte and wire-size accounting are identical;
-/// only the reduce-side access path differs (O(1) bucket lookup vs. a
-/// full scan).
+/// RDD partitions are `Flat` or — when the columnar path encoded them —
+/// `Columnar`, the same record sequence as typed column vectors.
+/// Shuffle map outputs start `Flat` and become `Bucketed` once their
+/// partitioner is known — eagerly for hash shuffles, lazily (at the
+/// barrier, when the [`RangePartitioner`] resolves) for range shuffles.
+/// All forms hold the same record multiset, so payload-byte and
+/// wire-size accounting are identical; only the access path differs.
 ///
 /// [`RangePartitioner`]: crate::shuffle::RangePartitioner
 #[derive(Debug, Clone)]
@@ -56,22 +57,45 @@ pub enum BlockData {
     Flat(PartitionData),
     /// A shuffle map output pre-partitioned into reduce buckets.
     Bucketed(Arc<BucketedBlock>),
+    /// An RDD partition in columnar form: the identical record sequence
+    /// stored as typed column vectors (see [`ColumnBatch`]).
+    Columnar(Arc<ColumnBatch>),
 }
 
 impl BlockData {
-    /// The flat partition payload, or `None` for a bucketed block.
+    /// The flat partition payload, or `None` for other forms.
     pub fn flat(&self) -> Option<&PartitionData> {
         match self {
             BlockData::Flat(d) => Some(d),
-            BlockData::Bucketed(_) => None,
+            BlockData::Bucketed(_) | BlockData::Columnar(_) => None,
         }
     }
 
-    /// The bucketed payload, or `None` for a flat block.
+    /// The bucketed payload, or `None` for other forms.
     pub fn bucketed(&self) -> Option<&Arc<BucketedBlock>> {
         match self {
-            BlockData::Flat(_) => None,
             BlockData::Bucketed(b) => Some(b),
+            BlockData::Flat(_) | BlockData::Columnar(_) => None,
+        }
+    }
+
+    /// The columnar payload, or `None` for other forms.
+    pub fn columnar(&self) -> Option<&Arc<ColumnBatch>> {
+        match self {
+            BlockData::Columnar(b) => Some(b),
+            BlockData::Flat(_) | BlockData::Bucketed(_) => None,
+        }
+    }
+
+    /// The record sequence regardless of form: `Flat` hands out its
+    /// payload for a refcount bump, `Columnar` decodes (allocating),
+    /// and `Bucketed` returns `None` (buckets reorder records, so there
+    /// is no single production-order view).
+    pub fn rows(&self) -> Option<PartitionData> {
+        match self {
+            BlockData::Flat(d) => Some(Arc::clone(d)),
+            BlockData::Columnar(b) => Some(Arc::new(b.to_rows())),
+            BlockData::Bucketed(_) => None,
         }
     }
 
@@ -80,6 +104,7 @@ impl BlockData {
         match self {
             BlockData::Flat(d) => d.len(),
             BlockData::Bucketed(b) => b.len(),
+            BlockData::Columnar(b) => b.len(),
         }
     }
 
@@ -90,21 +115,24 @@ impl BlockData {
 
     /// Payload bytes: the sum of every record's
     /// [`size_bytes`](crate::Value::size_bytes), identical across forms
-    /// (bucketing reorders records, it never changes the multiset).
+    /// (bucketing reorders records and columnar re-lays them out;
+    /// neither changes the multiset or the size formula).
     pub fn payload_bytes(&self) -> u64 {
         match self {
             BlockData::Flat(d) => d.iter().map(crate::Value::size_bytes).sum(),
             BlockData::Bucketed(b) => b.payload_bytes(),
+            BlockData::Columnar(b) => b.payload_bytes(),
         }
     }
 
     /// Byte-exact serialized checkpoint size: the same framing walk as
-    /// [`crate::checkpoint::wire_size`], order-independent and therefore
-    /// identical across forms.
+    /// [`crate::checkpoint::wire_size`] (8-byte count plus a 4-byte
+    /// frame per record), order- and form-independent.
     pub fn wire_size(&self) -> u64 {
         match self {
             BlockData::Flat(d) => crate::checkpoint::wire_size(d),
             BlockData::Bucketed(b) => 8 + b.payload_bytes() + 4 * b.len() as u64,
+            BlockData::Columnar(b) => 8 + b.payload_bytes() + 4 * b.len() as u64,
         }
     }
 }
@@ -118,6 +146,12 @@ impl From<PartitionData> for BlockData {
 impl From<Arc<BucketedBlock>> for BlockData {
     fn from(b: Arc<BucketedBlock>) -> Self {
         BlockData::Bucketed(b)
+    }
+}
+
+impl From<Arc<ColumnBatch>> for BlockData {
+    fn from(b: Arc<ColumnBatch>) -> Self {
+        BlockData::Columnar(b)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::column::{AggKernel, MapKernel, OpKernel, PredKernel};
 use crate::lineage::Lineage;
 use crate::rdd::{RddId, RddOp, RddRef};
 use crate::shuffle::ShuffleKind;
@@ -141,6 +142,109 @@ impl EngineContext {
         )
     }
 
+    /// Element-wise transformation declared as a [`MapKernel`]: the row
+    /// closure is generated from the kernel, and the executor may run
+    /// the kernel's vectorized batch evaluator instead — the two agree
+    /// by construction, and non-encodable partitions fall back to the
+    /// row path transparently.
+    ///
+    /// The kernel must be total (`Scalar`/`Pair` shapes);
+    /// [`MapKernel::NearestCenter`] has filter-map semantics and must go
+    /// through [`EngineContext::map_partitions_kernel`] instead.
+    pub fn map_kernel(&mut self, r: RddRef, kernel: MapKernel) -> RddRef {
+        assert!(
+            !matches!(kernel, MapKernel::NearestCenter { .. }),
+            "NearestCenter skips records; use map_partitions_kernel"
+        );
+        let n = self.lineage.meta(r.id).num_partitions;
+        let k = kernel.clone();
+        let id = self.lineage.add_rdd(
+            "map",
+            RddOp::Map {
+                f: Arc::new(move |v| k.eval_value(v).unwrap_or_else(|| v.clone())),
+            },
+            vec![r.id],
+            n,
+        );
+        self.lineage.set_kernel(id, OpKernel::Map(kernel));
+        RddRef { id }
+    }
+
+    /// Filter declared as a [`PredKernel`], with a vectorized mask+gather
+    /// batch path (see [`EngineContext::map_kernel`] for the contract).
+    pub fn filter_kernel(&mut self, r: RddRef, pred: PredKernel) -> RddRef {
+        let n = self.lineage.meta(r.id).num_partitions;
+        let p = pred.clone();
+        let id = self.lineage.add_rdd(
+            "filter",
+            RddOp::Filter {
+                p: Arc::new(move |v| p.eval_value(v)),
+            },
+            vec![r.id],
+            n,
+        );
+        self.lineage.set_kernel(id, OpKernel::Filter(pred));
+        RddRef { id }
+    }
+
+    /// Whole-partition transformation declared as a [`MapKernel`] with
+    /// filter-map semantics (records the kernel declines are dropped,
+    /// like [`MapKernel::NearestCenter`] on non-vector records).
+    /// `cost_factor` scales the charged compute time as in
+    /// [`EngineContext::map_partitions`].
+    pub fn map_partitions_kernel(
+        &mut self,
+        r: RddRef,
+        cost_factor: f64,
+        kernel: MapKernel,
+    ) -> RddRef {
+        let n = self.lineage.meta(r.id).num_partitions;
+        let k = kernel.clone();
+        let id = self.lineage.add_rdd(
+            "map_partitions",
+            RddOp::MapPartitions {
+                f: Arc::new(move |_part, data| {
+                    let mut out = Vec::with_capacity(data.len());
+                    out.extend(data.iter().filter_map(|v| k.eval_value(v)));
+                    out
+                }),
+                cost_factor,
+            },
+            vec![r.id],
+            n,
+        );
+        self.lineage
+            .set_kernel(id, OpKernel::PartsFilterMap(kernel));
+        RddRef { id }
+    }
+
+    /// Keyed aggregation declared as an [`AggKernel`]: the combine
+    /// closure (map-side and reduce-side) is generated from the kernel,
+    /// the shuffle is marked batch-capable so map outputs may be
+    /// bucketed as columnar row groups, and the reducer may run the
+    /// typed accumulation path.
+    pub fn reduce_by_key_kernel(&mut self, r: RddRef, parts: u32, kernel: AggKernel) -> RddRef {
+        let k = kernel.clone();
+        let f: crate::rdd::AggFn = Arc::new(move |a, b| k.combine_values(a, b));
+        let shuffle = self.lineage.add_shuffle_with_combine(
+            r.id,
+            ShuffleKind::Hash {
+                parts: parts.max(1),
+            },
+            f.clone(),
+        );
+        self.lineage.set_agg_kernel(shuffle, kernel);
+        self.add(
+            "reduce_by_key",
+            RddOp::ShuffleAgg {
+                shuffle,
+                combine: f,
+            },
+            vec![r.id],
+            parts.max(1),
+        )
+    }
+
     /// Concatenates two RDDs (partition lists are appended).
     pub fn union(&mut self, a: RddRef, b: RddRef) -> RddRef {
         let n = self.lineage.meta(a.id).num_partitions + self.lineage.meta(b.id).num_partitions;
@@ -199,6 +303,9 @@ impl EngineContext {
                 parts: parts.max(1),
             },
         );
+        // Grouping has no combine, so columnar map outputs can bucket
+        // without decoding whenever the upstream produced a batch.
+        self.lineage.mark_batch_shuffle(shuffle);
         self.add(
             "group_by_key",
             RddOp::ShuffleGroup { shuffle },

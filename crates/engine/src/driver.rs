@@ -65,6 +65,13 @@ pub struct DriverConfig {
     /// that quarantine it (further joins are ignored). `0` disables
     /// quarantining.
     pub flap_threshold: u32,
+    /// Enables the columnar batch execution path: partitions of
+    /// batch-capable ops (built through the `*_kernel` context
+    /// constructors) are stored as typed column vectors and run through
+    /// vectorized kernels; everything else stays on the per-record
+    /// path. Either setting produces bit-identical results, virtual
+    /// sizes, and traces — only host wall-clock changes. On by default.
+    pub columnar: bool,
 }
 
 impl Default for DriverConfig {
@@ -80,6 +87,7 @@ impl Default for DriverConfig {
             recompute_depth_budget: u64::MAX,
             flap_window: SimDuration::from_secs(600),
             flap_threshold: 3,
+            columnar: true,
         }
     }
 }
@@ -180,6 +188,14 @@ impl DriverConfigBuilder {
     /// id (`0` disables).
     pub fn flap_threshold(mut self, threshold: u32) -> Self {
         self.cfg.flap_threshold = threshold;
+        self
+    }
+
+    /// Enables or disables the columnar batch path (on by default);
+    /// results are bit-identical either way, see
+    /// [`DriverConfig::columnar`].
+    pub fn columnar(mut self, on: bool) -> Self {
+        self.cfg.columnar = on;
         self
     }
 
@@ -1084,6 +1100,7 @@ impl Driver {
             range_cache: &self.range_cache,
             now: self.clock.now(),
             trace_enabled: self.trace.is_enabled(),
+            columnar: self.config.columnar,
         }
     }
 
@@ -1186,7 +1203,9 @@ impl Driver {
                     BucketedBlock::partition(d, rp),
                 ))),
                 // Already bucketed: nothing to do, skip the write.
-                BlockData::Bucketed(_) => None,
+                // Columnar cannot occur: range shuffle map outputs are
+                // forced to row form until resolution.
+                BlockData::Bucketed(_) | BlockData::Columnar(_) => None,
             };
             self.cluster.replace_payload_everywhere(&bk, convert);
             self.ckpt.replace_shuffle_payload(s, mp, convert);
@@ -1760,11 +1779,7 @@ impl Driver {
                     part: p,
                 }) {
                     total_vb += vb;
-                    parts.push(
-                        d.flat()
-                            .expect("RDD partition blocks are always flat")
-                            .clone(),
-                    );
+                    parts.push(d.rows().expect("RDD partition blocks decode to rows"));
                 } else {
                     ok = false;
                     break;

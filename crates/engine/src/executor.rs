@@ -40,12 +40,14 @@ use flint_trace::EventKind;
 use crate::block::{BlockData, BlockKey, BlockLocation};
 use crate::checkpoint::{wire_size, CheckpointStore, ReadFault};
 use crate::cluster::{Cluster, WorkerId};
+use crate::column::{typed_agg, typed_group, typed_sort_by_key, Column, ColumnBatch, OpKernel};
 use crate::cost::CostModel;
 use crate::driver::{CkptJob, MissingShuffle, TaskKey};
 use crate::lineage::Lineage;
 use crate::rdd::{PartitionData, RddId, RddOp};
 use crate::shuffle::{
-    BucketedBlock, HashPartitioner, Partitioner, RangePartitioner, ShuffleId, ShuffleKind,
+    scan_flat_bucket, Bucket, BucketedBlock, HashPartitioner, Partitioner, RangePartitioner,
+    ShuffleId, ShuffleKind,
 };
 use crate::value::Value;
 
@@ -68,6 +70,11 @@ pub(crate) struct WaveCtx<'a> {
     /// recording [`TaskOutput::events`] entirely, preserving the
     /// zero-overhead-when-disabled contract on the hot path.
     pub trace_enabled: bool,
+    /// Whether vectorized kernels may run. Fixed at plan time from the
+    /// driver config — never per wave — so the row and columnar paths
+    /// produce byte-identical observables and either one can replay a
+    /// pinned trace.
+    pub columnar: bool,
 }
 
 // The wave executor shares the snapshot and task closures across scoped
@@ -98,8 +105,51 @@ pub(crate) enum CacheEffect {
     /// Bump a block inserted earlier by this same task (it lives on the
     /// executing worker, unknown during compute).
     TouchLocal(BlockKey),
-    /// Insert a block into the executing worker's store.
-    Insert(BlockKey, PartitionData, u64),
+    /// Insert a block into the executing worker's store. Carries the
+    /// final block form (flat rows or a columnar batch) so re-reads see
+    /// exactly what the producing task materialized.
+    Insert(BlockKey, BlockData, u64),
+}
+
+/// A partition's in-flight payload during task compute: plain row
+/// records or a typed columnar batch. Both forms decode to the same
+/// record sequence and account identical real/virtual bytes, so every
+/// duration and cache decision downstream is form-independent.
+#[derive(Debug, Clone)]
+pub(crate) enum PartData {
+    /// Row records (the classic path).
+    Rows(PartitionData),
+    /// A typed columnar batch produced by a vectorized kernel.
+    Col(Arc<ColumnBatch>),
+}
+
+impl PartData {
+    /// The records in row form (decodes columnar batches).
+    fn rows(&self) -> PartitionData {
+        match self {
+            PartData::Rows(d) => Arc::clone(d),
+            PartData::Col(b) => Arc::new(b.to_rows()),
+        }
+    }
+
+    /// Real payload size: `Σ size_bytes + 16` in either form —
+    /// [`ColumnBatch::size_at`] mirrors `Value::size_bytes` exactly, so
+    /// eviction order, τ estimation, and checkpoint accounting cannot
+    /// tell the forms apart.
+    fn real_bytes(&self) -> u64 {
+        match self {
+            PartData::Rows(d) => real_bytes(d),
+            PartData::Col(b) => b.payload_bytes() + 16,
+        }
+    }
+
+    /// The cache/block representation of this payload.
+    fn to_block(&self) -> BlockData {
+        match self {
+            PartData::Rows(d) => BlockData::Flat(Arc::clone(d)),
+            PartData::Col(b) => BlockData::Columnar(Arc::clone(b)),
+        }
+    }
 }
 
 /// Everything a task's parallel compute phase produced: the data, the
@@ -198,61 +248,111 @@ pub(crate) fn compute_task(ctx: &WaveCtx<'_>, key: TaskKey) -> Option<TaskOutput
         TaskKey::Ckpt(_) => unreachable!("checkpoint jobs use compute_ckpt"),
     };
     let mut b = TaskBuilder::new(ctx);
-    let (mut data, mut vbytes, mut dur) = match b.materialize(rdd, part) {
+    let (data, mut vbytes, mut dur) = match b.materialize(rdd, part) {
         Ok(x) => x,
         Err(MissingShuffle) => return None,
     };
-    // Map-side combine (Spark `reduceByKey` pre-aggregation).
-    let mut combined_dirty = false;
-    if let TaskKey::ShuffleMap { shuffle, .. } = key {
-        if let Some(combine) = ctx.lineage.shuffle(shuffle).combine.clone() {
-            dur += ctx.cost.compute_time(vbytes, 1.0);
-            let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
-            let mut non_pairs: Vec<Value> = Vec::new();
-            for v in data.iter() {
-                match v {
-                    Value::Pair(p) => match agg.get_mut(p.key()) {
-                        Some(acc) => *acc = combine(acc, p.val()),
-                        None => {
-                            agg.insert(p.key().clone(), p.val().clone());
-                        }
-                    },
-                    other => non_pairs.push(other.clone()),
-                }
-            }
-            let mut combined: Vec<Value> =
-                agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
-            combined.extend(non_pairs);
-            data = Arc::new(combined);
-            combined_dirty = true;
-        }
-    }
     // Bucket shuffle map outputs once, at materialization: one pass over
     // the records replaces the per-reduce-task O(N) scans. Hash shuffles
     // always know their partitioner; range shuffles stay flat until the
     // barrier resolves (and caches) the bounds, after which the driver
     // converts resident blocks in place and recomputed blocks take this
-    // eager path.
+    // eager path. Batch-marked shuffles with a columnar payload combine
+    // and bucket without ever decoding to rows; anything else falls back
+    // to the row path with identical observables.
     let out: BlockData = match key {
-        TaskKey::ShuffleMap { shuffle, .. } => match shuffle_map_partitioner(ctx, shuffle) {
-            Some(p) => {
-                let bb = BucketedBlock::partition(&data, p.as_ref());
-                // Bucketing preserves the record multiset, so the virtual
-                // size is unchanged; the bucket walk already summed the
-                // payload bytes.
+        TaskKey::ShuffleMap { shuffle, .. } => {
+            let combine = ctx.lineage.shuffle(shuffle).combine.clone();
+            if let Some(bb) = columnar_map_output(ctx, shuffle, &data, combine.is_some()) {
+                if combine.is_some() {
+                    // Same pre-aggregation charge as the row path: input
+                    // vbytes at factor 1.0, before the output resize.
+                    dur += ctx.cost.compute_time(vbytes, 1.0);
+                }
                 vbytes = ctx.cost.vbytes(bb.payload_bytes() + 16);
                 Arc::new(bb).into()
-            }
-            None => {
-                if combined_dirty {
-                    vbytes = ctx.cost.vbytes(real_bytes(&data));
+            } else {
+                let mut rows = data.rows();
+                // Map-side combine (Spark `reduceByKey` pre-aggregation).
+                let mut combined_dirty = false;
+                if let Some(combine) = combine {
+                    dur += ctx.cost.compute_time(vbytes, 1.0);
+                    let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
+                    let mut non_pairs: Vec<Value> = Vec::new();
+                    for v in rows.iter() {
+                        match v {
+                            Value::Pair(p) => match agg.get_mut(p.key()) {
+                                Some(acc) => *acc = combine(acc, p.val()),
+                                None => {
+                                    agg.insert(p.key().clone(), p.val().clone());
+                                }
+                            },
+                            other => non_pairs.push(other.clone()),
+                        }
+                    }
+                    let mut combined: Vec<Value> = Vec::with_capacity(agg.len() + non_pairs.len());
+                    combined.extend(agg.into_iter().map(|(k, v)| Value::pair(k, v)));
+                    combined.extend(non_pairs);
+                    rows = Arc::new(combined);
+                    combined_dirty = true;
                 }
-                data.into()
+                match shuffle_map_partitioner(ctx, shuffle) {
+                    Some(p) => {
+                        let bb = BucketedBlock::partition(&rows, p.as_ref());
+                        // Bucketing preserves the record multiset, so the
+                        // virtual size is unchanged; the bucket walk
+                        // already summed the payload bytes.
+                        vbytes = ctx.cost.vbytes(bb.payload_bytes() + 16);
+                        Arc::new(bb).into()
+                    }
+                    None => {
+                        if combined_dirty {
+                            vbytes = ctx.cost.vbytes(real_bytes(&rows));
+                        }
+                        rows.into()
+                    }
+                }
             }
-        },
-        _ => data.into(),
+        }
+        _ => data.to_block(),
     };
     Some(b.finish(out, vbytes, 0, dur, None))
+}
+
+/// The fully-columnar map side of a batch-marked hash shuffle: typed
+/// map-side combine (when the shuffle declares one) followed by columnar
+/// hash bucketing, with zero row materialization. Returns `None` — row
+/// fallback — when columnar execution is off, the shuffle is not batch
+/// capable, the payload is already rows, or the batch shape defeats the
+/// typed kernels. Range shuffles are never batch-marked, so their map
+/// outputs stay flat exactly as before.
+fn columnar_map_output(
+    ctx: &WaveCtx<'_>,
+    shuffle: ShuffleId,
+    data: &PartData,
+    has_combine: bool,
+) -> Option<BucketedBlock> {
+    if !ctx.columnar || !ctx.lineage.is_batch_shuffle(shuffle) {
+        return None;
+    }
+    let PartData::Col(batch) = data else {
+        return None;
+    };
+    let ShuffleKind::Hash { parts } = ctx.lineage.shuffle(shuffle).kind else {
+        return None;
+    };
+    if has_combine {
+        let kernel = ctx.lineage.agg_kernel(shuffle)?;
+        // Typed combine needs the key/payload pair layout; scalar pair
+        // encodings (whole-record keys) take the row path instead.
+        let ColumnBatch::Pair { key, val } = batch.as_ref() else {
+            return None;
+        };
+        let combined = typed_agg(kernel, &[(key, val.as_ref())])?;
+        BucketedBlock::partition_columnar(&combined, parts)
+    } else {
+        BucketedBlock::partition_columnar(batch, parts)
+    }
 }
 
 /// The partitioner a shuffle's map outputs should be bucketed with, if
@@ -283,8 +383,12 @@ pub(crate) fn compute_ckpt(ctx: &WaveCtx<'_>, job: CkptJob) -> Option<TaskOutput
                 Ok(x) => x,
                 Err(MissingShuffle) => return None,
             };
-            let wire = wire_size(&data);
-            Some(b.finish(data.into(), vbytes, wire, SimDuration::ZERO, None))
+            // RDD checkpoints are stored and restored as rows; forcing
+            // the decode here keeps the durable format and its wire
+            // accounting identical whichever path produced the payload.
+            let rows = data.rows();
+            let wire = wire_size(&rows);
+            Some(b.finish(rows.into(), vbytes, wire, SimDuration::ZERO, None))
         }
         CkptJob::Shuffle(s, mp) => {
             let bk = BlockKey::ShuffleMap {
@@ -319,10 +423,10 @@ pub(crate) fn deterministic_sample(
     use rand::Rng;
     let mut rng =
         flint_simtime::rng::stream(seed ^ (u64::from(rdd.0) << 32), &format!("sample:{part}"));
-    data.iter()
-        .filter(|_| rng.gen_bool(fraction.clamp(0.0, 1.0)))
-        .cloned()
-        .collect()
+    let keep = fraction.clamp(0.0, 1.0);
+    let mut out = Vec::with_capacity(data.len());
+    out.extend(data.iter().filter(|_| rng.gen_bool(keep)).cloned());
+    out
 }
 
 /// Accumulates one task's pure computation against a [`WaveCtx`].
@@ -346,7 +450,7 @@ struct TaskBuilder<'c, 'a> {
     /// sizes, visible to its own later reads (mirrors the sequential
     /// materializer, where a persisted ancestor cached mid-task is a
     /// free local hit for the rest of the task).
-    local: HashMap<BlockKey, (PartitionData, u64)>,
+    local: HashMap<BlockKey, (PartData, u64)>,
 }
 
 impl<'c, 'a> TaskBuilder<'c, 'a> {
@@ -413,7 +517,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         &mut self,
         rdd: RddId,
         part: u32,
-    ) -> std::result::Result<(PartitionData, u64, SimDuration), MissingShuffle> {
+    ) -> std::result::Result<(PartData, u64, SimDuration), MissingShuffle> {
         self.depth += 1;
         let r = self.materialize_inner(rdd, part);
         self.depth -= 1;
@@ -424,7 +528,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         &mut self,
         rdd: RddId,
         part: u32,
-    ) -> std::result::Result<(PartitionData, u64, SimDuration), MissingShuffle> {
+    ) -> std::result::Result<(PartData, u64, SimDuration), MissingShuffle> {
         let bk = BlockKey::RddPart { rdd, part };
 
         // 0. A block this task already queued for insertion: a free
@@ -437,10 +541,11 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
 
         // 1. Cluster cache (memory or local disk beats a durable read).
         if let Some((wid, data, loc, vb)) = self.ctx.cluster.peek_fetch(&bk) {
-            let data = data
-                .flat()
-                .expect("RDD partition blocks are always flat")
-                .clone();
+            let data = match &data {
+                BlockData::Flat(d) => PartData::Rows(Arc::clone(d)),
+                BlockData::Columnar(b) => PartData::Col(Arc::clone(b)),
+                BlockData::Bucketed(_) => unreachable!("RDD partition blocks are never bucketed"),
+            };
             self.effects.push(CacheEffect::Touch(wid, bk));
             let mut dur = SimDuration::ZERO;
             if loc == BlockLocation::Disk {
@@ -481,9 +586,13 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                         });
                     }
                     // Re-cache the restored partition if the RDD is persisted so
-                    // subsequent reads stay in memory.
+                    // subsequent reads stay in memory. Restores are rows by
+                    // construction (checkpoints store rows), so downstream
+                    // consumers take the row path — same records, same bytes.
+                    let data = PartData::Rows(data);
                     if self.ctx.lineage.is_persisted(rdd) {
-                        self.effects.push(CacheEffect::Insert(bk, data.clone(), vb));
+                        self.effects
+                            .push(CacheEffect::Insert(bk, data.to_block(), vb));
                         self.local.insert(bk, (data.clone(), vb));
                     }
                     return Ok((data, vb, dur));
@@ -517,18 +626,26 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         let was_before = self.was_computed_before(rdd, part);
         let factor = op.cost_factor();
 
-        // Arms yield `PartitionData` so pass-through operators (`Union`,
-        // the shared identity `Map`) hand the parent's Arc onward instead
-        // of copying records.
-        let (data, own_dur, child_dur): (PartitionData, SimDuration, SimDuration) = match op {
+        // Arms yield `PartData` so pass-through operators (`Union`, the
+        // shared identity `Map`) hand the parent's payload onward in
+        // whichever form it arrived, and vectorized kernels keep batches
+        // columnar end to end.
+        let (data, own_dur, child_dur): (PartData, SimDuration, SimDuration) = match op {
             RddOp::Parallelize { data } => {
-                let d = data[part as usize].clone();
-                let vb = self.ctx.cost.vbytes(real_bytes(&d));
-                (
-                    Arc::new(d),
-                    self.ctx.cost.source_time(vb),
-                    SimDuration::ZERO,
-                )
+                // Source partitions encode once into a per-partition
+                // columnar batch cached in the lineage; later reads share
+                // the Arc instead of deep-cloning the row vector.
+                let rows = &data[part as usize];
+                let out = if self.ctx.columnar {
+                    match self.ctx.lineage.source_batch(rdd, part, rows) {
+                        Some(b) => PartData::Col(b),
+                        None => PartData::Rows(Arc::new(rows.clone())),
+                    }
+                } else {
+                    PartData::Rows(Arc::new(rows.clone()))
+                };
+                let vb = self.ctx.cost.vbytes(out.real_bytes());
+                (out, self.ctx.cost.source_time(vb), SimDuration::ZERO)
             }
             RddOp::Union => {
                 let (p, pp) = self.ctx.lineage.union_source(rdd, part);
@@ -540,14 +657,18 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 let n = self.ctx.lineage.meta(parent).num_partitions;
                 let lo = part * group;
                 let hi = (lo + group).min(n);
-                let mut out = Vec::new();
+                let mut inputs: Vec<PartitionData> = Vec::with_capacity((hi - lo) as usize);
                 let mut cdur = SimDuration::ZERO;
                 for pp in lo..hi {
                     let (pd, _, pdur) = self.materialize(parent, pp)?;
                     cdur += pdur;
+                    inputs.push(pd.rows());
+                }
+                let mut out = Vec::with_capacity(inputs.iter().map(|d| d.len()).sum());
+                for pd in &inputs {
                     out.extend(pd.iter().cloned());
                 }
-                (Arc::new(out), SimDuration::ZERO, cdur)
+                (PartData::Rows(Arc::new(out)), SimDuration::ZERO, cdur)
             }
             RddOp::Map { f } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
@@ -556,65 +677,68 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 // the short-circuit cannot move the clock.
                 let out = if crate::rdd::is_identity(&f) {
                     pd
+                } else if let Some(b) = self.map_batch(rdd, &pd) {
+                    b
                 } else {
-                    Arc::new(pd.iter().map(|v| f(v)).collect())
+                    let rows = pd.rows();
+                    let mut out = Vec::with_capacity(rows.len());
+                    out.extend(rows.iter().map(|v| f(v)));
+                    PartData::Rows(Arc::new(out))
                 };
                 (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::Filter { p } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
-                let out = pd.iter().filter(|v| p(v)).cloned().collect();
-                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), pdur)
+                let out = if let Some(b) = self.filter_batch(rdd, &pd) {
+                    b
+                } else {
+                    let rows = pd.rows();
+                    let mut out = Vec::with_capacity(rows.len());
+                    out.extend(rows.iter().filter(|v| p(v)).cloned());
+                    PartData::Rows(Arc::new(out))
+                };
+                (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::FlatMap { f } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
-                let out: Vec<Value> = pd.iter().flat_map(|v| f(v)).collect();
-                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), pdur)
+                let rows = pd.rows();
+                let mut out: Vec<Value> = Vec::with_capacity(rows.len());
+                out.extend(rows.iter().flat_map(|v| f(v)));
+                (
+                    PartData::Rows(Arc::new(out)),
+                    self.ctx.cost.compute_time(vb, factor),
+                    pdur,
+                )
             }
             RddOp::MapPartitions { f, .. } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
-                let out = f(part, &pd);
-                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), pdur)
+                let out = if let Some(b) = self.parts_batch(rdd, &pd) {
+                    b
+                } else {
+                    PartData::Rows(Arc::new(f(part, &pd.rows())))
+                };
+                (out, self.ctx.cost.compute_time(vb, factor), pdur)
             }
             RddOp::Sample { fraction, seed } => {
                 let (pd, vb, pdur) = self.materialize(parents[0], part)?;
-                let out = deterministic_sample(&pd, fraction, seed, rdd, part);
-                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), pdur)
+                let out = deterministic_sample(&pd.rows(), fraction, seed, rdd, part);
+                (
+                    PartData::Rows(Arc::new(out)),
+                    self.ctx.cost.compute_time(vb, factor),
+                    pdur,
+                )
             }
             RddOp::ShuffleAgg { shuffle, combine } => {
                 let (chunks, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
                 let vb = self.ctx.cost.vbytes(bytes + 16);
-                let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
-                for v in chunks.iter().flat_map(|c| c.iter()) {
-                    if let Value::Pair(p) = v {
-                        match agg.get_mut(p.key()) {
-                            Some(acc) => *acc = combine(acc, p.val()),
-                            None => {
-                                agg.insert(p.key().clone(), p.val().clone());
-                            }
-                        }
-                    }
-                }
-                let out: Vec<Value> = agg.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
-                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), fdur)
+                let out = self.reduce_agg(shuffle, &chunks, &combine);
+                (out, self.ctx.cost.compute_time(vb, factor), fdur)
             }
             RddOp::ShuffleGroup { shuffle } => {
                 let (chunks, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
                 let vb = self.ctx.cost.vbytes(bytes + 16);
-                let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
-                for v in chunks.iter().flat_map(|c| c.iter()) {
-                    if let Value::Pair(p) = v {
-                        groups
-                            .entry(p.key().clone())
-                            .or_default()
-                            .push(p.val().clone());
-                    }
-                }
-                let out: Vec<Value> = groups
-                    .into_iter()
-                    .map(|(k, vs)| Value::pair(k, Value::list(vs)))
-                    .collect();
-                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), fdur)
+                let out = self.reduce_group(&chunks);
+                (out, self.ctx.cost.compute_time(vb, factor), fdur)
             }
             RddOp::CoGroup { shuffles } => {
                 let mut fdur = SimDuration::ZERO;
@@ -624,7 +748,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                     let (chunks, bytes, d) = self.fetch_shuffle_bucket(*s, part)?;
                     fdur += d;
                     total += bytes + 16;
-                    per_parent.push(chunks);
+                    per_parent.push(chunks.iter().map(Bucket::rows).collect());
                 }
                 let vb = self.ctx.cost.vbytes(total);
                 let mut groups: BTreeMap<Value, Vec<Vec<Value>>> = BTreeMap::new();
@@ -638,35 +762,46 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                         }
                     }
                 }
-                let out: Vec<Value> = groups
-                    .into_iter()
-                    .map(|(k, gs)| {
-                        Value::pair(k, Value::list(gs.into_iter().map(Value::list).collect()))
-                    })
-                    .collect();
-                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), fdur)
+                let mut out: Vec<Value> = Vec::with_capacity(groups.len());
+                out.extend(groups.into_iter().map(|(k, gs)| {
+                    Value::pair(k, Value::list(gs.into_iter().map(Value::list).collect()))
+                }));
+                (
+                    PartData::Rows(Arc::new(out)),
+                    self.ctx.cost.compute_time(vb, factor),
+                    fdur,
+                )
             }
             RddOp::SortByKey { shuffle, ascending } => {
                 let (chunks, bytes, fdur) = self.fetch_shuffle_bucket(shuffle, part)?;
                 let vb = self.ctx.cost.vbytes(bytes + 16);
-                // Concatenate the shared buckets (O(1) per record) in the
-                // same map-partition-major order the flat fetch produced,
-                // then sort stably: equal keys keep fetch order, exactly
-                // as before.
-                let mut out: Vec<Value> = Vec::with_capacity(chunks.iter().map(|c| c.len()).sum());
-                for c in &chunks {
+                // Concatenate the buckets (decoded to rows) in the same
+                // map-partition-major order the flat fetch produced, then
+                // sort stably: equal keys keep fetch order, exactly as
+                // before. The typed sort extracts a homogeneous key
+                // column and sorts index vectors; mixed keys fall back to
+                // the general comparator with identical ordering.
+                let inputs: Vec<PartitionData> = chunks.iter().map(Bucket::rows).collect();
+                let mut out: Vec<Value> = Vec::with_capacity(inputs.iter().map(|c| c.len()).sum());
+                for c in &inputs {
                     out.extend(c.iter().cloned());
                 }
-                out.sort_by(|a, b| {
-                    let ka = a.key().unwrap_or(a);
-                    let kb = b.key().unwrap_or(b);
-                    if ascending {
-                        ka.cmp(kb)
-                    } else {
-                        kb.cmp(ka)
-                    }
-                });
-                (Arc::new(out), self.ctx.cost.compute_time(vb, factor), fdur)
+                if !(self.ctx.columnar && typed_sort_by_key(&mut out, ascending)) {
+                    out.sort_by(|a, b| {
+                        let ka = a.key().unwrap_or(a);
+                        let kb = b.key().unwrap_or(b);
+                        if ascending {
+                            ka.cmp(kb)
+                        } else {
+                            kb.cmp(ka)
+                        }
+                    });
+                }
+                (
+                    PartData::Rows(Arc::new(out)),
+                    self.ctx.cost.compute_time(vb, factor),
+                    fdur,
+                )
             }
         };
 
@@ -680,7 +815,7 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
                 });
             }
         }
-        let real = real_bytes(&data);
+        let real = data.real_bytes();
         let vb = self.ctx.cost.vbytes(real);
         // Deferred: the size is recorded into the lineage when the task
         // commits, so materialization hooks observe RDDs in completion
@@ -688,10 +823,119 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         self.touched.push((rdd, part, real));
         self.computed.push((rdd, part));
         if self.ctx.lineage.is_persisted(rdd) {
-            self.effects.push(CacheEffect::Insert(bk, data.clone(), vb));
+            self.effects
+                .push(CacheEffect::Insert(bk, data.to_block(), vb));
             self.local.insert(bk, (data.clone(), vb));
         }
         Ok((data, vb, own_dur + child_dur))
+    }
+
+    /// Vectorized `Map`: runs when columnar execution is on, the RDD
+    /// registered a map kernel at plan time, and the parent arrived as a
+    /// batch. `None` → row fallback.
+    fn map_batch(&self, rdd: RddId, pd: &PartData) -> Option<PartData> {
+        if !self.ctx.columnar {
+            return None;
+        }
+        let (Some(OpKernel::Map(k)), PartData::Col(b)) = (self.ctx.lineage.kernel(rdd), pd) else {
+            return None;
+        };
+        k.eval_batch(b).map(|nb| PartData::Col(Arc::new(nb)))
+    }
+
+    /// Vectorized `Filter`: mask evaluation over typed columns plus a
+    /// single gather. `None` → row fallback.
+    fn filter_batch(&self, rdd: RddId, pd: &PartData) -> Option<PartData> {
+        if !self.ctx.columnar {
+            return None;
+        }
+        let (Some(OpKernel::Filter(k)), PartData::Col(b)) = (self.ctx.lineage.kernel(rdd), pd)
+        else {
+            return None;
+        };
+        k.filter_batch(b).map(|nb| PartData::Col(Arc::new(nb)))
+    }
+
+    /// Vectorized `MapPartitions` for kernels registered as per-record
+    /// filter-maps (e.g. k-means nearest-center assignment). `None` →
+    /// row fallback through the op's own closure.
+    fn parts_batch(&self, rdd: RddId, pd: &PartData) -> Option<PartData> {
+        if !self.ctx.columnar {
+            return None;
+        }
+        let (Some(OpKernel::PartsFilterMap(k)), PartData::Col(b)) =
+            (self.ctx.lineage.kernel(rdd), pd)
+        else {
+            return None;
+        };
+        k.eval_batch(b).map(|nb| PartData::Col(Arc::new(nb)))
+    }
+
+    /// Reduce side of `ShuffleAgg`: typed columnar aggregation when the
+    /// shuffle registered an agg kernel and every fetched bucket arrived
+    /// as a key/payload batch, else the classic `BTreeMap` fold over
+    /// decoded rows. Both produce the same sorted pair sequence and the
+    /// same bytes.
+    fn reduce_agg(
+        &self,
+        shuffle: ShuffleId,
+        chunks: &[Bucket],
+        combine: &crate::rdd::AggFn,
+    ) -> PartData {
+        if self.ctx.columnar {
+            if let Some(kernel) = self.ctx.lineage.agg_kernel(shuffle) {
+                if let Some(typed) = pair_chunks(chunks) {
+                    if let Some(batch) = typed_agg(kernel, &typed) {
+                        return PartData::Col(Arc::new(batch));
+                    }
+                }
+            }
+        }
+        let rows: Vec<PartitionData> = chunks.iter().map(Bucket::rows).collect();
+        let mut agg: BTreeMap<Value, Value> = BTreeMap::new();
+        for v in rows.iter().flat_map(|c| c.iter()) {
+            if let Value::Pair(p) = v {
+                match agg.get_mut(p.key()) {
+                    Some(acc) => *acc = combine(acc, p.val()),
+                    None => {
+                        agg.insert(p.key().clone(), p.val().clone());
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Value> = Vec::with_capacity(agg.len());
+        out.extend(agg.into_iter().map(|(k, v)| Value::pair(k, v)));
+        PartData::Rows(Arc::new(out))
+    }
+
+    /// Reduce side of `ShuffleGroup`: typed grouping over homogeneous
+    /// key columns when every bucket arrived as a key/payload batch,
+    /// else the classic `BTreeMap` path over decoded rows.
+    fn reduce_group(&self, chunks: &[Bucket]) -> PartData {
+        if self.ctx.columnar {
+            if let Some(typed) = pair_chunks(chunks) {
+                if let Some(rows) = typed_group(&typed) {
+                    return PartData::Rows(Arc::new(rows));
+                }
+            }
+        }
+        let rows: Vec<PartitionData> = chunks.iter().map(Bucket::rows).collect();
+        let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
+        for v in rows.iter().flat_map(|c| c.iter()) {
+            if let Value::Pair(p) = v {
+                groups
+                    .entry(p.key().clone())
+                    .or_default()
+                    .push(p.val().clone());
+            }
+        }
+        let mut out: Vec<Value> = Vec::with_capacity(groups.len());
+        out.extend(
+            groups
+                .into_iter()
+                .map(|(k, vs)| Value::pair(k, Value::list(vs))),
+        );
+        PartData::Rows(Arc::new(out))
     }
 
     /// Fetches the reduce-side bucket `part` of `shuffle` from every map
@@ -702,16 +946,18 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
     /// worker-independent duration.
     ///
     /// Bucketed map blocks serve the request as an O(1) shared handle —
-    /// zero record copies; flat blocks (range shuffles before barrier
-    /// resolution) fall back to the full partition-assignment scan.
-    /// Both paths yield the same records in the same order — buckets
-    /// preserve production order, and flattening the chunks in order
-    /// reproduces the old concatenated fetch exactly.
+    /// zero record copies — in whichever form the map side produced
+    /// (row bucket or contiguous columnar slice); flat blocks (range
+    /// shuffles before barrier resolution) fall back to the full
+    /// partition-assignment scan. All paths yield the same records in
+    /// the same order — buckets preserve production order, and
+    /// flattening the chunks in order reproduces the old concatenated
+    /// fetch exactly.
     fn fetch_shuffle_bucket(
         &mut self,
         shuffle: ShuffleId,
         part: u32,
-    ) -> std::result::Result<(Vec<PartitionData>, u64, SimDuration), MissingShuffle> {
+    ) -> std::result::Result<(Vec<Bucket>, u64, SimDuration), MissingShuffle> {
         let info = self.ctx.lineage.shuffle(shuffle).clone();
         let m = self.ctx.lineage.meta(info.parent).num_partitions;
 
@@ -743,27 +989,31 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
             }
         };
 
-        let mut out: Vec<PartitionData> = Vec::with_capacity(m as usize);
+        let mut out: Vec<Bucket> = Vec::with_capacity(m as usize);
         let mut payload = 0u64;
         let mut dur = SimDuration::ZERO;
         for mp in 0..m {
             let (block, source, from_disk, from_store) = self.read_shuffle_block(shuffle, mp)?;
             let bucket_bytes = match &block {
                 BlockData::Bucketed(bb) => {
-                    out.push(bb.bucket_shared(part));
+                    match bb.bucket_batch(part) {
+                        Some(cb) => out.push(Bucket::Col(Arc::clone(cb))),
+                        None => out.push(Bucket::Rows(bb.bucket_shared(part))),
+                    }
                     bb.bucket_bytes(part)
                 }
                 BlockData::Flat(d) => {
-                    let mut bytes = 0u64;
-                    let mut sel = Vec::new();
-                    for v in d.iter() {
-                        let key = v.key().unwrap_or(v);
-                        if partitioner.partition_for(key) == part {
-                            bytes += v.size_bytes();
-                            sel.push(v.clone());
-                        }
-                    }
-                    out.push(Arc::new(sel));
+                    let (sel, bytes) = scan_flat_bucket(d, partitioner.as_ref(), part);
+                    out.push(Bucket::Rows(Arc::new(sel)));
+                    bytes
+                }
+                BlockData::Columnar(cb) => {
+                    // Shuffle map outputs are bucketed or flat by
+                    // construction; decode defensively if a columnar
+                    // block ever lands here.
+                    let rows = cb.to_rows();
+                    let (sel, bytes) = scan_flat_bucket(&rows, partitioner.as_ref(), part);
+                    out.push(Bucket::Rows(Arc::new(sel)));
                     bytes
                 }
             };
@@ -841,6 +1091,24 @@ impl<'c, 'a> TaskBuilder<'c, 'a> {
         }
         Ok(RangePartitioner::from_sample(sample, parts, ascending))
     }
+}
+
+/// The typed key/payload views of a fetched bucket set, if every chunk
+/// is a columnar batch in pair layout. Any row chunk or scalar-encoded
+/// pair batch disqualifies the set: the typed reduce kernels key on the
+/// dedicated key column, which only the pair layout guarantees matches
+/// the row path's `v.key()` routing.
+fn pair_chunks(chunks: &[Bucket]) -> Option<Vec<(&Column, &ColumnBatch)>> {
+    chunks
+        .iter()
+        .map(|c| match c {
+            Bucket::Col(b) => match b.as_ref() {
+                ColumnBatch::Pair { key, val } => Some((key, val.as_ref())),
+                ColumnBatch::Scalar(_) | ColumnBatch::Rows(_) => None,
+            },
+            Bucket::Rows(_) => None,
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ mod block;
 mod chaos;
 mod checkpoint;
 mod cluster;
+mod column;
 mod context;
 mod cost;
 mod dataset;
@@ -71,6 +72,10 @@ pub use checkpoint::{
     WriteFault,
 };
 pub use cluster::{Cluster, Worker, WorkerId, WorkerSpec};
+pub use column::{
+    AggField, AggKernel, Column, ColumnBatch, KeyExpr, MapKernel, NumExpr, OpKernel, PayloadExpr,
+    PredKernel, ScalarExpr,
+};
 pub use context::EngineContext;
 pub use cost::CostModel;
 pub use dataset::{Dataset, Datum, DenseVector};
@@ -81,8 +86,8 @@ pub use injector::{FailureInjector, NoFailures, ScriptedInjector, WorkerEvent};
 pub use lineage::Lineage;
 pub use rdd::{Dependency, PartitionData, RddId, RddMeta, RddOp, RddRef};
 pub use shuffle::{
-    BucketedBlock, HashPartitioner, Partitioner, RangePartitioner, ShuffleId, ShuffleInfo,
-    ShuffleKind,
+    scan_flat_bucket, Bucket, BucketedBlock, HashPartitioner, Partitioner, RangePartitioner,
+    ShuffleId, ShuffleInfo, ShuffleKind,
 };
 pub use stats::{ActionRecord, RunStats};
 pub use value::{ListVal, PairVal, Value};

@@ -1,7 +1,9 @@
 //! The lineage graph: every RDD ever created and how to recreate it.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
 
+use crate::column::{AggKernel, ColumnBatch, OpKernel};
 use crate::rdd::{RddId, RddMeta, RddOp};
 use crate::shuffle::{ShuffleId, ShuffleInfo, ShuffleKind};
 
@@ -20,6 +22,20 @@ pub struct Lineage {
     persisted: HashSet<RddId>,
     /// Known materialized size per (rdd, partition), in real bytes.
     part_sizes: HashMap<RddId, Vec<Option<u64>>>,
+    /// Declarative batch kernels for ops built through the `*_kernel`
+    /// context constructors. Registered at plan time, so the executor's
+    /// row-or-columnar choice never depends on wave timing.
+    kernels: HashMap<RddId, OpKernel>,
+    /// Typed combine kernels for batch-capable keyed aggregations.
+    agg_kernels: HashMap<ShuffleId, AggKernel>,
+    /// Shuffles whose map outputs may be bucketed columnar (hash
+    /// shuffles built through `reduce_by_key_kernel`).
+    batch_shuffles: HashSet<ShuffleId>,
+    /// Per-partition lazy columnar encodings of `Parallelize` sources:
+    /// computed once on first materialization under the columnar path,
+    /// shared by every later task (`None` inside the cell = the
+    /// partition does not encode).
+    source_batches: HashMap<RddId, Vec<OnceLock<Option<Arc<ColumnBatch>>>>>,
 }
 
 impl Lineage {
@@ -50,6 +66,10 @@ impl Lineage {
         let id = RddId(self.metas.len() as u32);
         for p in &parents {
             self.children.entry(*p).or_default().push(id);
+        }
+        if matches!(op, RddOp::Parallelize { .. }) {
+            self.source_batches
+                .insert(id, (0..num_partitions).map(|_| OnceLock::new()).collect());
         }
         self.metas.push(RddMeta {
             id,
@@ -114,6 +134,59 @@ impl Lineage {
     /// Panics if `id` is unknown.
     pub fn shuffle(&self, id: ShuffleId) -> &ShuffleInfo {
         &self.shuffles[id.0 as usize]
+    }
+
+    /// Registers the batch kernel backing `id`'s row closure.
+    pub(crate) fn set_kernel(&mut self, id: RddId, kernel: OpKernel) {
+        self.kernels.insert(id, kernel);
+    }
+
+    /// The batch kernel of `id`, if it was built through a `*_kernel`
+    /// constructor.
+    pub(crate) fn kernel(&self, id: RddId) -> Option<&OpKernel> {
+        self.kernels.get(&id)
+    }
+
+    /// Registers the typed combine kernel of `shuffle` and marks its map
+    /// outputs batch-capable.
+    pub(crate) fn set_agg_kernel(&mut self, shuffle: ShuffleId, kernel: AggKernel) {
+        self.agg_kernels.insert(shuffle, kernel);
+        self.batch_shuffles.insert(shuffle);
+    }
+
+    /// The typed combine kernel of `shuffle`, if any.
+    pub(crate) fn agg_kernel(&self, shuffle: ShuffleId) -> Option<&AggKernel> {
+        self.agg_kernels.get(&shuffle)
+    }
+
+    /// Marks `shuffle`'s map outputs batch-capable without a combine
+    /// kernel (grouping shuffles: bucketing only needs hashable keys).
+    pub(crate) fn mark_batch_shuffle(&mut self, shuffle: ShuffleId) {
+        self.batch_shuffles.insert(shuffle);
+    }
+
+    /// `true` when `shuffle`'s map outputs may use columnar row-group
+    /// buckets (decided at plan time, when the shuffle was built).
+    pub(crate) fn is_batch_shuffle(&self, shuffle: ShuffleId) -> bool {
+        self.batch_shuffles.contains(&shuffle)
+    }
+
+    /// The lazily-encoded columnar form of a `Parallelize` partition:
+    /// encodes `data` on the first call (per partition) and returns the
+    /// shared batch afterwards; `None` when the partition has no
+    /// columnar layout. Thread-safe — wave tasks race benignly on the
+    /// `OnceLock`.
+    pub(crate) fn source_batch(
+        &self,
+        rdd: RddId,
+        part: u32,
+        data: &[crate::Value],
+    ) -> Option<Arc<ColumnBatch>> {
+        self.source_batches
+            .get(&rdd)?
+            .get(part as usize)?
+            .get_or_init(|| ColumnBatch::from_rows(data).map(Arc::new))
+            .clone()
     }
 
     /// Returns the children of `id` (RDDs that list it as a parent).

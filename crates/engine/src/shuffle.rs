@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::column::ColumnBatch;
 use crate::rdd::PartitionData;
 use crate::value::stable_hash;
 use crate::Value;
@@ -128,18 +129,57 @@ impl Partitioner for RangePartitioner {
 /// rehashing the whole block, and the per-fetch byte accounting is a
 /// lookup instead of a walk.
 ///
-/// Buckets are `Arc`-shared ([`PartitionData`]): a reduce-side fetch
-/// takes a refcount-bumped handle via [`BucketedBlock::bucket_shared`]
-/// rather than copying the records.
+/// Buckets are `Arc`-shared: a reduce-side fetch takes a
+/// refcount-bumped handle via [`BucketedBlock::bucket_shared`] (or
+/// [`BucketedBlock::bucket_batch`] for columnar row groups) rather than
+/// copying the records.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BucketedBlock {
     /// Per-reduce-partition records, original order preserved within
     /// each bucket, shared with every fetcher.
-    buckets: Vec<PartitionData>,
+    buckets: Vec<Bucket>,
     /// Per-bucket payload bytes (sum of [`Value::size_bytes`], no
     /// per-partition framing overhead) — exactly what a reduce-side scan
     /// of the flat block would have accumulated for that bucket.
     bucket_bytes: Vec<u64>,
+}
+
+/// One reduce bucket of a [`BucketedBlock`]: row records (the default)
+/// or a columnar row group when the map output was batch-encoded.
+///
+/// Both forms decode to the same record sequence and account the same
+/// payload bytes; the columnar form lets batch-capable reducers consume
+/// contiguous typed slices without rebuilding per-record `Value`s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bucket {
+    /// `Arc`-shared row records.
+    Rows(PartitionData),
+    /// `Arc`-shared columnar row group.
+    Col(Arc<ColumnBatch>),
+}
+
+impl Bucket {
+    /// Records in this bucket.
+    pub fn len(&self) -> usize {
+        match self {
+            Bucket::Rows(d) => d.len(),
+            Bucket::Col(b) => b.len(),
+        }
+    }
+
+    /// `true` when the bucket holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bucket's records in row form: an O(1) refcount bump for row
+    /// buckets, a decode for columnar ones.
+    pub fn rows(&self) -> PartitionData {
+        match self {
+            Bucket::Rows(d) => Arc::clone(d),
+            Bucket::Col(b) => Arc::new(b.to_rows()),
+        }
+    }
 }
 
 impl BucketedBlock {
@@ -149,7 +189,10 @@ impl BucketedBlock {
     /// bucketed by key, non-pair records by the value itself.
     pub fn partition(records: &[Value], p: &dyn Partitioner) -> Self {
         let n = p.num_partitions().max(1) as usize;
-        let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); n];
+        // Pre-size each bucket for the uniform-routing expectation so the
+        // hot push loop rarely reallocates.
+        let per = records.len() / n + 1;
+        let mut buckets: Vec<Vec<Value>> = (0..n).map(|_| Vec::with_capacity(per)).collect();
         let mut bucket_bytes = vec![0u64; n];
         for v in records {
             let key = v.key().unwrap_or(v);
@@ -163,9 +206,43 @@ impl BucketedBlock {
             }
         }
         BucketedBlock {
-            buckets: buckets.into_iter().map(Arc::new).collect(),
+            buckets: buckets
+                .into_iter()
+                .map(|b| Bucket::Rows(Arc::new(b)))
+                .collect(),
             bucket_bytes,
         }
+    }
+
+    /// Partitions a columnar batch into `parts` hash buckets without
+    /// decoding to rows, using the typed per-row key hashes.
+    ///
+    /// Routing is byte-identical to [`BucketedBlock::partition`] under a
+    /// [`HashPartitioner`]: the key of a pair batch is its key column,
+    /// any other batch hashes the record itself, and the bucket index is
+    /// `stable_hash(key) % parts`. Returns `None` when the batch has no
+    /// hashable key column (e.g. vector keys or row-layout batches) —
+    /// the caller then falls back to the row path. Bucket byte sums use
+    /// the same per-record size constants as the row path.
+    pub fn partition_columnar(batch: &ColumnBatch, parts: u32) -> Option<Self> {
+        let parts = parts.max(1);
+        let n = parts as usize;
+        let mut idx: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut bucket_bytes = vec![0u64; n];
+        for i in 0..batch.len() {
+            let h = batch.route_hash_at(i)?;
+            let b = (h % u64::from(parts)) as usize;
+            bucket_bytes[b] += batch.size_at(i);
+            idx[b].push(i as u32);
+        }
+        let buckets = idx
+            .iter()
+            .map(|ix| Bucket::Col(Arc::new(batch.gather(ix))))
+            .collect();
+        Some(BucketedBlock {
+            buckets,
+            bucket_bytes,
+        })
     }
 
     /// The number of reduce buckets.
@@ -173,20 +250,25 @@ impl BucketedBlock {
         self.buckets.len() as u32
     }
 
-    /// The records routed to reduce partition `part` (empty for an
-    /// out-of-range partition).
-    pub fn bucket(&self, part: u32) -> &[Value] {
-        self.buckets
-            .get(part as usize)
-            .map(|b| b.as_slice())
-            .unwrap_or(&[])
+    /// A shared handle to reduce partition `part`'s records in row form:
+    /// an O(1) refcount bump for row buckets, a decode for columnar ones
+    /// (empty for an out-of-range partition).
+    pub fn bucket_shared(&self, part: u32) -> PartitionData {
+        match self.buckets.get(part as usize) {
+            Some(Bucket::Rows(d)) => Arc::clone(d),
+            Some(Bucket::Col(b)) => Arc::new(b.to_rows()),
+            None => PartitionData::default(),
+        }
     }
 
-    /// A shared handle to reduce partition `part`'s records: an O(1)
-    /// refcount bump, no record copies (empty for an out-of-range
-    /// partition).
-    pub fn bucket_shared(&self, part: u32) -> PartitionData {
-        self.buckets.get(part as usize).cloned().unwrap_or_default()
+    /// The columnar row group of reduce partition `part`, when this map
+    /// output was batch-partitioned (`None` for row buckets or an
+    /// out-of-range partition).
+    pub fn bucket_batch(&self, part: u32) -> Option<&Arc<ColumnBatch>> {
+        match self.buckets.get(part as usize) {
+            Some(Bucket::Col(b)) => Some(b),
+            _ => None,
+        }
     }
 
     /// Payload bytes of bucket `part` (sum of record sizes).
@@ -196,24 +278,37 @@ impl BucketedBlock {
 
     /// Total records across all buckets.
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.len()).sum()
+        self.buckets.iter().map(Bucket::len).sum()
     }
 
     /// `true` when no bucket holds any record.
     pub fn is_empty(&self) -> bool {
-        self.buckets.iter().all(|b| b.is_empty())
+        self.buckets.iter().all(Bucket::is_empty)
     }
 
     /// Total payload bytes across all buckets (no framing overhead).
     pub fn payload_bytes(&self) -> u64 {
         self.bucket_bytes.iter().sum()
     }
+}
 
-    /// Iterates every record, bucket-major. Byte and count totals are
-    /// identical to the flat block's; only the order differs.
-    pub fn iter(&self) -> impl Iterator<Item = &Value> {
-        self.buckets.iter().flat_map(|b| b.iter())
+/// Reduce-side fallback scan over a flat (un-bucketed) map block:
+/// collects the records routed to reduce partition `part` along with
+/// their payload-byte sum.
+///
+/// Iterates by reference and clones only the matching records, so the
+/// non-matching majority costs no refcount traffic at 64×64 fan-out.
+pub fn scan_flat_bucket(records: &[Value], p: &dyn Partitioner, part: u32) -> (Vec<Value>, u64) {
+    let mut out = Vec::with_capacity(records.len() / p.num_partitions().max(1) as usize + 1);
+    let mut bytes = 0u64;
+    for v in records {
+        let key = v.key().unwrap_or(v);
+        if p.partition_for(key) == part {
+            bytes += v.size_bytes();
+            out.push(v.clone());
+        }
     }
+    (out, bytes)
 }
 
 /// The partitioning scheme declared for a shuffle at RDD-creation time.
@@ -334,6 +429,61 @@ mod tests {
         let empty = RangePartitioner::from_sample(vec![], 4, true);
         assert_eq!(empty.num_partitions(), 1);
         assert_eq!(empty.partition_for(&Value::Int(1)), 0);
+    }
+
+    #[test]
+    fn columnar_partition_matches_row_partition() {
+        let rows: Vec<Value> = (0..200)
+            .map(|i| {
+                Value::pair(
+                    Value::from_str_(&format!("key-{}", i % 17)),
+                    Value::Float(f64::from(i) * 0.5),
+                )
+            })
+            .collect();
+        let batch = ColumnBatch::from_rows(&rows).expect("str-keyed pairs encode");
+        let p = HashPartitioner::new(8);
+        let by_rows = BucketedBlock::partition(&rows, &p);
+        let by_cols = BucketedBlock::partition_columnar(&batch, 8).expect("hashable key column");
+        assert_eq!(by_rows.num_buckets(), by_cols.num_buckets());
+        for part in 0..8 {
+            assert_eq!(
+                by_rows.bucket_shared(part),
+                by_cols.bucket_shared(part),
+                "bucket {part} records"
+            );
+            assert_eq!(
+                by_rows.bucket_bytes(part),
+                by_cols.bucket_bytes(part),
+                "bucket {part} bytes"
+            );
+            assert!(by_cols.bucket_batch(part).is_some());
+        }
+        assert_eq!(by_rows.len(), by_cols.len());
+        assert_eq!(by_rows.payload_bytes(), by_cols.payload_bytes());
+    }
+
+    #[test]
+    fn columnar_partition_refuses_unhashable_keys() {
+        let rows: Vec<Value> = (0..4)
+            .map(|i| Value::vector(vec![f64::from(i), 1.0]))
+            .collect();
+        let batch = ColumnBatch::from_rows(&rows).expect("vectors encode");
+        assert!(BucketedBlock::partition_columnar(&batch, 4).is_none());
+    }
+
+    #[test]
+    fn flat_scan_matches_partition_bucket() {
+        let rows: Vec<Value> = (0..100)
+            .map(|i| Value::pair(Value::Int(i), Value::Int(i * 2)))
+            .collect();
+        let p = HashPartitioner::new(4);
+        let bb = BucketedBlock::partition(&rows, &p);
+        for part in 0..4 {
+            let (scanned, bytes) = scan_flat_bucket(&rows, &p, part);
+            assert_eq!(scanned.as_slice(), &bb.bucket_shared(part)[..]);
+            assert_eq!(bytes, bb.bucket_bytes(part));
+        }
     }
 
     #[test]

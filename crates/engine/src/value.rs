@@ -399,24 +399,74 @@ impl fmt::Display for Value {
     }
 }
 
+/// The FNV-1a hasher behind [`stable_hash`]. Only `write` is
+/// implemented; integer writes go through the default `Hasher` methods
+/// (native-endian bytes), so any caller making the same sequence of
+/// `Hash` trait calls produces the same digest.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
 /// A deterministic 64-bit hash of a value, stable across runs and
 /// platforms (FNV-1a over the value structure). Used for hash
 /// partitioning so shuffle placement never depends on `std`'s randomized
 /// hasher.
 pub(crate) fn stable_hash(v: &Value) -> u64 {
-    struct Fnv(u64);
-    impl Hasher for Fnv {
-        fn finish(&self) -> u64 {
-            self.0
-        }
-        fn write(&mut self, bytes: &[u8]) {
-            for b in bytes {
-                self.0 ^= u64::from(*b);
-                self.0 = self.0.wrapping_mul(0x100000001b3);
-            }
-        }
-    }
-    let mut h = Fnv(0xcbf29ce484222325);
+    let mut h = Fnv::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// [`stable_hash`] of `Value::Int(i)` without constructing the value:
+/// replays the exact `Hash` calls of the `Int` arm (tag byte `2`, then
+/// the float-widened bit pattern, matching the Int/Float hash unification).
+pub(crate) fn stable_hash_int(i: i64) -> u64 {
+    let mut h = Fnv::new();
+    2u8.hash(&mut h);
+    (i as f64).to_bits().hash(&mut h);
+    h.finish()
+}
+
+/// [`stable_hash`] of `Value::Float(f)` without constructing the value.
+pub(crate) fn stable_hash_float(f: f64) -> u64 {
+    let mut h = Fnv::new();
+    2u8.hash(&mut h);
+    f.to_bits().hash(&mut h);
+    h.finish()
+}
+
+/// [`stable_hash`] of `Value::Str(s)` without constructing the value.
+pub(crate) fn stable_hash_str(s: &str) -> u64 {
+    let mut h = Fnv::new();
+    4u8.hash(&mut h);
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// [`stable_hash`] of `Value::pair(Value::Str(k), Value::Str(v))`
+/// without constructing the pair (TPC-H composite string keys).
+pub(crate) fn stable_hash_str_pair(k: &str, v: &str) -> u64 {
+    let mut h = Fnv::new();
+    5u8.hash(&mut h);
+    4u8.hash(&mut h);
+    k.hash(&mut h);
+    4u8.hash(&mut h);
     v.hash(&mut h);
     h.finish()
 }
@@ -535,6 +585,25 @@ mod tests {
         assert_eq!(a, stable_hash(&Value::from_str_("key-1")));
         // Int/Float consistency mirrors Eq.
         assert_eq!(stable_hash(&Value::Int(5)), stable_hash(&Value::Float(5.0)));
+    }
+
+    #[test]
+    fn typed_hash_helpers_match_stable_hash() {
+        for i in [-3i64, 0, 7, 1 << 40, i64::MAX, i64::MIN] {
+            assert_eq!(stable_hash_int(i), stable_hash(&Value::Int(i)));
+        }
+        for f in [0.0f64, -1.5, f64::NAN, f64::INFINITY, 1e-300] {
+            assert_eq!(stable_hash_float(f), stable_hash(&Value::Float(f)));
+        }
+        for s in ["", "a", "key-1", "payload-0000000000000042"] {
+            assert_eq!(stable_hash_str(s), stable_hash(&Value::from_str_(s)));
+        }
+        for (k, v) in [("A", "F"), ("N", "O"), ("", "x")] {
+            assert_eq!(
+                stable_hash_str_pair(k, v),
+                stable_hash(&Value::pair(Value::from_str_(k), Value::from_str_(v)))
+            );
+        }
     }
 
     #[test]

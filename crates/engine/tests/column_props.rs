@@ -1,0 +1,243 @@
+//! Property tests of the columnar batch path:
+//!
+//! * **Round-trip identity** — `ColumnBatch::from_rows` followed by
+//!   `to_rows` reproduces the record sequence exactly, and the batch's
+//!   per-row and total virtual sizes match `Value::size_bytes` constant
+//!   for constant. The columnar form is a layout, not a semantic: every
+//!   observable the engine derives from records (eviction order, τ
+//!   estimation, checkpoint accounting) reads identically off either
+//!   representation.
+//! * **Kernel-vs-reference equivalence** — the same kernel-declared
+//!   pipeline run with columnar execution on and off produces
+//!   byte-identical results *and* byte-identical `RunStats`: the
+//!   vectorized kernels and the row-at-a-time fallback are the same
+//!   function, and every simulated duration (derived from vbytes) is
+//!   bit-equal between the two paths.
+
+use flint_engine::{
+    AggKernel, ColumnBatch, Driver, DriverConfig, KeyExpr, MapKernel, NoCheckpoint, NoFailures,
+    NumExpr, PayloadExpr, PredKernel, RunStats, ScalarExpr, Value, WorkerSpec,
+};
+use proptest::prelude::*;
+
+/// Records that have a columnar layout (scalars, fixed-schema lists,
+/// pairs of scalars) plus shapes that must stay on the row path (nested
+/// lists, mixed types) — `from_rows` decides which is which.
+fn arb_record() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::from_i64),
+        any::<f64>().prop_map(Value::from_f64),
+        "[a-z]{0,6}".prop_map(|s| Value::from_str_(&s)),
+        proptest::collection::vec(any::<f64>(), 0..4).prop_map(Value::vector),
+        (any::<i64>(), any::<f64>())
+            .prop_map(|(k, v)| { Value::pair(Value::from_i64(k), Value::from_f64(v)) }),
+        ("[a-z]{0,4}", "[a-z]{0,4}")
+            .prop_map(|(k, v)| { Value::pair(Value::from_str_(&k), Value::from_str_(&v)) }),
+        (any::<i64>(), any::<f64>(), "[a-z]{0,4}").prop_map(|(a, b, c)| {
+            Value::list(vec![
+                Value::from_i64(a),
+                Value::from_f64(b),
+                Value::from_str_(&c),
+            ])
+        }),
+        // Nested list payload: no columnar layout, must encode to None.
+        (any::<i64>(), any::<i64>()).prop_map(|(a, b)| {
+            Value::list(vec![
+                Value::from_i64(a),
+                Value::list(vec![Value::from_i64(b)]),
+            ])
+        }),
+        Just(Value::Null),
+    ]
+}
+
+/// Homogeneous lineitem-shaped rows: `[key, qty, price, date]`.
+fn arb_table() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(
+        (0..8i64, 0..50i64, 0..1000i64, 0..2557i64).prop_map(|(k, q, p, d)| {
+            Value::list(vec![
+                Value::Int(k),
+                Value::Float(q as f64 + 0.5),
+                Value::Float(p as f64 * 10.0 - 1000.0),
+                Value::Int(d),
+            ])
+        }),
+        1..96,
+    )
+}
+
+/// Pair rows `(Int, Float)` for the shuffle-side paths.
+fn arb_pairs() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(
+        (0..12i64, -100..100i64)
+            .prop_map(|(k, v)| Value::pair(Value::Int(k), Value::Float(v as f64 / 4.0))),
+        1..96,
+    )
+}
+
+fn driver(columnar: bool) -> Driver {
+    let cfg = DriverConfig::builder()
+        .host_threads(4)
+        .size_scale(5e5)
+        .columnar(columnar)
+        .build();
+    let mut d = Driver::new(cfg, Box::new(NoCheckpoint), Box::new(NoFailures));
+    for _ in 0..4 {
+        d.add_worker(WorkerSpec::r3_large());
+    }
+    d
+}
+
+/// Scan → project → hash-aggregate → sort, all declared through kernels;
+/// the columnar flag selects vectorized vs row-at-a-time execution of
+/// the *same* plan.
+fn scan_agg(rows: &[Value], max_date: i64, columnar: bool) -> (Vec<Value>, RunStats) {
+    let mut d = driver(columnar);
+    let src = d.ctx().parallelize(rows.to_vec(), 4);
+    let filtered = d.ctx().filter_kernel(
+        src,
+        PredKernel::IntLe {
+            field: 3,
+            max: max_date,
+        },
+    );
+    let keyed = d.ctx().map_kernel(
+        filtered,
+        MapKernel::Pair {
+            key: KeyExpr::Field(0),
+            val: PayloadExpr::Scalar(ScalarExpr::Num(NumExpr::Mul(
+                Box::new(NumExpr::Field(1)),
+                Box::new(NumExpr::Field(2)),
+            ))),
+        },
+    );
+    let agg = d.ctx().reduce_by_key_kernel(keyed, 3, AggKernel::SumFloat);
+    let sorted = d.ctx().sort_by_key(agg, 2, true);
+    let out = d.collect(sorted).unwrap();
+    (out, d.stats().clone())
+}
+
+/// group_by_key (no combiner) + descending sort over pair records.
+fn group_sort(rows: &[Value], columnar: bool) -> (Vec<Value>, RunStats) {
+    let mut d = driver(columnar);
+    let src = d.ctx().parallelize(rows.to_vec(), 4);
+    let grouped = d.ctx().group_by_key(src, 3);
+    let sorted = d.ctx().sort_by_key(grouped, 2, false);
+    let out = d.collect(sorted).unwrap();
+    (out, d.stats().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding a record sequence to columns and decoding it back is the
+    /// identity, and every size observable matches `Value::size_bytes`.
+    #[test]
+    fn round_trip_identity(rows in proptest::collection::vec(arb_record(), 0..48)) {
+        if let Some(batch) = ColumnBatch::from_rows(&rows) {
+            prop_assert_eq!(batch.len(), rows.len());
+            prop_assert_eq!(batch.to_rows(), rows.clone());
+            let mut total = 0u64;
+            for (i, r) in rows.iter().enumerate() {
+                prop_assert_eq!(batch.value_at(i), r.clone());
+                prop_assert_eq!(batch.size_at(i), r.size_bytes());
+                total += r.size_bytes();
+            }
+            prop_assert_eq!(batch.payload_bytes(), total);
+        }
+    }
+
+    /// `gather` selects exactly the requested records, in order.
+    #[test]
+    fn gather_matches_row_selection(
+        rows in arb_table(),
+        idx_seed in proptest::collection::vec(any::<u32>(), 0..32),
+    ) {
+        let batch = ColumnBatch::from_rows(&rows).expect("table rows must encode");
+        let idx: Vec<u32> = idx_seed
+            .iter()
+            .map(|&i| i % rows.len() as u32)
+            .collect();
+        let picked = batch.gather(&idx);
+        let expect: Vec<Value> = idx.iter().map(|&i| rows[i as usize].clone()).collect();
+        prop_assert_eq!(picked.to_rows(), expect);
+    }
+
+    /// Per-record kernel evaluation agrees with a hand-written reference
+    /// on the lineitem shape (the row fallback *is* this evaluation, so
+    /// this pins the semantics the batch path must reproduce).
+    #[test]
+    fn kernel_eval_matches_reference(rows in arb_table(), max in 0..2557i64) {
+        let pred = PredKernel::IntLe { field: 3, max };
+        let kernel = MapKernel::Pair {
+            key: KeyExpr::Field(0),
+            val: PayloadExpr::Scalar(ScalarExpr::Num(NumExpr::Mul(
+                Box::new(NumExpr::Field(1)),
+                Box::new(NumExpr::Field(2)),
+            ))),
+        };
+        for r in &rows {
+            let c = r.as_list().unwrap();
+            prop_assert_eq!(pred.eval_value(r), c[3].as_i64().unwrap() <= max);
+            let got = kernel.eval_value(r).unwrap();
+            let want = Value::pair(
+                c[0].clone(),
+                Value::Float(c[1].as_f64().unwrap() * c[2].as_f64().unwrap()),
+            );
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// The full engine produces byte-identical results and byte-identical
+    /// run stats (every simulated duration, byte counter, and vbyte
+    /// total) with columnar execution on and off.
+    #[test]
+    fn scan_agg_columnar_equals_row_path(rows in arb_table(), max in 0..2557i64) {
+        let (row_out, row_stats) = scan_agg(&rows, max, false);
+        let (col_out, col_stats) = scan_agg(&rows, max, true);
+        prop_assert_eq!(col_out, row_out);
+        prop_assert_eq!(col_stats, row_stats);
+    }
+
+    /// Same contract for the no-combiner group path and the typed sort.
+    #[test]
+    fn group_sort_columnar_equals_row_path(rows in arb_pairs()) {
+        let (row_out, row_stats) = group_sort(&rows, false);
+        let (col_out, col_stats) = group_sort(&rows, true);
+        prop_assert_eq!(col_out, row_out);
+        prop_assert_eq!(col_stats, row_stats);
+    }
+}
+
+/// The shapes the workloads rely on must actually take the columnar
+/// path — a silent fall-back to rows would keep results identical while
+/// losing the batch speedup, so pin encodability explicitly.
+#[test]
+fn workload_shapes_encode_to_columns() {
+    let lineitem = Value::list(vec![
+        Value::Int(1),
+        Value::Float(2.0),
+        Value::Float(3.0),
+        Value::Float(0.05),
+        Value::from_str_("R"),
+        Value::from_str_("F"),
+        Value::Int(100),
+    ]);
+    assert!(ColumnBatch::from_rows(&[lineitem.clone(), lineitem]).is_some());
+
+    let rank = Value::pair(Value::Int(3), Value::Float(1.0));
+    assert!(ColumnBatch::from_rows(&[rank.clone(), rank]).is_some());
+
+    let point = Value::vector(vec![1.0; 16]);
+    assert!(ColumnBatch::from_rows(&[point.clone(), point]).is_some());
+
+    let q1_key = Value::pair(
+        Value::pair(Value::from_str_("R"), Value::from_str_("F")),
+        Value::list(vec![Value::Float(1.0), Value::Int(1)]),
+    );
+    assert!(ColumnBatch::from_rows(&[q1_key.clone(), q1_key]).is_some());
+
+    // Heterogeneous sequences must decline, not mis-encode.
+    assert!(ColumnBatch::from_rows(&[Value::Int(1), Value::from_str_("x")]).is_none());
+    assert!(ColumnBatch::from_rows(&[]).is_none());
+}

@@ -112,7 +112,11 @@ fn assert_buckets_match_scan(records: &[Value], p: &dyn Partitioner) {
     let mut total_bytes = 0u64;
     for part in 0..p.num_partitions() {
         let (want, want_bytes) = reference_scan(records, p, part);
-        assert_eq!(bb.bucket(part), want.as_slice(), "bucket {part} records");
+        assert_eq!(
+            &bb.bucket_shared(part)[..],
+            want.as_slice(),
+            "bucket {part} records"
+        );
         assert_eq!(bb.bucket_bytes(part), want_bytes, "bucket {part} bytes");
         total_records += want.len();
         total_bytes += want_bytes;

@@ -11,10 +11,11 @@
 //!   record of a run, not a lossy sample.
 
 use flint_engine::{
-    ChaosConfig, ChaosInjector, ChaosSchedule, CheckpointDirective, CheckpointHooks, Driver,
-    DriverConfig, EventSink, FailureInjector, LineageView, NoFailures, RddId, RunStats,
-    ScriptedInjector, StoreFaultPolicy, TraceHandle, TransientVmBackend, Value, WorkerEvent,
-    WorkerSpec,
+    AggField, AggKernel, ChaosConfig, ChaosInjector, ChaosSchedule, CheckpointDirective,
+    CheckpointHooks, Driver, DriverConfig, EventSink, FailureInjector, KeyExpr, LineageView,
+    MapKernel, NoCheckpoint, NoFailures, NumExpr, PayloadExpr, PredKernel, RddId, RunStats,
+    ScalarExpr, ScriptedInjector, StoreFaultPolicy, TraceHandle, TransientVmBackend, Value,
+    WorkerEvent, WorkerSpec,
 };
 use flint_simtime::SimTime;
 use flint_trace::{Event, MetricsAggregator};
@@ -492,6 +493,117 @@ fn explicit_vm_backend_leaves_golden_trace_untouched() {
         );
         assert_eq!(jsonl, golden);
     }
+}
+
+/// A TPC-H Q1-shaped scan + wide aggregation declared entirely through
+/// batch kernels: lineitem-like rows, a shipdate filter, a projection
+/// keyed by `(returnflag, linestatus)`, a combiner shuffle, and a range
+/// sort. With `columnar` on, every stage runs vectorized; with it off,
+/// the same plan replays through the kernel-generated row closures. The
+/// event stream must be byte-identical across *both* axes — thread
+/// count and execution form — because all trace observables (vbytes,
+/// wave grouping, fetch ordering) are representation-independent.
+fn run_tpch_shaped(host_threads: usize, columnar: bool) -> (String, RunStats) {
+    let cfg = DriverConfig::builder()
+        .host_threads(host_threads)
+        .size_scale(5e5)
+        .columnar(columnar)
+        .build();
+    let mut d = Driver::new(cfg, Box::new(NoCheckpoint), Box::new(NoFailures));
+    let trace = TraceHandle::disabled();
+    let reader = trace.attach_memory(0);
+    d.set_trace(trace);
+    for ext in 1..=4u64 {
+        d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+    }
+
+    let flags = ["A", "N", "R"];
+    let statuses = ["F", "O"];
+    let rows: Vec<Value> = (0..600i64)
+        .map(|i| {
+            Value::list(vec![
+                Value::Int(i % 40),
+                Value::Float(((i * 7) % 50) as f64 + 1.0),
+                Value::Float(((i * 131) % 1000) as f64 * 10.0 + 900.0),
+                Value::Float(((i * 3) % 11) as f64 / 100.0),
+                Value::from_str_(flags[(i % 3) as usize]),
+                Value::from_str_(statuses[(i % 2) as usize]),
+                Value::Int((i * 37) % 2557),
+            ])
+        })
+        .collect();
+    let lineitem = d.ctx().parallelize(rows, 8);
+    let lineitem = d.ctx().persist(lineitem);
+    let filtered = d.ctx().filter_kernel(
+        lineitem,
+        PredKernel::IntLe {
+            field: 6,
+            max: 2400,
+        },
+    );
+    let keyed = d.ctx().map_kernel(
+        filtered,
+        MapKernel::Pair {
+            key: KeyExpr::PairOfFields(4, 5),
+            val: PayloadExpr::List(vec![
+                ScalarExpr::Field(1),
+                ScalarExpr::Field(2),
+                ScalarExpr::Num(NumExpr::Mul(
+                    Box::new(NumExpr::Field(2)),
+                    Box::new(NumExpr::Sub(
+                        Box::new(NumExpr::Lit(1.0)),
+                        Box::new(NumExpr::Field(3)),
+                    )),
+                )),
+                ScalarExpr::IntLit(1),
+            ]),
+        },
+    );
+    let agg = d.ctx().reduce_by_key_kernel(
+        keyed,
+        6,
+        AggKernel::SumRow(vec![
+            AggField::Float,
+            AggField::Float,
+            AggField::Float,
+            AggField::Int,
+        ]),
+    );
+    let sorted = d.ctx().sort_by_key(agg, 2, true);
+    d.collect(sorted).unwrap();
+    (reader.to_jsonl(), d.stats().clone())
+}
+
+/// Hash of `run_tpch_shaped(1, *)`'s JSONL captured when the columnar
+/// batch path landed. Both execution forms must reproduce it: the
+/// vectorized kernels may only change real wall-clock, never the
+/// simulated stream.
+const GOLDEN_TPCH_TRACE_FNV: u64 = 0xaad4_e7a8_4e6b_9342;
+
+#[test]
+fn tpch_shaped_golden_trace_is_identical_across_threads_and_forms() {
+    let (golden, stats) = run_tpch_shaped(1, true);
+    assert!(!golden.is_empty(), "an enabled trace must capture events");
+    assert!(stats.tasks_run > 0);
+    for threads in [1usize, 2, 8] {
+        for columnar in [true, false] {
+            let (jsonl, other_stats) = run_tpch_shaped(threads, columnar);
+            assert_eq!(
+                other_stats, stats,
+                "host_threads={threads} columnar={columnar} stats diverged"
+            );
+            assert_eq!(
+                jsonl, golden,
+                "host_threads={threads} columnar={columnar} moved the event stream"
+            );
+        }
+    }
+    assert_eq!(
+        fnv1a(golden.as_bytes()),
+        GOLDEN_TPCH_TRACE_FNV,
+        "stream diverged from the capture (fnv1a = {:#018x})",
+        fnv1a(golden.as_bytes())
+    );
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! KMeans clustering (the paper's compute-intensive workload).
 
-use flint_engine::{Driver, Result, Value};
+use std::sync::Arc;
+
+use flint_engine::{AggKernel, Driver, MapKernel, Result, Value};
 use flint_simtime::rng::stream;
 use rand::Rng;
 
@@ -69,19 +71,6 @@ impl KMeans {
         u64::from(self.points_count) * (24 + 8 * u64::from(self.dim))
     }
 
-    fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
-        let mut best = 0;
-        let mut best_d = f64::INFINITY;
-        for (i, c) in centroids.iter().enumerate() {
-            let d: f64 = c.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
-            if d < best_d {
-                best_d = d;
-                best = i;
-            }
-        }
-        best
-    }
-
     /// Runs KMeans and returns the final centroids.
     pub fn run_centroids(&self, driver: &mut Driver) -> Result<Vec<Vec<f64>>> {
         let parts = self.cfg.partitions;
@@ -100,30 +89,20 @@ impl KMeans {
         let assign_cost = f64::from(self.k * self.dim) / 4.0;
 
         for _ in 0..self.cfg.iterations {
-            let cents = centroids.clone();
-            let assigned = driver
+            // The CPU-heavy assignment runs as a vectorized
+            // nearest-center kernel over the point columns when columnar
+            // execution is on; its row fallback replays the same
+            // distance loop point by point.
+            let assigned = driver.ctx().map_partitions_kernel(
+                points,
+                assign_cost,
+                MapKernel::NearestCenter {
+                    centers: Arc::new(centroids.clone()),
+                },
+            );
+            let sums = driver
                 .ctx()
-                .map_partitions(points, assign_cost, move |_, data| {
-                    data.iter()
-                        .filter_map(|v| {
-                            let p = v.as_vector()?;
-                            let c = Self::nearest(&cents, p);
-                            Some(Value::pair(
-                                Value::Int(c as i64),
-                                Value::list(vec![v.clone(), Value::Int(1)]),
-                            ))
-                        })
-                        .collect()
-                });
-            let sums = driver.ctx().reduce_by_key(assigned, self.k, |a, b| {
-                let av = a.as_list().unwrap();
-                let bv = b.as_list().unwrap();
-                let sa = av[0].as_vector().unwrap();
-                let sb = bv[0].as_vector().unwrap();
-                let sum: Vec<f64> = sa.iter().zip(sb).map(|(x, y)| x + y).collect();
-                let n = av[1].as_i64().unwrap() + bv[1].as_i64().unwrap();
-                Value::list(vec![Value::vector(sum), Value::Int(n)])
-            });
+                .reduce_by_key_kernel(assigned, self.k, AggKernel::VecSumCount);
             let collected = driver.collect(sums)?;
             for v in collected {
                 let Some((k, payload)) = v.into_pair() else {

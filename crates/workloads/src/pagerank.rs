@@ -1,6 +1,8 @@
 //! PageRank over a power-law web graph (the paper's graph workload).
 
-use flint_engine::{Driver, Result, Value};
+use flint_engine::{
+    AggKernel, Driver, KeyExpr, MapKernel, NumExpr, PayloadExpr, Result, ScalarExpr, Value,
+};
 
 use crate::graph::{power_law_graph, GraphConfig};
 use crate::{f64_bits, fold_checksum, Workload, WorkloadConfig, WorkloadSummary};
@@ -83,9 +85,13 @@ impl PageRank {
         let links = driver.ctx().parallelize(self.adjacency_values(), parts);
         driver.ctx().persist(links);
 
-        let mut ranks = driver.ctx().map(links, |v| {
-            Value::pair(v.key().cloned().unwrap_or(Value::Null), Value::Float(1.0))
-        });
+        let mut ranks = driver.ctx().map_kernel(
+            links,
+            MapKernel::Pair {
+                key: KeyExpr::PairKey,
+                val: PayloadExpr::Scalar(ScalarExpr::Num(NumExpr::Lit(1.0))),
+            },
+        );
         driver.ctx().persist(ranks);
 
         for _ in 0..self.cfg.iterations {
@@ -109,13 +115,24 @@ impl PageRank {
                     .map(|d| Value::pair(d.clone(), Value::Float(share)))
                     .collect()
             });
-            let summed = driver.ctx().reduce_by_key(contribs, parts, |a, b| {
-                Value::Float(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0))
-            });
-            ranks = driver.ctx().map(summed, |v| {
-                let (k, s) = v.clone().into_pair().expect("pair");
-                Value::pair(k, Value::Float(0.15 + 0.85 * s.as_f64().unwrap_or(0.0)))
-            });
+            let summed = driver
+                .ctx()
+                .reduce_by_key_kernel(contribs, parts, AggKernel::SumFloat);
+            // rank' = 0.15 + 0.85 * Σ contributions, vectorized over the
+            // summed pair columns.
+            ranks = driver.ctx().map_kernel(
+                summed,
+                MapKernel::Pair {
+                    key: KeyExpr::PairKey,
+                    val: PayloadExpr::Scalar(ScalarExpr::Num(NumExpr::Add(
+                        Box::new(NumExpr::Lit(0.15)),
+                        Box::new(NumExpr::Mul(
+                            Box::new(NumExpr::Lit(0.85)),
+                            Box::new(NumExpr::Input),
+                        )),
+                    ))),
+                },
+            );
             driver.ctx().persist(ranks);
         }
 

@@ -1,7 +1,10 @@
 //! A TPC-H-style interactive analytics workload (the paper's §5.1
 //! "Spark as an in-memory database server").
 
-use flint_engine::{Driver, RddRef, Result, Value};
+use flint_engine::{
+    AggField, AggKernel, Driver, KeyExpr, MapKernel, NumExpr, PayloadExpr, PredKernel, RddRef,
+    Result, ScalarExpr, Value,
+};
 use flint_simtime::rng::stream;
 use rand::Rng;
 
@@ -197,42 +200,50 @@ impl Tpch {
     }
 
     /// Q1: pricing summary report (group by returnflag, linestatus).
+    ///
+    /// Declared entirely through batch kernels: the shipdate filter, the
+    /// six-column aggregate projection keyed by `(returnflag,
+    /// linestatus)`, and the running sums all run vectorized over the
+    /// lineitem columns when columnar execution is on, and through the
+    /// kernel-generated row closures (same arithmetic, same order)
+    /// otherwise.
     fn q1(&self, driver: &mut Driver, t: &TpchTables) -> Result<Vec<Value>> {
-        let filtered = driver.ctx().filter(t.lineitem, |row| {
-            row.as_list()
-                .and_then(|c| c[6].as_i64())
-                .map(|d| d <= 2400)
-                .unwrap_or(false)
-        });
-        let keyed = driver.ctx().map(filtered, |row| {
-            let c = row.as_list().expect("row");
-            let qty = c[1].as_f64().unwrap_or(0.0);
-            let price = c[2].as_f64().unwrap_or(0.0);
-            let disc = c[3].as_f64().unwrap_or(0.0);
-            Value::pair(
-                Value::pair(c[4].clone(), c[5].clone()),
-                Value::list(vec![
-                    Value::Float(qty),
-                    Value::Float(price),
-                    Value::Float(price * (1.0 - disc)),
-                    Value::Float(price * (1.0 - disc) * 1.06),
-                    Value::Float(disc),
-                    Value::Int(1),
+        let filtered = driver.ctx().filter_kernel(
+            t.lineitem,
+            PredKernel::IntLe {
+                field: 6,
+                max: 2400,
+            },
+        );
+        let keyed = driver.ctx().map_kernel(
+            filtered,
+            MapKernel::Pair {
+                key: KeyExpr::PairOfFields(4, 5),
+                val: PayloadExpr::List(vec![
+                    ScalarExpr::Field(1),
+                    ScalarExpr::Field(2),
+                    ScalarExpr::Num(discounted_price()),
+                    ScalarExpr::Num(NumExpr::Mul(
+                        Box::new(discounted_price()),
+                        Box::new(NumExpr::Lit(1.06)),
+                    )),
+                    ScalarExpr::Field(3),
+                    ScalarExpr::IntLit(1),
                 ]),
-            )
-        });
-        let agg = driver.ctx().reduce_by_key(keyed, 6, |a, b| {
-            let av = a.as_list().expect("agg");
-            let bv = b.as_list().expect("agg");
-            Value::list(vec![
-                Value::Float(av[0].as_f64().unwrap() + bv[0].as_f64().unwrap()),
-                Value::Float(av[1].as_f64().unwrap() + bv[1].as_f64().unwrap()),
-                Value::Float(av[2].as_f64().unwrap() + bv[2].as_f64().unwrap()),
-                Value::Float(av[3].as_f64().unwrap() + bv[3].as_f64().unwrap()),
-                Value::Float(av[4].as_f64().unwrap() + bv[4].as_f64().unwrap()),
-                Value::Int(av[5].as_i64().unwrap() + bv[5].as_i64().unwrap()),
-            ])
-        });
+            },
+        );
+        let agg = driver.ctx().reduce_by_key_kernel(
+            keyed,
+            6,
+            AggKernel::SumRow(vec![
+                AggField::Float,
+                AggField::Float,
+                AggField::Float,
+                AggField::Float,
+                AggField::Float,
+                AggField::Int,
+            ]),
+        );
         let sorted = driver.ctx().sort_by_key(agg, 2, true);
         driver.collect(sorted)
     }
@@ -242,31 +253,41 @@ impl Tpch {
         let parts = self.cfg.partitions;
         let cutoff = 1800_i64;
 
-        // customers in the BUILDING segment, keyed by custkey.
-        let building = driver.ctx().filter(t.customer, |row| {
-            row.as_list()
-                .and_then(|c| c[1].as_str().map(|s| s == "BUILDING"))
-                .unwrap_or(false)
-        });
+        // customers in the BUILDING segment, keyed by custkey. The Null
+        // payload has no kernel encoding, so the keying map stays a row
+        // closure.
+        let building = driver.ctx().filter_kernel(
+            t.customer,
+            PredKernel::StrEq {
+                field: 1,
+                expect: "BUILDING".into(),
+            },
+        );
         let cust_keyed = driver.ctx().map(building, |row| {
             let c = row.as_list().expect("row");
             Value::pair(c[0].clone(), Value::Null)
         });
 
         // Orders before the cutoff, keyed by custkey.
-        let orders = driver.ctx().filter(t.orders, move |row| {
-            row.as_list()
-                .and_then(|c| c[2].as_i64())
-                .map(|d| d < cutoff)
-                .unwrap_or(false)
-        });
-        let orders_keyed = driver.ctx().map(orders, |row| {
-            let c = row.as_list().expect("row");
-            Value::pair(
-                c[1].clone(),
-                Value::list(vec![c[0].clone(), c[2].clone(), c[3].clone()]),
-            )
-        });
+        let orders = driver.ctx().filter_kernel(
+            t.orders,
+            PredKernel::IntInRange {
+                field: 2,
+                lo: i64::MIN,
+                hi: cutoff,
+            },
+        );
+        let orders_keyed = driver.ctx().map_kernel(
+            orders,
+            MapKernel::Pair {
+                key: KeyExpr::Field(1),
+                val: PayloadExpr::List(vec![
+                    ScalarExpr::Field(0),
+                    ScalarExpr::Field(2),
+                    ScalarExpr::Field(3),
+                ]),
+            },
+        );
 
         // (custkey, [null, order]) -> (orderkey, [orderdate, prio]).
         let co = driver.ctx().join(cust_keyed, orders_keyed, parts);
@@ -287,18 +308,20 @@ impl Tpch {
         });
 
         // Lineitems shipped after the cutoff: (orderkey, revenue).
-        let late_items = driver.ctx().filter(t.lineitem, move |row| {
-            row.as_list()
-                .and_then(|c| c[6].as_i64())
-                .map(|d| d > cutoff)
-                .unwrap_or(false)
-        });
-        let revenue = driver.ctx().map(late_items, |row| {
-            let c = row.as_list().expect("row");
-            let price = c[2].as_f64().unwrap_or(0.0);
-            let disc = c[3].as_f64().unwrap_or(0.0);
-            Value::pair(c[0].clone(), Value::Float(price * (1.0 - disc)))
-        });
+        let late_items = driver.ctx().filter_kernel(
+            t.lineitem,
+            PredKernel::IntGt {
+                field: 6,
+                min: cutoff,
+            },
+        );
+        let revenue = driver.ctx().map_kernel(
+            late_items,
+            MapKernel::Pair {
+                key: KeyExpr::Field(0),
+                val: PayloadExpr::Scalar(ScalarExpr::Num(discounted_price())),
+            },
+        );
 
         // Join and aggregate revenue per order.
         let joined = driver.ctx().join(co_by_order, revenue, parts);
@@ -309,9 +332,9 @@ impl Tpch {
             let rev = sides[1].as_f64().unwrap_or(0.0);
             Value::pair(Value::list(vec![orderkey, meta]), Value::Float(rev))
         });
-        let total = driver.ctx().reduce_by_key(per_order, parts, |a, b| {
-            Value::Float(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0))
-        });
+        let total = driver
+            .ctx()
+            .reduce_by_key_kernel(per_order, parts, AggKernel::SumFloat);
         // Sort by revenue descending, take 10.
         let by_rev = driver.ctx().map(total, |v| {
             let (k, rev) = v.clone().into_pair().expect("pair");
@@ -326,24 +349,35 @@ impl Tpch {
     fn q10(&self, driver: &mut Driver, t: &TpchTables) -> Result<Vec<Value>> {
         let parts = self.cfg.partitions;
         // Returned lineitems in the window, keyed by orderkey.
-        let returned = driver.ctx().filter(t.lineitem, |row| {
-            let Some(c) = row.as_list() else { return false };
-            let (Some(flag), Some(ship)) = (c[4].as_str(), c[6].as_i64()) else {
-                return false;
-            };
-            flag == "R" && (600..1800).contains(&ship)
-        });
-        let rev_by_order = driver.ctx().map(returned, |row| {
-            let c = row.as_list().expect("row");
-            let price = c[2].as_f64().unwrap_or(0.0);
-            let disc = c[3].as_f64().unwrap_or(0.0);
-            Value::pair(c[0].clone(), Value::Float(price * (1.0 - disc)))
-        });
+        let returned = driver.ctx().filter_kernel(
+            t.lineitem,
+            PredKernel::And(vec![
+                PredKernel::StrEq {
+                    field: 4,
+                    expect: "R".into(),
+                },
+                PredKernel::IntInRange {
+                    field: 6,
+                    lo: 600,
+                    hi: 1800,
+                },
+            ]),
+        );
+        let rev_by_order = driver.ctx().map_kernel(
+            returned,
+            MapKernel::Pair {
+                key: KeyExpr::Field(0),
+                val: PayloadExpr::Scalar(ScalarExpr::Num(discounted_price())),
+            },
+        );
         // Orders keyed by orderkey carry the custkey.
-        let orders_keyed = driver.ctx().map(t.orders, |row| {
-            let c = row.as_list().expect("row");
-            Value::pair(c[0].clone(), c[1].clone())
-        });
+        let orders_keyed = driver.ctx().map_kernel(
+            t.orders,
+            MapKernel::Pair {
+                key: KeyExpr::Field(0),
+                val: PayloadExpr::Scalar(ScalarExpr::Field(1)),
+            },
+        );
         // (orderkey, [revenue, custkey]) -> (custkey, revenue).
         let joined = driver.ctx().join(rev_by_order, orders_keyed, parts);
         let by_cust = driver.ctx().flat_map(joined, |v| {
@@ -352,14 +386,17 @@ impl Tpch {
             };
             vec![Value::pair(payload[1].clone(), payload[0].clone())]
         });
-        let total = driver.ctx().reduce_by_key(by_cust, parts, |a, b| {
-            Value::Float(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0))
-        });
+        let total = driver
+            .ctx()
+            .reduce_by_key_kernel(by_cust, parts, AggKernel::SumFloat);
         // Attach the customer's market segment, sort by revenue desc.
-        let cust_keyed = driver.ctx().map(t.customer, |row| {
-            let c = row.as_list().expect("row");
-            Value::pair(c[0].clone(), c[1].clone())
-        });
+        let cust_keyed = driver.ctx().map_kernel(
+            t.customer,
+            MapKernel::Pair {
+                key: KeyExpr::Field(0),
+                val: PayloadExpr::Scalar(ScalarExpr::Field(1)),
+            },
+        );
         let with_seg = driver.ctx().join(total, cust_keyed, parts);
         let ranked = driver.ctx().map(with_seg, |v| {
             let (custkey, payload) = v.clone().into_pair().expect("pair");
@@ -375,18 +412,32 @@ impl Tpch {
 
     /// Q6: forecasting revenue change (selective scan + sum).
     fn q6(&self, driver: &mut Driver, t: &TpchTables) -> Result<Vec<Value>> {
-        let filtered = driver.ctx().filter(t.lineitem, |row| {
-            let Some(c) = row.as_list() else { return false };
-            let (Some(qty), Some(disc), Some(ship)) = (c[1].as_f64(), c[3].as_f64(), c[6].as_i64())
-            else {
-                return false;
-            };
-            (1900..2265).contains(&ship) && (0.04..=0.08).contains(&disc) && qty < 24.0
-        });
-        let revenue = driver.ctx().map(filtered, |row| {
-            let c = row.as_list().expect("row");
-            Value::Float(c[2].as_f64().unwrap_or(0.0) * c[3].as_f64().unwrap_or(0.0))
-        });
+        let filtered = driver.ctx().filter_kernel(
+            t.lineitem,
+            PredKernel::And(vec![
+                PredKernel::IntInRange {
+                    field: 6,
+                    lo: 1900,
+                    hi: 2265,
+                },
+                PredKernel::FloatInRangeIncl {
+                    field: 3,
+                    lo: 0.04,
+                    hi: 0.08,
+                },
+                PredKernel::FloatLt {
+                    field: 1,
+                    max: 24.0,
+                },
+            ]),
+        );
+        let revenue = driver.ctx().map_kernel(
+            filtered,
+            MapKernel::Scalar(ScalarExpr::Num(NumExpr::Mul(
+                Box::new(NumExpr::Field(2)),
+                Box::new(NumExpr::Field(3)),
+            ))),
+        );
         let sum = driver.reduce(revenue, |a, b| {
             Value::Float(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0))
         });
@@ -424,6 +475,18 @@ impl Workload for Tpch {
     fn recommended_size_scale(&self) -> f64 {
         self.cfg.dataset_gb * 1e9 / self.real_bytes().max(1) as f64
     }
+}
+
+/// `extendedprice * (1 - discount)` over the lineitem layout — the
+/// revenue expression shared by Q1, Q3, and Q10.
+fn discounted_price() -> NumExpr {
+    NumExpr::Mul(
+        Box::new(NumExpr::Field(2)),
+        Box::new(NumExpr::Sub(
+            Box::new(NumExpr::Lit(1.0)),
+            Box::new(NumExpr::Field(3)),
+        )),
+    )
 }
 
 fn row_digest(v: &Value) -> u64 {
