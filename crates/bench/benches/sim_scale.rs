@@ -1,0 +1,73 @@
+//! Simulation-core scale benchmark: wall time per simulated
+//! cluster-hour for a week-long Monte-Carlo run at 100 / 1 000 / 10 000
+//! workers, in both hazard regimes.
+//!
+//! This guards the event-driven core of BENCH_scale.json: maintained
+//! active/running index sets in [`flint_market::CloudSim`], prefix-sum
+//! and segment-tree indexes on [`flint_market::PriceTrace`], and the
+//! memoized per-market stats in the age-aware cluster-MTTF refit. The
+//! pre-index code walked every instance (and, under an age-aware
+//! hazard, re-derived every market's stats per instance per refit), so
+//! wall time per cluster-hour grew with fleet size; indexed, it stays
+//! flat into the 10k-worker regime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flint_market::HazardSpec;
+use flint_model::{catalog_with_mttf, run_mc, McConfig, PolicyKind};
+use flint_simtime::SimDuration;
+
+fn mc_cfg(n_workers: u32, hours: u64, age_aware: bool) -> McConfig {
+    let mut cfg = McConfig {
+        job_length: SimDuration::from_hours(hours),
+        n_workers,
+        policy: PolicyKind::FlintBatch,
+        ..McConfig::default()
+    };
+    if age_aware {
+        cfg.selection.hazard = HazardSpec::CappedLifetime {
+            early_prob: 0.1,
+            cap_hours: 24.0,
+        };
+    }
+    cfg
+}
+
+/// Runs one week-long Monte-Carlo simulation and returns
+/// `(wall seconds, simulated cluster-hours)`.
+fn sim_cluster_hours(n_workers: u32, hours: u64, age_aware: bool) -> (f64, f64) {
+    let cat = catalog_with_mttf(40, SimDuration::from_days(120), 2.0);
+    let cfg = mc_cfg(n_workers, hours, age_aware);
+    let t0 = std::time::Instant::now();
+    let r = run_mc(&cat, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, f64::from(n_workers) * r.runtime.as_hours_f64())
+}
+
+/// Criterion timings on the small/medium fleets (a 24h job keeps each
+/// iteration sub-second), plus a one-shot wall-time-per-cluster-hour
+/// report across the full 100 → 10 000 sweep at the week-long horizon —
+/// the figure BENCH_scale.json pins.
+fn bench_sim_scale(c: &mut Criterion) {
+    for (label, age_aware) in [("memoryless", false), ("hazard", true)] {
+        c.bench_function(&format!("sim_cluster_hour_100w_{label}"), |b| {
+            b.iter(|| sim_cluster_hours(100, 24, age_aware))
+        });
+        c.bench_function(&format!("sim_cluster_hour_1000w_{label}"), |b| {
+            b.iter(|| sim_cluster_hours(1000, 24, age_aware))
+        });
+    }
+    for (label, age_aware) in [("memoryless", false), ("hazard", true)] {
+        for n in [100u32, 1000, 10_000] {
+            let (wall, cluster_hours) = sim_cluster_hours(n, 168, age_aware);
+            println!(
+                "sim_scale {label} n={n:>6}: wall {wall:.3}s, \
+                 {cluster_hours:.0} cluster-hours, \
+                 {:.4} wall-ms/cluster-hour",
+                wall * 1000.0 / cluster_hours
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_sim_scale);
+criterion_main!(benches);

@@ -161,19 +161,13 @@ impl NmInner {
     /// combination), and a `HazardRefit` event records the re-fit.
     fn refresh_cluster_mttf(&mut self, now: SimTime) {
         let agg = if self.cfg.hazard.is_memoryless() {
-            let mut markets: Vec<MarketId> = self
+            // The cloud's per-market index already holds the distinct
+            // active markets in sorted order — no instance scan.
+            let mttfs: Vec<SimDuration> = self
                 .cloud
-                .instances()
-                .iter()
-                .filter(|r| r.is_active())
-                .map(|r| r.market)
-                .collect();
-            markets.sort();
-            markets.dedup();
-            let mttfs: Vec<SimDuration> = markets
-                .iter()
-                .map(|mid| {
-                    let m = self.cloud.catalog().market(*mid);
+                .active_markets()
+                .map(|(mid, _)| {
+                    let m = self.cloud.catalog().market(mid);
                     m.stats(now, self.cfg.window, self.bid.bid_for(m)).mttf
                 })
                 .collect();
@@ -193,18 +187,29 @@ impl NmInner {
     /// Age-aware cluster MTTF under the configured hazard model.
     fn hazard_cluster_mttf(&mut self, now: SimTime) -> SimDuration {
         let hazard = self.cfg.hazard.build(SimDuration::MAX);
+        // Market MTTFs are pure functions of (market, now); resolve each
+        // distinct active market once instead of per instance.
+        let market_mttf: HashMap<MarketId, SimDuration> = self
+            .cloud
+            .active_markets()
+            .map(|(mid, _)| {
+                let m = self.cloud.catalog().market(mid);
+                (mid, m.stats(now, self.cfg.window, self.bid.bid_for(m)).mttf)
+            })
+            .collect();
         let mut components: Vec<SimDuration> = Vec::new();
         let mut instances = 0u64;
-        for r in self.cloud.instances().iter().filter(|r| r.is_active()) {
-            let m = self.cloud.catalog().market(r.market);
-            let market_mttf = m.stats(now, self.cfg.window, self.bid.bid_for(m)).mttf;
+        // The active index iterates in id order, matching the historical
+        // full-scan component order exactly.
+        for id in self.cloud.active() {
+            let r = self.cloud.instance(id);
             // Pending instances (ready in the future) have age zero.
             let age = if now > r.ready_at {
                 now.duration_since(r.ready_at)
             } else {
                 SimDuration::ZERO
             };
-            components.push(market_mttf);
+            components.push(market_mttf[&r.market]);
             components.push(hazard.mean_residual(age));
             instances += 1;
         }
@@ -397,13 +402,7 @@ impl NodeManagerHandle {
 
     /// Number of provider revocations observed so far.
     pub fn revocations(&self) -> u64 {
-        self.0
-            .lock()
-            .cloud
-            .instances()
-            .iter()
-            .filter(|r| r.state == flint_market::InstanceState::Revoked)
-            .count() as u64
+        self.0.lock().cloud.revocation_count()
     }
 
     /// Number of replacement rounds the restoration policy executed.
@@ -416,19 +415,11 @@ impl NodeManagerHandle {
         self.0.lock().policy.name()
     }
 
-    /// Distinct markets currently backing active instances.
+    /// Distinct markets currently backing active instances (sorted — the
+    /// cloud's per-market index maintains them, no instance scan).
     pub fn active_markets(&self) -> Vec<MarketId> {
         let inner = self.0.lock();
-        let mut ms: Vec<MarketId> = inner
-            .cloud
-            .instances()
-            .iter()
-            .filter(|r| r.is_active())
-            .map(|r| r.market)
-            .collect();
-        ms.sort();
-        ms.dedup();
-        ms
+        inner.cloud.active_markets().map(|(m, _)| m).collect()
     }
 
     /// The on-demand price of the catalog's on-demand pool.
@@ -441,13 +432,7 @@ impl NodeManagerHandle {
     /// Terminates every active instance at `now` (end of job).
     pub fn shutdown(&self, now: SimTime) {
         let mut inner = self.0.lock();
-        let ids: Vec<InstanceId> = inner
-            .cloud
-            .instances()
-            .iter()
-            .filter(|r| r.is_active())
-            .map(|r| r.id)
-            .collect();
+        let ids: Vec<InstanceId> = inner.cloud.active().collect();
         for id in ids {
             inner.cloud.terminate(id, now);
         }

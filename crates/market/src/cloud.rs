@@ -1,5 +1,7 @@
 //! The cloud front-end: requesting, revoking, and billing instances.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use flint_simtime::rng::stream;
 use flint_simtime::{EventQueue, SimDuration, SimTime};
 use flint_trace::{EventKind, TraceHandle};
@@ -77,6 +79,9 @@ pub struct InstanceRecord {
     pub state: InstanceState,
     /// Scheduled provider revocation, if any (simulator internal).
     revocation_at: Option<SimTime>,
+    /// Bill settled once when the instance ends (simulator internal);
+    /// ended instances never re-walk their price trace.
+    final_cost: Option<f64>,
 }
 
 impl InstanceRecord {
@@ -115,6 +120,17 @@ pub struct CloudSim {
     acquisition_delay: SimDuration,
     seed: u64,
     trace: TraceHandle,
+    /// Ids of Pending|Running instances, in id order. Maintained at
+    /// state transitions so membership sweeps are O(active), never
+    /// O(all instances ever provisioned).
+    active: BTreeSet<InstanceId>,
+    /// Ids of Running instances, in id order.
+    running: BTreeSet<InstanceId>,
+    /// Active-instance count per market (entries removed at zero), so
+    /// "which markets back the cluster" is O(markets in use).
+    active_by_market: BTreeMap<MarketId, u32>,
+    /// Provider revocations delivered so far.
+    revoked: u64,
 }
 
 impl CloudSim {
@@ -141,7 +157,30 @@ impl CloudSim {
             acquisition_delay: Self::DEFAULT_ACQUISITION_DELAY,
             seed,
             trace: TraceHandle::disabled(),
+            active: BTreeSet::new(),
+            running: BTreeSet::new(),
+            active_by_market: BTreeMap::new(),
+            revoked: 0,
         }
+    }
+
+    /// Drops `id` from the active-side indexes (on revocation or
+    /// termination).
+    fn deactivate(&mut self, id: InstanceId, market: MarketId) {
+        self.active.remove(&id);
+        self.running.remove(&id);
+        if let Some(count) = self.active_by_market.get_mut(&market) {
+            *count -= 1;
+            if *count == 0 {
+                self.active_by_market.remove(&market);
+            }
+        }
+    }
+
+    /// Settles the final bill of an instance that just ended at `at`.
+    fn settle(&mut self, id: InstanceId, at: SimTime) {
+        let cost = self.instance_cost(id, at);
+        self.instances[id.0 as usize].final_cost = Some(cost);
     }
 
     /// Attaches the shared trace handle; market and instance lifecycle
@@ -223,7 +262,10 @@ impl CloudSim {
             ended_at: None,
             state: InstanceState::Pending,
             revocation_at,
+            final_cost: None,
         });
+        self.active.insert(id);
+        *self.active_by_market.entry(market).or_insert(0) += 1;
         if self.trace.is_enabled() {
             self.trace.emit(
                 now,
@@ -253,15 +295,17 @@ impl CloudSim {
     /// Terminates an instance at `now` (user-initiated). No-op if already
     /// ended.
     pub fn terminate(&mut self, id: InstanceId, now: SimTime) {
-        let ended = {
+        let (ended, market) = {
             let rec = &mut self.instances[id.0 as usize];
             if !rec.is_active() {
                 return;
             }
             rec.state = InstanceState::Terminated;
             rec.ended_at = Some(now.max(rec.requested_at));
-            rec.ended_at.unwrap()
+            (rec.ended_at.unwrap(), rec.market)
         };
+        self.deactivate(id, market);
+        self.settle(id, ended);
         if self.trace.is_enabled() {
             self.trace
                 .emit(ended, EventKind::InstanceTerminated { instance: id.0 });
@@ -283,8 +327,9 @@ impl CloudSim {
     pub fn events_until(&mut self, t: SimTime) -> Vec<(SimTime, InstanceEvent)> {
         let mut out = Vec::new();
         while let Some((at, ev)) = self.events.pop_before(t) {
+            let id = ev.instance();
             let delivered = {
-                let rec = &mut self.instances[ev.instance().0 as usize];
+                let rec = &mut self.instances[id.0 as usize];
                 match ev {
                     InstanceEvent::Ready { .. } => {
                         if rec.state == InstanceState::Pending {
@@ -307,6 +352,18 @@ impl CloudSim {
                 }
             };
             if delivered {
+                match ev {
+                    InstanceEvent::Ready { .. } => {
+                        self.running.insert(id);
+                    }
+                    InstanceEvent::Warning { .. } => {}
+                    InstanceEvent::Revoked { .. } => {
+                        let market = self.instances[id.0 as usize].market;
+                        self.deactivate(id, market);
+                        self.settle(id, at);
+                        self.revoked += 1;
+                    }
+                }
                 if self.trace.is_enabled() {
                     self.emit_lifecycle(at, ev);
                 }
@@ -379,19 +436,47 @@ impl CloudSim {
         &self.instances
     }
 
-    /// Returns the ids of instances currently running at `now`.
-    pub fn running(&self) -> Vec<InstanceId> {
-        self.instances
-            .iter()
-            .filter(|r| r.state == InstanceState::Running)
-            .map(|r| r.id)
-            .collect()
+    /// Ids of instances currently running, in id order — a maintained
+    /// index, not a scan; no allocation.
+    pub fn running(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.running.iter().copied()
+    }
+
+    /// Number of instances currently running.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Ids of active (pending or running) instances, in id order — a
+    /// maintained index, not a scan.
+    pub fn active(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Number of active (pending or running) instances.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Markets currently backing at least one active instance, with
+    /// their active-instance counts, in market-id order.
+    pub fn active_markets(&self) -> impl Iterator<Item = (MarketId, u32)> + '_ {
+        self.active_by_market.iter().map(|(m, c)| (*m, *c))
+    }
+
+    /// Number of provider revocations delivered so far.
+    pub fn revocation_count(&self) -> u64 {
+        self.revoked
     }
 
     /// Computes the bill for instance `id`, accounting up to `until` for
-    /// instances still active.
+    /// instances still active. Ended instances return their settled
+    /// bill without re-walking the market's price trace.
     pub fn instance_cost(&self, id: InstanceId, until: SimTime) -> f64 {
         let rec = self.instance(id);
+        if let Some(cost) = rec.final_cost {
+            return cost;
+        }
         let start = rec.ready_at;
         let (end, revoked) = match rec.state {
             InstanceState::Pending => return 0.0,
@@ -566,8 +651,15 @@ mod tests {
         let a = cloud.request(MarketId(0), 0.40, SimTime::ZERO);
         let b = cloud.request(MarketId(1), 0.40, SimTime::ZERO);
         let _ = cloud.events_until(hours(1.0));
-        assert_eq!(cloud.running(), vec![a, b]);
+        assert_eq!(cloud.running().collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(cloud.running_count(), 2);
+        assert_eq!(cloud.active_count(), 2);
         let _ = cloud.events_until(hours(12.0));
-        assert_eq!(cloud.running(), vec![b]);
+        assert_eq!(cloud.running().collect::<Vec<_>>(), vec![b]);
+        assert_eq!(cloud.revocation_count(), 1);
+        assert_eq!(
+            cloud.active_markets().collect::<Vec<_>>(),
+            vec![(MarketId(1), 1)]
+        );
     }
 }

@@ -23,17 +23,64 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(trace.price_at(SimTime::from_millis(500)), 0.10);
 /// assert_eq!(trace.price_at(SimTime::from_millis(1500)), 0.50);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PriceTrace {
     /// Sorted, deduplicated change points.
     points: Vec<(SimTime, f64)>,
+    /// `cum[i]` = ∫ price · dt over `[points[0].0, points[i].0)`, in
+    /// price·milliseconds. Windowed means become two O(log n) lookups.
+    cum: Vec<f64>,
+    /// Flat max segment tree over point prices (leaves start at
+    /// `seg_max.len() / 2`); drives "first point above threshold"
+    /// descents for up-crossing queries.
+    seg_max: Vec<f64>,
+    /// Min counterpart of [`PriceTrace::seg_max`], for "first point at
+    /// or below threshold" (the must-drop-first half of a crossing).
+    seg_min: Vec<f64>,
+}
+
+/// Trace identity is its change points; the prefix-sum and segment
+/// trees are deterministic functions of them.
+impl PartialEq for PriceTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+    }
 }
 
 impl PriceTrace {
     /// Creates a flat trace at `price` starting at the epoch.
     pub fn flat(price: f64) -> Self {
+        PriceTrace::from_sorted(vec![(SimTime::ZERO, price)])
+    }
+
+    /// Builds the trace plus its query indexes from points that are
+    /// already sorted, deduplicated, and epoch-anchored.
+    fn from_sorted(points: Vec<(SimTime, f64)>) -> Self {
+        let n = points.len();
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            cum.push(acc);
+            if i + 1 < n {
+                acc += points[i].1 * (points[i + 1].0 - points[i].0).as_millis() as f64;
+            }
+        }
+        let size = n.next_power_of_two();
+        let mut seg_max = vec![f64::NEG_INFINITY; 2 * size];
+        let mut seg_min = vec![f64::INFINITY; 2 * size];
+        for (i, &(_, p)) in points.iter().enumerate() {
+            seg_max[size + i] = p;
+            seg_min[size + i] = p;
+        }
+        for i in (1..size).rev() {
+            seg_max[i] = seg_max[2 * i].max(seg_max[2 * i + 1]);
+            seg_min[i] = seg_min[2 * i].min(seg_min[2 * i + 1]);
+        }
         PriceTrace {
-            points: vec![(SimTime::ZERO, price)],
+            points,
+            cum,
+            seg_max,
+            seg_min,
         }
     }
 
@@ -65,15 +112,21 @@ impl PriceTrace {
             let first_price = dedup[0].1;
             dedup.insert(0, (SimTime::ZERO, first_price));
         }
-        PriceTrace { points: dedup }
+        PriceTrace::from_sorted(dedup)
     }
 
     /// Returns the price in effect at instant `t`.
     pub fn price_at(&self, t: SimTime) -> f64 {
+        self.points[self.segment_index(t)].1
+    }
+
+    /// Index of the change point governing instant `t` (latest point at
+    /// or before it).
+    fn segment_index(&self, t: SimTime) -> usize {
         match self.points.binary_search_by_key(&t, |(pt, _)| *pt) {
-            Ok(i) => self.points[i].1,
-            Err(0) => self.points[0].1,
-            Err(i) => self.points[i - 1].1,
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
         }
     }
 
@@ -81,28 +134,68 @@ impl PriceTrace {
     /// effect at `from`.
     pub fn segment(&self, from: SimTime, to: SimTime) -> Vec<(SimTime, f64)> {
         let mut out = vec![(from, self.price_at(from))];
-        for &(t, p) in &self.points {
-            if t > from && t < to {
-                out.push((t, p));
+        let lo = self.points.partition_point(|&(t, _)| t <= from);
+        for &(t, p) in &self.points[lo..] {
+            if t >= to {
+                break;
             }
+            out.push((t, p));
         }
         out
     }
 
+    /// `∫ price · dt` over `[epoch, t)` in price·milliseconds, resolved
+    /// from the prefix sum plus a partial-segment remainder.
+    fn integral_to(&self, t: SimTime) -> f64 {
+        let i = self.segment_index(t);
+        self.cum[i] + self.points[i].1 * (t - self.points[i].0).as_millis() as f64
+    }
+
     /// Returns the time-weighted mean price over `[from, to)`.
     ///
-    /// Returns the price at `from` when the window is empty.
+    /// Returns the price at `from` when the window is empty. Resolved as
+    /// a difference of two prefix-sum integrals, so the query is O(log n)
+    /// in the trace length rather than a walk over every change point.
     pub fn mean_price(&self, from: SimTime, to: SimTime) -> f64 {
         if to <= from {
             return self.price_at(from);
         }
-        let seg = self.segment(from, to);
-        let mut acc = 0.0;
-        for (i, &(t, p)) in seg.iter().enumerate() {
-            let end = if i + 1 < seg.len() { seg[i + 1].0 } else { to };
-            acc += p * (end - t).as_millis() as f64;
+        (self.integral_to(to) - self.integral_to(from)) / (to - from).as_millis() as f64
+    }
+
+    /// First point index `>= lo` whose price is above (`above == true`)
+    /// or at-or-below (`above == false`) `threshold`, found by descending
+    /// the max/min segment tree. Comparison-only, so results match the
+    /// linear scan bit for bit.
+    fn first_from(&self, lo: usize, threshold: f64, above: bool) -> Option<usize> {
+        let n = self.points.len();
+        if lo >= n {
+            return None;
         }
-        acc / (to - from).as_millis() as f64
+        let size = self.seg_max.len() / 2;
+        // (node, node_lo, node_hi) descent over the leaf range [lo, n);
+        // out-of-range leaves hold ∓∞ sentinels and never match.
+        let hit = |node: usize| {
+            if above {
+                self.seg_max[node] > threshold
+            } else {
+                self.seg_min[node] <= threshold
+            }
+        };
+        let mut stack = vec![(1usize, 0usize, size)];
+        while let Some((node, l, r)) = stack.pop() {
+            if r <= lo || l >= n || !hit(node) {
+                continue;
+            }
+            if r - l == 1 {
+                return Some(l);
+            }
+            let m = (l + r) / 2;
+            // Push right first so the left half is examined first.
+            stack.push((2 * node + 1, m, r));
+            stack.push((2 * node, l, m));
+        }
+        None
     }
 
     /// Returns the first instant strictly after `t` at which the price
@@ -113,18 +206,15 @@ impl PriceTrace {
     /// up-crossing is still reported only after the price first drops to
     /// or below the threshold (this models "you cannot be revoked twice").
     pub fn next_up_crossing(&self, t: SimTime, threshold: f64) -> Option<SimTime> {
-        let mut above = self.price_at(t) > threshold;
-        for &(pt, p) in &self.points {
-            if pt <= t {
-                continue;
-            }
-            let now_above = p > threshold;
-            if now_above && !above {
-                return Some(pt);
-            }
-            above = now_above;
+        // First change point strictly after `t`.
+        let mut lo = self.points.partition_point(|&(pt, _)| pt <= t);
+        if self.price_at(t) > threshold {
+            // Already above: the price must first drop to or below the
+            // threshold before a crossing can count.
+            lo = self.first_from(lo, threshold, false)? + 1;
         }
-        None
+        let k = self.first_from(lo, threshold, true)?;
+        Some(self.points[k].0)
     }
 
     /// Returns every up-crossing of `threshold` in `[from, to)`.

@@ -1,0 +1,219 @@
+//! Parallel seed campaigns: fan Monte-Carlo seeds across scoped host
+//! threads, then merge reports in fixed seed order.
+//!
+//! The fan-out reuses the engine executor's wave pattern: worker
+//! threads pull indices from a shared atomic cursor and compute
+//! independent, deterministic runs; results are committed back in
+//! input order. Parallelism therefore only changes wall time — every
+//! per-seed result, trace, and the merged report are byte-identical
+//! to a sequential (`jobs == 1`) campaign.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use flint_market::MarketCatalog;
+use flint_simtime::SimDuration;
+
+use crate::{run_mc, McConfig, McResult};
+
+/// Runs `f` over `items` on up to `jobs` scoped host threads, pulling
+/// work from a shared atomic cursor. Results come back in input order,
+/// so the caller's merge loop is independent of scheduling. `jobs <= 1`
+/// degenerates to a plain in-order loop over the very same function —
+/// the sequential and parallel paths cannot diverge.
+pub fn fan_out<T, O, F>(jobs: usize, items: &[T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    let n_threads = jobs.min(items.len());
+    if n_threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, O)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker thread panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Runs `f` once per seed on up to `jobs` threads; results return in
+/// seed order (the order of `seeds`, not completion order).
+pub fn run_seeds<R, F>(seeds: &[u64], jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    fan_out(jobs, seeds, |s| f(*s))
+}
+
+/// A seed campaign over [`run_mc`]: the same base configuration
+/// replayed under many seeds (and staggered trace offsets), merged
+/// into one report.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Per-run configuration; `seed` and `start` are overridden per
+    /// seed.
+    pub base: McConfig,
+    /// The seeds to run, in report order.
+    pub seeds: Vec<u64>,
+    /// Offset added to `base.start` per successive seed, so runs on
+    /// the same price traces decorrelate (spot revocations are a
+    /// function of the trace, not the cloud seed).
+    pub start_stride: SimDuration,
+    /// Maximum host threads computing seeds concurrently.
+    pub jobs: usize,
+}
+
+impl CampaignConfig {
+    /// A campaign of `runs` consecutive seeds starting at `base.seed`,
+    /// staggered by six simulated hours per run.
+    pub fn consecutive(base: McConfig, runs: u64, jobs: usize) -> Self {
+        let first = base.seed;
+        CampaignConfig {
+            base,
+            seeds: (0..runs).map(|r| first.wrapping_add(r)).collect(),
+            start_stride: SimDuration::from_hours(6),
+            jobs,
+        }
+    }
+
+    /// The per-seed configuration for position `idx` in the campaign.
+    pub fn cfg_for(&self, idx: usize) -> McConfig {
+        McConfig {
+            seed: self.seeds[idx],
+            start: self.base.start + self.start_stride * idx as u64,
+            ..self.base.clone()
+        }
+    }
+}
+
+/// Merged outcome of a seed campaign, in seed order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// `(seed, result)` per run, in the campaign's seed order.
+    pub runs: Vec<(u64, McResult)>,
+}
+
+impl CampaignReport {
+    /// Mean unit cost across runs (on-demand = 1.0).
+    pub fn mean_unit_cost(&self) -> f64 {
+        self.fold_mean(|r| r.unit_cost())
+    }
+
+    /// Mean runtime-increase fraction versus the failure-free job.
+    pub fn mean_runtime_increase(&self) -> f64 {
+        self.fold_mean(|r| r.runtime_increase_frac(r.job_length))
+    }
+
+    /// Total servers revoked across all runs.
+    pub fn servers_revoked(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|(_, r)| u64::from(r.servers_revoked))
+            .sum()
+    }
+
+    /// Folds `f` over the runs in seed order and divides by the run
+    /// count — one fixed summation order, so the aggregate is the same
+    /// bit pattern however the runs were scheduled.
+    fn fold_mean(&self, f: impl Fn(&McResult) -> f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.runs.iter().map(|(_, r)| f(r)).sum();
+        sum / self.runs.len() as f64
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (seed, r) in &self.runs {
+            writeln!(
+                f,
+                "seed {seed:<8}: runtime {:<12} unit {:.3} revs {:>4}/{:<4} stall {:.1}%",
+                r.runtime.to_string(),
+                r.unit_cost(),
+                r.revocation_events,
+                r.servers_revoked,
+                r.stall_fraction * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "campaign      : {} run(s), mean unit cost {:.3}, mean runtime \
+             increase {:+.1}%, {} server(s) revoked",
+            self.runs.len(),
+            self.mean_unit_cost(),
+            self.mean_runtime_increase() * 100.0,
+            self.servers_revoked()
+        )
+    }
+}
+
+/// Runs the campaign: seeds fan out over `cfg.jobs` scoped threads and
+/// merge into a seed-ordered [`CampaignReport`]. Byte-identical for
+/// any `jobs` value.
+pub fn run_mc_campaign(catalog: &MarketCatalog, cfg: &CampaignConfig) -> CampaignReport {
+    let indices: Vec<usize> = (0..cfg.seeds.len()).collect();
+    let results = fan_out(cfg.jobs, &indices, |&i| run_mc(catalog, &cfg.cfg_for(i)));
+    CampaignReport {
+        runs: cfg.seeds.iter().copied().zip(results).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog_with_mttf;
+    use flint_simtime::SimDuration;
+
+    #[test]
+    fn fan_out_preserves_input_order() {
+        let items: Vec<u64> = (0..40).collect();
+        let seq = fan_out(1, &items, |&x| x * 3);
+        let par = fan_out(8, &items, |&x| x * 3);
+        assert_eq!(seq, par);
+        assert_eq!(seq, (0..40).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_seeds_matches_sequential_map() {
+        let seeds = [9u64, 3, 7, 1];
+        let seq: Vec<u64> = seeds.iter().map(|s| s.wrapping_mul(13)).collect();
+        assert_eq!(run_seeds(&seeds, 4, |s| s.wrapping_mul(13)), seq);
+    }
+
+    #[test]
+    fn campaign_report_identical_across_jobs() {
+        let cat = catalog_with_mttf(11, SimDuration::from_days(60), 4.0);
+        let base = McConfig {
+            job_length: SimDuration::from_hours(6),
+            n_workers: 4,
+            ..McConfig::default()
+        };
+        let mk = |jobs| CampaignConfig::consecutive(base.clone(), 5, jobs);
+        let seq = run_mc_campaign(&cat, &mk(1));
+        let par = run_mc_campaign(&cat, &mk(8));
+        assert_eq!(seq, par);
+        assert_eq!(seq.to_string(), par.to_string());
+        assert_eq!(seq.runs.len(), 5);
+    }
+}

@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
+
+pub use campaign::{fan_out, run_mc_campaign, run_seeds, CampaignConfig, CampaignReport};
+
 use flint_core::{
     new_shared, optimal_tau, BatchSelection, BidPolicy, FixedMarketSelection, InteractiveSelection,
     JobProfile, NodeManager, OnDemandSelection, PortfolioPolicy, SelectionConfig, SelectionPolicy,
@@ -209,7 +213,19 @@ impl McResult {
 /// Runs the canonical program against the catalog under the given
 /// configuration. Deterministic for a fixed catalog and config.
 pub fn run_mc(catalog: &MarketCatalog, cfg: &McConfig) -> McResult {
-    let cloud = CloudSim::with_seed(catalog.clone(), cfg.seed);
+    run_mc_traced(catalog, cfg, flint_engine::TraceHandle::disabled())
+}
+
+/// [`run_mc`] with a trace handle attached to the cloud simulator, so
+/// campaigns can write (or hash) the per-seed lifecycle/billing event
+/// stream. The handle is flushed before returning.
+pub fn run_mc_traced(
+    catalog: &MarketCatalog,
+    cfg: &McConfig,
+    trace: flint_engine::TraceHandle,
+) -> McResult {
+    let mut cloud = CloudSim::with_seed(catalog.clone(), cfg.seed);
+    cloud.set_trace(trace.clone());
     let ft = new_shared(SimDuration::MAX);
     let job = JobProfile {
         runtime_estimate: cfg.job_length,
@@ -355,6 +371,7 @@ pub fn run_mc(catalog: &MarketCatalog, cfg: &McConfig) -> McResult {
         EbsCostModel::default().cost(gb, runtime)
     };
 
+    trace.flush();
     McResult {
         runtime,
         compute_cost,

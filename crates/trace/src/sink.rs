@@ -221,34 +221,66 @@ impl MemoryReader {
 }
 
 /// Streams events as JSONL to any writer (file, stdout, `Vec<u8>`).
+///
+/// Lines accumulate in an internal buffer and reach the writer in
+/// [`JsonlSink::BUFFER_BYTES`]-sized chunks, so a multi-gigabyte trace
+/// costs a bounded amount of memory and a syscall every few thousand
+/// events rather than two per event. [`EventSink::flush`] drains the
+/// buffer; `Drop` does too, so nothing is lost if a flush is missed.
 pub struct JsonlSink<W: Write + Send> {
     out: W,
+    buf: String,
     lines: u64,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
+    /// Buffered bytes beyond which the pending lines are written out.
+    pub const BUFFER_BYTES: usize = 64 * 1024;
+
     /// Wraps a writer. Each event becomes one `\n`-terminated line.
     pub fn new(out: W) -> Self {
-        Self { out, lines: 0 }
+        Self {
+            out,
+            buf: String::with_capacity(Self::BUFFER_BYTES + 1024),
+            lines: 0,
+        }
     }
 
-    /// Lines written so far.
+    /// Lines written so far (including any still in the buffer).
     pub fn lines(&self) -> u64 {
         self.lines
+    }
+
+    fn drain(&mut self) {
+        if !self.buf.is_empty() {
+            // Sinks have no error channel; a failed trace write must
+            // not abort the simulated run. Undersized output is caught
+            // by `trace validate`.
+            let _ = self.out.write_all(self.buf.as_bytes());
+            self.buf.clear();
+        }
     }
 }
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn emit(&mut self, event: &Event) {
-        // Sinks have no error channel; a failed trace write must not
-        // abort the simulated run. Undersized output is caught by
-        // `trace validate`.
-        let _ = self.out.write_all(event.to_json().as_bytes());
-        let _ = self.out.write_all(b"\n");
+        self.buf.push_str(&event.to_json());
+        self.buf.push('\n');
         self.lines += 1;
+        if self.buf.len() >= Self::BUFFER_BYTES {
+            self.drain();
+        }
     }
 
     fn flush(&mut self) {
+        self.drain();
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        self.drain();
         let _ = self.out.flush();
     }
 }
@@ -312,6 +344,37 @@ mod tests {
             Event::from_json(line).unwrap();
         }
         assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_buffers_small_emits_and_drains_on_drop() {
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let store = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut sink = JsonlSink::new(store.clone());
+            sink.emit(&ev(1));
+            sink.emit(&ev(2));
+            assert_eq!(sink.lines(), 2);
+            assert!(
+                store.0.lock().is_empty(),
+                "small emits must stay in the sink's buffer"
+            );
+        }
+        let text = String::from_utf8(store.0.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2, "drop drains the buffer");
+        for line in text.lines() {
+            Event::from_json(line).unwrap();
+        }
     }
 
     #[test]

@@ -18,7 +18,9 @@ use flint::engine::{
     ScriptedInjector, ServerlessConfig, WorkerEvent, WorkerSpec,
 };
 use flint::market::{correlated_groups, correlation_matrix, MarketCatalog};
-use flint::model::{run_mc, CkptMode, McConfig, PolicyKind};
+use flint::model::{
+    fan_out, run_mc, run_mc_campaign, CampaignConfig, CkptMode, McConfig, PolicyKind,
+};
 use flint::runner::run_on_flint;
 use flint::simtime::{SimDuration, SimTime};
 use flint::trace::{Event, EventKind, JsonlSink, MetricsAggregator, TraceHandle};
@@ -70,14 +72,21 @@ USAGE:
   flint workload <pagerank|kmeans|als|tpch> [--gb N] [--iterations N]
         [--workers N] [--failures K] [--mttf H] [--checkpoint] [--seed N]
         [--dot FILE]   (write the executed lineage graph as Graphviz DOT)
-  flint chaos [--seed N] [--runs R] [--faults revoke,mass,flap,delay,store]
+  flint chaos [--seed N] [--runs R] [--jobs N]
+        [--faults revoke,mass,flap,delay,store]
         [--workload W] [--gb N] [--workers N] [--mttf H] [--trace FILE]
                           (seeded fault-injection campaign: each run is
                            diffed against its fault-free twin and must
-                           finish byte-identical or with a typed error)
+                           finish byte-identical or with a typed error;
+                           --jobs fans runs across host threads with
+                           byte-identical output)
   flint markets [--seed N] [--days N]
   flint mc [--policy batch|interactive|portfolio|fleet|od] [--risk R]
-        [--hours N] [--seed N]
+        [--hours N] [--seed N] [--workers N] [--runs R] [--jobs N]
+                          (--runs > 1 replays the config under consecutive
+                           seeds and merges a campaign report; --jobs fans
+                           seeds across host threads, byte-identical to
+                           --jobs 1)
   flint experiment <name>   (fig02a fig02b fig03 fig04 fig06a fig06b fig06c
                              fig07 fig08 fig09 fig10a fig10b fig11a fig11b
                              multiaz storage ablation_* ext_*)
@@ -401,22 +410,33 @@ fn cmd_mc(flags: &HashMap<String, String>) -> ExitCode {
     };
     let hours = flag_u(flags, "hours", 24);
     let seed = flag_u(flags, "seed", 0);
+    let workers = flag_u(flags, "workers", 10).max(1) as u32;
+    let runs = flag_u(flags, "runs", 1).max(1);
+    let jobs = flag_u(flags, "jobs", 1).max(1) as usize;
     let cat = MarketCatalog::synthetic_ec2(40, SimDuration::from_days(90));
     let ckpt = if flags.contains_key("no-checkpoint") {
         CkptMode::None
     } else {
         CkptMode::Adaptive
     };
-    let r = run_mc(
-        &cat,
-        &McConfig {
-            job_length: SimDuration::from_hours(hours),
-            policy,
-            ckpt,
-            seed,
-            ..McConfig::default()
-        },
-    );
+    let base = McConfig {
+        job_length: SimDuration::from_hours(hours),
+        n_workers: workers,
+        policy,
+        ckpt,
+        seed,
+        ..McConfig::default()
+    };
+    if runs > 1 {
+        // Seed campaign: compute in parallel (--jobs), merge in seed
+        // order — the printed report is byte-identical for any --jobs.
+        let campaign = CampaignConfig::consecutive(base, runs, jobs);
+        let report = run_mc_campaign(&cat, &campaign);
+        println!("policy        : {}", policy.name());
+        print!("{report}");
+        return ExitCode::SUCCESS;
+    }
+    let r = run_mc(&cat, &base);
     println!("policy        : {}", policy.name());
     println!("runtime       : {}", r.runtime);
     println!("compute cost  : ${:.2}", r.compute_cost);
@@ -445,22 +465,25 @@ fn cmd_trace(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
                 eprintln!("trace {sub}: missing FILE");
                 return ExitCode::FAILURE;
             };
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
+            let reader = match std::fs::File::open(path) {
+                Ok(f) => std::io::BufReader::new(f),
                 Err(e) => {
                     eprintln!("could not read {path}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let events = match parse_trace(&text) {
-                Ok(evs) => evs,
-                Err(msg) => {
-                    eprintln!("{path}: {msg}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            // One pass, one event in memory at a time: multi-gigabyte
+            // traces stream through instead of materializing.
             if sub == "validate" {
-                let pairs = match check_fault_pairing(&events) {
+                let mut pairing = FaultPairing::default();
+                let events = match scan_trace(reader, |ev| pairing.observe(ev)) {
+                    Ok(n) => n,
+                    Err(msg) => {
+                        eprintln!("{path}: {msg}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let pairs = match pairing.finish() {
                     Ok(pairs) => pairs,
                     Err(msg) => {
                         eprintln!("{path}: {msg}");
@@ -468,15 +491,17 @@ fn cmd_trace(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
                     }
                 };
                 if pairs > 0 {
-                    println!(
-                        "{path}: OK ({} events, {pairs} fault/recovery pairs)",
-                        events.len()
-                    );
+                    println!("{path}: OK ({events} events, {pairs} fault/recovery pairs)");
                 } else {
-                    println!("{path}: OK ({} events)", events.len());
+                    println!("{path}: OK ({events} events)");
                 }
             } else {
-                print!("{}", MetricsAggregator::from_events(&events));
+                let mut agg = MetricsAggregator::new();
+                if let Err(msg) = scan_trace(reader, |ev| agg.observe(ev)) {
+                    eprintln!("{path}: {msg}");
+                    return ExitCode::FAILURE;
+                }
+                print!("{agg}");
             }
             ExitCode::SUCCESS
         }
@@ -487,66 +512,83 @@ fn cmd_trace(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
     }
 }
 
-/// Parses a JSONL event trace, enforcing the stream invariants a real run
+/// Streams a JSONL event trace, enforcing the invariants a real run
 /// guarantees: every line decodes, there is at least one event, and
-/// timestamps never go backwards.
-fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
-    let mut events = Vec::new();
-    for (i, line) in text.lines().enumerate() {
+/// timestamps never go backwards. Each decoded event is handed to
+/// `on_event` and dropped, so arbitrarily large traces scan in constant
+/// memory. Returns the event count.
+fn scan_trace(
+    reader: impl std::io::BufRead,
+    mut on_event: impl FnMut(&Event),
+) -> Result<u64, String> {
+    let mut events = 0u64;
+    let mut last_t = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", i + 1))?;
         if line.trim().is_empty() {
             continue;
         }
-        let ev = Event::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        if let Some(prev) = events.last() {
-            let prev: &Event = prev;
-            if ev.t < prev.t {
+        let ev = Event::from_json(&line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Some(prev) = last_t {
+            if ev.t < prev {
                 return Err(format!(
                     "line {}: timestamp {} goes backwards (previous {})",
                     i + 1,
                     ev.t,
-                    prev.t
+                    prev
                 ));
             }
         }
-        events.push(ev);
+        last_t = Some(ev.t);
+        on_event(&ev);
+        events += 1;
     }
-    if events.is_empty() {
+    if events == 0 {
         return Err("no events".to_string());
     }
     Ok(events)
 }
 
-/// Verifies the fault/recovery pairing invariant: every
+/// Streaming fold of the fault/recovery pairing invariant: every
 /// `CheckpointCorruptDetected` for a block must be answered later in the
 /// stream by a `RestoreFallback` for the same block — unless the run
 /// ended in a typed failure, visible as an action that started but never
-/// finished. Returns the number of matched pairs.
-fn check_fault_pairing(events: &[Event]) -> Result<usize, String> {
-    let mut pending: Vec<&str> = Vec::new();
-    let mut pairs = 0usize;
-    let mut open_actions = 0i64;
-    for ev in events {
+/// finished.
+#[derive(Default)]
+struct FaultPairing {
+    pending: Vec<String>,
+    pairs: usize,
+    open_actions: i64,
+}
+
+impl FaultPairing {
+    fn observe(&mut self, ev: &Event) {
         match &ev.kind {
-            EventKind::CheckpointCorruptDetected { block } => pending.push(block),
+            EventKind::CheckpointCorruptDetected { block } => self.pending.push(block.clone()),
             EventKind::RestoreFallback { block, .. } => {
-                if let Some(pos) = pending.iter().position(|b| b == block) {
-                    pending.remove(pos);
-                    pairs += 1;
+                if let Some(pos) = self.pending.iter().position(|b| b == block) {
+                    self.pending.remove(pos);
+                    self.pairs += 1;
                 }
             }
-            EventKind::ActionStarted { .. } => open_actions += 1,
-            EventKind::ActionFinished { .. } => open_actions -= 1,
+            EventKind::ActionStarted { .. } => self.open_actions += 1,
+            EventKind::ActionFinished { .. } => self.open_actions -= 1,
             _ => {}
         }
     }
-    if pending.is_empty() || open_actions > 0 {
-        Ok(pairs)
-    } else {
-        Err(format!(
-            "{} corrupt-checkpoint detection(s) never answered by a \
-             restore fallback or typed failure: {pending:?}",
-            pending.len()
-        ))
+
+    /// Returns the number of matched pairs, or the pairing violation.
+    fn finish(self) -> Result<usize, String> {
+        if self.pending.is_empty() || self.open_actions > 0 {
+            Ok(self.pairs)
+        } else {
+            Err(format!(
+                "{} corrupt-checkpoint detection(s) never answered by a \
+                 restore fallback or typed failure: {:?}",
+                self.pending.len(),
+                self.pending
+            ))
+        }
     }
 }
 
@@ -600,6 +642,7 @@ impl flint::engine::CheckpointHooks for CkptEveryRdd {
 fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
     let seed = flag_u(flags, "seed", 42);
     let runs = flag_u(flags, "runs", 3).max(1);
+    let jobs = flag_u(flags, "jobs", 1).max(1) as usize;
     let workers = flag_u(flags, "workers", 4).max(1) as u32;
     let faults = flags.get("faults").map(String::as_str).unwrap_or("all");
     let enabled: Vec<&str> = faults.split(',').map(str::trim).collect();
@@ -616,15 +659,20 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
         iterations: flag_u(flags, "iterations", 3) as u32,
         seed: flag_u(flags, "wl-seed", 1),
     };
-    let wl: Box<dyn Workload> = match name {
-        "pagerank" => Box::new(PageRank::new(wl_cfg)),
-        "kmeans" => Box::new(KMeans::new(wl_cfg)),
-        "als" => Box::new(Als::new(wl_cfg)),
-        "tpch" => Box::new(Tpch::new(wl_cfg)),
-        other => {
-            eprintln!("unknown workload: {other}");
-            return ExitCode::FAILURE;
+    // Workloads are not shareable across threads; each parallel run
+    // rebuilds its own instance from the (copyable) name + config.
+    let make_wl = |name: &str| -> Option<Box<dyn Workload>> {
+        match name {
+            "pagerank" => Some(Box::new(PageRank::new(wl_cfg))),
+            "kmeans" => Some(Box::new(KMeans::new(wl_cfg))),
+            "als" => Some(Box::new(Als::new(wl_cfg))),
+            "tpch" => Some(Box::new(Tpch::new(wl_cfg))),
+            _ => None,
         }
+    };
+    let Some(wl) = make_wl(name) else {
+        eprintln!("unknown workload: {name}");
+        return ExitCode::FAILURE;
     };
 
     // The fault-free twin: its digest is the ground truth every chaos
@@ -660,10 +708,26 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
         expect.checksum, expect.records
     );
 
-    let mut survived = 0u64;
-    let mut typed = 0u64;
-    let mut violations = 0u64;
-    for r in 0..runs {
+    // Validate flags that used to fail mid-loop before fanning out.
+    let ckpt_kind = flags.get("ckpt").map(String::as_str).unwrap_or("eager");
+    if !matches!(ckpt_kind, "eager" | "adaptive" | "none") {
+        eprintln!("unknown ckpt policy: {ckpt_kind} (expected eager|adaptive|none)");
+        return ExitCode::FAILURE;
+    }
+
+    /// How one chaos run ended, for the survival tally.
+    enum RunClass {
+        Survived,
+        Typed,
+        Violation,
+    }
+
+    // Each run is self-contained (own seed, own workload instance, own
+    // trace file), so runs fan out across `--jobs` scoped threads and
+    // their verdicts are committed back in run order — output and
+    // per-run trace files are byte-identical to a sequential campaign.
+    let run_ids: Vec<u64> = (0..runs).collect();
+    let outcomes = fan_out(jobs, &run_ids, |&r| {
         let run_seed = seed.wrapping_add(r);
         let mut ccfg = ChaosConfig::new(run_seed);
         ccfg.n_workers = workers;
@@ -704,22 +768,21 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
             match std::fs::File::create(path) {
                 Ok(f) => trace.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f)))),
                 Err(e) => {
-                    eprintln!("could not create {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return (
+                        RunClass::Violation,
+                        format!("could not create {path}: {e}"),
+                        trace_path.clone(),
+                    );
                 }
             }
         }
 
-        let hooks: Box<dyn flint::engine::CheckpointHooks> =
-            match flags.get("ckpt").map(String::as_str).unwrap_or("eager") {
-                "eager" => Box::new(CkptEveryRdd),
-                "adaptive" => Box::new(FlintCheckpointPolicy::with_mttf(mttf)),
-                "none" => Box::new(NoCheckpoint),
-                other => {
-                    eprintln!("unknown ckpt policy: {other} (expected eager|adaptive|none)");
-                    return ExitCode::FAILURE;
-                }
-            };
+        let hooks: Box<dyn flint::engine::CheckpointHooks> = match ckpt_kind {
+            "eager" => Box::new(CkptEveryRdd),
+            "adaptive" => Box::new(FlintCheckpointPolicy::with_mttf(mttf)),
+            _ => Box::new(NoCheckpoint),
+        };
+        let wl = make_wl(name).expect("workload validated before fan-out");
         let cfg = driver_cfg.clone();
         let run_trace = trace.clone();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -734,34 +797,48 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
         }));
         trace.flush();
 
-        let verdict = match outcome {
-            Err(_) => {
-                violations += 1;
-                format!("PANIC (seed {run_seed}) — invariant violated")
-            }
+        let (class, verdict) = match outcome {
+            Err(_) => (
+                RunClass::Violation,
+                format!("PANIC (seed {run_seed}) — invariant violated"),
+            ),
             Ok((Ok(s), stats, runtime)) => {
                 if s.checksum == expect.checksum && s.records == expect.records {
-                    survived += 1;
-                    format!(
-                        "survived byte-identical ({:+.1}% runtime, {} restores, \
-                         {} revocations)",
-                        (runtime.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0,
-                        stats.restores,
-                        stats.revocations
+                    (
+                        RunClass::Survived,
+                        format!(
+                            "survived byte-identical ({:+.1}% runtime, {} restores, \
+                             {} revocations)",
+                            (runtime.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0,
+                            stats.restores,
+                            stats.revocations
+                        ),
                     )
                 } else {
-                    violations += 1;
-                    format!(
-                        "WRONG DATA (checksum {:#018x} != {:#018x}) — invariant violated",
-                        s.checksum, expect.checksum
+                    (
+                        RunClass::Violation,
+                        format!(
+                            "WRONG DATA (checksum {:#018x} != {:#018x}) — invariant violated",
+                            s.checksum, expect.checksum
+                        ),
                     )
                 }
             }
-            Ok((Err(e), _, _)) => {
-                typed += 1;
-                format!("typed error: {e}")
-            }
+            Ok((Err(e), _, _)) => (RunClass::Typed, format!("typed error: {e}")),
         };
+        (class, verdict, trace_path)
+    });
+
+    let mut survived = 0u64;
+    let mut typed = 0u64;
+    let mut violations = 0u64;
+    for (r, (class, verdict, trace_path)) in outcomes.into_iter().enumerate() {
+        match class {
+            RunClass::Survived => survived += 1,
+            RunClass::Typed => typed += 1,
+            RunClass::Violation => violations += 1,
+        }
+        let run_seed = seed.wrapping_add(r as u64);
         println!("run {r:>3} seed {run_seed:<8}: {verdict}");
         if let Some(path) = &trace_path {
             println!("              trace written to {path}");

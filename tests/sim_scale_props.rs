@@ -1,0 +1,258 @@
+//! Equivalence suites for the event-driven simulation core: every
+//! indexed fast path (price-trace prefix sums, segment-tree up-crossing
+//! search, maintained CloudSim active/running sets) must agree with a
+//! transcribed linear/full-scan reference on arbitrary inputs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use flint::core::{
+    new_shared, BatchSelection, BidPolicy, JobProfile, NodeManager, SelectionConfig,
+};
+use flint::engine::FailureInjector;
+use flint::market::{
+    CloudSim, HazardSpec, InstanceId, InstanceState, MarketCatalog, MarketId, PriceTrace,
+    TraceGenerator, TraceProfile,
+};
+use flint::simtime::{SimDuration, SimTime};
+use flint::store::StorageConfig;
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = PriceTrace> {
+    (0u64..100, 0.05f64..0.5).prop_map(|(seed, od)| {
+        let gen = TraceGenerator::new(seed, SimTime::ZERO + SimDuration::from_days(60));
+        gen.generate("prop", &TraceProfile::volatile(od))
+    })
+}
+
+/// The pre-index `mean_price`: walk the segment and accumulate
+/// price-weighted durations linearly.
+fn mean_price_linear(trace: &PriceTrace, from: SimTime, to: SimTime) -> f64 {
+    if to <= from {
+        return trace.price_at(from);
+    }
+    let seg = trace.segment(from, to);
+    let mut acc = 0.0;
+    for (i, &(t, p)) in seg.iter().enumerate() {
+        let end = if i + 1 < seg.len() { seg[i + 1].0 } else { to };
+        acc += p * (end - t).as_millis() as f64;
+    }
+    acc / (to - from).as_millis() as f64
+}
+
+/// The pre-index `next_up_crossing`: scan every change point after `t`,
+/// tracking the above/below state.
+fn next_up_crossing_linear(trace: &PriceTrace, t: SimTime, threshold: f64) -> Option<SimTime> {
+    let mut above = trace.price_at(t) > threshold;
+    for &(pt, p) in trace.points() {
+        if pt <= t {
+            continue;
+        }
+        let now_above = p > threshold;
+        if now_above && !above {
+            return Some(pt);
+        }
+        above = now_above;
+    }
+    None
+}
+
+fn up_crossings_linear(
+    trace: &PriceTrace,
+    from: SimTime,
+    to: SimTime,
+    threshold: f64,
+) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    let mut cur = from;
+    while let Some(t) = next_up_crossing_linear(trace, cur, threshold) {
+        if t >= to {
+            break;
+        }
+        out.push(t);
+        cur = t;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Prefix-sum `mean_price` is bitwise-close to the linear segment
+    /// walk over arbitrary traces and windows (the summation order
+    /// differs, so we allow float-associativity slack only).
+    #[test]
+    fn mean_price_matches_linear_reference(
+        trace in arb_trace(),
+        from_h in 0.0f64..1500.0,
+        dur_h in 0.0f64..400.0,
+    ) {
+        let from = SimTime::from_hours_f64(from_h);
+        let to = from + SimDuration::from_hours_f64(dur_h);
+        let fast = trace.mean_price(from, to);
+        let slow = mean_price_linear(&trace, from, to);
+        prop_assert!(
+            (fast - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+            "fast {fast} != linear {slow} over [{from_h}h, +{dur_h}h)"
+        );
+    }
+
+    /// Segment-tree up-crossing search returns the *same instants* as
+    /// the linear scan — exact equality, since both are comparison-only.
+    #[test]
+    fn up_crossings_match_linear_reference(
+        trace in arb_trace(),
+        from_h in 0.0f64..1500.0,
+        dur_h in 0.0f64..500.0,
+        thr_mult in 0.2f64..4.0,
+    ) {
+        let from = SimTime::from_hours_f64(from_h);
+        let to = from + SimDuration::from_hours_f64(dur_h);
+        let threshold = thr_mult * trace.price_at(from);
+        prop_assert_eq!(
+            trace.next_up_crossing(from, threshold),
+            next_up_crossing_linear(&trace, from, threshold)
+        );
+        prop_assert_eq!(
+            trace.up_crossings(from, to, threshold),
+            up_crossings_linear(&trace, from, to, threshold)
+        );
+    }
+
+    /// The maintained active/running index sets and per-market counts
+    /// equal a full scan over every instance record, at every event
+    /// boundary of a randomized request/terminate schedule.
+    #[test]
+    fn cloud_index_matches_full_scan(
+        seed in 0u64..40,
+        n_inst in 1usize..24,
+        bid_mult in 0.3f64..3.0,
+        kill_mod in 2u64..5,
+    ) {
+        let cat = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(30));
+        let mut cloud = CloudSim::with_seed(cat, seed);
+        let markets: Vec<MarketId> =
+            cloud.catalog().spot_markets().iter().map(|m| m.id).collect();
+
+        let mut ids: Vec<InstanceId> = Vec::new();
+        for i in 0..n_inst {
+            let m = markets[i % markets.len()];
+            let bid = cloud.catalog().market(m).on_demand_price * bid_mult;
+            let t = SimTime::from_hours_f64(i as f64 * 1.5);
+            ids.push(cloud.request(m, bid, t));
+        }
+
+        // Interleave event delivery with user terminations, checking the
+        // indexes against a full scan at every step.
+        let horizon = SimTime::ZERO + SimDuration::from_days(20);
+        let step = SimDuration::from_hours(12);
+        let mut now = SimTime::ZERO;
+        let mut expect_revoked = 0u64;
+        while now < horizon {
+            now += step;
+            for (_, ev) in cloud.events_until(now) {
+                if matches!(ev, flint::market::InstanceEvent::Revoked { .. }) {
+                    expect_revoked += 1;
+                }
+            }
+            // Periodically terminate one known-alive instance.
+            if (now.as_hours_f64() as u64).is_multiple_of(kill_mod) {
+                let victim = cloud.active().next();
+                if let Some(id) = victim {
+                    cloud.terminate(id, now);
+                }
+            }
+
+            // Full-scan reference over every record ever created.
+            let mut scan_active = BTreeSet::new();
+            let mut scan_running = BTreeSet::new();
+            let mut scan_by_market: BTreeMap<MarketId, u32> = BTreeMap::new();
+            for &id in &ids {
+                let r = cloud.instance(id);
+                if r.is_active() {
+                    scan_active.insert(id);
+                    *scan_by_market.entry(r.market).or_insert(0) += 1;
+                }
+                if r.state == InstanceState::Running {
+                    scan_running.insert(id);
+                }
+            }
+
+            prop_assert_eq!(cloud.active().collect::<BTreeSet<_>>(), scan_active);
+            prop_assert_eq!(cloud.running().collect::<BTreeSet<_>>(), scan_running);
+            prop_assert_eq!(
+                cloud.active_markets().collect::<BTreeMap<_, _>>(),
+                scan_by_market
+            );
+            prop_assert_eq!(cloud.active_count(), cloud.active().count());
+            prop_assert_eq!(cloud.running_count(), cloud.running().count());
+            prop_assert_eq!(cloud.revocation_count(), expect_revoked);
+        }
+
+        // Settled billing: a terminated instance's cached cost equals a
+        // fresh recomputation from its trace at any later query time.
+        for &id in &ids {
+            let r = cloud.instance(id);
+            if let Some(end) = r.ended_at {
+                let frozen_early = cloud.instance_cost(id, end);
+                let frozen_late = cloud.instance_cost(id, end + SimDuration::from_days(400));
+                prop_assert_eq!(frozen_early.to_bits(), frozen_late.to_bits());
+            }
+        }
+    }
+
+    /// A live NodeManager run, ticked event-by-event: the handle's
+    /// index-backed views (active markets, revocation count) equal a
+    /// per-tick full scan of every instance record — the transcribed
+    /// reference the pre-index code computed on every query.
+    #[test]
+    fn node_manager_views_match_per_tick_scan(
+        seed in 0u64..30,
+        n in 4u32..24,
+        age_aware in proptest::bool::ANY,
+    ) {
+        let catalog = MarketCatalog::synthetic_ec2(seed, SimDuration::from_days(60));
+        let cloud = CloudSim::with_seed(catalog, seed);
+        let start = SimTime::ZERO + SimDuration::from_days(14);
+        let cfg = SelectionConfig {
+            hazard: if age_aware {
+                HazardSpec::CappedLifetime { early_prob: 0.1, cap_hours: 24.0 }
+            } else {
+                HazardSpec::Exponential
+            },
+            ..SelectionConfig::default()
+        };
+        let (mut nm, handle) = NodeManager::launch(
+            cloud,
+            Box::new(BatchSelection),
+            BidPolicy::OnDemandPrice,
+            cfg,
+            JobProfile::default(),
+            StorageConfig::default(),
+            n,
+            new_shared(SimDuration::MAX),
+            start,
+        );
+
+        let mut now = start;
+        for _ in 0..40 {
+            now += SimDuration::from_hours(6);
+            nm.events(start, now);
+
+            let (scan_markets, scan_revoked) = handle.with_cloud(|c| {
+                let mut markets = BTreeSet::new();
+                let mut revoked = 0u64;
+                for r in c.instances() {
+                    if r.is_active() {
+                        markets.insert(r.market);
+                    }
+                    if r.state == InstanceState::Revoked {
+                        revoked += 1;
+                    }
+                }
+                (markets.into_iter().collect::<Vec<_>>(), revoked)
+            });
+            prop_assert_eq!(handle.active_markets(), scan_markets);
+            prop_assert_eq!(handle.revocations(), scan_revoked);
+        }
+    }
+}
