@@ -36,4 +36,8 @@ fn main() {
         "ablation_portfolio",
         flint_bench::ablations::ablation_portfolio,
     );
+    run_and_save(
+        "ablation_backstop",
+        flint_bench::ablations::ablation_backstop,
+    );
 }

@@ -147,6 +147,37 @@ pub struct SelectionConfig {
     /// into a still-spiking market. `ZERO` (the default) disables the
     /// window, preserving pre-cooldown behavior byte-for-byte.
     pub market_cooldown: SimDuration,
+    /// Revocations within [`Self::breaker_window`] that trip a market's
+    /// circuit breaker from closed to open. `0` (the default) disables
+    /// breakers entirely, preserving pre-breaker behavior byte-for-byte.
+    /// Breakers generalize [`Self::market_cooldown`]: where a cooldown
+    /// is a fixed timed exclusion per failure, a breaker counts failures
+    /// in a sliding window, excludes the market while open, probes it
+    /// with a half-open round after the cooldown, and re-opens on a
+    /// failed probe.
+    pub breaker_revocation_threshold: u32,
+    /// Sliding window over which [`Self::breaker_revocation_threshold`]
+    /// counts revocations.
+    pub breaker_window: SimDuration,
+    /// How long an open breaker excludes its market before entering
+    /// half-open, and how long a half-open probe must survive before
+    /// the breaker closes again.
+    pub breaker_cooldown: SimDuration,
+    /// Trip a market's breaker when the spot price at a revocation
+    /// exceeds this multiple of the on-demand rate (the paper's "why
+    /// bid above on-demand" boundary). `0.0` (the default) disables the
+    /// price trigger.
+    pub breaker_price_factor: f64,
+    /// Fraction of the target cluster size `n` below which the
+    /// on-demand backstop provisions fixed-price workers (requires
+    /// [`Self::backstop`]). `0.0` (the default) never triggers.
+    pub capacity_floor: f64,
+    /// Enables the on-demand backstop tier: when capacity falls below
+    /// [`Self::capacity_floor`]`·n`, the node manager buys the deficit
+    /// from the catalog's on-demand pool at the fixed catalog price, so
+    /// a market-wide collapse degrades the job in cost, not
+    /// correctness. Off by default.
+    pub backstop: bool,
     /// The instance-lifetime hazard model the node manager assumes.
     /// The default ([`HazardSpec::Exponential`]) keeps the legacy
     /// memoryless pipeline — market-stats MTTF, age-blind τ, unscaled
@@ -168,6 +199,12 @@ impl Default for SelectionConfig {
             rd: SimDuration::from_secs(120),
             match_reference_spec: true,
             market_cooldown: SimDuration::ZERO,
+            breaker_revocation_threshold: 0,
+            breaker_window: SimDuration::from_hours(1),
+            breaker_cooldown: SimDuration::from_mins(30),
+            breaker_price_factor: 0.0,
+            capacity_floor: 0.0,
+            backstop: false,
             hazard: HazardSpec::Exponential,
         }
     }

@@ -81,6 +81,22 @@ pub struct ChaosConfig {
     /// MTTF parameter for an exponential `lifetime_hazard` (capped
     /// hazards carry their own parameters).
     pub lifetime_mttf: SimDuration,
+    /// Probability the campaign kills the driver mid-run: the schedule
+    /// draws a wave number and the harness suspends the driver at that
+    /// wave-commit boundary (via `DriverConfig::suspend_after_waves`),
+    /// then resumes from the persisted manifest. `0.0` (the default)
+    /// draws nothing, keeping legacy schedules byte-identical.
+    pub driver_crash_prob: f64,
+    /// Upper bound (inclusive) on the drawn crash wave.
+    pub driver_crash_wave_max: u64,
+    /// Probability the campaign includes a market-wide collapse: every
+    /// live pool worker is removed at one drawn instant, with a fresh
+    /// cohort arriving only after [`Self::collapse_len`]. `0.0` (the
+    /// default) draws nothing.
+    pub market_collapse_prob: f64,
+    /// How long a market collapse leaves the cluster empty before the
+    /// recovery cohort arrives.
+    pub collapse_len: SimDuration,
 }
 
 impl ChaosConfig {
@@ -111,6 +127,10 @@ impl ChaosConfig {
             outage_len: SimDuration::from_mins(5),
             lifetime_hazard: None,
             lifetime_mttf: SimDuration::from_hours(1),
+            driver_crash_prob: 0.0,
+            driver_crash_wave_max: 8,
+            market_collapse_prob: 0.0,
+            collapse_len: SimDuration::from_mins(10),
         }
     }
 }
@@ -128,6 +148,11 @@ pub struct ChaosSchedule {
     pub notes: Vec<(SimTime, String, String)>,
     /// Half-open `[start, end)` store read-outage windows.
     pub outages: Vec<(SimTime, SimTime)>,
+    /// Wave-commit boundary at which the campaign kills the driver
+    /// (`None` unless the driver-crash fault kind was drawn). The
+    /// harness wires this into `DriverConfig::suspend_after_waves` and
+    /// resumes from the persisted manifest.
+    pub driver_crash_wave: Option<u64>,
 }
 
 impl ChaosSchedule {
@@ -242,6 +267,43 @@ impl ChaosSchedule {
                 "checkpoint-store".to_string(),
             ));
         }
+        // New fault kinds draw strictly after every legacy draw, each
+        // behind a `prob > 0.0` short-circuit, so campaigns that leave
+        // them off consume exactly the legacy stream positions.
+        let mut driver_crash_wave = None;
+        if cfg.driver_crash_prob > 0.0 && rng.gen_bool(cfg.driver_crash_prob) {
+            let wave = rng.gen_range(1..=cfg.driver_crash_wave_max.max(1));
+            driver_crash_wave = Some(wave);
+            notes.push((
+                SimTime::from_millis(1),
+                "driver_crash".to_string(),
+                format!("wave-{wave}"),
+            ));
+        }
+        if cfg.market_collapse_prob > 0.0 && rng.gen_bool(cfg.market_collapse_prob) {
+            let t = SimTime::from_millis(rng.gen_range(1..horizon_ms));
+            for &v in &pool {
+                events.push((t, WorkerEvent::Remove { ext_id: v }));
+            }
+            notes.push((
+                t,
+                "market_collapse".to_string(),
+                format!("workers-{}", pool.len()),
+            ));
+            let rt = t + cfg.collapse_len;
+            for _ in 0..cfg.n_workers.max(1) {
+                let ext = next_replacement_ext;
+                next_replacement_ext += 1;
+                events.push((
+                    rt,
+                    WorkerEvent::Add {
+                        ext_id: ext,
+                        spec: cfg.spec,
+                    },
+                ));
+            }
+        }
+
         outages.sort();
         notes.sort_by_key(|a| a.0);
         // ScriptedInjector re-sorts worker events by (t, kind rank).
@@ -249,6 +311,7 @@ impl ChaosSchedule {
             worker_events: events,
             notes,
             outages,
+            driver_crash_wave,
         }
     }
 
@@ -432,6 +495,52 @@ mod tests {
         assert_eq!(notes.len(), n_notes);
         // Consumed exactly once.
         assert!(inj.fault_notes(SimTime::ZERO, horizon).is_empty());
+    }
+
+    #[test]
+    fn driver_crash_and_market_collapse_draw_after_legacy_stream() {
+        let legacy = ChaosSchedule::generate(&ChaosConfig::new(42));
+        assert!(legacy.driver_crash_wave.is_none(), "off by default");
+
+        let mut cfg = ChaosConfig::new(42);
+        cfg.driver_crash_prob = 1.0;
+        cfg.driver_crash_wave_max = 5;
+        cfg.market_collapse_prob = 1.0;
+        let s = ChaosSchedule::generate(&cfg);
+        // Appended draws: every legacy event survives as an exact
+        // prefix, so enabling the new kinds never perturbs old faults.
+        assert_eq!(
+            &s.worker_events[..legacy.worker_events.len()],
+            &legacy.worker_events[..]
+        );
+        let wave = s.driver_crash_wave.expect("crash drawn at prob 1.0");
+        assert!((1..=5).contains(&wave));
+        assert!(s.notes.iter().any(|(_, k, _)| k == "driver_crash"));
+        // The collapse removes the whole live pool at one instant and
+        // brings a fresh cohort exactly collapse_len later.
+        let (ct, _, target) = s
+            .notes
+            .iter()
+            .find(|(_, k, _)| k == "market_collapse")
+            .expect("collapse drawn at prob 1.0")
+            .clone();
+        let pool_size: usize = target
+            .strip_prefix("workers-")
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        let removed_at_ct = s
+            .worker_events
+            .iter()
+            .skip(legacy.worker_events.len())
+            .filter(|(t, e)| *t == ct && matches!(e, WorkerEvent::Remove { .. }))
+            .count();
+        assert_eq!(removed_at_ct, pool_size);
+        let cohort = s
+            .worker_events
+            .iter()
+            .filter(|(t, e)| *t == ct + cfg.collapse_len && matches!(e, WorkerEvent::Add { .. }))
+            .count();
+        assert_eq!(cohort, cfg.n_workers as usize);
     }
 
     #[test]

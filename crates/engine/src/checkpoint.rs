@@ -209,6 +209,27 @@ impl CheckpointStore {
         self.store.config()
     }
 
+    /// Durably stores an encoded run manifest under `key` (by convention
+    /// `manifest/<session>`). Manifests are the suspension/resume
+    /// verification artifact, not job data: they bypass the fault policy
+    /// (a suspend that loses its own manifest is indistinguishable from
+    /// a plain crash, which resume already covers) and are excluded from
+    /// checkpoint GC by their key prefix.
+    pub fn put_manifest(&mut self, key: &str, text: &str, now: SimTime) {
+        let payload: PartitionData = std::sync::Arc::new(vec![crate::Value::from_str_(text)]);
+        let bytes = text.len() as u64;
+        self.store.put(key, payload.into(), bytes, now);
+    }
+
+    /// Returns the encoded run manifest stored under `key`, if present.
+    pub fn get_manifest(&self, key: &str) -> Option<&str> {
+        self.store
+            .get(key)
+            .and_then(|d| d.flat())
+            .and_then(|p| p.first())
+            .and_then(|v| v.as_str())
+    }
+
     /// Durably stores one partition (virtual `vbytes` for accounting).
     /// Returns what the (possibly degraded) store did with the write:
     /// a [`WriteFault::Fail`] leaves the partition bitmap clear, a

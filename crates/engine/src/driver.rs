@@ -18,10 +18,66 @@ use crate::error::{EngineError, Result};
 use crate::executor::{self, CacheEffect, TaskOutput, WaveCtx};
 use crate::hooks::{CheckpointDirective, CheckpointHooks, LineageView, NoCheckpoint};
 use crate::injector::{FailureInjector, NoFailures, WorkerEvent};
+use crate::manifest::RunManifest;
 use crate::rdd::{PartitionData, RddId, RddOp, RddRef};
 use crate::shuffle::{BucketedBlock, RangePartitioner, ShuffleId};
 use crate::stats::{ActionRecord, RunStats};
 use crate::value::Value;
+
+/// A unified retry policy: an attempt budget plus capped exponential
+/// backoff in virtual time.
+///
+/// One shape covers the driver's historically ad-hoc retry loops — the
+/// store-outage wait, the gather re-run loop — so chaos campaigns and
+/// callers tune a single kind of knob. `backoff(attempt)` doubles from
+/// `backoff_base` per attempt and saturates at `backoff_cap`; a zero
+/// base means "retry immediately" (no virtual time passes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts allowed before the loop gives up with a typed error.
+    pub budget: u64,
+    /// First backoff; each further attempt doubles it. `ZERO` retries
+    /// without advancing virtual time.
+    pub backoff_base: SimDuration,
+    /// Ceiling on the backoff.
+    pub backoff_cap: SimDuration,
+}
+
+impl RetryPolicy {
+    /// A policy of `budget` immediate retries (no backoff).
+    pub fn immediate(budget: u64) -> Self {
+        RetryPolicy {
+            budget,
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+        }
+    }
+
+    /// A policy of `budget` retries with capped exponential backoff.
+    pub fn backoff(budget: u64, base: SimDuration, cap: SimDuration) -> Self {
+        RetryPolicy {
+            budget,
+            backoff_base: base,
+            backoff_cap: cap,
+        }
+    }
+
+    /// `true` once `attempt` retries have been spent.
+    pub fn exhausted(&self, attempt: u64) -> bool {
+        attempt >= self.budget
+    }
+
+    /// The wait before retry number `attempt` (0-based): capped
+    /// exponential doubling, or `ZERO` for a no-backoff policy.
+    pub fn delay(&self, attempt: u64) -> SimDuration {
+        if self.backoff_base == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let base = self.backoff_base.as_millis().max(1);
+        let cap = self.backoff_cap.as_millis().max(base);
+        SimDuration::from_millis(base.saturating_mul(1u64 << attempt.min(32)).min(cap))
+    }
+}
 
 /// Tuning knobs for a [`Driver`].
 ///
@@ -45,14 +101,15 @@ pub struct DriverConfig {
     /// results, statistics, and virtual-time trajectories. See the
     /// `executor` module docs for the compute/commit split.
     pub host_threads: usize,
-    /// Transient-store read retries `gather` spends waiting out an
-    /// outage window before failing the action with
-    /// [`EngineError::StoreUnavailable`].
-    pub store_retry_limit: u64,
-    /// First store-retry backoff; each further attempt doubles it.
-    pub store_backoff_base: SimDuration,
-    /// Ceiling on the store-retry backoff.
-    pub store_backoff_cap: SimDuration,
+    /// Retry policy for transient checkpoint-store outages: how many
+    /// capped-exponential backoff waits a restore spends before failing
+    /// the action with [`EngineError::StoreUnavailable`].
+    pub store_retry: RetryPolicy,
+    /// Retry policy for the gather loop: how many times the driver
+    /// re-runs the job when a result block vanishes between completion
+    /// and gather (same-instant revocation) before failing with
+    /// [`EngineError::RetryBudgetExhausted`].
+    pub gather_retry: RetryPolicy,
     /// Budget of integrity-check restore fallbacks (each one forces a
     /// lineage recompute) allowed per action before it fails with
     /// [`EngineError::RetryBudgetExhausted`]. `u64::MAX` disables the
@@ -72,6 +129,14 @@ pub struct DriverConfig {
     /// path. Either setting produces bit-identical results, virtual
     /// sizes, and traces — only host wall-clock changes. On by default.
     pub columnar: bool,
+    /// When set, the driver suspends the run at the first wave-commit
+    /// boundary where the committed-wave counter reaches this value: a
+    /// [`RunManifest`] is persisted through the durable store and the
+    /// in-flight action returns [`EngineError::Suspended`]. `None` (the
+    /// default) never suspends and leaves every trace byte-identical.
+    /// This is the deterministic stand-in for a driver crash — chaos
+    /// campaigns wire [`crate::ChaosSchedule::driver_crash_wave`] here.
+    pub suspend_after_waves: Option<u64>,
 }
 
 impl Default for DriverConfig {
@@ -81,13 +146,17 @@ impl Default for DriverConfig {
             storage: StorageConfig::default(),
             max_iterations: 5_000_000,
             host_threads: 1,
-            store_retry_limit: 6,
-            store_backoff_base: SimDuration::from_secs(1),
-            store_backoff_cap: SimDuration::from_secs(60),
+            store_retry: RetryPolicy::backoff(
+                6,
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(60),
+            ),
+            gather_retry: RetryPolicy::immediate(3),
             recompute_depth_budget: u64::MAX,
             flap_window: SimDuration::from_secs(600),
             flap_threshold: 3,
             columnar: true,
+            suspend_after_waves: None,
         }
     }
 }
@@ -97,6 +166,36 @@ impl DriverConfig {
     /// default EBS bandwidth, one host thread).
     pub fn builder() -> DriverConfigBuilder {
         DriverConfigBuilder::default()
+    }
+
+    /// FNV-1a fingerprint of the determinism-relevant configuration.
+    ///
+    /// Covers every knob that shapes results, virtual time, or the
+    /// trace; deliberately excludes `host_threads` and `columnar`
+    /// (proven bit-identical by the determinism suite) and
+    /// `suspend_after_waves` (which necessarily differs between a
+    /// crashing run and its resume replay). [`Driver::resume`] rejects
+    /// a manifest whose fingerprint does not match.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |s: &str| {
+            for b in s.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{}|{:?}|{}",
+            self.cost,
+            self.storage,
+            self.max_iterations,
+            self.store_retry,
+            self.gather_retry,
+            self.recompute_depth_budget,
+            self.flap_window,
+            self.flap_threshold,
+        ));
+        h
     }
 }
 
@@ -153,22 +252,42 @@ impl DriverConfigBuilder {
         self
     }
 
+    /// Retry policy for transient checkpoint-store outages.
+    pub fn store_retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.store_retry = policy;
+        self
+    }
+
+    /// Retry policy for the gather re-run loop.
+    pub fn gather_retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.gather_retry = policy;
+        self
+    }
+
     /// Transient-store read retries before an action fails with
-    /// [`EngineError::StoreUnavailable`].
+    /// [`EngineError::StoreUnavailable`] (shorthand for adjusting
+    /// `store_retry.budget`).
     pub fn store_retry_limit(mut self, retries: u64) -> Self {
-        self.cfg.store_retry_limit = retries;
+        self.cfg.store_retry.budget = retries;
         self
     }
 
     /// First store-retry backoff (doubles per attempt).
     pub fn store_backoff_base(mut self, base: SimDuration) -> Self {
-        self.cfg.store_backoff_base = base;
+        self.cfg.store_retry.backoff_base = base;
         self
     }
 
     /// Ceiling on the store-retry backoff.
     pub fn store_backoff_cap(mut self, cap: SimDuration) -> Self {
-        self.cfg.store_backoff_cap = cap;
+        self.cfg.store_retry.backoff_cap = cap;
+        self
+    }
+
+    /// Suspend the run once this many waves have committed (see
+    /// [`DriverConfig::suspend_after_waves`]).
+    pub fn suspend_after_waves(mut self, waves: u64) -> Self {
+        self.cfg.suspend_after_waves = Some(waves);
         self
     }
 
@@ -297,6 +416,19 @@ pub struct Driver {
     /// Integrity-check restore fallbacks admitted during the current
     /// action (checked against `config.recompute_depth_budget`).
     fallback_recomputes: u64,
+    /// Committed-wave frontier: `advance_and_commit` calls that landed
+    /// at least one task. Deterministic across `host_threads`, so it is
+    /// the resume-manifest's notion of progress.
+    waves_committed: u64,
+    /// Session tag naming this run's manifest key in the durable store.
+    session: String,
+    /// A suspension is armed and fires at the next loop boundary.
+    pending_suspend: bool,
+    /// Manifest a resume replay must cross and verify against.
+    resume_check: Option<RunManifest>,
+    /// A resume replay diverged from its manifest; surfaced as a typed
+    /// error at the next loop boundary.
+    resume_failed: Option<EngineError>,
 }
 
 impl Driver {
@@ -333,6 +465,11 @@ impl Driver {
             remove_times: HashMap::new(),
             quarantined: HashSet::new(),
             fallback_recomputes: 0,
+            waves_committed: 0,
+            session: "run".to_string(),
+            pending_suspend: false,
+            resume_check: None,
+            resume_failed: None,
         }
     }
 
@@ -401,6 +538,167 @@ impl Driver {
     /// Resets execution statistics (e.g. after warm-up).
     pub fn reset_stats(&mut self) {
         self.stats = RunStats::default();
+    }
+
+    /// Sets the session tag naming this run's manifest key in the
+    /// durable store (`manifest/<tag>`). A run that may suspend and its
+    /// resume replay must agree on the tag.
+    pub fn set_session(&mut self, tag: impl Into<String>) {
+        self.session = tag.into();
+    }
+
+    /// The committed-wave frontier so far: scheduler advances that
+    /// landed at least one task commit. Deterministic across
+    /// `host_threads`, so it is the [`RunManifest`] notion of progress.
+    pub fn waves_committed(&self) -> u64 {
+        self.waves_committed
+    }
+
+    /// Snapshots the current run state as a [`RunManifest`] — exactly
+    /// what a suspension persists to the durable store.
+    pub fn manifest(&self) -> RunManifest {
+        self.build_manifest()
+    }
+
+    /// Arms a resume replay against `manifest`.
+    ///
+    /// The engine is deterministic, so crash recovery is re-launching
+    /// the identical session and replaying it; the manifest is the
+    /// verification artifact. Call on a freshly built driver (same
+    /// config, workload, and injector as the crashed run) before
+    /// re-running the actions: when the replay's committed-wave frontier
+    /// crosses `manifest.frontier`, the driver checks virtual time and
+    /// stats against the manifest and emits `RunResumed` — a mismatch
+    /// surfaces as [`EngineError::ResumeDiverged`] instead of silently
+    /// continuing a divergent run. Rejects a manifest whose config
+    /// fingerprint does not match this driver's.
+    pub fn resume(&mut self, manifest: &RunManifest) -> Result<()> {
+        let fp = self.config.fingerprint();
+        if manifest.config_fp != fp {
+            return Err(EngineError::ResumeDiverged {
+                field: "config_fp",
+                expected: manifest.config_fp,
+                actual: fp,
+            });
+        }
+        self.session.clone_from(&manifest.session);
+        if manifest.frontier == 0 {
+            // Crashed before any wave committed: nothing to verify.
+            let key = manifest.store_key();
+            let now = self.clock.now();
+            self.trace.emit_with(now, || EventKind::RunResumed {
+                manifest: key.clone(),
+                frontier: 0,
+            });
+            return Ok(());
+        }
+        self.resume_check = Some(manifest.clone());
+        Ok(())
+    }
+
+    fn build_manifest(&self) -> RunManifest {
+        let mut blocks: Vec<String> = self
+            .ckpt
+            .store()
+            .keys_with_prefix("")
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        blocks.retain(|k| !k.starts_with("manifest/"));
+        RunManifest {
+            version: 1,
+            session: self.session.clone(),
+            config_fp: self.config.fingerprint(),
+            frontier: self.waves_committed,
+            now_ms: self.clock.now().as_millis(),
+            tasks_run: self.stats.tasks_run,
+            revocations: self.stats.revocations,
+            checkpoints_written: self.stats.checkpoints_written,
+            blocks,
+        }
+    }
+
+    /// Persists the run manifest and returns the typed suspension
+    /// error the in-flight action propagates.
+    fn suspend_now(&mut self) -> EngineError {
+        let now = self.clock.now();
+        let m = self.build_manifest();
+        let key = m.store_key();
+        let frontier = m.frontier;
+        self.ckpt.put_manifest(&key, &m.encode(), now);
+        self.trace.emit_with(now, || EventKind::RunSuspended {
+            manifest: key.clone(),
+            frontier,
+        });
+        EngineError::Suspended {
+            manifest: key,
+            frontier,
+        }
+    }
+
+    /// Typed interruption pending at a scheduler loop boundary: an
+    /// armed suspension or a failed resume verification. `None` on the
+    /// hot path when neither feature is in use.
+    fn take_interrupt(&mut self) -> Option<EngineError> {
+        if let Some(e) = self.resume_failed.take() {
+            return Some(e);
+        }
+        if self.pending_suspend {
+            self.pending_suspend = false;
+            return Some(self.suspend_now());
+        }
+        None
+    }
+
+    /// Verifies a resume replay the moment its frontier reaches the
+    /// manifest's: virtual time and stats must match exactly, or the
+    /// replay is flagged divergent.
+    fn check_resume_frontier(&mut self) {
+        let due = self
+            .resume_check
+            .as_ref()
+            .map(|m| self.waves_committed >= m.frontier)
+            .unwrap_or(false);
+        if !due {
+            return;
+        }
+        let m = self.resume_check.take().expect("checked above");
+        let now_ms = self.clock.now().as_millis();
+        let mismatch = if self.waves_committed > m.frontier {
+            Some(("frontier", m.frontier, self.waves_committed))
+        } else if now_ms != m.now_ms {
+            Some(("now_ms", m.now_ms, now_ms))
+        } else if self.stats.tasks_run != m.tasks_run {
+            Some(("tasks_run", m.tasks_run, self.stats.tasks_run))
+        } else if self.stats.revocations != m.revocations {
+            Some(("revocations", m.revocations, self.stats.revocations))
+        } else if self.stats.checkpoints_written != m.checkpoints_written {
+            Some((
+                "checkpoints_written",
+                m.checkpoints_written,
+                self.stats.checkpoints_written,
+            ))
+        } else {
+            None
+        };
+        match mismatch {
+            Some((field, expected, actual)) => {
+                self.resume_failed = Some(EngineError::ResumeDiverged {
+                    field,
+                    expected,
+                    actual,
+                });
+            }
+            None => {
+                let now = self.clock.now();
+                let key = m.store_key();
+                let frontier = m.frontier;
+                self.trace.emit_with(now, || EventKind::RunResumed {
+                    manifest: key.clone(),
+                    frontier,
+                });
+            }
+        }
     }
 
     /// Returns the cluster view.
@@ -542,7 +840,13 @@ impl Driver {
         loop {
             iterations += 1;
             if iterations > self.config.max_iterations {
-                return Err(EngineError::RetryBudgetExhausted { rdd: RddId(0) });
+                return Err(EngineError::JobBudgetExhausted {
+                    phase: "idle",
+                    iterations,
+                });
+            }
+            if let Some(e) = self.take_interrupt() {
+                return Err(e);
             }
             self.poll_hooks();
             self.assign_checkpoint_jobs();
@@ -623,6 +927,9 @@ impl Driver {
             }
             if self.fallback_recomputes > self.config.recompute_depth_budget {
                 return Err(EngineError::RetryBudgetExhausted { rdd: target });
+            }
+            if let Some(e) = self.take_interrupt() {
+                return Err(e);
             }
 
             self.poll_hooks();
@@ -706,9 +1013,17 @@ impl Driver {
         }
         self.running = rest;
         finished.sort_by_key(|r| (r.finish, r.seq));
+        let committed_any = !finished.is_empty();
         for r in finished {
             self.in_flight.remove(&r.key);
             self.commit_task(r);
+        }
+        if committed_any {
+            self.waves_committed += 1;
+            if self.config.suspend_after_waves == Some(self.waves_committed) {
+                self.pending_suspend = true;
+            }
+            self.check_resume_frontier();
         }
     }
 
@@ -1730,12 +2045,11 @@ impl Driver {
                     return Ok(false);
                 }
                 Some(ReadFault::Unavailable) => {
-                    if attempt >= self.config.store_retry_limit {
+                    let retry = self.config.store_retry;
+                    if retry.exhausted(attempt) {
                         return Err(EngineError::StoreUnavailable { retries: attempt });
                     }
-                    let base = self.config.store_backoff_base.as_millis().max(1);
-                    let cap = self.config.store_backoff_cap.as_millis().max(base);
-                    let wait_ms = base.saturating_mul(1u64 << attempt.min(32)).min(cap);
+                    let wait_ms = retry.delay(attempt).as_millis();
                     attempt += 1;
                     self.trace
                         .emit_with(self.clock.now(), || EventKind::BackoffScheduled {
@@ -1750,9 +2064,13 @@ impl Driver {
     }
 
     /// Fetches every partition of `target` to the driver, charging
-    /// parallel transfer time.
+    /// parallel transfer time. A vanished block (same-instant
+    /// revocation) re-runs the job under
+    /// [`DriverConfig::gather_retry`].
     fn gather(&mut self, target: RddId) -> Result<Vec<PartitionData>> {
-        for attempt in 0..3 {
+        let retry = self.config.gather_retry;
+        let mut attempt = 0u64;
+        loop {
             let n = self.ctx.lineage().meta(target).num_partitions;
             let mut parts = Vec::with_capacity(n as usize);
             let mut total_vb = 0u64;
@@ -1794,8 +2112,14 @@ impl Driver {
             }
             // A block vanished between job completion and gather (e.g. a
             // same-instant revocation): re-run the job.
-            if attempt == 2 {
+            attempt += 1;
+            if retry.exhausted(attempt) {
                 break;
+            }
+            let wait = retry.delay(attempt - 1);
+            if wait > SimDuration::ZERO {
+                self.clock.advance(wait);
+                self.pump_injector();
             }
             self.run_job(target)?;
         }
@@ -1809,7 +2133,13 @@ impl Driver {
         while self.pending_checkpoints() > 0 {
             iterations += 1;
             if iterations > self.config.max_iterations {
-                return Err(EngineError::RetryBudgetExhausted { rdd: RddId(0) });
+                return Err(EngineError::JobBudgetExhausted {
+                    phase: "drain-checkpoints",
+                    iterations,
+                });
+            }
+            if let Some(e) = self.take_interrupt() {
+                return Err(e);
             }
             self.assign_checkpoint_jobs();
             let Some(tt) = self.running.iter().map(|r| r.finish).min() else {

@@ -37,6 +37,38 @@ pub enum EngineError {
         /// Retries attempted before giving up.
         retries: u64,
     },
+    /// A driver-level scheduling loop (idle pumping, checkpoint
+    /// draining) exceeded its iteration budget with no single RDD to
+    /// blame — a job-level livelock rather than one failing lineage.
+    JobBudgetExhausted {
+        /// Which loop gave up: `"idle"` or `"drain-checkpoints"`.
+        phase: &'static str,
+        /// Iterations spent before giving up.
+        iterations: u64,
+    },
+    /// The run was suspended at a wave-commit boundary; a manifest was
+    /// persisted to the durable store and the job can be continued with
+    /// `Driver::resume`.
+    Suspended {
+        /// Durable-store key of the persisted run manifest.
+        manifest: String,
+        /// Committed wave frontier at the moment of suspension.
+        frontier: u64,
+    },
+    /// A resume replay disagreed with the persisted manifest — either
+    /// the config fingerprint differs up front, or the replay crossed
+    /// the recorded frontier with different time/stats. The sessions
+    /// are not the same run and continuing would corrupt determinism.
+    ResumeDiverged {
+        /// Which manifest field failed verification (`"config_fp"`,
+        /// `"frontier"`, `"now_ms"`, `"tasks_run"`, `"revocations"`,
+        /// or `"checkpoints_written"`).
+        field: &'static str,
+        /// The value the manifest recorded.
+        expected: u64,
+        /// The value the replay produced.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -58,6 +90,28 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "checkpoint store unavailable after {retries} backoff retries"
+                )
+            }
+            EngineError::JobBudgetExhausted { phase, iterations } => {
+                write!(
+                    f,
+                    "driver {phase} loop exceeded its budget after {iterations} iterations"
+                )
+            }
+            EngineError::Suspended { manifest, frontier } => {
+                write!(
+                    f,
+                    "run suspended at wave {frontier}; resume from manifest {manifest:?}"
+                )
+            }
+            EngineError::ResumeDiverged {
+                field,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "resume replay diverged at {field}: manifest recorded {expected}, replay produced {actual}"
                 )
             }
         }

@@ -56,6 +56,7 @@ mod executor;
 mod hooks;
 mod injector;
 mod lineage;
+mod manifest;
 mod rdd;
 mod shuffle;
 mod stats;
@@ -79,11 +80,12 @@ pub use column::{
 pub use context::EngineContext;
 pub use cost::CostModel;
 pub use dataset::{Dataset, Datum, DenseVector};
-pub use driver::{Driver, DriverConfig, DriverConfigBuilder};
+pub use driver::{Driver, DriverConfig, DriverConfigBuilder, RetryPolicy};
 pub use error::{EngineError, Result};
 pub use hooks::{CheckpointDirective, CheckpointHooks, LineageView, NoCheckpoint};
 pub use injector::{FailureInjector, NoFailures, ScriptedInjector, WorkerEvent};
 pub use lineage::Lineage;
+pub use manifest::{ManifestError, RunManifest};
 pub use rdd::{Dependency, PartitionData, RddId, RddMeta, RddOp, RddRef};
 pub use shuffle::{
     scan_flat_bucket, Bucket, BucketedBlock, HashPartitioner, Partitioner, RangePartitioner,

@@ -1,0 +1,208 @@
+//! Crash-resume run manifests.
+//!
+//! The engine is deterministic: the same config, workload, and failure
+//! schedule replay the same run byte for byte. Crash recovery therefore
+//! does not serialize live scheduler state — it re-launches the
+//! identical session and replays it, and the [`RunManifest`] persisted
+//! at the suspension point is the *verification artifact*: when the
+//! replay's committed-wave frontier crosses the manifest's, the driver
+//! proves virtual time and stats match before continuing (see
+//! [`crate::Driver::resume`]). The manifest also catalogs the durable
+//! checkpoint keys present at suspension, so an operator can audit what
+//! the store held when the driver died.
+//!
+//! Serialization is a hand-rolled line format (the repo vendors no
+//! serde codegen): a tagged header line followed by `key=value` lines,
+//! stable across versions behind the leading version tag.
+
+use std::fmt;
+
+/// A persisted snapshot of run progress at a wave-commit boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Session tag; the manifest lives at `manifest/<session>` in the
+    /// durable store.
+    pub session: String,
+    /// Fingerprint of the determinism-relevant driver config
+    /// ([`crate::DriverConfig::fingerprint`]).
+    pub config_fp: u64,
+    /// Committed-wave frontier at suspension.
+    pub frontier: u64,
+    /// Virtual time at suspension, in milliseconds.
+    pub now_ms: u64,
+    /// Tasks committed so far.
+    pub tasks_run: u64,
+    /// Revocations observed so far.
+    pub revocations: u64,
+    /// Checkpoint partitions durably written so far.
+    pub checkpoints_written: u64,
+    /// Sorted durable-store keys present at suspension (checkpoint and
+    /// shuffle objects; manifests themselves are excluded).
+    pub blocks: Vec<String>,
+}
+
+/// Why a serialized manifest failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// The header line is missing or names an unsupported version.
+    BadHeader,
+    /// A required field is missing or malformed.
+    BadField(&'static str),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::BadHeader => write!(f, "missing or unsupported manifest header"),
+            ManifestError::BadField(k) => write!(f, "missing or malformed manifest field {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+const HEADER: &str = "flint-run-manifest v1";
+
+impl RunManifest {
+    /// The durable-store key this manifest is persisted under.
+    pub fn store_key(&self) -> String {
+        format!("manifest/{}", self.session)
+    }
+
+    /// Serializes to the line format.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        let mut kv = |k: &str, v: String| {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        kv("session", self.session.clone());
+        kv("config_fp", self.config_fp.to_string());
+        kv("frontier", self.frontier.to_string());
+        kv("now_ms", self.now_ms.to_string());
+        kv("tasks_run", self.tasks_run.to_string());
+        kv("revocations", self.revocations.to_string());
+        kv("checkpoints_written", self.checkpoints_written.to_string());
+        kv("blocks", self.blocks.join(","));
+        out
+    }
+
+    /// Parses the line format back into a manifest.
+    pub fn decode(text: &str) -> Result<RunManifest, ManifestError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(ManifestError::BadHeader);
+        }
+        let mut session = None;
+        let mut config_fp = None;
+        let mut frontier = None;
+        let mut now_ms = None;
+        let mut tasks_run = None;
+        let mut revocations = None;
+        let mut checkpoints_written = None;
+        let mut blocks = None;
+        for line in lines {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                continue;
+            };
+            match k {
+                "session" => session = Some(v.to_string()),
+                "config_fp" => config_fp = v.parse::<u64>().ok(),
+                "frontier" => frontier = v.parse::<u64>().ok(),
+                "now_ms" => now_ms = v.parse::<u64>().ok(),
+                "tasks_run" => tasks_run = v.parse::<u64>().ok(),
+                "revocations" => revocations = v.parse::<u64>().ok(),
+                "checkpoints_written" => checkpoints_written = v.parse::<u64>().ok(),
+                "blocks" => {
+                    blocks = Some(if v.is_empty() {
+                        Vec::new()
+                    } else {
+                        v.split(',').map(str::to_string).collect()
+                    })
+                }
+                _ => {} // forward-compatible: unknown keys are skipped
+            }
+        }
+        Ok(RunManifest {
+            version: 1,
+            session: session.ok_or(ManifestError::BadField("session"))?,
+            config_fp: config_fp.ok_or(ManifestError::BadField("config_fp"))?,
+            frontier: frontier.ok_or(ManifestError::BadField("frontier"))?,
+            now_ms: now_ms.ok_or(ManifestError::BadField("now_ms"))?,
+            tasks_run: tasks_run.ok_or(ManifestError::BadField("tasks_run"))?,
+            revocations: revocations.ok_or(ManifestError::BadField("revocations"))?,
+            checkpoints_written: checkpoints_written
+                .ok_or(ManifestError::BadField("checkpoints_written"))?,
+            blocks: blocks.ok_or(ManifestError::BadField("blocks"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            version: 1,
+            session: "seed-42".into(),
+            config_fp: 0xdead_beef_cafe_f00d,
+            frontier: 12,
+            now_ms: 1_209_600_000,
+            tasks_run: 96,
+            revocations: 3,
+            checkpoints_written: 8,
+            blocks: vec![
+                "rdd-000003/part-00000".into(),
+                "rdd-000003/part-00001".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = sample();
+        assert_eq!(RunManifest::decode(&m.encode()), Ok(m.clone()));
+        // Empty block catalog survives too.
+        let empty = RunManifest {
+            blocks: Vec::new(),
+            ..m
+        };
+        assert_eq!(RunManifest::decode(&empty.encode()), Ok(empty));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            RunManifest::decode("not a manifest"),
+            Err(ManifestError::BadHeader)
+        );
+        let truncated = format!("{HEADER}\nsession=x\n");
+        assert_eq!(
+            RunManifest::decode(&truncated),
+            Err(ManifestError::BadField("config_fp"))
+        );
+    }
+
+    #[test]
+    fn unknown_keys_are_skipped() {
+        let mut text = sample().encode();
+        text.push_str("future_field=whatever\n");
+        assert_eq!(RunManifest::decode(&text), Ok(sample()));
+    }
+
+    #[test]
+    fn store_key_is_session_scoped() {
+        assert_eq!(sample().store_key(), "manifest/seed-42");
+    }
+}

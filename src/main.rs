@@ -12,10 +12,10 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use flint::core::{BackendSpec, FlintCheckpointPolicy, FlintConfig, Mode};
+use flint::core::{BackendSpec, FlintCheckpointPolicy, FlintCluster, FlintConfig, Mode};
 use flint::engine::{
-    ChaosConfig, ChaosInjector, ChaosSchedule, Driver, DriverConfig, NoCheckpoint,
-    ScriptedInjector, ServerlessConfig, WorkerEvent, WorkerSpec,
+    ChaosConfig, ChaosInjector, ChaosSchedule, Driver, DriverConfig, EngineError, NoCheckpoint,
+    RunManifest, ScriptedInjector, ServerlessConfig, WorkerEvent, WorkerSpec,
 };
 use flint::market::{correlated_groups, correlation_matrix, MarketCatalog};
 use flint::model::{
@@ -26,6 +26,15 @@ use flint::simtime::{SimDuration, SimTime};
 use flint::trace::{Event, EventKind, JsonlSink, MetricsAggregator, TraceHandle};
 use flint::workloads::{Als, KMeans, PageRank, Tpch, Workload, WorkloadConfig};
 
+/// Exit codes beyond plain success/failure, so callers can tell the
+/// degradation outcomes apart: `3` = the run completed correctly but
+/// through a degradation path (crash-resume replay, on-demand backstop),
+/// `4` = a typed engine error (fail-stop, never wrong data), `5` = a
+/// panic or invariant violation. `1` stays for usage and I/O errors.
+const EXIT_DEGRADED: u8 = 3;
+const EXIT_TYPED: u8 = 4;
+const EXIT_PANIC: u8 = 5;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -33,7 +42,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let flags = parse_flags(&args[1..]);
-    match cmd.as_str() {
+    // A panic anywhere below is an invariant violation, reported with its
+    // own exit code so scripts can tell it from a typed fail-stop error.
+    let code = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match cmd.as_str() {
         "run" => cmd_run(&args, &flags),
         "workload" => cmd_workload(&args, &flags),
         "chaos" => cmd_chaos(&flags),
@@ -50,7 +61,8 @@ fn main() -> ExitCode {
             usage();
             ExitCode::FAILURE
         }
-    }
+    }));
+    code.unwrap_or(ExitCode::from(EXIT_PANIC))
 }
 
 fn usage() {
@@ -69,17 +81,28 @@ USAGE:
                           --backend serverless runs every task as a billed
                           function invocation — market flags like --policy
                           and --bid are rejected there)
+        [--suspend-after W] [--manifest FILE] [--resume FILE]
+                         (crash-resume: --suspend-after kills the run at
+                          wave-commit boundary W and writes its run
+                          manifest to --manifest (default flint.manifest);
+                          --resume replays a fresh session from a manifest
+                          file — same flags required — and exits 3 on a
+                          degraded-but-complete finish)
   flint workload <pagerank|kmeans|als|tpch> [--gb N] [--iterations N]
         [--workers N] [--failures K] [--mttf H] [--checkpoint] [--seed N]
         [--dot FILE]   (write the executed lineage graph as Graphviz DOT)
   flint chaos [--seed N] [--runs R] [--jobs N]
-        [--faults revoke,mass,flap,delay,store]
+        [--faults revoke,mass,flap,delay,store,driver-crash,market-collapse]
+        [--crash-prob P] [--crash-wave-max N] [--collapse-prob P]
         [--workload W] [--gb N] [--workers N] [--mttf H] [--trace FILE]
                           (seeded fault-injection campaign: each run is
                            diffed against its fault-free twin and must
                            finish byte-identical or with a typed error;
                            --jobs fans runs across host threads with
-                           byte-identical output)
+                           byte-identical output. driver-crash and
+                           market-collapse arm only when named explicitly
+                           — a crashed run is resumed from its persisted
+                           manifest and must still match the twin)
   flint markets [--seed N] [--days N]
   flint mc [--policy batch|interactive|portfolio|fleet|od] [--risk R]
         [--hours N] [--seed N] [--workers N] [--runs R] [--jobs N]
@@ -97,7 +120,12 @@ USAGE:
                                  lineage fallback or a typed failure)
   flint trace prices [--seed N] [--days N] [--market I]
                                 (CSV price trace to stdout; also the
-                                 default when no subcommand is given)"
+                                 default when no subcommand is given)
+
+EXIT CODES:
+  0 success   1 usage/I-O error   3 degraded-but-complete (resumed or
+  backstopped)   4 typed engine error (fail-stop)   5 panic / invariant
+  violation"
     );
 }
 
@@ -242,9 +270,20 @@ fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
             }
         }
     }
+    let suspend_after = match flags.get("suspend-after") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(w) => Some(w),
+            Err(_) => {
+                eprintln!("run: --suspend-after expects a wave number, got {v}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let resume_path = flags.get("resume");
     let catalog =
         MarketCatalog::synthetic_ec2(flag_u(flags, "seed", 42), SimDuration::from_days(30));
-    let config = FlintConfig::builder()
+    let mut config = FlintConfig::builder()
         .n_workers(flag_u(flags, "workers", 10) as u32)
         .mode(mode)
         .risk_aversion(flag_f64(flags, "risk", 1.0))
@@ -252,13 +291,25 @@ fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
         .trace(trace)
         .backend(backend)
         .build();
+    config.driver.suspend_after_waves = suspend_after;
+
+    if suspend_after.is_some() || resume_path.is_some() {
+        return cmd_run_degraded(catalog, config, wl.as_ref(), flags, resume_path);
+    }
     let run = match run_on_flint(catalog, config, wl.as_ref()) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("run failed: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_TYPED);
         }
     };
+    print_run_report(&run, flags.get("trace"));
+    ExitCode::SUCCESS
+}
+
+/// The shared tail of every `flint run` variant: the human-readable
+/// summary of a completed run.
+fn print_run_report(run: &flint::runner::RunReport, trace_path: Option<&String>) {
     println!("workload     : {}", run.summary.name);
     println!("records      : {}", run.summary.records);
     println!("checksum     : {:#018x}", run.summary.checksum);
@@ -283,10 +334,104 @@ fn cmd_run(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
         println!("compute cost : ${:.2}", run.cost.compute_cost);
     }
     println!("storage cost : ${:.2}", run.cost.storage_cost);
-    if let Some(path) = flags.get("trace") {
+    if let Some(path) = trace_path {
         println!("trace        : written to {path}");
     }
-    ExitCode::SUCCESS
+}
+
+/// The crash-resume arm of `flint run`: drives the cluster directly so
+/// the driver can be suspended at a wave boundary (writing its manifest
+/// to a file) or resumed from one. A resumed run that completes exits
+/// with [`EXIT_DEGRADED`] — correct but through the degradation path.
+fn cmd_run_degraded(
+    catalog: MarketCatalog,
+    config: FlintConfig,
+    wl: &dyn Workload,
+    flags: &HashMap<String, String>,
+    resume_path: Option<&String>,
+) -> ExitCode {
+    let trace = config.trace.clone();
+    let mut cluster = FlintCluster::launch(catalog, config);
+    let mut cost_model = *cluster.driver().cost_model();
+    cost_model.size_scale = wl.recommended_size_scale();
+    cluster.driver_mut().set_cost_model(cost_model);
+
+    let mut resumed_from = None;
+    if let Some(path) = resume_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("run: could not read manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let manifest = match RunManifest::decode(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("run: {path} is not a run manifest: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match cluster.driver_mut().resume(&manifest) {
+            Ok(()) => resumed_from = Some((path.clone(), manifest.frontier)),
+            Err(e) => {
+                eprintln!("run: resume rejected: {e}");
+                return ExitCode::from(EXIT_TYPED);
+            }
+        }
+    }
+
+    let started = cluster.driver().now();
+    match wl.run(cluster.driver_mut()) {
+        Ok(summary) => {
+            let runtime_secs = (cluster.driver().now() - started).as_secs_f64();
+            let stats = cluster.driver().stats().clone();
+            let cost = cluster.shutdown();
+            trace.flush();
+            let run = flint::runner::RunReport {
+                summary,
+                runtime_secs,
+                stats,
+                cost,
+                trace: None,
+            };
+            print_run_report(&run, flags.get("trace"));
+            match resumed_from {
+                Some((path, frontier)) => {
+                    println!("resumed      : replayed from wave {frontier} ({path})");
+                    ExitCode::from(EXIT_DEGRADED)
+                }
+                None => ExitCode::SUCCESS,
+            }
+        }
+        Err(EngineError::Suspended { manifest, frontier }) => {
+            let Some(text) = cluster
+                .driver()
+                .checkpoints()
+                .get_manifest(&manifest)
+                .map(str::to_string)
+            else {
+                eprintln!("run: suspended but no manifest was persisted");
+                return ExitCode::from(EXIT_TYPED);
+            };
+            let out = flags
+                .get("manifest")
+                .cloned()
+                .unwrap_or_else(|| "flint.manifest".to_string());
+            if let Err(e) = std::fs::write(&out, &text) {
+                eprintln!("run: could not write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            trace.flush();
+            println!("suspended    : at wave {frontier}; manifest written to {out}");
+            println!("resume with  : flint run … --resume {out} (same flags)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            ExitCode::from(EXIT_TYPED)
+        }
+    }
 }
 
 fn cmd_workload(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
@@ -715,9 +860,11 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    /// How one chaos run ended, for the survival tally.
+    /// How one chaos run ended, for the survival tally. `Degraded` is
+    /// byte-identical survival that went through the crash-resume path.
     enum RunClass {
         Survived,
+        Degraded,
         Typed,
         Violation,
     }
@@ -751,12 +898,25 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
             ccfg.outages = 0;
         }
         ccfg.revocations = flag_u(flags, "revocations", u64::from(ccfg.revocations)) as u32;
+        // The crash/collapse kinds arm only when named explicitly: they
+        // change the campaign's shape (runs suspend and replay through
+        // `Driver::resume` mid-flight), so `all` keeps its historical
+        // meaning of every in-run fault kind.
+        if enabled.contains(&"driver-crash") {
+            ccfg.driver_crash_prob = flag_f64(flags, "crash-prob", 0.5);
+            ccfg.driver_crash_wave_max = flag_u(flags, "crash-wave-max", 8).max(1);
+        }
+        if enabled.contains(&"market-collapse") {
+            ccfg.market_collapse_prob = flag_f64(flags, "collapse-prob", 0.5);
+        }
 
         let schedule = ChaosSchedule::generate(&ccfg);
-        let store_faults = schedule.store_faults(&ccfg);
-        let injector = ChaosInjector::from_schedule(schedule);
+        let crash_wave = schedule.driver_crash_wave;
+        let collapsed = schedule
+            .notes
+            .iter()
+            .any(|(_, k, _)| k == "market_collapse");
 
-        let trace = TraceHandle::disabled();
         let trace_path = flags.get("trace").map(|p| {
             if runs > 1 {
                 format!("{p}.run{r}")
@@ -764,56 +924,134 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
                 p.clone()
             }
         });
-        if let Some(path) = &trace_path {
-            match std::fs::File::create(path) {
-                Ok(f) => trace.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f)))),
-                Err(e) => {
-                    return (
-                        RunClass::Violation,
-                        format!("could not create {path}: {e}"),
-                        trace_path.clone(),
-                    );
+        // Sinks attach per session: a crashed session's partial trace is
+        // discarded and the file re-created for the resumed session, so
+        // the file always holds one complete, monotonic event stream.
+        let open_sink = |tr: &TraceHandle| -> Result<(), String> {
+            if let Some(path) = &trace_path {
+                match std::fs::File::create(path) {
+                    Ok(f) => {
+                        tr.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f))));
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("could not create {path}: {e}")),
                 }
+            } else {
+                Ok(())
             }
-        }
-
-        let hooks: Box<dyn flint::engine::CheckpointHooks> = match ckpt_kind {
-            "eager" => Box::new(CkptEveryRdd),
-            "adaptive" => Box::new(FlintCheckpointPolicy::with_mttf(mttf)),
-            _ => Box::new(NoCheckpoint),
         };
         let wl = make_wl(name).expect("workload validated before fan-out");
-        let cfg = driver_cfg.clone();
-        let run_trace = trace.clone();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut d = Driver::new(cfg, hooks, Box::new(injector));
-            d.set_trace(run_trace);
-            d.checkpoints_mut().set_fault_policy(Box::new(store_faults));
-            for ext in 1..=u64::from(workers) {
-                d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+            let build = |suspend: Option<u64>, tr: &TraceHandle| {
+                let mut cfg = driver_cfg.clone();
+                cfg.suspend_after_waves = suspend;
+                let hooks: Box<dyn flint::engine::CheckpointHooks> = match ckpt_kind {
+                    "eager" => Box::new(CkptEveryRdd),
+                    "adaptive" => Box::new(FlintCheckpointPolicy::with_mttf(mttf)),
+                    _ => Box::new(NoCheckpoint),
+                };
+                let mut d = Driver::new(
+                    cfg,
+                    hooks,
+                    Box::new(ChaosInjector::from_schedule(schedule.clone())),
+                );
+                d.set_trace(tr.clone());
+                d.checkpoints_mut()
+                    .set_fault_policy(Box::new(schedule.store_faults(&ccfg)));
+                for ext in 1..=u64::from(workers) {
+                    d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+                }
+                d
+            };
+            // Returns (result, resumed-from wave): result carries the
+            // summary plus stats/runtime of whichever session completed.
+            let tr = TraceHandle::disabled();
+            if let Err(e) = open_sink(&tr) {
+                return (Err(e), None);
             }
-            let res = wl.run(&mut d);
-            (res, d.stats().clone(), d.now().since_epoch())
+            match crash_wave {
+                None => {
+                    let mut d = build(None, &tr);
+                    let res = wl
+                        .run(&mut d)
+                        .map(|s| (s, d.stats().clone(), d.now().since_epoch()))
+                        .map_err(|e| format!("{e}"));
+                    tr.flush();
+                    (res, None)
+                }
+                Some(w) => {
+                    // Session A runs doomed: killed at wave boundary w
+                    // (unless the job finishes first).
+                    let mut a = build(Some(w), &tr);
+                    match wl.run(&mut a) {
+                        Ok(s) => {
+                            let res = Ok((s, a.stats().clone(), a.now().since_epoch()));
+                            tr.flush();
+                            (res, None)
+                        }
+                        Err(EngineError::Suspended { manifest, .. }) => {
+                            let text = a.checkpoints().get_manifest(&manifest).map(str::to_string);
+                            // Release A's file handle before truncating
+                            // the path for the resumed session.
+                            drop(a);
+                            drop(tr);
+                            let Some(text) = text else {
+                                return (Err("suspended but no manifest persisted".into()), None);
+                            };
+                            let m = match RunManifest::decode(&text) {
+                                Ok(m) => m,
+                                Err(e) => return (Err(format!("manifest decode: {e}")), None),
+                            };
+                            let tb = TraceHandle::disabled();
+                            if let Err(e) = open_sink(&tb) {
+                                return (Err(e), None);
+                            }
+                            let mut b = build(None, &tb);
+                            if let Err(e) = b.resume(&m) {
+                                return (Err(format!("{e}")), None);
+                            }
+                            let res = wl
+                                .run(&mut b)
+                                .map(|s| (s, b.stats().clone(), b.now().since_epoch()))
+                                .map_err(|e| format!("{e}"));
+                            tb.flush();
+                            (res, Some(w))
+                        }
+                        Err(e) => {
+                            tr.flush();
+                            (Err(format!("{e}")), None)
+                        }
+                    }
+                }
+            }
         }));
-        trace.flush();
 
         let (class, verdict) = match outcome {
             Err(_) => (
                 RunClass::Violation,
                 format!("PANIC (seed {run_seed}) — invariant violated"),
             ),
-            Ok((Ok(s), stats, runtime)) => {
+            Ok((Ok((s, stats, runtime)), resumed)) => {
                 if s.checksum == expect.checksum && s.records == expect.records {
-                    (
-                        RunClass::Survived,
-                        format!(
-                            "survived byte-identical ({:+.1}% runtime, {} restores, \
-                             {} revocations)",
-                            (runtime.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0,
-                            stats.restores,
-                            stats.revocations
-                        ),
-                    )
+                    let mut tags = String::new();
+                    if let Some(w) = resumed {
+                        tags.push_str(&format!(", resumed from wave {w}"));
+                    }
+                    if collapsed {
+                        tags.push_str(", market collapse");
+                    }
+                    let verdict = format!(
+                        "survived byte-identical ({:+.1}% runtime, {} restores, \
+                         {} revocations{tags})",
+                        (runtime.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0,
+                        stats.restores,
+                        stats.revocations
+                    );
+                    if resumed.is_some() {
+                        (RunClass::Degraded, verdict)
+                    } else {
+                        (RunClass::Survived, verdict)
+                    }
                 } else {
                     (
                         RunClass::Violation,
@@ -824,17 +1062,19 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
                     )
                 }
             }
-            Ok((Err(e), _, _)) => (RunClass::Typed, format!("typed error: {e}")),
+            Ok((Err(e), _)) => (RunClass::Typed, format!("typed error: {e}")),
         };
         (class, verdict, trace_path)
     });
 
     let mut survived = 0u64;
+    let mut degraded = 0u64;
     let mut typed = 0u64;
     let mut violations = 0u64;
     for (r, (class, verdict, trace_path)) in outcomes.into_iter().enumerate() {
         match class {
             RunClass::Survived => survived += 1,
+            RunClass::Degraded => degraded += 1,
             RunClass::Typed => typed += 1,
             RunClass::Violation => violations += 1,
         }
@@ -845,13 +1085,18 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
         }
     }
     println!(
-        "survival      : {survived}/{runs} byte-identical, {typed} typed \
-         error(s), {violations} violation(s)"
+        "survival      : {}/{runs} byte-identical ({degraded} via resume), \
+         {typed} typed error(s), {violations} violation(s)",
+        survived + degraded
     );
-    if violations == 0 {
-        ExitCode::SUCCESS
+    if violations > 0 {
+        ExitCode::from(EXIT_PANIC)
+    } else if typed > 0 {
+        ExitCode::from(EXIT_TYPED)
+    } else if degraded > 0 {
+        ExitCode::from(EXIT_DEGRADED)
     } else {
-        ExitCode::FAILURE
+        ExitCode::SUCCESS
     }
 }
 
@@ -903,6 +1148,7 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         "ablation_delta" => ablations::ablation_adaptive_delta(),
         "ablation_portfolio" => ablations::ablation_portfolio(),
         "ablation_backend" => ablations::ablation_backend(),
+        "ablation_backstop" => ablations::ablation_backstop(),
         other => {
             eprintln!("unknown experiment: {other}");
             return ExitCode::FAILURE;

@@ -8,8 +8,8 @@
 use flint::core::{FlintCheckpointPolicy, FlintCluster, FlintConfig, Mode, SelectionConfig};
 use flint::engine::{
     ChaosConfig, ChaosInjector, ChaosSchedule, CheckpointDirective, CheckpointHooks, Driver,
-    DriverConfig, EngineError, EventSink, LineageView, NoCheckpoint, RddId, ScriptedInjector,
-    Value, WorkerEvent, WorkerSpec,
+    DriverConfig, EngineError, EventSink, LineageView, NoCheckpoint, RddId, RunManifest,
+    ScriptedInjector, Value, WorkerEvent, WorkerSpec,
 };
 use flint::market::MarketCatalog;
 use flint::simtime::{SimDuration, SimTime};
@@ -150,21 +150,53 @@ fn golden_output(job_seed: i64) -> &'static Vec<Value> {
 fn chaos_outcome(ccfg: &ChaosConfig, job_seed: i64) -> ChaosOutcome {
     let golden = golden_output(job_seed);
     let schedule = ChaosSchedule::generate(ccfg);
-    let store_faults = schedule.store_faults(ccfg);
-    let injector = ChaosInjector::from_schedule(schedule);
+    let crash_wave = schedule.driver_crash_wave;
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut cfg = DriverConfig::default();
-        cfg.cost.size_scale = 5e5;
-        cfg.store_retry_limit = 4;
-        let mut d = Driver::new(cfg, Box::new(EagerCkpt), Box::new(injector));
-        d.checkpoints_mut().set_fault_policy(Box::new(store_faults));
-        for ext in 1..=u64::from(ccfg.n_workers) {
-            d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+        let build = |suspend: Option<u64>| {
+            let mut cfg = DriverConfig::default();
+            cfg.cost.size_scale = 5e5;
+            cfg.store_retry.budget = 4;
+            cfg.suspend_after_waves = suspend;
+            let mut d = Driver::new(
+                cfg,
+                Box::new(EagerCkpt),
+                Box::new(ChaosInjector::from_schedule(schedule.clone())),
+            );
+            d.checkpoints_mut()
+                .set_fault_policy(Box::new(schedule.store_faults(ccfg)));
+            for ext in 1..=u64::from(ccfg.n_workers) {
+                d.add_worker_with_ext(ext, WorkerSpec::r3_large());
+            }
+            // A lifeline worker outside the chaos pool guarantees
+            // progress is at least possible; the store can still force
+            // typed errors.
+            d.add_worker_with_ext(999, WorkerSpec::r3_large());
+            d
+        };
+        let Some(w) = crash_wave else {
+            return run_job(&mut build(None), job_seed);
+        };
+        // Driver-crash fault: kill the first session at the drawn wave
+        // boundary, harvest the persisted manifest, and replay a fresh
+        // session through `Driver::resume` — which re-verifies the
+        // frontier against the manifest as it crosses it.
+        let mut a = build(Some(w));
+        match run_job(&mut a, job_seed) {
+            // The job finished (or failed) before the crash wave.
+            Ok(out) => Ok(out),
+            Err(EngineError::Suspended { manifest, .. }) => {
+                let text = a
+                    .checkpoints()
+                    .get_manifest(&manifest)
+                    .expect("suspension persists its manifest")
+                    .to_string();
+                let m = RunManifest::decode(&text).expect("manifest decodes");
+                let mut b = build(None);
+                b.resume(&m)?;
+                run_job(&mut b, job_seed)
+            }
+            Err(e) => Err(e),
         }
-        // A lifeline worker outside the chaos pool guarantees progress
-        // is at least possible; the store can still force typed errors.
-        d.add_worker_with_ext(999, WorkerSpec::r3_large());
-        run_job(&mut d, job_seed)
     }));
     match result {
         Err(_) => ChaosOutcome::Panicked,
@@ -200,6 +232,51 @@ fn chaos_campaign_200_seeds_byte_identical_or_typed() {
         }
     }
     assert_eq!(identical + typed, 200);
+    assert!(
+        identical > 100,
+        "most campaigns should survive (got {identical} identical, {typed} typed)"
+    );
+}
+
+/// The same campaign with the two degradation-layer fault kinds armed:
+/// half the seeds kill the driver at a drawn wave boundary (crash →
+/// manifest → resume → replay), and a third collapse every pool market
+/// at once (the whole cluster vanishes until a recovery cohort lands).
+/// The invariant is unchanged: byte-identical completion or a typed
+/// error, zero panics — crash-resume and market collapse are inside
+/// the fault envelope, not special cases.
+#[test]
+fn chaos_campaign_with_driver_crash_and_market_collapse() {
+    let mut identical = 0u32;
+    let mut typed = 0u32;
+    let mut crashes = 0u32;
+    let mut collapses = 0u32;
+    for seed in 0..200u64 {
+        let mut ccfg = ChaosConfig::new(seed);
+        ccfg.n_workers = 6;
+        ccfg.groups = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        ccfg.driver_crash_prob = 0.5;
+        ccfg.market_collapse_prob = 0.35;
+        let schedule = ChaosSchedule::generate(&ccfg);
+        crashes += u32::from(schedule.driver_crash_wave.is_some());
+        collapses += u32::from(
+            schedule
+                .notes
+                .iter()
+                .any(|(_, k, _)| k == "market_collapse"),
+        );
+        match chaos_outcome(&ccfg, 23) {
+            ChaosOutcome::Identical => identical += 1,
+            ChaosOutcome::Typed(_) => typed += 1,
+            ChaosOutcome::WrongData(msg) => panic!("seed {seed}: wrong data — {msg}"),
+            ChaosOutcome::Panicked => panic!("seed {seed}: chaos run panicked"),
+        }
+    }
+    assert_eq!(identical + typed, 200);
+    assert!(
+        crashes > 60 && collapses > 30,
+        "fault kinds must actually arm: {crashes} crashes, {collapses} collapses"
+    );
     assert!(
         identical > 100,
         "most campaigns should survive (got {identical} identical, {typed} typed)"
